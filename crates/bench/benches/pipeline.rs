@@ -1,0 +1,60 @@
+//! Criterion benchmarks for the scheduling pipeline pieces on Abilene-sized
+//! instances: Stage-1 MCF, Stage-2, LPD truncation, and the LPDAR greedy
+//! adjustment (the paper's Fig. 3 at micro scale: the LP solve dominates,
+//! the discretization steps are noise).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wavesched_core::instance::{Instance, InstanceConfig};
+use wavesched_core::lpdar::{adjust_rates, truncate, AdjustOrder};
+use wavesched_core::stage1::solve_stage1;
+use wavesched_core::stage2::solve_stage2;
+use wavesched_net::{abilene20, PathSet};
+use wavesched_workload::{WorkloadConfig, WorkloadGenerator};
+
+fn abilene_instance(n_jobs: usize) -> Instance {
+    let w = 4;
+    let (g, _) = abilene20(w);
+    let jobs = WorkloadGenerator::new(WorkloadConfig {
+        num_jobs: n_jobs,
+        seed: 9,
+        window: (4.0, 10.0),
+        ..Default::default()
+    })
+    .generate(&g);
+    let cfg = InstanceConfig::paper(w);
+    let mut ps = PathSet::new(cfg.paths_per_job);
+    Instance::build(&g, &jobs, &cfg, &mut ps)
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let inst = abilene_instance(30);
+    let s1 = solve_stage1(&inst).unwrap();
+    let s2 = solve_stage2(&inst, s1.z_star, 0.1).unwrap();
+    let lpd = truncate(&inst, &s2.schedule);
+
+    let mut group = c.benchmark_group("pipeline_abilene_30jobs");
+    group.sample_size(10);
+    group.bench_function("stage1_mcf", |b| {
+        b.iter(|| black_box(solve_stage1(&inst).unwrap()))
+    });
+    group.bench_function("stage2_lp", |b| {
+        b.iter(|| black_box(solve_stage2(&inst, s1.z_star, 0.1).unwrap()))
+    });
+    group.bench_function("lpd_truncate", |b| {
+        b.iter(|| black_box(truncate(&inst, &s2.schedule)))
+    });
+    group.bench_function("lpdar_adjust", |b| {
+        b.iter(|| black_box(adjust_rates(&inst, &lpd, AdjustOrder::Paper)))
+    });
+    group.finish();
+}
+
+fn bench_instance_build(c: &mut Criterion) {
+    c.bench_function("instance_build_abilene_30jobs", |b| {
+        b.iter(|| black_box(abilene_instance(30)))
+    });
+}
+
+criterion_group!(benches, bench_stages, bench_instance_build);
+criterion_main!(benches);

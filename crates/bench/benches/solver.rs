@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks for the LP solver itself: the sparse revised
+//! simplex against the dense oracle on synthetic LPs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use wavesched_lp::dense::solve_dense;
+use wavesched_lp::{solve, Objective, Problem};
+
+/// Random sparse LP with `n` vars and `m` rows.
+fn random_lp(n: usize, m: usize, seed: u64) -> Problem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p = Problem::new(Objective::Maximize);
+    let cols: Vec<_> = (0..n)
+        .map(|_| p.add_col(0.0, rng.random_range(1.0..10.0), rng.random_range(0.0..5.0)))
+        .collect();
+    for _ in 0..m {
+        let mut coeffs = Vec::new();
+        for &c in &cols {
+            if rng.random_range(0..100) < 40 {
+                coeffs.push((c, rng.random_range(0.5..3.0)));
+            }
+        }
+        p.add_row(f64::NEG_INFINITY, rng.random_range(5.0..30.0), &coeffs);
+    }
+    p
+}
+
+fn bench_revised_vs_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_solvers");
+    for &size in &[10usize, 30, 60] {
+        let p = random_lp(size, size, 7);
+        group.bench_with_input(BenchmarkId::new("revised", size), &p, |b, p| {
+            b.iter(|| black_box(solve(p).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("dense", size), &p, |b, p| {
+            b.iter(|| black_box(solve_dense(p).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_revised_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("revised_scaling");
+    group.sample_size(10);
+    for &size in &[100usize, 200, 400] {
+        let p = random_lp(size, size, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &p, |b, p| {
+            b.iter(|| black_box(solve(p).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_revised_vs_dense, bench_revised_scaling);
+criterion_main!(benches);

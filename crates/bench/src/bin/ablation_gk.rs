@@ -1,0 +1,47 @@
+//! **Ablation A5** — approximate vs exact Stage 1. The Garg–Könemann /
+//! Fleischer multiplicative-weights scheme (`wavesched_core::gkflow`)
+//! trades a `(1 - O(epsilon))` factor of `Z*` for a combinatorial solve
+//! that avoids the simplex entirely.
+//!
+//! ```text
+//! cargo run --release -p wavesched-bench --bin ablation_gk
+//! ```
+
+use std::time::Instant;
+use wavesched_bench::{build_instance, env_usize, fig_workload, paper_random_network, quick, secs};
+use wavesched_core::gkflow::{approx_stage1, GkConfig};
+use wavesched_core::stage1::solve_stage1;
+
+fn main() {
+    let jobs_n = env_usize("WS_JOBS", if quick() { 25 } else { 100 });
+    let w = 4;
+    let g = paper_random_network(w, 42);
+    let jobs = fig_workload(&g, jobs_n, 1000);
+    let inst = build_instance(&g, &jobs, w, 4);
+
+    let t = Instant::now();
+    let exact = solve_stage1(&inst).expect("stage1");
+    let exact_time = t.elapsed();
+
+    println!("# Ablation A5: approximate (Garg-Konemann) vs exact Stage 1");
+    println!("# random network, W={w}, jobs={jobs_n}; exact Z*={:.4} in {}s", exact.z_star, secs(exact_time));
+    println!("method,epsilon,z,z_over_exact,phases,time_s");
+    println!("simplex,0,{:.4},1.0000,0,{}", exact.z_star, secs(exact_time));
+    for eps in [0.5, 0.2, 0.1, 0.05] {
+        let t = Instant::now();
+        let gk = approx_stage1(
+            &inst,
+            &GkConfig {
+                epsilon: eps,
+                ..Default::default()
+            },
+        );
+        println!(
+            "gk,{eps},{:.4},{:.4},{},{}",
+            gk.z_lower,
+            gk.z_lower / exact.z_star,
+            gk.phases,
+            secs(t.elapsed())
+        );
+    }
+}

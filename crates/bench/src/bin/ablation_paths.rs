@@ -1,0 +1,32 @@
+//! **Ablation A3** — allowed paths per job. The paper reports that 4–8
+//! paths per job capture most of the attainable performance.
+//!
+//! ```text
+//! cargo run --release -p wavesched-bench --bin ablation_paths
+//! ```
+
+use wavesched_bench::{build_instance, env_usize, fig_workload, paper_random_network, quick, secs};
+use std::time::Instant;
+use wavesched_core::pipeline::max_throughput_pipeline;
+
+fn main() {
+    let jobs_n = env_usize("WS_JOBS", if quick() { 25 } else { 100 });
+    let w = 4;
+    let g = paper_random_network(w, 42);
+    let jobs = fig_workload(&g, jobs_n, 1000);
+
+    println!("# Ablation A3: paths per job (random network, W={w}, jobs={jobs_n})");
+    println!("paths_per_job,z_star,lp_throughput,lpdar_norm,lp_time_s");
+    for k in [1usize, 2, 4, 8] {
+        let inst = build_instance(&g, &jobs, w, k);
+        let t = Instant::now();
+        let r = max_throughput_pipeline(&inst, 0.1).expect("pipeline");
+        println!(
+            "{k},{:.3},{:.3},{:.4},{}",
+            r.z_star,
+            r.lp_throughput,
+            r.lpdar_normalized(),
+            secs(t.elapsed())
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! **Fig. 1** — Throughput of LP, LPD and LPDAR (normalized to LP) versus
+//! the number of wavelengths per link, capacity held constant at 20 Gbps.
+//! Random Waxman network with 100 nodes and 200 link pairs.
+//!
+//! Paper's result: LPD ≈ 0.5·LP at 2 wavelengths, improving with more
+//! wavelengths; LPDAR ≈ 0.9·LP at 2 wavelengths and ≥ 0.95 from 4 up.
+//!
+//! ```text
+//! cargo run --release -p wavesched-bench --bin fig1
+//! ```
+
+use wavesched_bench::{build_instance, env_usize, fig_workload, mean, paper_random_network, quick};
+use wavesched_core::pipeline::max_throughput_pipeline;
+
+fn main() {
+    let jobs_n = env_usize("WS_JOBS", if quick() { 40 } else { 250 });
+    let seeds = env_usize("WS_SEEDS", if quick() { 1 } else { 2 });
+    let wavelengths: &[u32] = if quick() {
+        &[2, 8, 32]
+    } else {
+        &[2, 4, 8, 16, 32]
+    };
+
+    println!("# Fig. 1: throughput vs wavelengths per link (random network)");
+    println!("# jobs={jobs_n} seeds={seeds} alpha=0.1 paths/job=4");
+    println!("wavelengths,lp_norm,lpd_norm,lpdar_norm,z_star,lp_throughput");
+    for &w in wavelengths {
+        let mut lpd = Vec::new();
+        let mut lpdar = Vec::new();
+        let mut zs = Vec::new();
+        let mut lps = Vec::new();
+        for seed in 0..seeds as u64 {
+            let g = paper_random_network(w, 42 + seed);
+            let jobs = fig_workload(&g, jobs_n, 1000 + seed);
+            let inst = build_instance(&g, &jobs, w, 4);
+            let r = max_throughput_pipeline(&inst, 0.1).expect("pipeline");
+            lpd.push(r.lpd_normalized());
+            lpdar.push(r.lpdar_normalized());
+            zs.push(r.z_star);
+            lps.push(r.lp_throughput);
+        }
+        println!(
+            "{w},1.000,{:.3},{:.3},{:.3},{:.3}",
+            mean(&lpd),
+            mean(&lpdar),
+            mean(&zs),
+            mean(&lps)
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! **Fig. 2** — Throughput of LP, LPD and LPDAR (normalized to LP) versus
+//! wavelengths per link on the Abilene backbone (11 nodes, 20 link pairs
+//! in the paper's instance; see DESIGN.md for the 20-pair variant).
+//!
+//! Paper's result: LPD ≈ 0.6·LP at 2 wavelengths; LPDAR nearly identical
+//! to LP at every wavelength count.
+//!
+//! ```text
+//! cargo run --release -p wavesched-bench --bin fig2
+//! ```
+
+use wavesched_bench::{env_usize, mean, quick};
+use wavesched_core::instance::{Instance, InstanceConfig};
+use wavesched_core::pipeline::max_throughput_pipeline;
+use wavesched_net::{abilene20, PathSet};
+use wavesched_workload::{WorkloadConfig, WorkloadGenerator};
+
+fn main() {
+    let jobs_n = env_usize("WS_JOBS", if quick() { 20 } else { 150 });
+    let seeds = env_usize("WS_SEEDS", if quick() { 1 } else { 3 });
+    let wavelengths: &[u32] = if quick() {
+        &[2, 8, 32]
+    } else {
+        &[2, 4, 8, 16, 32]
+    };
+
+    println!("# Fig. 2: throughput vs wavelengths per link (Abilene, 11 nodes / 20 link pairs)");
+    println!("# jobs={jobs_n} seeds={seeds} alpha=0.1 paths/job=4");
+    println!("wavelengths,lp_norm,lpd_norm,lpdar_norm,z_star,lp_throughput");
+    for &w in wavelengths {
+        let mut lpd = Vec::new();
+        let mut lpdar = Vec::new();
+        let mut zs = Vec::new();
+        let mut lps = Vec::new();
+        for seed in 0..seeds as u64 {
+            let (g, _) = abilene20(w);
+            let jobs = WorkloadGenerator::new(WorkloadConfig {
+                num_jobs: jobs_n,
+                seed: 2000 + seed,
+                size_gb: (1.0, 100.0),
+                window: (3.0, 8.0),
+                ..Default::default()
+            })
+            .generate(&g);
+            let cfg = InstanceConfig::paper(w);
+            let mut ps = PathSet::new(cfg.paths_per_job);
+            let inst = Instance::build(&g, &jobs, &cfg, &mut ps);
+            let r = max_throughput_pipeline(&inst, 0.1).expect("pipeline");
+            lpd.push(r.lpd_normalized());
+            lpdar.push(r.lpdar_normalized());
+            zs.push(r.z_star);
+            lps.push(r.lp_throughput);
+        }
+        println!(
+            "{w},1.000,{:.3},{:.3},{:.3},{:.3}",
+            mean(&lpd),
+            mean(&lpdar),
+            mean(&zs),
+            mean(&lps)
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! **Fig. 3** — Computation time of LP, LPD and LPDAR versus the number of
+//! jobs on the 100-node random network.
+//!
+//! Paper's result: the three curves nearly coincide — the LP solve
+//! dominates, truncation and the greedy adjustment add negligible time.
+//! Absolute values differ from the paper (our own simplex vs CPLEX on
+//! 2009 hardware); the claim is the *relative* shape.
+//!
+//! ```text
+//! cargo run --release -p wavesched-bench --bin fig3
+//! ```
+
+use wavesched_bench::{build_instance, env_usize, fig_workload, paper_random_network, quick, secs};
+use wavesched_core::pipeline::max_throughput_pipeline;
+
+fn main() {
+    let job_counts: Vec<usize> = if quick() {
+        vec![20, 40]
+    } else {
+        let max = env_usize("WS_JOBS", 250);
+        (1..=5).map(|k| k * max / 5).collect()
+    };
+    let w = 4;
+
+    println!("# Fig. 3: computation time vs number of jobs (random network, W={w})");
+    println!("# times in seconds; lpX_time includes every stage up to X (paper convention)");
+    println!("jobs,stage1_s,lp_s,lpd_s,lpdar_s,lpd_extra_s,lpdar_extra_s");
+    for &n in &job_counts {
+        let g = paper_random_network(w, 42);
+        let jobs = fig_workload(&g, n, 1000);
+        let inst = build_instance(&g, &jobs, w, 4);
+        let r = max_throughput_pipeline(&inst, 0.1).expect("pipeline");
+        println!(
+            "{n},{},{},{},{},{},{}",
+            secs(r.stage1_time),
+            secs(r.lp_time),
+            secs(r.lpd_time),
+            secs(r.lpdar_time),
+            secs(r.lpd_time - r.lp_time),
+            secs(r.lpdar_time - r.lpd_time),
+        );
+    }
+}

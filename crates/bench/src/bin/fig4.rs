@@ -1,0 +1,63 @@
+//! **Fig. 4** — RET: average end time (in slices) of the LP and LPDAR
+//! solutions versus the number of jobs, on the random network, with the
+//! Quick-Finish objective.
+//!
+//! Paper's result: LP has slightly smaller average end times (no
+//! integrality constraint); LPDAR is nearly as good; both increase with
+//! the number of jobs (the network is fixed). LPD is omitted in the paper
+//! because it finishes almost no job; we report its fraction finished
+//! instead.
+//!
+//! ```text
+//! cargo run --release -p wavesched-bench --bin fig4
+//! ```
+
+use wavesched_bench::{env_usize, paper_random_network, quick};
+use wavesched_core::instance::InstanceConfig;
+use wavesched_core::ret::{solve_ret, RetConfig};
+use wavesched_workload::{WorkloadConfig, WorkloadGenerator};
+
+fn main() {
+    let job_counts: Vec<usize> = if quick() {
+        vec![10, 20]
+    } else {
+        let max = env_usize("WS_JOBS", 100);
+        (1..=4).map(|k| k * max / 4).collect()
+    };
+    let w = 2;
+
+    println!("# Fig. 4: RET average end time vs number of jobs (random network, W={w}, QF objective)");
+    println!("jobs,b_lp,b_final,lp_avg_end,lpdar_avg_end,lpd_frac_finished,lp_solves");
+    for &n in &job_counts {
+        let g = paper_random_network(w, 42);
+        let jobs = WorkloadGenerator::new(WorkloadConfig {
+            num_jobs: n,
+            seed: 3000,
+            size_gb: (100.0, 400.0),
+            window: (2.0, 4.0),
+            ..Default::default()
+        })
+        .generate(&g);
+        let cfg = InstanceConfig::paper(w);
+        let ret_cfg = RetConfig {
+            bsearch_tol: 0.05,
+            b_max: 10.0,
+            max_delta_steps: 120,
+            ..RetConfig::default()
+        };
+        match solve_ret(&g, &jobs, &cfg, &ret_cfg).expect("ret") {
+            Some(r) => {
+                println!(
+                    "{n},{:.3},{:.3},{:.3},{:.3},{:.3},{}",
+                    r.b_lp,
+                    r.b_final,
+                    r.lp_avg_end_time().unwrap_or(f64::NAN),
+                    r.lpdar_avg_end_time().unwrap_or(f64::NAN),
+                    r.lpd_fraction_finished(),
+                    r.lp_solves
+                );
+            }
+            None => println!("{n},NA,NA,NA,NA,NA,NA"),
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! **§III-B.1 (table in text)** — Fraction of jobs finished under
+//! Algorithm 2's end-time extension, for LP, LPD and LPDAR, across
+//! scenarios on the random network and Abilene.
+//!
+//! Paper's result: at the final extension `b̂`, LP and LPDAR finish 100% of
+//! the jobs (by construction of Algorithm 2) while LPD finishes "a very
+//! small fraction (typically zero)"; LPDAR's `b̂` equals or slightly
+//! exceeds the minimum `b` for which the LP can finish everything.
+//!
+//! ```text
+//! cargo run --release -p wavesched-bench --bin jobs_finished
+//! ```
+
+use wavesched_bench::{env_usize, paper_random_network, quick};
+use wavesched_core::instance::InstanceConfig;
+use wavesched_core::ret::{solve_ret, RetConfig};
+use wavesched_net::abilene20;
+use wavesched_workload::{WorkloadConfig, WorkloadGenerator};
+
+fn main() {
+    let seeds = env_usize("WS_SEEDS", if quick() { 1 } else { 3 });
+    println!("# §III-B.1: fraction of jobs finished at the final RET extension");
+    println!("network,seed,jobs,b_lp,b_final,lp_frac,lpd_frac,lpdar_frac");
+
+    let ret_cfg = RetConfig {
+        bsearch_tol: 0.05,
+        ..RetConfig::default()
+    };
+
+    for seed in 0..seeds as u64 {
+        // Random network scenario.
+        let w = 2;
+        let n = if quick() { 15 } else { 50 };
+        let g = paper_random_network(w, 42 + seed);
+        let jobs = WorkloadGenerator::new(WorkloadConfig {
+            num_jobs: n,
+            seed: 4000 + seed,
+            size_gb: (100.0, 400.0),
+            window: (2.0, 4.0),
+            ..Default::default()
+        })
+        .generate(&g);
+        let cfg = InstanceConfig::paper(w);
+        if let Some(r) = solve_ret(&g, &jobs, &cfg, &ret_cfg).expect("ret") {
+            println!(
+                "random100,{seed},{n},{:.3},{:.3},{:.3},{:.3},{:.3}",
+                r.b_lp,
+                r.b_final,
+                r.lp_fraction_finished(),
+                r.lpd_fraction_finished(),
+                r.lpdar_fraction_finished()
+            );
+        } else {
+            println!("random100,{seed},{n},NA,NA,NA,NA,NA");
+        }
+
+        // Abilene scenario.
+        let (ga, _) = abilene20(w);
+        let na = if quick() { 10 } else { 30 };
+        let jobs_a = WorkloadGenerator::new(WorkloadConfig {
+            num_jobs: na,
+            seed: 5000 + seed,
+            size_gb: (100.0, 400.0),
+            window: (2.0, 4.0),
+            ..Default::default()
+        })
+        .generate(&ga);
+        if let Some(r) = solve_ret(&ga, &jobs_a, &cfg, &ret_cfg).expect("ret") {
+            println!(
+                "abilene20,{seed},{na},{:.3},{:.3},{:.3},{:.3},{:.3}",
+                r.b_lp,
+                r.b_final,
+                r.lp_fraction_finished(),
+                r.lpd_fraction_finished(),
+                r.lpdar_fraction_finished()
+            );
+        } else {
+            println!("abilene20,{seed},{na},NA,NA,NA,NA,NA");
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Admission control by rejection — the paper's "action (i)" (footnote 1).
+//!
+//! Jobs are listed in priority order (administrative policy, priority,
+//! request time, ...). A binary search finds the longest prefix that can be
+//! admitted while every admitted job still meets its deadline, i.e. the
+//! longest prefix with Stage-1 `Z* >= 1`. Adding a job can only lower `Z*`
+//! (it adds demand under the same capacities), so the predicate is monotone
+//! in the prefix length and binary search is exact.
+
+use crate::instance::{Instance, InstanceConfig};
+use crate::stage1::solve_stage1_with;
+use wavesched_lp::{SimplexConfig, SolveError};
+use wavesched_net::{Graph, PathSet};
+use wavesched_workload::Job;
+
+/// Result of prefix admission.
+#[derive(Debug, Clone)]
+pub struct AdmissionOutcome {
+    /// Number of candidates admitted (a prefix of the candidate list).
+    pub admitted_prefix: usize,
+    /// Stage-1 `Z*` of mandatory + admitted prefix.
+    pub z_star: f64,
+}
+
+/// Admits the longest prefix of `candidates` (in priority order) such that
+/// `mandatory + prefix` has `Z* >= 1`.
+///
+/// `mandatory` are previously-admitted, still-unfinished jobs whose
+/// guarantees must be preserved; `mandatory_demands` are their *remaining*
+/// normalized demands. If even the mandatory set alone is infeasible the
+/// prefix is 0 and `z_star` reports the mandatory-only value.
+pub fn admit_by_priority(
+    graph: &Graph,
+    mandatory: &[Job],
+    mandatory_demands: &[f64],
+    candidates: &[Job],
+    cfg: &InstanceConfig,
+    lp_cfg: &SimplexConfig,
+) -> Result<AdmissionOutcome, SolveError> {
+    assert_eq!(mandatory.len(), mandatory_demands.len());
+    let mut pathset = PathSet::new(cfg.paths_per_job);
+
+    let mut z_of = |prefix: usize| -> Result<f64, SolveError> {
+        let mut jobs: Vec<Job> = mandatory.to_vec();
+        jobs.extend_from_slice(&candidates[..prefix]);
+        if jobs.is_empty() {
+            return Ok(f64::INFINITY);
+        }
+        let mut demands: Vec<f64> = mandatory_demands.to_vec();
+        demands.extend(candidates[..prefix].iter().map(|j| cfg.demand_units(j.size_gb)));
+        let inst = Instance::build_with_demands(graph, &jobs, demands, cfg, &mut pathset);
+        Ok(solve_stage1_with(&inst, lp_cfg)?.z_star)
+    };
+
+    // Fast paths.
+    let z_all = z_of(candidates.len())?;
+    if z_all >= 1.0 {
+        return Ok(AdmissionOutcome {
+            admitted_prefix: candidates.len(),
+            z_star: z_all,
+        });
+    }
+    let z_none = z_of(0)?;
+    if z_none < 1.0 {
+        return Ok(AdmissionOutcome {
+            admitted_prefix: 0,
+            z_star: z_none,
+        });
+    }
+
+    // Binary search the boundary: lo admissible, hi not.
+    let (mut lo, mut hi) = (0usize, candidates.len());
+    let mut z_lo = z_none;
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        let z = z_of(mid)?;
+        if z >= 1.0 {
+            lo = mid;
+            z_lo = z;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(AdmissionOutcome {
+        admitted_prefix: lo,
+        z_star: z_lo,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavesched_net::abilene14;
+    use wavesched_workload::{JobId, WorkloadConfig, WorkloadGenerator};
+
+    fn one_link_graph(w: u32) -> (Graph, Vec<wavesched_net::NodeId>) {
+        let mut g = Graph::new();
+        let ns = g.add_nodes(2);
+        g.add_link_pair(ns[0], ns[1], w);
+        (g, ns)
+    }
+
+    #[test]
+    fn admits_all_when_light() {
+        let (g, _) = abilene14(8);
+        let jobs = WorkloadGenerator::new(WorkloadConfig {
+            num_jobs: 4,
+            seed: 2,
+            size_gb: (1.0, 5.0),
+            window: (16.0, 24.0),
+            ..Default::default()
+        })
+        .generate(&g);
+        let cfg = InstanceConfig::paper(8);
+        let out = admit_by_priority(&g, &[], &[], &jobs, &cfg, &Default::default()).unwrap();
+        assert_eq!(out.admitted_prefix, 4);
+        assert!(out.z_star >= 1.0);
+    }
+
+    #[test]
+    fn admits_exact_prefix_on_single_link() {
+        // 1 wavelength, 4-slice windows, each job needs 2 units: capacity
+        // of the shared window is 4 units => exactly 2 jobs fit.
+        let (g, ns) = one_link_graph(1);
+        let cfg = InstanceConfig::paper(1); // 150 GB per unit
+        let jobs: Vec<Job> = (0..5)
+            .map(|i| Job::new(JobId(i), 0.0, ns[0], ns[1], 300.0, 0.0, 4.0))
+            .collect();
+        let out = admit_by_priority(&g, &[], &[], &jobs, &cfg, &Default::default()).unwrap();
+        assert_eq!(out.admitted_prefix, 2);
+        assert!(out.z_star >= 1.0);
+    }
+
+    #[test]
+    fn mandatory_jobs_crowd_out_candidates() {
+        let (g, ns) = one_link_graph(1);
+        let cfg = InstanceConfig::paper(1);
+        // Mandatory job eats 3 of the 4 wavelength-slices.
+        let mandatory = vec![Job::new(JobId(99), 0.0, ns[0], ns[1], 450.0, 0.0, 4.0)];
+        let m_demand = vec![cfg.demand_units(450.0)];
+        let candidates: Vec<Job> = (0..3)
+            .map(|i| Job::new(JobId(i), 0.0, ns[0], ns[1], 150.0, 0.0, 4.0))
+            .collect();
+        let out = admit_by_priority(&g, &mandatory, &m_demand, &candidates, &cfg, &Default::default())
+            .unwrap();
+        assert_eq!(out.admitted_prefix, 1);
+    }
+
+    #[test]
+    fn infeasible_mandatory_admits_nothing() {
+        let (g, ns) = one_link_graph(1);
+        let cfg = InstanceConfig::paper(1);
+        let mandatory = vec![Job::new(JobId(9), 0.0, ns[0], ns[1], 1200.0, 0.0, 4.0)];
+        let m_demand = vec![cfg.demand_units(1200.0)];
+        let candidates = vec![Job::new(JobId(0), 0.0, ns[0], ns[1], 150.0, 0.0, 4.0)];
+        let out = admit_by_priority(&g, &mandatory, &m_demand, &candidates, &cfg, &Default::default())
+            .unwrap();
+        assert_eq!(out.admitted_prefix, 0);
+        assert!(out.z_star < 1.0);
+    }
+
+    #[test]
+    fn empty_candidates() {
+        let (g, _) = one_link_graph(2);
+        let cfg = InstanceConfig::paper(2);
+        let out = admit_by_priority(&g, &[], &[], &[], &cfg, &Default::default()).unwrap();
+        assert_eq!(out.admitted_prefix, 0);
+        assert!(out.z_star.is_infinite());
+    }
+}

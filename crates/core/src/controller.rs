@@ -1,0 +1,466 @@
+//! The periodic network controller (paper Section II-A).
+//!
+//! Every τ time units the controller collects the requests that arrived in
+//! the last period, runs admission control, and (re)schedules *all*
+//! unfinished jobs from the current time forward — multipath, time-varying
+//! assignments, full re-optimization each period. Overload is handled by
+//! one of the paper's three actions ([`OverloadPolicy`]).
+//!
+//! The controller is deliberately I/O-free: the caller (normally
+//! `wavesched-sim`) feeds it arrivals and applies the returned schedule,
+//! reporting actual transfer progress back via
+//! [`Controller::record_transfer`].
+
+use crate::admission::admit_by_priority;
+use crate::instance::{Instance, InstanceConfig};
+use crate::lpdar::AdjustOrder;
+use crate::pipeline::max_throughput_pipeline_with;
+use crate::ret::{solve_ret_with_demands, RetConfig};
+use crate::schedule::Schedule;
+use wavesched_lp::{SimplexConfig, SolveError};
+use wavesched_net::{Graph, PathSet};
+use wavesched_workload::{Job, JobId};
+
+/// What the controller does when the network cannot meet every deadline
+/// (`Z* < 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Action (i): reject the lowest-priority new requests (footnote 1's
+    /// binary search). Admitted jobs keep full demands and deadlines.
+    Reject,
+    /// Action (ii): admit everything; demands are implicitly reduced to
+    /// what the Stage-2/LPDAR schedule delivers (`Z_i D_i`).
+    ShrinkDemands,
+    /// Action (iii): admit everything and extend all end times by the
+    /// smallest common factor found by RET.
+    ExtendDeadlines,
+}
+
+/// Controller configuration.
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// Scheduling period τ, in slice units (must be a positive integer
+    /// number of slices).
+    pub tau: usize,
+    /// Instance construction parameters (paths per job, normalization).
+    pub instance: InstanceConfig,
+    /// Stage-2 fairness slack α.
+    pub alpha: f64,
+    /// Overload action.
+    pub policy: OverloadPolicy,
+    /// LPDAR visit order.
+    pub order: AdjustOrder,
+    /// RET settings (used by [`OverloadPolicy::ExtendDeadlines`]).
+    pub ret: RetConfig,
+    /// Simplex settings.
+    pub lp: SimplexConfig,
+}
+
+impl ControllerConfig {
+    /// A reasonable default around the paper's parameters.
+    pub fn paper(w: u32) -> Self {
+        ControllerConfig {
+            tau: 1,
+            instance: InstanceConfig::paper(w),
+            alpha: 0.1,
+            policy: OverloadPolicy::ShrinkDemands,
+            order: AdjustOrder::Paper,
+            ret: RetConfig::default(),
+            lp: SimplexConfig::default(),
+        }
+    }
+}
+
+/// An admitted, unfinished job tracked by the controller.
+#[derive(Debug, Clone)]
+pub struct ActiveJob {
+    /// The (possibly deadline-extended) request.
+    pub job: Job,
+    /// Remaining demand in normalized units.
+    pub remaining: f64,
+    /// Demand the network has committed to deliver (may be below the
+    /// original under [`OverloadPolicy::ShrinkDemands`]).
+    pub committed: f64,
+}
+
+/// The outcome of one controller invocation.
+#[derive(Debug)]
+pub struct InvocationResult {
+    /// The instance the schedule refers to (jobs ordered as
+    /// [`Controller::active`] at return time).
+    pub instance: Instance,
+    /// The integral (LPDAR) schedule to execute until the next invocation.
+    pub schedule: Schedule,
+    /// Stage-1 `Z*` over the scheduled set.
+    pub z_star: f64,
+    /// Ids of newly admitted requests.
+    pub admitted: Vec<JobId>,
+    /// Ids of rejected requests (only under [`OverloadPolicy::Reject`]).
+    pub rejected: Vec<JobId>,
+    /// The common deadline-extension factor applied this round (only under
+    /// [`OverloadPolicy::ExtendDeadlines`]).
+    pub extension: f64,
+}
+
+/// The periodic AC/scheduling controller.
+#[derive(Debug)]
+pub struct Controller {
+    cfg: ControllerConfig,
+    graph: Graph,
+    pathset: PathSet,
+    active: Vec<ActiveJob>,
+    finished: Vec<JobId>,
+    expired: Vec<JobId>,
+    rejected_total: usize,
+}
+
+impl Controller {
+    /// Creates a controller for a network.
+    pub fn new(graph: Graph, cfg: ControllerConfig) -> Self {
+        assert!(cfg.tau > 0, "tau must be positive");
+        let pathset = PathSet::new(cfg.instance.paths_per_job);
+        Controller {
+            cfg,
+            graph,
+            pathset,
+            active: Vec::new(),
+            finished: Vec::new(),
+            expired: Vec::new(),
+            rejected_total: 0,
+        }
+    }
+
+    /// Currently admitted, unfinished jobs.
+    pub fn active(&self) -> &[ActiveJob] {
+        &self.active
+    }
+
+    /// Ids of jobs that completed their committed demand.
+    pub fn finished(&self) -> &[JobId] {
+        &self.finished
+    }
+
+    /// Ids of jobs dropped because their window elapsed before completion.
+    pub fn expired(&self) -> &[JobId] {
+        &self.expired
+    }
+
+    /// Total number of rejected requests so far.
+    pub fn total_rejected(&self) -> usize {
+        self.rejected_total
+    }
+
+    /// Reports that `amount` demand units of `job` were actually moved; the
+    /// simulator calls this after executing each slice.
+    pub fn record_transfer(&mut self, job: JobId, amount: f64) {
+        if let Some(a) = self.active.iter_mut().find(|a| a.job.id == job) {
+            a.remaining = (a.remaining - amount).max(0.0);
+        }
+    }
+
+    /// Runs one AC/scheduling invocation at time `now` (a slice boundary,
+    /// multiple of τ), with the requests that arrived since the previous
+    /// invocation.
+    pub fn invoke(
+        &mut self,
+        now: f64,
+        new_requests: &[Job],
+    ) -> Result<InvocationResult, SolveError> {
+        // Retire completed jobs; expire jobs with less than a full slice of
+        // window left (they can receive nothing more).
+        let mut finished = std::mem::take(&mut self.finished);
+        let mut expired = std::mem::take(&mut self.expired);
+        self.active.retain(|a| {
+            if a.remaining <= 1e-9 {
+                finished.push(a.job.id);
+                return false;
+            }
+            if a.job.end < now + 1.0 {
+                expired.push(a.job.id);
+                return false;
+            }
+            true
+        });
+        self.finished = finished;
+        self.expired = expired;
+
+        // Clamp surviving jobs' start times to now (they may be mid-flight).
+        let mandatory: Vec<Job> = self
+            .active
+            .iter()
+            .map(|a| {
+                let mut j = a.job.clone();
+                j.start = j.start.max(now);
+                if j.arrival > j.start {
+                    j.arrival = j.start;
+                }
+                j
+            })
+            .collect();
+        let mandatory_demands: Vec<f64> = self.active.iter().map(|a| a.remaining).collect();
+
+        // Normalize and clamp incoming requests.
+        let candidates: Vec<Job> = new_requests
+            .iter()
+            .map(|j| {
+                let mut j = j.clone();
+                j.start = j.start.max(now);
+                j.end = j.end.max(j.start + 1.0);
+                j
+            })
+            .collect();
+
+        let mut admitted: Vec<JobId> = Vec::new();
+        let mut rejected: Vec<JobId> = Vec::new();
+        let mut extension = 0.0_f64;
+
+        // Admission per policy.
+        let mut jobs: Vec<Job>;
+        let mut demands: Vec<f64>;
+        match self.cfg.policy {
+            OverloadPolicy::Reject => {
+                let out = admit_by_priority(
+                    &self.graph,
+                    &mandatory,
+                    &mandatory_demands,
+                    &candidates,
+                    &self.cfg.instance,
+                    &self.cfg.lp,
+                )?;
+                jobs = mandatory.clone();
+                demands = mandatory_demands.clone();
+                for (i, j) in candidates.iter().enumerate() {
+                    if i < out.admitted_prefix {
+                        admitted.push(j.id);
+                        jobs.push(j.clone());
+                        demands.push(self.cfg.instance.demand_units(j.size_gb));
+                    } else {
+                        rejected.push(j.id);
+                    }
+                }
+                self.rejected_total += rejected.len();
+            }
+            OverloadPolicy::ShrinkDemands => {
+                jobs = mandatory.clone();
+                demands = mandatory_demands.clone();
+                for j in &candidates {
+                    admitted.push(j.id);
+                    jobs.push(j.clone());
+                    demands.push(self.cfg.instance.demand_units(j.size_gb));
+                }
+            }
+            OverloadPolicy::ExtendDeadlines => {
+                jobs = mandatory.clone();
+                demands = mandatory_demands.clone();
+                for j in &candidates {
+                    admitted.push(j.id);
+                    jobs.push(j.clone());
+                    demands.push(self.cfg.instance.demand_units(j.size_gb));
+                }
+            }
+        }
+
+        // ExtendDeadlines under overload: schedule via RET (Quick-Finish +
+        // capped LPDAR), which completes every job by the extended ends.
+        if self.cfg.policy == OverloadPolicy::ExtendDeadlines && !jobs.is_empty() {
+            let mut probe_ps = PathSet::new(self.cfg.instance.paths_per_job);
+            let probe = Instance::build_with_demands(
+                &self.graph,
+                &jobs,
+                demands.clone(),
+                &self.cfg.instance,
+                &mut probe_ps,
+            );
+            let z = crate::stage1::solve_stage1_with(&probe, &self.cfg.lp)?.z_star;
+            if z < 1.0 {
+                if let Some(ret) = solve_ret_with_demands(
+                    &self.graph,
+                    &jobs,
+                    &demands,
+                    &self.cfg.instance,
+                    &self.cfg.ret,
+                )? {
+                    extension = ret.b_final;
+                    let ext_jobs: Vec<Job> = jobs
+                        .iter()
+                        .map(|j| j.with_extended_end(extension))
+                        .collect();
+                    self.active = ext_jobs
+                        .iter()
+                        .zip(&demands)
+                        .map(|(j, &d)| ActiveJob {
+                            job: j.clone(),
+                            remaining: d,
+                            committed: d,
+                        })
+                        .collect();
+                    return Ok(InvocationResult {
+                        z_star: z,
+                        schedule: ret.lpdar,
+                        instance: ret.instance,
+                        admitted,
+                        rejected,
+                        extension,
+                    });
+                }
+            }
+        }
+
+        // Build the instance over the admitted set and schedule with the
+        // two-stage pipeline + LPDAR.
+        let inst = Instance::build_with_demands(
+            &self.graph,
+            &jobs,
+            demands.clone(),
+            &self.cfg.instance,
+            &mut self.pathset,
+        );
+        let pipe = max_throughput_pipeline_with(&inst, self.cfg.alpha, self.cfg.order, &self.cfg.lp)?;
+
+        // Refresh the active set: mandatory jobs keep their remaining
+        // demand; new jobs enter with full demand. Committed demand under
+        // ShrinkDemands is what the schedule can deliver.
+        let mut next_active = Vec::with_capacity(jobs.len());
+        for (idx, j) in jobs.iter().enumerate() {
+            let remaining = demands[idx];
+            let committed = match self.cfg.policy {
+                OverloadPolicy::ShrinkDemands => {
+                    remaining.min(pipe.lpdar.transferred(&inst, idx))
+                }
+                _ => remaining,
+            };
+            next_active.push(ActiveJob {
+                job: j.clone(),
+                remaining,
+                committed,
+            });
+        }
+        self.active = next_active;
+
+        Ok(InvocationResult {
+            z_star: pipe.z_star,
+            schedule: pipe.lpdar,
+            instance: inst,
+            admitted,
+            rejected,
+            extension,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavesched_net::abilene14;
+    use wavesched_workload::{WorkloadConfig, WorkloadGenerator};
+
+    fn controller(w: u32, policy: OverloadPolicy) -> (Controller, Graph) {
+        let (g, _) = abilene14(w);
+        let mut cfg = ControllerConfig::paper(w);
+        cfg.policy = policy;
+        (Controller::new(g.clone(), cfg), g)
+    }
+
+    fn jobs(g: &Graph, n: usize, seed: u64) -> Vec<Job> {
+        WorkloadGenerator::new(WorkloadConfig {
+            num_jobs: n,
+            seed,
+            ..Default::default()
+        })
+        .generate(g)
+    }
+
+    #[test]
+    fn single_invocation_schedules_everything() {
+        let (mut c, g) = controller(4, OverloadPolicy::ShrinkDemands);
+        let js = jobs(&g, 6, 1);
+        let r = c.invoke(0.0, &js).unwrap();
+        assert_eq!(r.admitted.len(), 6);
+        assert!(r.rejected.is_empty());
+        assert_eq!(c.active().len(), 6);
+        assert!(r.schedule.is_integral(1e-9));
+        assert!(r.schedule.max_capacity_violation(&r.instance) < 1e-9);
+    }
+
+    #[test]
+    fn transfers_retire_jobs() {
+        let (mut c, g) = controller(4, OverloadPolicy::ShrinkDemands);
+        let js = jobs(&g, 3, 2);
+        let r = c.invoke(0.0, &js).unwrap();
+        let _ = r;
+        // Report full transfers for all jobs.
+        let ids: Vec<JobId> = c.active().iter().map(|a| a.job.id).collect();
+        let rem: Vec<f64> = c.active().iter().map(|a| a.remaining).collect();
+        for (id, r) in ids.iter().zip(rem) {
+            c.record_transfer(*id, r);
+        }
+        // Next invocation retires them.
+        let r2 = c.invoke(1.0, &[]).unwrap();
+        assert_eq!(c.active().len(), 0);
+        assert_eq!(c.finished().len(), 3);
+        assert_eq!(r2.admitted.len(), 0);
+    }
+
+    #[test]
+    fn reject_policy_rejects_under_overload() {
+        // Tight network: 2 nodes, 1 wavelength.
+        let mut g = Graph::new();
+        let ns = g.add_nodes(2);
+        g.add_link_pair(ns[0], ns[1], 1);
+        let cfg = {
+            let mut c = ControllerConfig::paper(1);
+            c.policy = OverloadPolicy::Reject;
+            c
+        };
+        let mut c = Controller::new(g, cfg);
+        let reqs: Vec<Job> = (0..5)
+            .map(|i| Job::new(JobId(i), 0.0, ns[0], ns[1], 300.0, 0.0, 4.0))
+            .collect();
+        let r = c.invoke(0.0, &reqs).unwrap();
+        assert_eq!(r.admitted.len() + r.rejected.len(), 5);
+        assert!(!r.rejected.is_empty(), "overload must reject something");
+        assert!(r.z_star >= 1.0, "admitted set must be feasible");
+        assert_eq!(c.total_rejected(), r.rejected.len());
+    }
+
+    #[test]
+    fn extend_policy_extends_under_overload() {
+        let mut g = Graph::new();
+        let ns = g.add_nodes(2);
+        g.add_link_pair(ns[0], ns[1], 1);
+        let cfg = {
+            let mut c = ControllerConfig::paper(1);
+            c.policy = OverloadPolicy::ExtendDeadlines;
+            c
+        };
+        let mut c = Controller::new(g, cfg);
+        let reqs: Vec<Job> = (0..3)
+            .map(|i| Job::new(JobId(i), 0.0, ns[0], ns[1], 300.0, 0.0, 4.0))
+            .collect();
+        let r = c.invoke(0.0, &reqs).unwrap();
+        assert!(r.extension > 0.0, "overload must extend deadlines");
+        // With extended deadlines the whole demand fits.
+        let total: f64 = (0..r.instance.num_jobs())
+            .map(|i| r.schedule.transferred(&r.instance, i).min(r.instance.demands[i]))
+            .sum();
+        assert!((total - r.instance.total_demand()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shrink_policy_commits_reduced_demand() {
+        let mut g = Graph::new();
+        let ns = g.add_nodes(2);
+        g.add_link_pair(ns[0], ns[1], 1);
+        let mut c = Controller::new(g, ControllerConfig::paper(1));
+        let reqs: Vec<Job> = (0..4)
+            .map(|i| Job::new(JobId(i), 0.0, ns[0], ns[1], 300.0, 0.0, 4.0))
+            .collect();
+        let r = c.invoke(0.0, &reqs).unwrap();
+        assert!(r.z_star < 1.0);
+        for a in c.active() {
+            assert!(a.committed <= a.remaining + 1e-9);
+        }
+        // At least one job's commitment was genuinely shrunk.
+        assert!(c.active().iter().any(|a| a.committed < a.remaining - 1e-9));
+    }
+}

@@ -1,0 +1,57 @@
+//! # wavesched-core — the paper's scheduling algorithms
+//!
+//! Implements the admission-control and scheduling algorithms of *Wang,
+//! Ranka, Xia — "Slotted Wavelength Scheduling for Bulk Transfers in
+//! Research Networks"* (ICPP 2009):
+//!
+//! * [`timegrid`] — time slices, the slice-index map `I(·)` and `LEN(j)`.
+//! * [`instance`] — a scheduling instance: network + jobs + allowed paths +
+//!   normalized demands, with the `(job, path, slice)` variable enumeration
+//!   shared by every formulation.
+//! * [`schedule`] — wavelength-assignment schedules and their metrics
+//!   (per-job throughput `Z_i`, weighted throughput, completion times,
+//!   capacity checks).
+//! * [`stage1`] — the Stage-1 maximum concurrent throughput LP (eqs. 1–5).
+//! * [`gkflow`] — a Garg–Könemann approximation of Stage 1: combinatorial,
+//!   certified-feasible, within `1 - O(epsilon)` of `Z*`.
+//! * [`stage2`] — the Stage-2 weighted-throughput LP with the fairness
+//!   constraint `Z_i >= (1-alpha) Z*` (eqs. 7–10, relaxed).
+//! * [`lpdar`](crate::lpdar()) (module `lpdar`) — **LPD** (truncation) and
+//!   **LPDAR** (truncation + the greedy bandwidth adjustment of
+//!   Algorithm 1), the paper's key heuristic.
+//! * [`ret`] — the Relaxing-End-Times problem: SUB-RET with the
+//!   Quick-Finish objective and Algorithm 2's binary search + δ-growth.
+//! * [`pipeline`] — the end-to-end "maximize throughput with end-time
+//!   guarantee" pipeline with per-stage timings (Figs. 1–3).
+//! * [`admission`] — the three overload actions: reject (footnote 1's
+//!   binary search), shrink demands, extend deadlines.
+//! * [`controller`] — the periodic network controller that re-optimizes
+//!   every τ, carrying unfinished jobs forward.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub(crate) mod builders;
+pub mod controller;
+pub mod gkflow;
+pub mod instance;
+pub mod lpdar;
+pub mod pipeline;
+pub mod report;
+pub mod ret;
+pub mod schedule;
+pub mod stage1;
+pub mod stage2;
+pub mod timegrid;
+
+pub use admission::{admit_by_priority, AdmissionOutcome};
+pub use gkflow::{approx_stage1, GkConfig, GkResult};
+pub use controller::{Controller, ControllerConfig, OverloadPolicy};
+pub use instance::{Instance, InstanceConfig, VarMap};
+pub use lpdar::{adjust_rates, adjust_rates_capped, lpdar, lpdar_capped, truncate, AdjustOrder};
+pub use pipeline::{max_throughput_pipeline, PipelineResult};
+pub use ret::{solve_ret, solve_ret_with_demands, RetConfig, RetMode, RetResult};
+pub use schedule::Schedule;
+pub use stage1::solve_stage1;
+pub use stage2::{solve_stage2, solve_stage2_weighted, WeightPolicy};
+pub use timegrid::TimeGrid;

@@ -1,0 +1,394 @@
+//! The Relaxing-End-Times (RET) problem — paper Section II-C.
+//!
+//! When the network is overloaded and users would rather finish their whole
+//! transfer a bit late than truncate it, the controller finds the smallest
+//! common factor `(1+b)` by which all end times must be extended so every
+//! job completes in full:
+//!
+//! 1. **SUB-RET** (eqs. 14–16): a feasibility program with the Quick-Finish
+//!    objective `min sum_j gamma(j) sum_{i,p} x_i(p,j)`, `gamma(j) = j+1`,
+//!    demand-completion rows and windows extended to `I((1+b) E_i)`.
+//! 2. **Algorithm 2**: binary search for the smallest `b` making the LP
+//!    relaxation feasible, apply LPDAR to the fractional solution, and grow
+//!    `b` by `delta` until the integral schedule also completes every job.
+
+use crate::builders::{add_assignment_cols, add_capacity_rows, job_volume_coeffs};
+use crate::instance::{Instance, InstanceConfig};
+use crate::lpdar::{lpdar_capped, AdjustOrder};
+use crate::schedule::Schedule;
+use wavesched_lp::{solve_with, Objective, Problem, SimplexConfig, SolveError, Status};
+use wavesched_net::{Graph, PathSet};
+use wavesched_workload::Job;
+
+/// Completion tolerance used when checking whether a job received its full
+/// demand.
+pub const COMPLETION_TOL: f64 = 1e-6;
+
+/// How the relaxation factor `(1+b)` is applied to each job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetMode {
+    /// Scale absolute end times: `E_i -> (1+b) E_i` (the paper's primary
+    /// formulation, eq. 16).
+    #[default]
+    ExtendEnd,
+    /// Scale window lengths: `E_i -> S_i + (1+b)(E_i - S_i)` (the
+    /// alternative mentioned in the paper's Section II-C remark; fairer to
+    /// jobs that start late, whose absolute ends would otherwise stretch
+    /// disproportionately).
+    StretchWindow,
+}
+
+impl RetMode {
+    fn apply(self, job: &Job, b: f64) -> Job {
+        match self {
+            RetMode::ExtendEnd => job.with_extended_end(b),
+            RetMode::StretchWindow => job.with_stretched_window(b),
+        }
+    }
+}
+
+/// Knobs for [`solve_ret`] (Algorithm 2).
+#[derive(Debug, Clone)]
+pub struct RetConfig {
+    /// How `(1+b)` is applied.
+    pub mode: RetMode,
+    /// Upper end of the binary-search interval for `b`.
+    pub b_max: f64,
+    /// The δ growth step of Algorithm 2 (0.1 in the paper).
+    pub delta: f64,
+    /// Binary-search resolution on `b`.
+    pub bsearch_tol: f64,
+    /// Visit order for the LPDAR adjustment.
+    pub order: AdjustOrder,
+    /// Simplex settings for every LP solve.
+    pub lp: SimplexConfig,
+    /// Safety cap on δ-growth iterations.
+    pub max_delta_steps: usize,
+}
+
+impl Default for RetConfig {
+    fn default() -> Self {
+        RetConfig {
+            mode: RetMode::default(),
+            b_max: 4.0,
+            delta: 0.1,
+            bsearch_tol: 0.01,
+            order: AdjustOrder::Paper,
+            lp: SimplexConfig::default(),
+            max_delta_steps: 60,
+        }
+    }
+}
+
+/// Outcome of Algorithm 2.
+#[derive(Debug, Clone)]
+pub struct RetResult {
+    /// `b̂`: the smallest extension at which the *fractional* SUB-RET is
+    /// feasible (binary-search result).
+    pub b_lp: f64,
+    /// The final extension after δ-growth, at which LPDAR completes all
+    /// jobs.
+    pub b_final: f64,
+    /// The instance at `b_final` (ends extended, grid enlarged).
+    pub instance: Instance,
+    /// Fractional SUB-RET solution at `b_final`.
+    pub lp: Schedule,
+    /// Truncated (LPD) solution at `b_final`.
+    pub lpd: Schedule,
+    /// LPDAR solution at `b_final` — completes every job by construction.
+    pub lpdar: Schedule,
+    /// Number of LP solves performed (bisection + growth).
+    pub lp_solves: usize,
+}
+
+impl RetResult {
+    /// Fraction of jobs finished by the fractional solution (1.0 whenever
+    /// SUB-RET is feasible — completion is a hard constraint).
+    pub fn lp_fraction_finished(&self) -> f64 {
+        self.lp.fraction_finished(&self.instance, COMPLETION_TOL)
+    }
+
+    /// Fraction of jobs the truncated solution finishes (the paper observes
+    /// "typically zero").
+    pub fn lpd_fraction_finished(&self) -> f64 {
+        self.lpd.fraction_finished(&self.instance, COMPLETION_TOL)
+    }
+
+    /// Fraction of jobs LPDAR finishes (1.0 by Algorithm 2's termination).
+    pub fn lpdar_fraction_finished(&self) -> f64 {
+        self.lpdar.fraction_finished(&self.instance, COMPLETION_TOL)
+    }
+
+    /// Average end time (slices) of the fractional solution.
+    pub fn lp_avg_end_time(&self) -> Option<f64> {
+        self.lp.average_end_time(&self.instance, COMPLETION_TOL)
+    }
+
+    /// Average end time (slices) of the LPDAR solution.
+    pub fn lpdar_avg_end_time(&self) -> Option<f64> {
+        self.lpdar.average_end_time(&self.instance, COMPLETION_TOL)
+    }
+}
+
+/// Builds the SUB-RET problem on an (already end-extended) instance.
+///
+/// With `quick_finish` the objective is the paper's `gamma(j) = j+1` cost;
+/// without, a zero objective turns the solve into a pure feasibility check
+/// (phase 1 only).
+fn build_subret(inst: &Instance, quick_finish: bool) -> Problem {
+    let mut p = Problem::new(Objective::Minimize);
+    let cols = add_assignment_cols(&mut p, inst);
+    if quick_finish {
+        for (var, _, _, slice) in inst.vars.iter() {
+            p.set_cost(cols[var], (slice + 1) as f64);
+        }
+    }
+    // Eq. 15: every job moves at least its demand.
+    for i in 0..inst.num_jobs() {
+        let coeffs = job_volume_coeffs(inst, &cols, i);
+        p.add_row(inst.demands[i], f64::INFINITY, &coeffs);
+    }
+    add_capacity_rows(&mut p, inst, &cols);
+    p
+}
+
+/// Builds the instance with every window relaxed by `(1+b)` per `mode`.
+fn extended_instance(
+    graph: &Graph,
+    jobs: &[Job],
+    demands: &[f64],
+    b: f64,
+    mode: RetMode,
+    cfg: &InstanceConfig,
+    pathset: &mut PathSet,
+) -> Instance {
+    let ext: Vec<Job> = jobs.iter().map(|j| mode.apply(j, b)).collect();
+    Instance::build_with_demands(graph, &ext, demands.to_vec(), cfg, pathset)
+}
+
+/// Solves the RET problem with Algorithm 2.
+///
+/// Returns `Ok(None)` when even `b_max` cannot complete all jobs (e.g. a
+/// job with no usable path), `Err` on solver breakdown.
+pub fn solve_ret(
+    graph: &Graph,
+    jobs: &[Job],
+    inst_cfg: &InstanceConfig,
+    cfg: &RetConfig,
+) -> Result<Option<RetResult>, SolveError> {
+    let demands: Vec<f64> = jobs.iter().map(|j| inst_cfg.demand_units(j.size_gb)).collect();
+    solve_ret_with_demands(graph, jobs, &demands, inst_cfg, cfg)
+}
+
+/// [`solve_ret`] with explicit normalized demands — used by the periodic
+/// controller to complete the *remaining* demand of in-flight jobs.
+pub fn solve_ret_with_demands(
+    graph: &Graph,
+    jobs: &[Job],
+    demands: &[f64],
+    inst_cfg: &InstanceConfig,
+    cfg: &RetConfig,
+) -> Result<Option<RetResult>, SolveError> {
+    assert!(!jobs.is_empty(), "RET needs at least one job");
+    assert_eq!(jobs.len(), demands.len());
+    let mut pathset = PathSet::new(inst_cfg.paths_per_job);
+    let mut lp_solves = 0usize;
+
+    let mut feasible = |b: f64, lp_solves: &mut usize| -> Result<bool, SolveError> {
+        let inst = extended_instance(graph, jobs, demands, b, cfg.mode, inst_cfg, &mut pathset);
+        if inst.has_unschedulable_job() {
+            return Ok(false);
+        }
+        let p = build_subret(&inst, false);
+        *lp_solves += 1;
+        let sol = solve_with(&p, &cfg.lp)?;
+        Ok(sol.status == Status::Optimal)
+    };
+
+    // Step 1: binary search for the smallest feasible b (fractional).
+    let b_lp = if feasible(0.0, &mut lp_solves)? {
+        0.0
+    } else if !feasible(cfg.b_max, &mut lp_solves)? {
+        return Ok(None);
+    } else {
+        let (mut lo, mut hi) = (0.0, cfg.b_max);
+        while hi - lo > cfg.bsearch_tol {
+            let mid = 0.5 * (lo + hi);
+            if feasible(mid, &mut lp_solves)? {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        hi
+    };
+    // End the closure's mutable borrow of `pathset`.
+    #[allow(clippy::drop_non_drop)]
+    drop(feasible);
+
+    // Steps 2–5: solve with Quick-Finish, discretize with LPDAR, grow b by
+    // delta until the integral schedule completes everything.
+    let mut b = b_lp;
+    for _ in 0..cfg.max_delta_steps {
+        let inst = extended_instance(graph, jobs, demands, b, cfg.mode, inst_cfg, &mut pathset);
+        let p = build_subret(&inst, true);
+        lp_solves += 1;
+        let sol = solve_with(&p, &cfg.lp)?;
+        if sol.status == Status::Optimal {
+            let lp_sched = Schedule::from_values(&inst, sol.x[..inst.vars.len()].to_vec());
+            let lpd = crate::lpdar::truncate(&inst, &lp_sched);
+            let adj = lpdar_capped(&inst, &lp_sched, cfg.order);
+            let all_done = (0..inst.num_jobs())
+                .all(|i| adj.completes(&inst, i, COMPLETION_TOL));
+            if all_done {
+                return Ok(Some(RetResult {
+                    b_lp,
+                    b_final: b,
+                    lp: lp_sched,
+                    lpd,
+                    lpdar: adj,
+                    instance: inst,
+                    lp_solves,
+                }));
+            }
+        }
+        b += cfg.delta;
+        if b > cfg.b_max + cfg.delta {
+            break;
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavesched_net::abilene14;
+    use wavesched_workload::{JobId, WorkloadConfig, WorkloadGenerator};
+
+    fn overloaded_jobs(n: usize, seed: u64) -> (Graph, Vec<Job>) {
+        let (g, _) = abilene14(2);
+        let jobs = WorkloadGenerator::new(WorkloadConfig {
+            num_jobs: n,
+            seed,
+            size_gb: (50.0, 100.0),
+            window: (4.0, 8.0), // short windows force overload
+            ..Default::default()
+        })
+        .generate(&g);
+        (g, jobs)
+    }
+
+    #[test]
+    fn ret_completes_all_jobs() {
+        let (g, jobs) = overloaded_jobs(10, 2);
+        let cfg = InstanceConfig::paper(2);
+        let r = solve_ret(&g, &jobs, &cfg, &RetConfig::default())
+            .unwrap()
+            .expect("RET should find an extension");
+        assert_eq!(r.lpdar_fraction_finished(), 1.0);
+        assert_eq!(r.lp_fraction_finished(), 1.0);
+        assert!(r.b_final >= r.b_lp);
+        assert!(r.lpdar.is_integral(1e-9));
+        assert!(r.lpdar.max_capacity_violation(&r.instance) < 1e-9);
+    }
+
+    #[test]
+    fn lpd_finishes_fewer_than_lpdar() {
+        let (g, jobs) = overloaded_jobs(12, 7);
+        let cfg = InstanceConfig::paper(2);
+        let r = solve_ret(&g, &jobs, &cfg, &RetConfig::default())
+            .unwrap()
+            .expect("feasible");
+        assert!(
+            r.lpd_fraction_finished() <= r.lpdar_fraction_finished(),
+            "LPD {} > LPDAR {}",
+            r.lpd_fraction_finished(),
+            r.lpdar_fraction_finished()
+        );
+    }
+
+    #[test]
+    fn underloaded_needs_no_extension() {
+        let (g, _) = abilene14(8);
+        let jobs = WorkloadGenerator::new(WorkloadConfig {
+            num_jobs: 3,
+            seed: 1,
+            size_gb: (1.0, 5.0),
+            window: (16.0, 24.0),
+            ..Default::default()
+        })
+        .generate(&g);
+        let cfg = InstanceConfig::paper(8);
+        let r = solve_ret(&g, &jobs, &cfg, &RetConfig::default())
+            .unwrap()
+            .expect("feasible");
+        assert_eq!(r.b_lp, 0.0);
+        assert_eq!(r.lpdar_fraction_finished(), 1.0);
+    }
+
+    #[test]
+    fn quick_finish_packs_early() {
+        // With plenty of slack, the QF objective should finish jobs well
+        // before the extended deadline.
+        let (g, nodes) = abilene14(4);
+        let job = Job::new(JobId(0), 0.0, nodes[0], nodes[4], 75.0, 0.0, 20.0);
+        let cfg = InstanceConfig::paper(4);
+        let r = solve_ret(&g, &[job], &cfg, &RetConfig::default())
+            .unwrap()
+            .expect("feasible");
+        let t = r.lpdar_avg_end_time().unwrap();
+        assert!(t <= 3.0, "QF should finish early, got {t}");
+    }
+
+    #[test]
+    fn stretch_window_mode_completes() {
+        let (g, jobs) = overloaded_jobs(8, 4);
+        let cfg = InstanceConfig::paper(2);
+        let ret_cfg = RetConfig {
+            mode: RetMode::StretchWindow,
+            ..RetConfig::default()
+        };
+        let r = solve_ret(&g, &jobs, &cfg, &ret_cfg)
+            .unwrap()
+            .expect("stretch mode feasible");
+        assert_eq!(r.lpdar_fraction_finished(), 1.0);
+        // Start times are preserved by the stretch.
+        for (orig, ext) in jobs.iter().zip(&r.instance.jobs) {
+            assert_eq!(orig.start, ext.start);
+            assert!(ext.end >= orig.end - 1e-12);
+        }
+    }
+
+    #[test]
+    fn impossible_job_returns_none() {
+        // Disconnected destination: no extension helps.
+        let mut g = Graph::new();
+        let ns = g.add_nodes(3);
+        g.add_link_pair(ns[0], ns[1], 2);
+        // ns[2] is isolated.
+        let job = Job::new(JobId(0), 0.0, ns[0], ns[2], 10.0, 0.0, 4.0);
+        let cfg = InstanceConfig::paper(2);
+        let r = solve_ret(&g, &[job], &cfg, &RetConfig::default()).unwrap();
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn b_lp_close_to_analytic() {
+        // Single job, single 1-wavelength link, demand 8 units, window 4
+        // slices => needs end extended to 8 slices: b ~ 1.0.
+        let mut g = Graph::new();
+        let ns = g.add_nodes(2);
+        g.add_link_pair(ns[0], ns[1], 1);
+        let job = Job::new(JobId(0), 0.0, ns[0], ns[1], 1200.0, 0.0, 4.0);
+        let cfg = InstanceConfig::paper(1);
+        let r = solve_ret(&g, &[job], &cfg, &RetConfig::default())
+            .unwrap()
+            .expect("feasible");
+        assert!(
+            (r.b_lp - 1.0).abs() <= 0.02,
+            "expected b ~ 1.0, got {}",
+            r.b_lp
+        );
+    }
+}

@@ -1,0 +1,298 @@
+//! Stage 2: weighted throughput with the fairness constraint (paper
+//! eqs. 7–10), solved as its LP relaxation.
+//!
+//! The integer program maximizes `sum_i Z_i D_i / sum_i D_i` subject to
+//! `Z_i >= (1 - alpha) Z*` and integral wavelength assignments. Following
+//! the paper's heuristic, this module solves the *relaxation*; LPD/LPDAR
+//! (see [`mod@crate::lpdar`]) then produce the integer solution. Substituting
+//! eq. 8 eliminates the `Z_i` variables: the objective becomes total
+//! transferred volume over total demand, and the fairness constraint a
+//! per-job lower bound on transferred volume.
+
+use crate::builders::{add_assignment_cols, add_capacity_rows, job_volume_coeffs};
+use crate::instance::Instance;
+use crate::schedule::Schedule;
+use wavesched_lp::{solve_with, Objective, Problem, SimplexConfig, SolveError, SolveStats, Status};
+
+/// The job weights `w_i` in the Stage-2 objective `sum_i w_i Z_i / sum_i w_i`.
+///
+/// The paper's default weighs jobs by their (normalized) sizes, "giving
+/// preference to larger jobs"; it explicitly notes that administrators can
+/// instead weigh inversely by size (favoring many small jobs) or by
+/// user-declared importance. All three are provided.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WeightPolicy {
+    /// `w_i = D_i` — the paper's default (eq. 7).
+    DemandProportional,
+    /// `w_i = 1` — every job counts equally.
+    Uniform,
+    /// `w_i = 1 / D_i` — favor finishing many small jobs.
+    InverseDemand,
+    /// Explicit per-job importance weights (must be positive, one per job).
+    Importance(Vec<f64>),
+}
+
+impl WeightPolicy {
+    /// Resolves the weight of job `i`.
+    pub fn weight(&self, inst: &Instance, i: usize) -> f64 {
+        match self {
+            WeightPolicy::DemandProportional => inst.demands[i],
+            WeightPolicy::Uniform => 1.0,
+            WeightPolicy::InverseDemand => 1.0 / inst.demands[i],
+            WeightPolicy::Importance(w) => {
+                assert_eq!(w.len(), inst.num_jobs(), "one weight per job");
+                assert!(w[i] > 0.0, "weights must be positive");
+                w[i]
+            }
+        }
+    }
+}
+
+/// Result of the Stage-2 relaxation.
+#[derive(Debug, Clone)]
+pub struct Stage2Result {
+    /// Fractional optimal assignment (the paper's "LP").
+    pub schedule: Schedule,
+    /// Weighted throughput (eq. 7) of the fractional solution.
+    pub objective: f64,
+    /// Solver work counters.
+    pub stats: SolveStats,
+}
+
+/// Solves the Stage-2 relaxation with default simplex settings.
+///
+/// `z_star` is the Stage-1 maximum concurrent throughput; `alpha` the
+/// fairness slack (0.1 in the paper's evaluation).
+pub fn solve_stage2(
+    inst: &Instance,
+    z_star: f64,
+    alpha: f64,
+) -> Result<Stage2Result, SolveError> {
+    solve_stage2_with(inst, z_star, alpha, &SimplexConfig::default())
+}
+
+/// Solves the Stage-2 relaxation with explicit simplex settings.
+pub fn solve_stage2_with(
+    inst: &Instance,
+    z_star: f64,
+    alpha: f64,
+    cfg: &SimplexConfig,
+) -> Result<Stage2Result, SolveError> {
+    solve_stage2_weighted(inst, z_star, alpha, &WeightPolicy::DemandProportional, cfg)
+}
+
+/// Solves the Stage-2 relaxation under an explicit [`WeightPolicy`].
+///
+/// With weights `w_i`, the objective is `sum_i w_i Z_i / sum_i w_i`, which
+/// after substituting eq. 8 becomes a per-variable cost of
+/// `(w_i / D_i) * LEN(j) / sum w`.
+pub fn solve_stage2_weighted(
+    inst: &Instance,
+    z_star: f64,
+    alpha: f64,
+    weights: &WeightPolicy,
+    cfg: &SimplexConfig,
+) -> Result<Stage2Result, SolveError> {
+    assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+    if inst.num_jobs() == 0 {
+        return Ok(Stage2Result {
+            schedule: Schedule::zero(inst),
+            objective: 0.0,
+            stats: SolveStats::default(),
+        });
+    }
+
+    let total_weight: f64 = (0..inst.num_jobs()).map(|i| weights.weight(inst, i)).sum();
+    let mut p = Problem::new(Objective::Maximize);
+    let cols = add_assignment_cols(&mut p, inst);
+
+    // Objective: sum_i (w_i / D_i) sum_{p,j} x·LEN / sum_i w_i
+    // (eq. 7 generalized; with w_i = D_i this is total volume / total demand).
+    for (var, job, _, slice) in inst.vars.iter() {
+        let scale = weights.weight(inst, job) / inst.demands[job];
+        p.set_cost(cols[var], scale * inst.grid.len_of(slice) / total_weight);
+    }
+
+    // Fairness (eq. 9): per-job transferred volume >= (1-alpha) Z* D_i.
+    for i in 0..inst.num_jobs() {
+        let coeffs = job_volume_coeffs(inst, &cols, i);
+        let floor = (1.0 - alpha) * z_star * inst.demands[i];
+        p.add_row(floor, f64::INFINITY, &coeffs);
+    }
+    add_capacity_rows(&mut p, inst, &cols);
+
+    let sol = solve_with(&p, cfg)?;
+    match sol.status {
+        Status::Optimal => Ok(Stage2Result {
+            schedule: Schedule::from_values(inst, sol.x[..inst.vars.len()].to_vec()),
+            objective: sol.objective,
+            stats: sol.stats,
+        }),
+        // With z_star from Stage 1 the fairness floors are feasible by
+        // construction; any other status is a solver breakdown.
+        other => Err(SolveError::Numerical(format!(
+            "stage 2 terminated with status {other}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceConfig;
+    use crate::stage1::solve_stage1;
+    use wavesched_net::{abilene14, Graph, PathSet};
+    use wavesched_workload::{Job, JobId, WorkloadConfig, WorkloadGenerator};
+
+    fn build(graph: &Graph, jobs: &[Job], w: u32) -> Instance {
+        let cfg = InstanceConfig::paper(w);
+        let mut ps = PathSet::new(cfg.paths_per_job);
+        Instance::build(graph, jobs, &cfg, &mut ps)
+    }
+
+    #[test]
+    fn stage2_at_least_z_star() {
+        // Weighted throughput can only improve on the concurrent optimum.
+        let (g, _) = abilene14(4);
+        let jobs = WorkloadGenerator::new(WorkloadConfig {
+            num_jobs: 15,
+            seed: 11,
+            ..Default::default()
+        })
+        .generate(&g);
+        let inst = build(&g, &jobs, 4);
+        let s1 = solve_stage1(&inst).unwrap();
+        let s2 = solve_stage2(&inst, s1.z_star, 0.1).unwrap();
+        assert!(
+            s2.objective >= s1.z_star * (1.0 - 1e-6),
+            "stage2 {} < z* {}",
+            s2.objective,
+            s1.z_star
+        );
+        // Fairness floors hold.
+        for i in 0..inst.num_jobs() {
+            assert!(
+                s2.schedule.throughput(&inst, i) >= 0.9 * s1.z_star - 1e-6,
+                "job {i} throughput {} below fairness floor",
+                s2.schedule.throughput(&inst, i)
+            );
+        }
+        assert!(s2.schedule.max_capacity_violation(&inst) < 1e-6);
+        // Objective matches the schedule's weighted throughput.
+        assert!((s2.schedule.weighted_throughput(&inst) - s2.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn favors_larger_jobs_under_overload() {
+        // One link, capacity 1, 2 slices; small job (1 unit) and large job
+        // (4 units). Weighted objective prefers the large job beyond the
+        // fairness floor.
+        let mut g = Graph::new();
+        let ns = g.add_nodes(2);
+        g.add_link_pair(ns[0], ns[1], 1);
+        // paper(1): 150 GB per unit.
+        let small = Job::new(JobId(0), 0.0, ns[0], ns[1], 150.0, 0.0, 2.0);
+        let large = Job::new(JobId(1), 0.0, ns[0], ns[1], 600.0, 0.0, 2.0);
+        let inst = build(&g, &[small, large], 1);
+        let s1 = solve_stage1(&inst).unwrap();
+        // Z* = 2 / 5.
+        assert!((s1.z_star - 0.4).abs() < 1e-6);
+        let s2 = solve_stage2(&inst, s1.z_star, 0.1).unwrap();
+        let z_small = s2.schedule.throughput(&inst, 0);
+        let z_large = s2.schedule.throughput(&inst, 1);
+        // Both meet the floor 0.9 * 0.4 = 0.36.
+        assert!(z_small >= 0.36 - 1e-6);
+        assert!(z_large >= 0.36 - 1e-6);
+        // Weighted throughput is at least Z* and capacity is saturated:
+        // total moved = 2 units => objective = 2/5.
+        assert!((s2.objective - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn alpha_zero_pins_fairness() {
+        let (g, _) = abilene14(4);
+        let jobs = WorkloadGenerator::new(WorkloadConfig {
+            num_jobs: 8,
+            seed: 4,
+            ..Default::default()
+        })
+        .generate(&g);
+        let inst = build(&g, &jobs, 4);
+        let s1 = solve_stage1(&inst).unwrap();
+        let s2 = solve_stage2(&inst, s1.z_star, 0.0).unwrap();
+        for i in 0..inst.num_jobs() {
+            assert!(s2.schedule.throughput(&inst, i) >= s1.z_star - 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn alpha_out_of_range_panics() {
+        let (g, _) = abilene14(4);
+        let inst = build(&g, &[], 4);
+        let _ = solve_stage2(&inst, 1.0, 1.5);
+    }
+
+    #[test]
+    fn inverse_demand_weights_flip_preference() {
+        // One link, capacity 1, 2 slices; small job (1 unit) and large job
+        // (4 units). With alpha = 1 (no fairness floor) the weight policy
+        // alone decides who gets the capacity.
+        let mut g = Graph::new();
+        let ns = g.add_nodes(2);
+        g.add_link_pair(ns[0], ns[1], 1);
+        let small = Job::new(JobId(0), 0.0, ns[0], ns[1], 150.0, 0.0, 2.0);
+        let large = Job::new(JobId(1), 0.0, ns[0], ns[1], 600.0, 0.0, 2.0);
+        let inst = build(&g, &[small, large], 1);
+        let cfg = wavesched_lp::SimplexConfig::default();
+
+        let fav_large = solve_stage2_weighted(
+            &inst,
+            0.0,
+            1.0,
+            &WeightPolicy::DemandProportional,
+            &cfg,
+        )
+        .unwrap();
+        let fav_small =
+            solve_stage2_weighted(&inst, 0.0, 1.0, &WeightPolicy::InverseDemand, &cfg).unwrap();
+        // Under inverse weighting the small job's throughput cannot drop.
+        assert!(
+            fav_small.schedule.throughput(&inst, 0)
+                >= fav_large.schedule.throughput(&inst, 0) - 1e-9
+        );
+        // And the small job is fully served (weight 1/1 vs 1/4 per unit).
+        assert!(fav_small.schedule.throughput(&inst, 0) >= 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn importance_weights_accepted() {
+        let (g, _) = abilene14(4);
+        let jobs = WorkloadGenerator::new(WorkloadConfig {
+            num_jobs: 4,
+            seed: 6,
+            ..Default::default()
+        })
+        .generate(&g);
+        let inst = build(&g, &jobs, 4);
+        let s1 = solve_stage1(&inst).unwrap();
+        let w = WeightPolicy::Importance(vec![1.0, 5.0, 1.0, 1.0]);
+        let r = solve_stage2_weighted(&inst, s1.z_star, 0.1, &w, &Default::default()).unwrap();
+        assert!(r.schedule.max_capacity_violation(&inst) < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per job")]
+    fn importance_weights_length_checked() {
+        let (g, _) = abilene14(4);
+        let jobs = WorkloadGenerator::new(WorkloadConfig {
+            num_jobs: 3,
+            seed: 6,
+            ..Default::default()
+        })
+        .generate(&g);
+        let inst = build(&g, &jobs, 4);
+        let w = WeightPolicy::Importance(vec![1.0]);
+        let _ = solve_stage2_weighted(&inst, 1.0, 0.1, &w, &Default::default());
+    }
+}

@@ -1,0 +1,186 @@
+//! Time slices: the paper's `I(·)` slice-index map and `LEN(j)`.
+//!
+//! The controller divides time into slices; wavelength assignments are
+//! constant within a slice. This grid supports non-uniform slice lengths
+//! (the formulations multiply by `LEN(j)` everywhere), although every
+//! experiment in the paper — and in this reproduction — uses unit slices.
+//!
+//! **Window convention.** The paper zeroes `x_i(p, j)` for `j <= I(S_i)` or
+//! `j > I(E_i)`. When requested times fall on slice boundaries that equals
+//! "slices fully contained in `[S_i, E_i]`", which is the rule implemented
+//! here; for mid-slice times the contained-slices rule is the conservative
+//! reading that actually guarantees "finish before the requested end time".
+
+use std::ops::Range;
+
+/// A finite grid of consecutive time slices starting at time 0.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeGrid {
+    /// Slice boundaries: slice `j` covers `[bounds[j], bounds[j+1])`.
+    bounds: Vec<f64>,
+}
+
+impl TimeGrid {
+    /// A grid of `n` unit-length slices covering `[0, n)`.
+    pub fn uniform(n: usize) -> Self {
+        assert!(n > 0, "grid needs at least one slice");
+        TimeGrid {
+            bounds: (0..=n).map(|i| i as f64).collect(),
+        }
+    }
+
+    /// A grid from explicit boundaries (strictly increasing, starting at 0).
+    pub fn from_bounds(bounds: Vec<f64>) -> Self {
+        assert!(bounds.len() >= 2, "need at least one slice");
+        assert!(bounds[0] == 0.0, "grid must start at time 0");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "boundaries must be strictly increasing"
+        );
+        TimeGrid { bounds }
+    }
+
+    /// Number of slices.
+    pub fn num_slices(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// End of the grid (start of time is always 0).
+    pub fn horizon(&self) -> f64 {
+        *self.bounds.last().unwrap()
+    }
+
+    /// `LEN(j)`: length of slice `j`.
+    pub fn len_of(&self, j: usize) -> f64 {
+        self.bounds[j + 1] - self.bounds[j]
+    }
+
+    /// Start time of slice `j`.
+    pub fn start_of(&self, j: usize) -> f64 {
+        self.bounds[j]
+    }
+
+    /// End time of slice `j`.
+    pub fn end_of(&self, j: usize) -> f64 {
+        self.bounds[j + 1]
+    }
+
+    /// The paper's `I(t)`: index of the slice containing time `t`. Times at
+    /// or beyond the horizon map to the last slice.
+    pub fn slice_index(&self, t: f64) -> usize {
+        assert!(t >= 0.0, "negative time");
+        match self
+            .bounds
+            .binary_search_by(|b| b.partial_cmp(&t).unwrap())
+        {
+            Ok(i) => i.min(self.num_slices() - 1),
+            Err(i) => (i - 1).min(self.num_slices() - 1),
+        }
+    }
+
+    /// The slices on which a job with requested window `[start, end]` may be
+    /// assigned wavelengths: slices fully contained in the window, clipped
+    /// to the grid. May be empty.
+    pub fn window_slices(&self, start: f64, end: f64) -> Range<usize> {
+        assert!(start <= end, "window crossed");
+        let n = self.num_slices();
+        // First slice whose start is >= start.
+        let first = self.bounds[..n].partition_point(|&b| b < start);
+        // One past the last slice whose end is <= end.
+        let last = self.bounds[1..].partition_point(|&b| b <= end);
+        if first >= last {
+            first..first // empty
+        } else {
+            first..last
+        }
+    }
+
+    /// Extends the grid with unit slices (or the last slice's length for
+    /// non-uniform grids) until its horizon reaches at least `t`.
+    pub fn extend_to(&mut self, t: f64) {
+        let step = self.len_of(self.num_slices() - 1);
+        while self.horizon() < t {
+            let next = self.horizon() + step;
+            self.bounds.push(next);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_basics() {
+        let g = TimeGrid::uniform(10);
+        assert_eq!(g.num_slices(), 10);
+        assert_eq!(g.horizon(), 10.0);
+        assert_eq!(g.len_of(3), 1.0);
+        assert_eq!(g.start_of(3), 3.0);
+        assert_eq!(g.end_of(3), 4.0);
+    }
+
+    #[test]
+    fn slice_index_map() {
+        let g = TimeGrid::uniform(5);
+        assert_eq!(g.slice_index(0.0), 0);
+        assert_eq!(g.slice_index(0.99), 0);
+        assert_eq!(g.slice_index(1.0), 1);
+        assert_eq!(g.slice_index(4.5), 4);
+        assert_eq!(g.slice_index(5.0), 4); // clipped to last slice
+        assert_eq!(g.slice_index(99.0), 4);
+    }
+
+    #[test]
+    fn window_on_boundaries() {
+        let g = TimeGrid::uniform(10);
+        assert_eq!(g.window_slices(2.0, 6.0), 2..6);
+        assert_eq!(g.window_slices(0.0, 10.0), 0..10);
+    }
+
+    #[test]
+    fn window_mid_slice_is_conservative() {
+        let g = TimeGrid::uniform(10);
+        // Start mid-slice: first fully-contained slice is 3.
+        assert_eq!(g.window_slices(2.5, 6.0), 3..6);
+        // End mid-slice: slice 5 ([5,6)) not fully contained in [2, 5.5].
+        assert_eq!(g.window_slices(2.0, 5.5), 2..5);
+    }
+
+    #[test]
+    fn empty_window() {
+        let g = TimeGrid::uniform(10);
+        let w = g.window_slices(2.5, 3.2);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn window_clips_to_grid() {
+        let g = TimeGrid::uniform(5);
+        assert_eq!(g.window_slices(3.0, 50.0), 3..5);
+    }
+
+    #[test]
+    fn non_uniform_grid() {
+        let g = TimeGrid::from_bounds(vec![0.0, 2.0, 3.0, 6.0]);
+        assert_eq!(g.num_slices(), 3);
+        assert_eq!(g.len_of(0), 2.0);
+        assert_eq!(g.len_of(2), 3.0);
+        assert_eq!(g.slice_index(2.5), 1);
+        assert_eq!(g.window_slices(0.0, 3.0), 0..2);
+    }
+
+    #[test]
+    fn extend_to_grows() {
+        let mut g = TimeGrid::uniform(4);
+        g.extend_to(7.5);
+        assert!(g.horizon() >= 7.5);
+        assert_eq!(g.num_slices(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn bad_bounds_panic() {
+        TimeGrid::from_bounds(vec![0.0, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,314 @@
+//! Branch-and-bound mixed-integer programming.
+//!
+//! The paper reports that solving the Stage-2 integer program exactly is
+//! "prohibitively long" with standard solvers; LPDAR exists because of that.
+//! This module provides a small exact solver anyway — practical only for
+//! tiny instances — so the reproduction can do something the paper could
+//! not: measure LPDAR's true optimality gap (see the `ablation_exact`
+//! bench).
+//!
+//! Depth-first branch-and-bound on LP relaxations solved by the sparse
+//! revised simplex. Branching variable: most fractional. No cuts, no
+//! presolve; exactness over speed.
+
+use crate::model::{Objective, Problem};
+use crate::revised::{solve_with, SimplexConfig};
+use crate::solution::Status;
+use crate::SolveError;
+
+/// Knobs for [`solve_milp`].
+#[derive(Debug, Clone)]
+pub struct MilpConfig {
+    /// Maximum branch-and-bound nodes explored before giving up.
+    pub max_nodes: u64,
+    /// A relaxation value within this of an integer counts as integral.
+    pub int_tol: f64,
+    /// Stop when the relative gap between incumbent and best bound drops
+    /// below this.
+    pub rel_gap: f64,
+    /// LP settings used at every node.
+    pub lp: SimplexConfig,
+}
+
+impl Default for MilpConfig {
+    fn default() -> Self {
+        MilpConfig {
+            max_nodes: 100_000,
+            int_tol: 1e-6,
+            rel_gap: 1e-9,
+            lp: SimplexConfig::default(),
+        }
+    }
+}
+
+/// Outcome of a branch-and-bound run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MilpStatus {
+    /// Incumbent proven optimal (all nodes fathomed).
+    Optimal,
+    /// No feasible integer point exists.
+    Infeasible,
+    /// The LP relaxation is unbounded.
+    Unbounded,
+    /// Node limit hit; `best` (if any) is a feasible incumbent without an
+    /// optimality proof.
+    NodeLimit,
+}
+
+/// Result of [`solve_milp`].
+#[derive(Debug, Clone)]
+pub struct MilpSolution {
+    /// Outcome of the search.
+    pub status: MilpStatus,
+    /// Objective of the incumbent (NaN when none exists).
+    pub objective: f64,
+    /// Incumbent point, one value per column (empty when none exists).
+    pub x: Vec<f64>,
+    /// Nodes explored.
+    pub nodes: u64,
+}
+
+/// Solves `p`, honoring the integrality marks set with
+/// [`Problem::add_int_col`] / [`Problem::set_integer`].
+pub fn solve_milp(p: &Problem, cfg: &MilpConfig) -> Result<MilpSolution, SolveError> {
+    let int_cols: Vec<usize> = (0..p.num_cols())
+        .filter(|&j| p.cols[j].integer)
+        .collect();
+
+    // `better(a, b)`: is objective `a` better than `b` in the problem sense?
+    let maximize = p.objective() == Objective::Maximize;
+    let better = |a: f64, b: f64| if maximize { a > b } else { a < b };
+
+    let mut work = p.clone();
+    let mut incumbent: Option<(f64, Vec<f64>)> = None;
+    let mut nodes: u64 = 0;
+    let mut saw_node_limit = false;
+
+    // Explicit DFS stack of bound changes: each node is a list of
+    // (col, lower, upper) overrides relative to the root problem.
+    let mut stack: Vec<Vec<(usize, f64, f64)>> = vec![Vec::new()];
+
+    while let Some(changes) = stack.pop() {
+        if nodes >= cfg.max_nodes {
+            saw_node_limit = true;
+            break;
+        }
+        nodes += 1;
+
+        // Apply overrides.
+        let saved: Vec<(usize, f64, f64)> = changes
+            .iter()
+            .map(|&(j, _, _)| {
+                let (l, u) = work.col_bounds(crate::Col(j as u32));
+                (j, l, u)
+            })
+            .collect();
+        let mut valid = true;
+        for &(j, l, u) in &changes {
+            if l > u {
+                valid = false;
+            }
+            work.set_col_bounds(crate::Col(j as u32), l, u);
+        }
+
+        if valid {
+            match solve_with(&work, &cfg.lp)? {
+                sol if sol.status == Status::Unbounded => {
+                    // Restore and report: an unbounded relaxation at the root
+                    // means an unbounded MILP (with integer feasibility not
+                    // proven, but we surface it as such).
+                    for &(j, l, u) in &saved {
+                        work.set_col_bounds(crate::Col(j as u32), l, u);
+                    }
+                    return Ok(MilpSolution {
+                        status: MilpStatus::Unbounded,
+                        objective: if maximize {
+                            f64::INFINITY
+                        } else {
+                            f64::NEG_INFINITY
+                        },
+                        x: Vec::new(),
+                        nodes,
+                    });
+                }
+                sol if sol.status == Status::Optimal => {
+                    let bound = sol.objective;
+                    let prune = incumbent.as_ref().is_some_and(|(inc, _)| {
+                        let gap_ok = !better(bound, *inc);
+                        let rel = (bound - inc).abs() / inc.abs().max(1.0);
+                        gap_ok || rel < cfg.rel_gap
+                    });
+                    if !prune {
+                        // Find most fractional integer column.
+                        let mut frac_col = None;
+                        let mut frac_dist = cfg.int_tol;
+                        for &j in &int_cols {
+                            let v = sol.x[j];
+                            let d = (v - v.round()).abs();
+                            if d > frac_dist {
+                                frac_dist = d;
+                                frac_col = Some(j);
+                            }
+                        }
+                        match frac_col {
+                            None => {
+                                // Integral: candidate incumbent.
+                                let mut x = sol.x.clone();
+                                for &j in &int_cols {
+                                    x[j] = x[j].round();
+                                }
+                                let obj = p.eval_objective(&x);
+                                if incumbent
+                                    .as_ref()
+                                    .is_none_or(|(inc, _)| better(obj, *inc))
+                                {
+                                    incumbent = Some((obj, x));
+                                }
+                            }
+                            Some(j) => {
+                                let v = sol.x[j];
+                                let (l, u) = work.col_bounds(crate::Col(j as u32));
+                                // Branch down then up; push "up" first so the
+                                // "down" child (rounding toward zero usage)
+                                // is explored first.
+                                let mut up = changes.clone();
+                                up.push((j, v.ceil(), u));
+                                let mut down = changes.clone();
+                                down.push((j, l, v.floor()));
+                                stack.push(up);
+                                stack.push(down);
+                            }
+                        }
+                    }
+                }
+                _ => {} // Infeasible or iteration-limited node: fathom.
+            }
+        }
+
+        // Restore bounds.
+        for &(j, l, u) in saved.iter().rev() {
+            work.set_col_bounds(crate::Col(j as u32), l, u);
+        }
+    }
+
+    Ok(match incumbent {
+        Some((obj, x)) => MilpSolution {
+            status: if saw_node_limit {
+                MilpStatus::NodeLimit
+            } else {
+                MilpStatus::Optimal
+            },
+            objective: obj,
+            x,
+            nodes,
+        },
+        None => MilpSolution {
+            status: if saw_node_limit {
+                MilpStatus::NodeLimit
+            } else {
+                MilpStatus::Infeasible
+            },
+            objective: f64::NAN,
+            x: Vec::new(),
+            nodes,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Objective, Problem};
+
+    fn near(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn knapsack() {
+        // max 10a + 13b + 7c, 3a + 4b + 2c <= 6, binary.
+        let mut p = Problem::new(Objective::Maximize);
+        let a = p.add_int_col(0.0, 1.0, 10.0);
+        let b = p.add_int_col(0.0, 1.0, 13.0);
+        let c = p.add_int_col(0.0, 1.0, 7.0);
+        p.add_row(f64::NEG_INFINITY, 6.0, &[(a, 3.0), (b, 4.0), (c, 2.0)]);
+        let s = solve_milp(&p, &MilpConfig::default()).unwrap();
+        assert_eq!(s.status, MilpStatus::Optimal);
+        near(s.objective, 20.0); // b + c = 13 + 7
+        near(s.x[1], 1.0);
+        near(s.x[2], 1.0);
+    }
+
+    #[test]
+    fn integer_rounding_matters() {
+        // max x + y s.t. 2x + 2y <= 5, integers: LP gives 2.5, ILP 2.
+        let mut p = Problem::new(Objective::Maximize);
+        let x = p.add_int_col(0.0, f64::INFINITY, 1.0);
+        let y = p.add_int_col(0.0, f64::INFINITY, 1.0);
+        p.add_row(f64::NEG_INFINITY, 5.0, &[(x, 2.0), (y, 2.0)]);
+        let s = solve_milp(&p, &MilpConfig::default()).unwrap();
+        assert_eq!(s.status, MilpStatus::Optimal);
+        near(s.objective, 2.0);
+    }
+
+    #[test]
+    fn infeasible_milp() {
+        // 2x == 1 with x integer.
+        let mut p = Problem::new(Objective::Minimize);
+        let x = p.add_int_col(0.0, 10.0, 1.0);
+        p.add_row(1.0, 1.0, &[(x, 2.0)]);
+        let s = solve_milp(&p, &MilpConfig::default()).unwrap();
+        assert_eq!(s.status, MilpStatus::Infeasible);
+    }
+
+    #[test]
+    fn mixed_continuous_integer() {
+        // max 2x + y, x integer, y continuous; x + y <= 3.5, x <= 2.2.
+        let mut p = Problem::new(Objective::Maximize);
+        let x = p.add_int_col(0.0, 2.2, 2.0);
+        let y = p.add_col(0.0, f64::INFINITY, 1.0);
+        p.add_row(f64::NEG_INFINITY, 3.5, &[(x, 1.0), (y, 1.0)]);
+        let s = solve_milp(&p, &MilpConfig::default()).unwrap();
+        assert_eq!(s.status, MilpStatus::Optimal);
+        // x = 2, y = 1.5 -> 5.5
+        near(s.objective, 5.5);
+        near(s.x[0], 2.0);
+    }
+
+    #[test]
+    fn minimization_direction() {
+        // min x, x integer >= 1.3  => x = 2.
+        let mut p = Problem::new(Objective::Minimize);
+        let x = p.add_int_col(0.0, 10.0, 1.0);
+        p.add_row(1.3, f64::INFINITY, &[(x, 1.0)]);
+        let s = solve_milp(&p, &MilpConfig::default()).unwrap();
+        assert_eq!(s.status, MilpStatus::Optimal);
+        near(s.objective, 2.0);
+    }
+
+    #[test]
+    fn pure_lp_passthrough() {
+        // No integer columns: single relaxation solve.
+        let mut p = Problem::new(Objective::Maximize);
+        let x = p.add_col(0.0, 7.0, 1.0);
+        let _ = x;
+        let s = solve_milp(&p, &MilpConfig::default()).unwrap();
+        assert_eq!(s.status, MilpStatus::Optimal);
+        near(s.objective, 7.0);
+        assert_eq!(s.nodes, 1);
+    }
+
+    #[test]
+    fn node_limit_reported() {
+        let mut p = Problem::new(Objective::Maximize);
+        let cols: Vec<_> = (0..12).map(|_| p.add_int_col(0.0, 1.0, 1.0)).collect();
+        let coeffs: Vec<_> = cols.iter().map(|&c| (c, 2.0)).collect();
+        p.add_row(f64::NEG_INFINITY, 11.0, &coeffs);
+        let cfg = MilpConfig {
+            max_nodes: 2,
+            ..MilpConfig::default()
+        };
+        let s = solve_milp(&p, &cfg).unwrap();
+        assert_eq!(s.status, MilpStatus::NodeLimit);
+    }
+}

@@ -1,0 +1,571 @@
+//! MPS reading and writing.
+//!
+//! MPS is the lingua franca of LP/MIP solvers; supporting it lets the
+//! scheduler's formulations be exported to (and cross-checked against)
+//! external solvers, and lets this crate's simplex be exercised on standard
+//! test problems. The dialect implemented is free-format MPS with the
+//! common sections:
+//!
+//! `NAME`, `ROWS` (`N`/`L`/`G`/`E`), `COLUMNS` (including integrality
+//! `MARKER` lines), `RHS`, `RANGES`, `BOUNDS`
+//! (`LO`/`UP`/`FX`/`FR`/`MI`/`PL`/`BV`/`LI`/`UI`), `ENDATA`. Comment lines
+//! start with `*`.
+//!
+//! Reading conventions follow the de-facto standard: the first `N` row is
+//! the objective; columns default to `[0, +inf)`; a `RANGES` entry `r` on a
+//! row with rhs `b` turns `L` into `[b - |r|, b]`, `G` into `[b, b + |r|]`,
+//! and `E` into `[b, b + r]` for `r >= 0` / `[b + r, b]` otherwise.
+
+use crate::model::{Col, Objective, Problem, Row};
+use crate::solution::SolveError;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// A parsed MPS model: the problem plus the names appearing in the file.
+#[derive(Debug)]
+pub struct MpsModel {
+    /// The problem, built to **minimize** the objective row (flip with
+    /// [`Problem::new`] semantics if a maximization reading is desired —
+    /// MPS itself does not encode a direction).
+    pub problem: Problem,
+    /// Model name from the `NAME` card (may be empty).
+    pub name: String,
+    /// Column names in index order.
+    pub col_names: Vec<String>,
+    /// Constraint row names in index order (objective excluded).
+    pub row_names: Vec<String>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum RowKind {
+    Objective,
+    Le,
+    Ge,
+    Eq,
+}
+
+/// Parses a free-format MPS document.
+pub fn parse_mps(text: &str) -> Result<MpsModel, SolveError> {
+    let bad = |msg: String| SolveError::InvalidModel(format!("MPS: {msg}"));
+
+    let mut name = String::new();
+    let mut section = String::new();
+
+    let mut row_kind: Vec<RowKind> = Vec::new();
+    let mut row_names: Vec<String> = Vec::new();
+    let mut row_index: HashMap<String, usize> = HashMap::new();
+    let mut objective_row: Option<usize> = None;
+
+    let mut col_names: Vec<String> = Vec::new();
+    let mut col_index: HashMap<String, usize> = HashMap::new();
+    let mut col_cost: Vec<f64> = Vec::new();
+    let mut col_integer: Vec<bool> = Vec::new();
+    // (row, col, value) with row indices into row_names (objective handled
+    // separately via col_cost).
+    let mut entries: Vec<(usize, usize, f64)> = Vec::new();
+    let mut rhs: HashMap<usize, f64> = HashMap::new();
+    let mut ranges: HashMap<usize, f64> = HashMap::new();
+    // Explicit bounds: (col, kind, value).
+    let mut bounds: Vec<(usize, String, f64)> = Vec::new();
+    let mut integer_mode = false;
+
+    for raw in text.lines() {
+        let line = raw.trim_end();
+        if line.trim_start().starts_with('*') || line.trim().is_empty() {
+            continue;
+        }
+        // Section headers start in column 1 (no leading whitespace).
+        if !line.starts_with(' ') && !line.starts_with('\t') {
+            let mut parts = line.split_whitespace();
+            section = parts.next().unwrap_or("").to_ascii_uppercase();
+            if section == "NAME" {
+                name = parts.next().unwrap_or("").to_string();
+            }
+            if section == "ENDATA" {
+                break;
+            }
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match section.as_str() {
+            "ROWS" => {
+                if fields.len() < 2 {
+                    return Err(bad(format!("short ROWS line: {line:?}")));
+                }
+                let kind = match fields[0].to_ascii_uppercase().as_str() {
+                    "N" => RowKind::Objective,
+                    "L" => RowKind::Le,
+                    "G" => RowKind::Ge,
+                    "E" => RowKind::Eq,
+                    other => return Err(bad(format!("unknown row type {other:?}"))),
+                };
+                let rname = fields[1].to_string();
+                if kind == RowKind::Objective {
+                    if objective_row.is_none() {
+                        objective_row = Some(usize::MAX); // sentinel: named free row
+                        row_index.insert(rname, usize::MAX);
+                    }
+                    // Extra N rows are ignored (standard behavior).
+                } else {
+                    let idx = row_names.len();
+                    row_index.insert(rname.clone(), idx);
+                    row_names.push(rname);
+                    row_kind.push(kind);
+                }
+            }
+            "COLUMNS" => {
+                // MARKER lines toggle integrality.
+                if fields.len() >= 3 && fields[1].eq_ignore_ascii_case("'MARKER'") {
+                    let tag = fields[2].to_ascii_uppercase();
+                    if tag.contains("INTORG") {
+                        integer_mode = true;
+                    } else if tag.contains("INTEND") {
+                        integer_mode = false;
+                    }
+                    continue;
+                }
+                if fields.len() < 3 || fields.len().is_multiple_of(2) {
+                    return Err(bad(format!("malformed COLUMNS line: {line:?}")));
+                }
+                let cname = fields[0];
+                let cidx = *col_index.entry(cname.to_string()).or_insert_with(|| {
+                    col_names.push(cname.to_string());
+                    col_cost.push(0.0);
+                    col_integer.push(false);
+                    col_names.len() - 1
+                });
+                col_integer[cidx] |= integer_mode;
+                for pair in fields[1..].chunks(2) {
+                    let rname = pair[0];
+                    let value: f64 = pair[1]
+                        .parse()
+                        .map_err(|_| bad(format!("bad number {:?}", pair[1])))?;
+                    match row_index.get(rname) {
+                        Some(&usize::MAX) => col_cost[cidx] += value,
+                        Some(&ri) => entries.push((ri, cidx, value)),
+                        None => return Err(bad(format!("unknown row {rname:?}"))),
+                    }
+                }
+            }
+            "RHS" => {
+                if fields.len() < 3 || fields.len().is_multiple_of(2) {
+                    return Err(bad(format!("malformed RHS line: {line:?}")));
+                }
+                for pair in fields[1..].chunks(2) {
+                    let rname = pair[0];
+                    let value: f64 = pair[1]
+                        .parse()
+                        .map_err(|_| bad(format!("bad number {:?}", pair[1])))?;
+                    match row_index.get(rname) {
+                        Some(&usize::MAX) => {} // objective offset: rarely used; ignored
+                        Some(&ri) => {
+                            rhs.insert(ri, value);
+                        }
+                        None => return Err(bad(format!("unknown row {rname:?}"))),
+                    }
+                }
+            }
+            "RANGES" => {
+                if fields.len() < 3 || fields.len().is_multiple_of(2) {
+                    return Err(bad(format!("malformed RANGES line: {line:?}")));
+                }
+                for pair in fields[1..].chunks(2) {
+                    let rname = pair[0];
+                    let value: f64 = pair[1]
+                        .parse()
+                        .map_err(|_| bad(format!("bad number {:?}", pair[1])))?;
+                    let &ri = row_index
+                        .get(rname)
+                        .ok_or_else(|| bad(format!("unknown row {rname:?}")))?;
+                    if ri != usize::MAX {
+                        ranges.insert(ri, value);
+                    }
+                }
+            }
+            "BOUNDS" => {
+                if fields.len() < 3 {
+                    return Err(bad(format!("short BOUNDS line: {line:?}")));
+                }
+                let kind = fields[0].to_ascii_uppercase();
+                let cname = fields[2];
+                let &cidx = col_index
+                    .get(cname)
+                    .ok_or_else(|| bad(format!("unknown column {cname:?}")))?;
+                let value: f64 = if fields.len() >= 4 {
+                    fields[3]
+                        .parse()
+                        .map_err(|_| bad(format!("bad number {:?}", fields[3])))?
+                } else {
+                    0.0
+                };
+                bounds.push((cidx, kind, value));
+            }
+            "" => return Err(bad(format!("data before any section: {line:?}"))),
+            other => {
+                return Err(bad(format!("unsupported section {other:?}")));
+            }
+        }
+    }
+
+    // Assemble the Problem (minimization).
+    let mut p = Problem::new(Objective::Minimize);
+    let mut cols: Vec<Col> = Vec::with_capacity(col_names.len());
+    for i in 0..col_names.len() {
+        let c = p.add_col(0.0, f64::INFINITY, col_cost[i]);
+        if col_integer[i] {
+            p.set_integer(c, true);
+        }
+        cols.push(c);
+    }
+    let mut rows: Vec<Row> = Vec::with_capacity(row_names.len());
+    for (i, &kind) in row_kind.iter().enumerate() {
+        let b = rhs.get(&i).copied().unwrap_or(0.0);
+        let (mut lo, mut hi) = match kind {
+            RowKind::Le => (f64::NEG_INFINITY, b),
+            RowKind::Ge => (b, f64::INFINITY),
+            RowKind::Eq => (b, b),
+            RowKind::Objective => unreachable!(),
+        };
+        if let Some(&r) = ranges.get(&i) {
+            match kind {
+                RowKind::Le => lo = b - r.abs(),
+                RowKind::Ge => hi = b + r.abs(),
+                RowKind::Eq => {
+                    if r >= 0.0 {
+                        hi = b + r;
+                    } else {
+                        lo = b + r;
+                    }
+                }
+                RowKind::Objective => unreachable!(),
+            }
+        }
+        rows.push(p.add_row(lo, hi, &[]));
+    }
+    for (ri, ci, v) in entries {
+        p.set_coeff(rows[ri], cols[ci], v);
+    }
+    // Bounds, applied in order. Integer defaults: UI-less integer columns
+    // keep [0, inf) like continuous ones (modern convention).
+    for (ci, kind, v) in bounds {
+        let c = cols[ci];
+        let (lo, hi) = p.col_bounds(c);
+        match kind.as_str() {
+            "LO" | "LI" => p.set_col_bounds(c, v, hi),
+            "UP" | "UI" => {
+                // Negative UP with default LO implies a free lower bound.
+                let lo = if v < 0.0 && lo == 0.0 {
+                    f64::NEG_INFINITY
+                } else {
+                    lo
+                };
+                p.set_col_bounds(c, lo, v);
+            }
+            "FX" => p.set_col_bounds(c, v, v),
+            "FR" => p.set_col_bounds(c, f64::NEG_INFINITY, f64::INFINITY),
+            "MI" => p.set_col_bounds(c, f64::NEG_INFINITY, hi),
+            "PL" => p.set_col_bounds(c, lo, f64::INFINITY),
+            "BV" => {
+                p.set_col_bounds(c, 0.0, 1.0);
+                p.set_integer(c, true);
+            }
+            other => {
+                return Err(SolveError::InvalidModel(format!(
+                    "MPS: unsupported bound type {other:?}"
+                )))
+            }
+        }
+    }
+
+    Ok(MpsModel {
+        problem: p,
+        name,
+        col_names,
+        row_names,
+    })
+}
+
+/// Serializes `p` as free-format MPS. Maximization problems are written as
+/// the equivalent minimization (costs negated) with a `* MAXIMIZE` comment,
+/// since MPS has no objective-direction card.
+pub fn write_mps(p: &Problem, name: &str) -> String {
+    let mut out = String::new();
+    let obj_sign = match p.objective() {
+        Objective::Minimize => 1.0,
+        Objective::Maximize => -1.0,
+    };
+    if obj_sign < 0.0 {
+        out.push_str("* MAXIMIZE (costs negated below; MPS encodes minimization)\n");
+    }
+    let _ = writeln!(out, "NAME {name}");
+
+    out.push_str("ROWS\n N OBJ\n");
+    // Range rows are emitted as their dominant kind + RANGES.
+    let mut row_kinds: Vec<(char, f64, Option<f64>)> = Vec::new(); // (kind, rhs, range)
+    for r in p.iter_rows() {
+        let (lo, hi) = p.row_bounds(r);
+        let (k, b, range) = if lo.is_finite() && hi.is_finite() {
+            if lo == hi {
+                ('E', lo, None)
+            } else {
+                ('L', hi, Some(hi - lo))
+            }
+        } else if hi.is_finite() {
+            ('L', hi, None)
+        } else if lo.is_finite() {
+            ('G', lo, None)
+        } else {
+            // Free row: encode as N row after the objective (ignored by
+            // most readers; we skip it entirely and note it).
+            ('N', 0.0, None)
+        };
+        row_kinds.push((k, b, range));
+        if k != 'N' {
+            let _ = writeln!(out, " {k} R{}", r.index());
+        }
+    }
+
+    out.push_str("COLUMNS\n");
+    // Per-column entries: cost first, then rows (gathered from triplets).
+    let mut per_col: Vec<Vec<(usize, f64)>> = vec![Vec::new(); p.num_cols()];
+    for &(r, c, v) in &p.entries {
+        per_col[c as usize].push((r as usize, v));
+    }
+    let mut in_int = false;
+    for c in p.iter_cols() {
+        let j = c.index();
+        let integer = p.is_integer(c);
+        if integer != in_int {
+            let tag = if integer { "INTORG" } else { "INTEND" };
+            let _ = writeln!(out, " MARK{j} 'MARKER' '{tag}'");
+            in_int = integer;
+        }
+        let cost = obj_sign * p.cost(c);
+        if cost != 0.0 {
+            let _ = writeln!(out, " C{j} OBJ {cost}");
+        }
+        // Sum duplicates for a canonical file.
+        let mut acc: HashMap<usize, f64> = HashMap::new();
+        for &(r, v) in &per_col[j] {
+            *acc.entry(r).or_default() += v;
+        }
+        let mut keys: Vec<_> = acc.keys().copied().collect();
+        keys.sort_unstable();
+        for r in keys {
+            if row_kinds[r].0 != 'N' && acc[&r] != 0.0 {
+                let _ = writeln!(out, " C{j} R{r} {}", acc[&r]);
+            }
+        }
+    }
+    if in_int {
+        let _ = writeln!(out, " MARKEND 'MARKER' 'INTEND'");
+    }
+
+    out.push_str("RHS\n");
+    for (r, &(k, b, _)) in row_kinds.iter().enumerate() {
+        if k != 'N' && b != 0.0 {
+            let _ = writeln!(out, " RHS R{r} {b}");
+        }
+    }
+    let any_range = row_kinds.iter().any(|&(_, _, rg)| rg.is_some());
+    if any_range {
+        out.push_str("RANGES\n");
+        for (r, &(_, _, rg)) in row_kinds.iter().enumerate() {
+            if let Some(rg) = rg {
+                let _ = writeln!(out, " RNG R{r} {rg}");
+            }
+        }
+    }
+
+    out.push_str("BOUNDS\n");
+    for c in p.iter_cols() {
+        let j = c.index();
+        let (lo, hi) = p.col_bounds(c);
+        match (lo.is_finite(), hi.is_finite()) {
+            (true, true) if lo == hi => {
+                let _ = writeln!(out, " FX BND C{j} {lo}");
+            }
+            (true, true) => {
+                if lo != 0.0 {
+                    let _ = writeln!(out, " LO BND C{j} {lo}");
+                }
+                let _ = writeln!(out, " UP BND C{j} {hi}");
+            }
+            (true, false) => {
+                if lo != 0.0 {
+                    let _ = writeln!(out, " LO BND C{j} {lo}");
+                }
+            }
+            (false, true) => {
+                let _ = writeln!(out, " MI BND C{j}");
+                let _ = writeln!(out, " UP BND C{j} {hi}");
+            }
+            (false, false) => {
+                let _ = writeln!(out, " FR BND C{j}");
+            }
+        }
+    }
+    out.push_str("ENDATA\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::revised::solve;
+    use crate::solution::Status;
+
+    const AFIRO_LIKE: &str = "\
+* a small classic-style LP
+NAME TEST1
+ROWS
+ N COST
+ L LIM1
+ G LIM2
+ E EQ1
+COLUMNS
+ X1 COST 1.0 LIM1 1.0
+ X1 LIM2 1.0
+ X2 COST 2.0 LIM1 1.0
+ X2 EQ1 1.0
+RHS
+ RHS LIM1 4.0 LIM2 1.0
+ RHS EQ1 2.0
+BOUNDS
+ UP BND X1 3.0
+ENDATA
+";
+
+    #[test]
+    fn parse_basic() {
+        let m = parse_mps(AFIRO_LIKE).unwrap();
+        assert_eq!(m.name, "TEST1");
+        assert_eq!(m.col_names, vec!["X1", "X2"]);
+        assert_eq!(m.row_names, vec!["LIM1", "LIM2", "EQ1"]);
+        let p = &m.problem;
+        assert_eq!(p.num_cols(), 2);
+        assert_eq!(p.num_rows(), 3);
+        // min x1 + 2 x2, x1 + x2 <= 4, x1 >= 1, x2 == 2, x1 <= 3
+        let s = solve(p).unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - (1.0 + 4.0)).abs() < 1e-6, "{}", s.objective);
+    }
+
+    #[test]
+    fn parse_integer_markers_and_bv() {
+        let text = "\
+NAME INTTEST
+ROWS
+ N OBJ
+ L CAP
+COLUMNS
+ MARKER1 'MARKER' 'INTORG'
+ Y1 OBJ -3.0 CAP 2.0
+ MARKER2 'MARKER' 'INTEND'
+ X1 OBJ -1.0 CAP 1.0
+RHS
+ R CAP 5.0
+BOUNDS
+ BV BND Y1
+ENDATA
+";
+        let m = parse_mps(text).unwrap();
+        let p = &m.problem;
+        let y = crate::Col::from_index(0);
+        let x = crate::Col::from_index(1);
+        assert!(p.is_integer(y));
+        assert!(!p.is_integer(x));
+        assert_eq!(p.col_bounds(y), (0.0, 1.0));
+    }
+
+    #[test]
+    fn ranges_section() {
+        let text = "\
+NAME RTEST
+ROWS
+ N OBJ
+ L R1
+ G R2
+ E R3
+COLUMNS
+ X OBJ 1.0 R1 1.0
+ X R2 1.0 R3 1.0
+RHS
+ RHS R1 10.0 R2 2.0 R3 5.0
+RANGES
+ RNG R1 4.0 R2 3.0 R3 1.0
+ENDATA
+";
+        let p = parse_mps(text).unwrap().problem;
+        assert_eq!(p.row_bounds(crate::Row::from_index(0)), (6.0, 10.0));
+        assert_eq!(p.row_bounds(crate::Row::from_index(1)), (2.0, 5.0));
+        assert_eq!(p.row_bounds(crate::Row::from_index(2)), (5.0, 6.0));
+    }
+
+    #[test]
+    fn roundtrip_preserves_solution() {
+        use crate::model::{Objective, Problem};
+        let mut p = Problem::new(Objective::Maximize);
+        let x = p.add_col(0.0, 4.0, 3.0);
+        let y = p.add_int_col(1.0, f64::INFINITY, 2.0);
+        let z = p.add_col(f64::NEG_INFINITY, f64::INFINITY, -1.0);
+        p.add_row(f64::NEG_INFINITY, 10.0, &[(x, 1.0), (y, 2.0)]);
+        p.add_row(2.0, 6.0, &[(y, 1.0), (z, 1.0)]);
+        p.add_row(3.0, 3.0, &[(x, 1.0), (z, 1.0)]);
+
+        let text = write_mps(&p, "RT");
+        let q = parse_mps(&text).unwrap().problem;
+        assert_eq!(q.num_cols(), p.num_cols());
+        assert_eq!(q.num_rows(), p.num_rows());
+
+        let sp = solve(&p).unwrap();
+        let sq = solve(&q).unwrap();
+        assert_eq!(sp.status, Status::Optimal);
+        assert_eq!(sq.status, Status::Optimal);
+        // q minimizes the negated costs: objectives are negatives.
+        assert!(
+            (sp.objective + sq.objective).abs() < 1e-6,
+            "{} vs {}",
+            sp.objective,
+            sq.objective
+        );
+        // Integrality marks survive.
+        assert!(q.is_integer(crate::Col::from_index(1)));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_mps("ROWS\n Z BADKIND\n").is_err());
+        assert!(parse_mps("COLUMNS\n X NOROW 1.0\n").is_err());
+        assert!(parse_mps("ROWS\n N OBJ\nCOLUMNS\n X OBJ notanumber\n").is_err());
+    }
+
+    #[test]
+    fn free_bounds_and_mi() {
+        let text = "\
+NAME B
+ROWS
+ N OBJ
+ G R1
+COLUMNS
+ X OBJ 1.0 R1 1.0
+ Y OBJ 1.0 R1 1.0
+RHS
+ RHS R1 -5.0
+BOUNDS
+ FR BND X
+ MI BND Y
+ UP BND Y 2.0
+ENDATA
+";
+        let p = parse_mps(text).unwrap().problem;
+        assert_eq!(
+            p.col_bounds(crate::Col::from_index(0)),
+            (f64::NEG_INFINITY, f64::INFINITY)
+        );
+        assert_eq!(
+            p.col_bounds(crate::Col::from_index(1)),
+            (f64::NEG_INFINITY, 2.0)
+        );
+    }
+}

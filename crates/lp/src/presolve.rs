@@ -1,0 +1,477 @@
+//! Presolve: problem reductions applied before the simplex.
+//!
+//! The scheduler's formulations contain easy structure — fixed variables
+//! (zero-width windows), singleton rows, empty rows and columns — that a
+//! few safe reductions remove, shrinking the basis the simplex must
+//! factorize. The reductions implemented are the classic always-safe set:
+//!
+//! 1. **Fixed columns** (`l == u`): substituted into row bounds and the
+//!    objective offset.
+//! 2. **Free rows** (no finite bound): dropped.
+//! 3. **Empty rows**: feasibility-checked and dropped.
+//! 4. **Singleton rows** (one remaining column): converted into column
+//!    bounds and dropped; crossed bounds prove infeasibility.
+//! 5. **Empty columns**: moved to their cost-optimal bound; a nonzero cost
+//!    pushing toward an infinite bound proves unboundedness.
+//!
+//! Rules run to a fixpoint. [`Reduction::postsolve`] maps a reduced-space
+//! point back to the original columns (primal only; duals are not mapped).
+
+use crate::model::{Objective, Problem};
+use crate::{is_inf, FEAS_TOL};
+
+/// Result of presolving.
+#[derive(Debug)]
+pub enum PresolveOutcome {
+    /// A (possibly) smaller equivalent problem plus the postsolve mapping.
+    Reduced(Reduction),
+    /// The reductions proved the problem infeasible.
+    Infeasible,
+    /// The reductions proved the objective unbounded.
+    Unbounded,
+}
+
+/// A reduced problem together with the information needed to undo it.
+#[derive(Debug)]
+pub struct Reduction {
+    /// The reduced problem.
+    pub problem: Problem,
+    /// For each original column: `Ok(reduced index)` if it survived,
+    /// `Err(fixed value)` if presolve pinned it.
+    mapping: Vec<Result<usize, f64>>,
+    /// Number of original columns.
+    n_orig: usize,
+}
+
+impl Reduction {
+    /// Maps a solution of the reduced problem back to original columns.
+    pub fn postsolve(&self, x_reduced: &[f64]) -> Vec<f64> {
+        assert_eq!(x_reduced.len(), self.problem.num_cols());
+        let mut x = vec![0.0; self.n_orig];
+        for (j, m) in self.mapping.iter().enumerate() {
+            x[j] = match *m {
+                Ok(rj) => x_reduced[rj],
+                Err(v) => v,
+            };
+        }
+        x
+    }
+
+    /// Columns eliminated by presolve.
+    pub fn removed_cols(&self) -> usize {
+        self.n_orig - self.problem.num_cols()
+    }
+}
+
+/// Runs the reductions on `p`.
+pub fn presolve(p: &Problem) -> PresolveOutcome {
+    let n = p.num_cols();
+    let m = p.num_rows();
+    let minimize = p.objective() == Objective::Minimize;
+
+    // Working copies.
+    let mut col_lo: Vec<f64> = Vec::with_capacity(n);
+    let mut col_hi: Vec<f64> = Vec::with_capacity(n);
+    let mut cost: Vec<f64> = Vec::with_capacity(n);
+    let mut integer: Vec<bool> = Vec::with_capacity(n);
+    for c in p.iter_cols() {
+        let (l, u) = p.col_bounds(c);
+        col_lo.push(if is_inf(l) { f64::NEG_INFINITY } else { l });
+        col_hi.push(if is_inf(u) { f64::INFINITY } else { u });
+        cost.push(p.cost(c));
+        integer.push(p.is_integer(c));
+    }
+    let mut row_lo: Vec<f64> = Vec::with_capacity(m);
+    let mut row_hi: Vec<f64> = Vec::with_capacity(m);
+    for r in p.iter_rows() {
+        let (l, u) = p.row_bounds(r);
+        row_lo.push(if is_inf(l) { f64::NEG_INFINITY } else { l });
+        row_hi.push(if is_inf(u) { f64::INFINITY } else { u });
+    }
+
+    // Row-wise live entries (col, val), duplicates summed.
+    let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m];
+    {
+        use std::collections::HashMap;
+        let mut acc: HashMap<(u32, u32), f64> = HashMap::new();
+        for &(r, c, v) in &p.entries {
+            *acc.entry((r, c)).or_default() += v;
+        }
+        for ((r, c), v) in acc {
+            if v != 0.0 {
+                rows[r as usize].push((c as usize, v));
+            }
+        }
+        for row in &mut rows {
+            row.sort_unstable_by_key(|&(c, _)| c);
+        }
+    }
+    // Column occurrence counts.
+    let mut col_count = vec![0usize; n];
+    for row in &rows {
+        for &(c, _) in row {
+            col_count[c] += 1;
+        }
+    }
+
+    let mut col_alive = vec![true; n];
+    let mut row_alive = vec![true; m];
+    let mut fixed_value = vec![f64::NAN; n];
+
+    // Fix column j at value v: fold into row bounds.
+    // Returns false on detected infeasibility (crossed row bounds can't
+    // happen from substitution alone, so always true; kept for symmetry).
+    let fix_col = |j: usize,
+                   v: f64,
+                   rows: &mut Vec<Vec<(usize, f64)>>,
+                   row_lo: &mut Vec<f64>,
+                   row_hi: &mut Vec<f64>,
+                   col_alive: &mut Vec<bool>,
+                   col_count: &mut Vec<usize>,
+                   fixed_value: &mut Vec<f64>| {
+        col_alive[j] = false;
+        fixed_value[j] = v;
+        for (r, row) in rows.iter_mut().enumerate() {
+            if let Some(pos) = row.iter().position(|&(c, _)| c == j) {
+                let (_, a) = row.remove(pos);
+                if row_lo[r].is_finite() {
+                    row_lo[r] -= a * v;
+                }
+                if row_hi[r].is_finite() {
+                    row_hi[r] -= a * v;
+                }
+                col_count[j] = col_count[j].saturating_sub(1);
+            }
+        }
+    };
+
+    let mut changed = true;
+    let mut passes = 0;
+    while changed && passes < 16 {
+        changed = false;
+        passes += 1;
+
+        // Rule 1: fixed columns.
+        for j in 0..n {
+            if col_alive[j] && col_lo[j].is_finite() && col_lo[j] == col_hi[j] {
+                fix_col(
+                    j,
+                    col_lo[j],
+                    &mut rows,
+                    &mut row_lo,
+                    &mut row_hi,
+                    &mut col_alive,
+                    &mut col_count,
+                    &mut fixed_value,
+                );
+                changed = true;
+            }
+        }
+
+        // Rules 2+3: free and empty rows.
+        for r in 0..m {
+            if !row_alive[r] {
+                continue;
+            }
+            if row_lo[r].is_infinite() && row_hi[r].is_infinite() {
+                row_alive[r] = false;
+                for &(c, _) in &rows[r] {
+                    col_count[c] -= 1;
+                }
+                rows[r].clear();
+                changed = true;
+                continue;
+            }
+            if rows[r].is_empty() {
+                if row_lo[r] > FEAS_TOL || row_hi[r] < -FEAS_TOL {
+                    return PresolveOutcome::Infeasible;
+                }
+                row_alive[r] = false;
+                changed = true;
+            }
+        }
+
+        // Rule 4: singleton rows -> column bounds.
+        for r in 0..m {
+            if row_alive[r] && rows[r].len() == 1 {
+                let (j, a) = rows[r][0];
+                debug_assert!(a != 0.0);
+                let (mut lo, mut hi) = (row_lo[r] / a, row_hi[r] / a);
+                if a < 0.0 {
+                    std::mem::swap(&mut lo, &mut hi);
+                }
+                if lo.is_nan() {
+                    lo = f64::NEG_INFINITY;
+                }
+                if hi.is_nan() {
+                    hi = f64::INFINITY;
+                }
+                col_lo[j] = col_lo[j].max(lo);
+                col_hi[j] = col_hi[j].min(hi);
+                if col_lo[j] > col_hi[j] + FEAS_TOL {
+                    return PresolveOutcome::Infeasible;
+                }
+                // Snap numerically-equal bounds so rule 1 can fire.
+                if col_lo[j] > col_hi[j] {
+                    col_lo[j] = col_hi[j];
+                }
+                row_alive[r] = false;
+                col_count[j] -= 1;
+                rows[r].clear();
+                changed = true;
+            }
+        }
+
+        // Rule 5: empty columns.
+        for j in 0..n {
+            if !col_alive[j] || col_count[j] != 0 {
+                continue;
+            }
+            // Improving direction for the objective.
+            let want_low = if minimize { cost[j] > 0.0 } else { cost[j] < 0.0 };
+            let v = if cost[j] == 0.0 {
+                // Any feasible value; prefer a finite bound, else 0.
+                if col_lo[j].is_finite() {
+                    col_lo[j]
+                } else if col_hi[j].is_finite() {
+                    col_hi[j]
+                } else {
+                    0.0
+                }
+            } else if want_low {
+                if col_lo[j].is_infinite() {
+                    return PresolveOutcome::Unbounded;
+                }
+                col_lo[j]
+            } else {
+                if col_hi[j].is_infinite() {
+                    return PresolveOutcome::Unbounded;
+                }
+                col_hi[j]
+            };
+            fix_col(
+                j,
+                v,
+                &mut rows,
+                &mut row_lo,
+                &mut row_hi,
+                &mut col_alive,
+                &mut col_count,
+                &mut fixed_value,
+            );
+            changed = true;
+        }
+    }
+
+    // Rebuild the reduced problem.
+    let mut reduced = Problem::new(p.objective());
+    let mut mapping: Vec<Result<usize, f64>> = Vec::with_capacity(n);
+    let mut new_index = vec![usize::MAX; n];
+    let mut offset = 0.0;
+    for j in 0..n {
+        if col_alive[j] {
+            let c = reduced.add_col(col_lo[j], col_hi[j], cost[j]);
+            reduced.set_integer(c, integer[j]);
+            new_index[j] = c.index();
+            mapping.push(Ok(c.index()));
+        } else {
+            offset += cost[j] * fixed_value[j];
+            mapping.push(Err(fixed_value[j]));
+        }
+    }
+    reduced.add_objective_offset(p.obj_offset + offset);
+    for r in 0..m {
+        if row_alive[r] {
+            let coeffs: Vec<_> = rows[r]
+                .iter()
+                .map(|&(c, v)| (crate::Col::from_index(new_index[c]), v))
+                .collect();
+            reduced.add_row(row_lo[r], row_hi[r], &coeffs);
+        }
+    }
+
+    PresolveOutcome::Reduced(Reduction {
+        problem: reduced,
+        mapping,
+        n_orig: n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::revised::solve;
+    use crate::solution::Status;
+
+    fn solve_via_presolve(p: &Problem) -> (Status, f64, Vec<f64>) {
+        match presolve(p) {
+            PresolveOutcome::Infeasible => (Status::Infeasible, f64::NAN, vec![]),
+            PresolveOutcome::Unbounded => (Status::Unbounded, f64::NAN, vec![]),
+            PresolveOutcome::Reduced(r) => {
+                let s = solve(&r.problem).unwrap();
+                let x = if s.status == Status::Optimal {
+                    r.postsolve(&s.x)
+                } else {
+                    vec![]
+                };
+                (s.status, s.objective, x)
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_columns_substituted() {
+        let mut p = Problem::new(Objective::Minimize);
+        let x = p.add_col(2.0, 2.0, 3.0); // fixed at 2
+        let y = p.add_col(0.0, 10.0, 1.0);
+        p.add_row(5.0, f64::INFINITY, &[(x, 1.0), (y, 1.0)]); // y >= 3
+        let (st, obj, xs) = solve_via_presolve(&p);
+        assert_eq!(st, Status::Optimal);
+        assert!((obj - (6.0 + 3.0)).abs() < 1e-6);
+        assert_eq!(xs[0], 2.0);
+        assert!((xs[1] - 3.0).abs() < 1e-6);
+        // And the direct solve agrees.
+        let direct = solve(&p).unwrap();
+        assert!((direct.objective - obj).abs() < 1e-6);
+    }
+
+    #[test]
+    fn singleton_rows_become_bounds() {
+        let mut p = Problem::new(Objective::Maximize);
+        let x = p.add_col(0.0, f64::INFINITY, 1.0);
+        p.add_row(f64::NEG_INFINITY, 7.0, &[(x, 1.0)]);
+        p.add_row(f64::NEG_INFINITY, -4.0, &[(x, -2.0)]); // x >= 2
+        match presolve(&p) {
+            PresolveOutcome::Reduced(r) => {
+                // The singleton rows tighten x to [2, 7]; x then has no
+                // remaining rows, so rule 5 fixes it at its cost-optimal
+                // bound and the whole problem vanishes.
+                assert_eq!(r.problem.num_rows(), 0);
+                assert_eq!(r.problem.num_cols(), 0);
+                let s = solve(&r.problem).unwrap();
+                assert!((s.objective - 7.0).abs() < 1e-6);
+                let x = r.postsolve(&s.x);
+                assert!((x[0] - 7.0).abs() < 1e-9);
+            }
+            other => panic!("expected reduction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_infeasible_singletons() {
+        let mut p = Problem::new(Objective::Minimize);
+        let x = p.add_col(0.0, 1.0, 1.0);
+        p.add_row(5.0, f64::INFINITY, &[(x, 1.0)]);
+        assert!(matches!(presolve(&p), PresolveOutcome::Infeasible));
+    }
+
+    #[test]
+    fn detects_unbounded_empty_column() {
+        let mut p = Problem::new(Objective::Maximize);
+        let _x = p.add_col(0.0, f64::INFINITY, 1.0); // empty col, cost pushes up
+        assert!(matches!(presolve(&p), PresolveOutcome::Unbounded));
+    }
+
+    #[test]
+    fn empty_and_free_rows_dropped() {
+        let mut p = Problem::new(Objective::Minimize);
+        let x = p.add_col(0.0, 5.0, 1.0);
+        p.add_row(f64::NEG_INFINITY, f64::INFINITY, &[(x, 1.0)]); // free row
+        p.add_row(-1.0, 1.0, &[]); // empty, feasible
+        match presolve(&p) {
+            PresolveOutcome::Reduced(r) => {
+                assert_eq!(r.problem.num_rows(), 0);
+            }
+            other => panic!("expected reduction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_empty_row() {
+        let mut p = Problem::new(Objective::Minimize);
+        let _x = p.add_col(0.0, 5.0, 0.0);
+        p.add_row(1.0, 2.0, &[]); // 0 not in [1,2]
+        assert!(matches!(presolve(&p), PresolveOutcome::Infeasible));
+    }
+
+    #[test]
+    fn cascading_reductions() {
+        // Singleton row fixes x; substitution makes the next row singleton.
+        let mut p = Problem::new(Objective::Minimize);
+        let x = p.add_col(0.0, 10.0, 1.0);
+        let y = p.add_col(0.0, 10.0, 1.0);
+        p.add_row(4.0, 4.0, &[(x, 2.0)]); // x == 2
+        p.add_row(5.0, 5.0, &[(x, 1.0), (y, 1.0)]); // then y == 3
+        match presolve(&p) {
+            PresolveOutcome::Reduced(r) => {
+                assert_eq!(r.problem.num_cols(), 0);
+                assert_eq!(r.problem.num_rows(), 0);
+                let s = solve(&r.problem).unwrap();
+                assert!((s.objective - 5.0).abs() < 1e-6);
+                let x = r.postsolve(&s.x);
+                assert!((x[0] - 2.0).abs() < 1e-9);
+                assert!((x[1] - 3.0).abs() < 1e-9);
+            }
+            other => panic!("expected reduction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn randomized_presolve_equivalence() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..150 {
+            let n = rng.random_range(1..7usize);
+            let m = rng.random_range(0..7usize);
+            let mut p = Problem::new(if rng.random_range(0..2) == 0 {
+                Objective::Maximize
+            } else {
+                Objective::Minimize
+            });
+            let cols: Vec<_> = (0..n)
+                .map(|_| {
+                    let lo = rng.random_range(-3i32..=2) as f64;
+                    let width = rng.random_range(0i32..=5) as f64;
+                    p.add_col(lo, lo + width, rng.random_range(-3i32..=3) as f64)
+                })
+                .collect();
+            for _ in 0..m {
+                let mut coeffs = Vec::new();
+                for &c in &cols {
+                    if rng.random_range(0..100) < 50 {
+                        let v = rng.random_range(-2i32..=2) as f64;
+                        if v != 0.0 {
+                            coeffs.push((c, v));
+                        }
+                    }
+                }
+                let b = rng.random_range(-6i32..=10) as f64;
+                match rng.random_range(0..3) {
+                    0 => p.add_row(f64::NEG_INFINITY, b, &coeffs),
+                    1 => p.add_row(b, f64::INFINITY, &coeffs),
+                    _ => p.add_row(b, b, &coeffs),
+                };
+            }
+            let direct = solve(&p).unwrap();
+            let (st, obj, xs) = solve_via_presolve(&p);
+            assert_eq!(direct.status, st, "trial {trial}: status mismatch");
+            if st == Status::Optimal {
+                assert!(
+                    (direct.objective - obj).abs() <= 1e-5 * (1.0 + obj.abs()),
+                    "trial {trial}: {} vs {}",
+                    direct.objective,
+                    obj
+                );
+                assert!(
+                    p.max_violation(&xs) <= 1e-6,
+                    "trial {trial}: postsolved point infeasible"
+                );
+                assert!(
+                    (p.eval_objective(&xs) - obj).abs() <= 1e-5 * (1.0 + obj.abs()),
+                    "trial {trial}: postsolved objective mismatch"
+                );
+            }
+        }
+    }
+}

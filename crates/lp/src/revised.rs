@@ -1,0 +1,1033 @@
+//! Sparse two-phase revised simplex.
+//!
+//! This is the default LP solver of the crate. Key design points, following
+//! standard practice for production simplex codes:
+//!
+//! * **Bounded-variable simplex** over the standardized form
+//!   `A z = 0, l <= z <= u` (see `stdform`), so range rows and general
+//!   bounds need no row/column blowup.
+//! * **Two phases with signed artificials**: the initial basis is diagonal
+//!   (row activity variables where feasible, artificials elsewhere); phase 1
+//!   minimizes the total artificial magnitude, phase 2 the true objective.
+//!   An artificial that leaves the basis is immediately fixed at zero and
+//!   never priced again.
+//! * **Product-form basis updates**: FTRAN/BTRAN go through a sparse LU
+//!   factorization (Gilbert–Peierls left-looking, partial pivoting,
+//!   sparsest-column-first ordering) plus an eta file, refactorized
+//!   periodically and on numerical drift.
+//! * **Dantzig pricing with a Bland fallback** after a run of degenerate
+//!   pivots, guaranteeing termination in the presence of degeneracy (the
+//!   MCF-style scheduling LPs of the paper are massively degenerate).
+//! * **Two-pass (Harris-style) ratio test**: pass one finds the best step
+//!   with a relaxed feasibility tolerance, pass two picks the numerically
+//!   largest pivot among the near-blocking rows.
+
+mod lu;
+
+use crate::model::Problem;
+use crate::solution::{Solution, SolveError, SolveStats, Status};
+use crate::stdform::{standardize, ColKind, StdForm};
+use crate::{FEAS_TOL, OPT_TOL, PIVOT_TOL};
+
+use lu::Lu;
+
+/// Tunable parameters of the revised simplex.
+#[derive(Debug, Clone)]
+pub struct SimplexConfig {
+    /// Hard cap on total simplex iterations (both phases). `0` means the
+    /// solver picks `50 * (rows + cols) + 10_000`.
+    pub max_iterations: u64,
+    /// Primal feasibility tolerance.
+    pub feas_tol: f64,
+    /// Reduced-cost optimality tolerance.
+    pub opt_tol: f64,
+    /// Minimum acceptable pivot magnitude.
+    pub pivot_tol: f64,
+    /// Refactorize after this many eta updates.
+    pub refactor_interval: usize,
+    /// Consecutive degenerate pivots before switching to Bland's rule.
+    pub degeneracy_threshold: u64,
+}
+
+impl Default for SimplexConfig {
+    fn default() -> Self {
+        SimplexConfig {
+            max_iterations: 0,
+            feas_tol: FEAS_TOL,
+            opt_tol: OPT_TOL,
+            pivot_tol: PIVOT_TOL,
+            refactor_interval: 100,
+            degeneracy_threshold: 400,
+        }
+    }
+}
+
+/// Solves `p` with the sparse revised simplex under default settings.
+pub fn solve(p: &Problem) -> Result<Solution, SolveError> {
+    solve_with(p, &SimplexConfig::default())
+}
+
+/// Solves `p` with explicit [`SimplexConfig`] settings.
+pub fn solve_with(p: &Problem, cfg: &SimplexConfig) -> Result<Solution, SolveError> {
+    let std = standardize(p)?;
+    let mut engine = Engine::new(std, cfg.clone());
+    engine.run()
+}
+
+/// Where a nonbasic variable rests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarState {
+    Basic(u32),
+    AtLower,
+    AtUpper,
+    /// Free nonbasic, resting at zero.
+    Free,
+    /// Fixed (`l == u`) or retired artificial; never priced.
+    Fixed,
+}
+
+struct Engine {
+    std: StdForm,
+    cfg: SimplexConfig,
+    /// Column occupying each basis position.
+    basis: Vec<usize>,
+    /// State per standardized column.
+    state: Vec<VarState>,
+    /// Current value per standardized column (basic entries mirrored from
+    /// `xb` on demand).
+    xval: Vec<f64>,
+    /// Basic values by basis position.
+    xb: Vec<f64>,
+    /// Phase-dependent cost vector.
+    cost: Vec<f64>,
+    lu: Option<Lu>,
+    etas: Vec<Eta>,
+    stats: SolveStats,
+    /// Consecutive degenerate pivots; triggers Bland's rule.
+    degen_run: u64,
+    bland: bool,
+    /// Scratch: dense vector indexed by basis position.
+    work_pos: Vec<f64>,
+    /// Scratch: dense vector indexed by row.
+    work_row: Vec<f64>,
+    /// Reduced costs, updated incrementally per pivot and recomputed at
+    /// every refactorization.
+    d: Vec<f64>,
+    /// Devex reference weights.
+    weights: Vec<f64>,
+    /// Row-major copy of the constraint matrix: per row, its `(col, val)`
+    /// entries. Lets the pivotal-row pass touch only columns intersecting
+    /// the (sparse) BTRAN result.
+    csr: Vec<Vec<(u32, f64)>>,
+}
+
+/// One product-form update: `B_new = B_old * E` where `E` is the identity
+/// with column `pos` replaced by `w = B_old^{-1} a_q`.
+struct Eta {
+    pos: u32,
+    /// Sparse entries of `w` (basis-position indexed), including `pos`.
+    entries: Vec<(u32, f64)>,
+    /// `w[pos]`, the pivot element.
+    pivot: f64,
+}
+
+enum PhaseOutcome {
+    Optimal,
+    Unbounded,
+    IterationLimit,
+}
+
+impl Engine {
+    fn new(std: StdForm, mut cfg: SimplexConfig) -> Self {
+        let m = std.nrows;
+        let ncols = std.ncols();
+        if cfg.max_iterations == 0 {
+            cfg.max_iterations = 50 * (m as u64 + ncols as u64) + 10_000;
+        }
+        let mut csr: Vec<Vec<(u32, f64)>> = vec![Vec::new(); m];
+        for j in 0..std.a.ncols() {
+            let (rows, vals) = std.a.col(j);
+            for (&r, &v) in rows.iter().zip(vals) {
+                csr[r as usize].push((j as u32, v));
+            }
+        }
+        Engine {
+            cost: vec![0.0; ncols],
+            state: vec![VarState::Fixed; ncols],
+            xval: vec![0.0; ncols],
+            basis: Vec::with_capacity(m),
+            xb: vec![0.0; m],
+            lu: None,
+            etas: Vec::new(),
+            stats: SolveStats::default(),
+            degen_run: 0,
+            bland: false,
+            work_pos: vec![0.0; m],
+            work_row: vec![0.0; m],
+            d: vec![0.0; ncols],
+            weights: vec![1.0; ncols],
+            csr,
+            std,
+            cfg,
+        }
+    }
+
+    /// Builds the crash basis: activity variable where its natural value is
+    /// feasible, signed artificial otherwise. Sets phase-1 costs.
+    fn crash(&mut self) {
+        let m = self.std.nrows;
+        // Rest all structural and activity columns; fix unused artificials.
+        for j in 0..self.std.ncols() {
+            let (l, u) = (self.std.lower[j], self.std.upper[j]);
+            self.state[j] = if self.std.kind[j] == ColKind::Artificial || l == u {
+                VarState::Fixed
+            } else if l.is_finite() && (u.is_infinite() || l.abs() <= u.abs()) {
+                VarState::AtLower
+            } else if u.is_finite() {
+                VarState::AtUpper
+            } else {
+                VarState::Free
+            };
+            self.xval[j] = self.std.resting_value(j);
+        }
+        // Row activities of the structural block at the resting point.
+        let act = {
+            let mut act = vec![0.0; m];
+            for j in 0..self.std.nstruct {
+                let xj = self.xval[j];
+                if xj != 0.0 {
+                    self.std.a.col_axpy(j, xj, &mut act);
+                }
+            }
+            act
+        };
+        self.basis.clear();
+        #[allow(clippy::needless_range_loop)] // parallel arrays, index is clearest
+        for i in 0..m {
+            let s = self.std.activity_col(i);
+            let (sl, su) = (self.std.lower[s], self.std.upper[s]);
+            let v = act[i];
+            let tol = self.cfg.feas_tol;
+            if v >= sl - tol && v <= su + tol {
+                // Activity variable basic and feasible: no artificial needed.
+                self.basis.push(s);
+                self.state[s] = VarState::Basic(i as u32);
+                self.xb[i] = v;
+            } else {
+                // Rest the activity at its nearest bound, make the signed
+                // artificial basic with the residual.
+                let srest = if v < sl { sl } else { su };
+                self.xval[s] = srest;
+                self.state[s] = if srest == sl {
+                    VarState::AtLower
+                } else {
+                    VarState::AtUpper
+                };
+                let a = self.std.artificial_col(i);
+                // Row equation: act - s + a = 0  =>  a = s - act.
+                let aval = srest - v;
+                if aval >= 0.0 {
+                    self.std.lower[a] = 0.0;
+                    self.std.upper[a] = f64::INFINITY;
+                    self.cost[a] = 1.0;
+                } else {
+                    self.std.lower[a] = f64::NEG_INFINITY;
+                    self.std.upper[a] = 0.0;
+                    self.cost[a] = -1.0;
+                }
+                self.basis.push(a);
+                self.state[a] = VarState::Basic(i as u32);
+                self.xb[i] = aval;
+            }
+        }
+    }
+
+    fn run(&mut self) -> Result<Solution, SolveError> {
+        self.crash();
+        self.refactorize()?;
+
+        // Phase 1: minimize total artificial magnitude (costs set in crash).
+        let needs_phase1 = self
+            .basis
+            .iter()
+            .any(|&j| self.std.kind[j] == ColKind::Artificial);
+        if needs_phase1 {
+            let before = self.stats.iterations;
+            let out = self.iterate(true)?;
+            self.stats.phase1_iterations = self.stats.iterations - before;
+            match out {
+                PhaseOutcome::IterationLimit => {
+                    return Ok(self.extract(Status::IterationLimit));
+                }
+                PhaseOutcome::Unbounded => {
+                    // Phase-1 objective is bounded below by zero; an
+                    // "unbounded" signal is a numerical breakdown.
+                    return Err(SolveError::Numerical(
+                        "phase 1 reported unbounded".into(),
+                    ));
+                }
+                PhaseOutcome::Optimal => {}
+            }
+            let infeas = self.phase1_objective();
+            if infeas > self.cfg.feas_tol.max(1e-9 * self.std.nrows as f64) {
+                return Ok(self.extract(Status::Infeasible));
+            }
+        }
+
+        // Phase 2: pin artificials to zero and install the true costs.
+        for i in 0..self.std.nrows {
+            let a = self.std.artificial_col(i);
+            self.std.lower[a] = 0.0;
+            self.std.upper[a] = 0.0;
+            self.cost[a] = 0.0;
+            if !matches!(self.state[a], VarState::Basic(_)) {
+                self.state[a] = VarState::Fixed;
+                self.xval[a] = 0.0;
+            }
+        }
+        for j in 0..self.std.ncols() {
+            if self.std.kind[j] != ColKind::Artificial {
+                self.cost[j] = self.std.cost[j];
+            }
+        }
+        self.bland = false;
+        self.degen_run = 0;
+        match self.iterate(false)? {
+            PhaseOutcome::Optimal => Ok(self.extract(Status::Optimal)),
+            PhaseOutcome::Unbounded => Ok(self.extract(Status::Unbounded)),
+            PhaseOutcome::IterationLimit => Ok(self.extract(Status::IterationLimit)),
+        }
+    }
+
+    fn phase1_objective(&self) -> f64 {
+        let mut v = 0.0;
+        for (pos, &j) in self.basis.iter().enumerate() {
+            if self.std.kind[j] == ColKind::Artificial {
+                v += self.xb[pos].abs();
+            }
+        }
+        v
+    }
+
+    /// Core primal simplex loop shared by both phases.
+    ///
+    /// Reduced costs are maintained incrementally (updated with the pivotal
+    /// row after every basis change) and recomputed exactly at every
+    /// refactorization; entering variables are chosen by Devex pricing with
+    /// a Bland fallback after a long degenerate run.
+    fn iterate(&mut self, phase1: bool) -> Result<PhaseOutcome, SolveError> {
+        self.recompute_reduced();
+        self.weights.fill(1.0);
+        loop {
+            if self.stats.iterations >= self.cfg.max_iterations {
+                return Ok(PhaseOutcome::IterationLimit);
+            }
+            if self.etas.len() >= self.cfg.refactor_interval {
+                self.refactorize()?;
+                self.recompute_reduced();
+            }
+
+            // Pricing from the maintained reduced costs.
+            let entering = match self.price() {
+                Some(e) => e,
+                None => {
+                    // Claimed optimal: verify against exactly recomputed
+                    // reduced costs before accepting (guards drift).
+                    self.refactorize()?;
+                    self.recompute_reduced();
+                    match self.price() {
+                        Some(e) => e,
+                        None => return Ok(PhaseOutcome::Optimal),
+                    }
+                }
+            };
+            let (q, dir) = entering;
+
+            // FTRAN: w = B^{-1} a_q, basis-position indexed.
+            let w = self.ftran_col(q);
+
+            // Ratio test.
+            match self.ratio_test(q, dir, &w) {
+                RatioOutcome::Unbounded => {
+                    if phase1 {
+                        return Err(SolveError::Numerical(
+                            "unbounded ray in phase 1".into(),
+                        ));
+                    }
+                    return Ok(PhaseOutcome::Unbounded);
+                }
+                RatioOutcome::BoundFlip(t) => {
+                    // No basis change: reduced costs stay valid.
+                    self.apply_bound_flip(q, dir, t, &w);
+                    self.stats.bound_flips += 1;
+                }
+                RatioOutcome::Pivot { pos, step } => {
+                    let alpha_q = w[pos];
+                    if alpha_q.abs() <= self.cfg.pivot_tol {
+                        // Should not happen (ratio test filters); refactor
+                        // and retry rather than divide by ~0.
+                        self.refactorize()?;
+                        self.recompute_reduced();
+                        continue;
+                    }
+                    self.update_reduced_and_weights(q, pos, alpha_q);
+                    self.apply_pivot(q, dir, pos, step, &w);
+                    if step <= self.cfg.feas_tol * 1e-2 {
+                        self.stats.degenerate_pivots += 1;
+                        self.degen_run += 1;
+                        if self.degen_run >= self.cfg.degeneracy_threshold {
+                            self.bland = true;
+                        }
+                    } else {
+                        self.degen_run = 0;
+                        self.bland = false;
+                    }
+                }
+            }
+            self.stats.iterations += 1;
+        }
+    }
+
+    /// Solves `B' y = c` for a basis-position-indexed `c`, returning the
+    /// row-indexed result (in place).
+    fn btran_pos(&mut self, c: &mut [f64]) {
+        // Apply eta inverses in reverse order: c' E^{-1} touches one entry.
+        for eta in self.etas.iter().rev() {
+            let r = eta.pos as usize;
+            let mut acc = c[r];
+            for &(i, wi) in &eta.entries {
+                if i != eta.pos {
+                    acc -= c[i as usize] * wi;
+                }
+            }
+            c[r] = acc / eta.pivot;
+        }
+        self.lu
+            .as_ref()
+            .expect("factorized")
+            .btran(c, &mut self.work_pos);
+    }
+
+    /// Computes `y` with `B' y = c_B`; returns a dense row-indexed vector.
+    fn btran_costs(&mut self) -> Vec<f64> {
+        let m = self.std.nrows;
+        let mut c = vec![0.0; m];
+        for (pos, &j) in self.basis.iter().enumerate() {
+            c[pos] = self.cost[j];
+        }
+        self.btran_pos(&mut c);
+        c
+    }
+
+    /// Recomputes every reduced cost exactly from the current basis.
+    fn recompute_reduced(&mut self) {
+        let y = self.btran_costs();
+        for j in 0..self.std.ncols() {
+            self.d[j] = match self.state[j] {
+                VarState::Basic(_) => 0.0,
+                VarState::Fixed => 0.0,
+                _ => self.cost[j] - self.std.a.col_dot(j, &y),
+            };
+        }
+    }
+
+    /// Devex pricing over the maintained reduced costs. Returns the
+    /// entering column and its movement direction (+1 from lower/free, -1
+    /// from upper/free).
+    fn price(&self) -> Option<(usize, f64)> {
+        let tol = self.cfg.opt_tol;
+        let mut best: Option<(usize, f64, f64)> = None; // (col, dir, score)
+        for j in 0..self.std.ncols() {
+            let dir = match self.state[j] {
+                VarState::Basic(_) | VarState::Fixed => continue,
+                VarState::AtLower => {
+                    if self.d[j] < -tol {
+                        1.0
+                    } else {
+                        continue;
+                    }
+                }
+                VarState::AtUpper => {
+                    if self.d[j] > tol {
+                        -1.0
+                    } else {
+                        continue;
+                    }
+                }
+                VarState::Free => {
+                    if self.d[j] < -tol {
+                        1.0
+                    } else if self.d[j] > tol {
+                        -1.0
+                    } else {
+                        continue;
+                    }
+                }
+            };
+            if self.bland {
+                // Bland: first eligible index guarantees termination.
+                return Some((j, dir));
+            }
+            let score = self.d[j] * self.d[j] / self.weights[j];
+            if best.is_none_or(|(_, _, s)| score > s) {
+                best = Some((j, dir, score));
+            }
+        }
+        best.map(|(j, dir, _)| (j, dir))
+    }
+
+    /// After choosing pivot (entering `q`, leaving position `pos`), updates
+    /// the reduced costs and Devex weights using the pivotal row
+    /// `alpha = e_pos' B^{-1} A`.
+    fn update_reduced_and_weights(&mut self, q: usize, pos: usize, alpha_q: f64) {
+        let m = self.std.nrows;
+        // rho = B^{-T} e_pos (row-indexed).
+        let mut rho = vec![0.0; m];
+        rho[pos] = 1.0;
+        self.btran_pos(&mut rho);
+
+        let dq = self.d[q];
+        let ratio = dq / alpha_q;
+        let wq = self.weights[q].max(1.0);
+        let leaving = self.basis[pos];
+
+        // Touch only columns that intersect rho's nonzero rows. A column may
+        // be visited once per nonzero row, so stamp visited columns.
+        // (Reuse d[q] slot as stamp-free approach: track via small Vec.)
+        let mut touched: Vec<u32> = Vec::with_capacity(256);
+        for (r, row) in self.csr.iter().enumerate() {
+            let rv = rho[r];
+            if rv.abs() <= 1e-12 {
+                continue;
+            }
+            for &(jc, _) in row {
+                let j = jc as usize;
+                match self.state[j] {
+                    VarState::Basic(_) | VarState::Fixed => continue,
+                    _ => {}
+                }
+                if j == q {
+                    continue;
+                }
+                touched.push(jc);
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        let mut max_weight: f64 = 1.0;
+        for &jc in &touched {
+            let j = jc as usize;
+            let alpha_j = self.std.a.col_dot(j, &rho);
+            if alpha_j.abs() <= 1e-12 {
+                continue;
+            }
+            self.d[j] -= ratio * alpha_j;
+            let cand = (alpha_j / alpha_q) * (alpha_j / alpha_q) * wq;
+            if cand > self.weights[j] {
+                self.weights[j] = cand;
+            }
+            max_weight = max_weight.max(self.weights[j]);
+        }
+        // Entering column becomes basic; leaving column becomes nonbasic
+        // with reduced cost -d_q / alpha_q and a fresh reference weight.
+        self.d[q] = 0.0;
+        self.d[leaving] = -ratio;
+        self.weights[leaving] = (wq / (alpha_q * alpha_q)).max(1.0);
+        max_weight = max_weight.max(self.weights[leaving]);
+
+        // Reference-framework reset when weights blow up.
+        if max_weight > 1e8 {
+            self.weights.fill(1.0);
+        }
+    }
+
+    /// FTRAN of column `q` through LU and the eta file; returns the dense
+    /// basis-position-indexed representation of `w = B^{-1} a_q`.
+    fn ftran_col(&mut self, q: usize) -> Vec<f64> {
+        let m = self.std.nrows;
+        self.work_row[..m].fill(0.0);
+        let (rows, vals) = self.std.a.col(q);
+        for (&r, &v) in rows.iter().zip(vals) {
+            self.work_row[r as usize] = v;
+        }
+        let mut w = vec![0.0; m];
+        self.lu
+            .as_ref()
+            .expect("factorized")
+            .ftran(&mut self.work_row, &mut w);
+        for eta in &self.etas {
+            let r = eta.pos as usize;
+            let t = w[r] / eta.pivot;
+            if t != 0.0 {
+                for &(i, wi) in &eta.entries {
+                    if i != eta.pos {
+                        w[i as usize] -= wi * t;
+                    }
+                }
+            }
+            w[r] = t;
+        }
+        w
+    }
+
+    fn ratio_test(&self, q: usize, dir: f64, w: &[f64]) -> RatioOutcome {
+        let ptol = self.cfg.pivot_tol;
+        let ftol = self.cfg.feas_tol;
+        // Step limit from the entering variable's own bound range.
+        let own_range = match (self.std.lower[q].is_finite(), self.std.upper[q].is_finite()) {
+            (true, true) => self.std.upper[q] - self.std.lower[q],
+            _ => f64::INFINITY,
+        };
+
+        // Pass 1: minimum blocking step with tolerance-relaxed bounds.
+        let mut t_relaxed = own_range;
+        for (pos, &wp) in w.iter().enumerate() {
+            if wp.abs() <= ptol {
+                continue;
+            }
+            let rate = -wp * dir; // d(xb[pos]) / dt
+            let j = self.basis[pos];
+            let limit = if rate > 0.0 {
+                let ub = self.std.upper[j];
+                if ub.is_finite() {
+                    (ub - self.xb[pos] + ftol) / rate
+                } else {
+                    continue;
+                }
+            } else {
+                let lb = self.std.lower[j];
+                if lb.is_finite() {
+                    (self.xb[pos] - lb + ftol) / -rate
+                } else {
+                    continue;
+                }
+            };
+            t_relaxed = t_relaxed.min(limit.max(0.0));
+        }
+        if t_relaxed.is_infinite() {
+            return RatioOutcome::Unbounded;
+        }
+
+        // Pass 2: among rows blocking at or before `t_relaxed`, take the one
+        // with the largest pivot magnitude (Harris-style selection), breaking
+        // remaining ties toward retiring artificials.
+        let mut best: Option<(usize, f64, f64, bool)> = None; // pos, step, |pivot|, is_artificial
+        for (pos, &wp) in w.iter().enumerate() {
+            if wp.abs() <= ptol {
+                continue;
+            }
+            let rate = -wp * dir;
+            let j = self.basis[pos];
+            let limit = if rate > 0.0 {
+                let ub = self.std.upper[j];
+                if ub.is_finite() {
+                    (ub - self.xb[pos]) / rate
+                } else {
+                    continue;
+                }
+            } else {
+                let lb = self.std.lower[j];
+                if lb.is_finite() {
+                    (self.xb[pos] - lb) / -rate
+                } else {
+                    continue;
+                }
+            };
+            let limit = limit.max(0.0);
+            if limit <= t_relaxed {
+                let art = self.std.kind[j] == ColKind::Artificial;
+                let better = match best {
+                    None => true,
+                    Some((_, _, bp, bart)) => {
+                        wp.abs() > bp || (wp.abs() == bp && art && !bart)
+                    }
+                };
+                if better {
+                    best = Some((pos, limit, wp.abs(), art));
+                }
+            }
+        }
+        match best {
+            None => {
+                // Nothing blocks before the entering variable's own range:
+                // a bound flip (own_range is finite here).
+                RatioOutcome::BoundFlip(own_range)
+            }
+            Some((pos, step, _, _)) => RatioOutcome::Pivot { pos, step },
+        }
+    }
+
+    fn apply_bound_flip(&mut self, q: usize, dir: f64, t: f64, w: &[f64]) {
+        for (pos, &wp) in w.iter().enumerate() {
+            if wp != 0.0 {
+                self.xb[pos] -= wp * dir * t;
+            }
+        }
+        self.xval[q] += dir * t;
+        self.state[q] = match self.state[q] {
+            VarState::AtLower => VarState::AtUpper,
+            VarState::AtUpper => VarState::AtLower,
+            s => s,
+        };
+    }
+
+    fn apply_pivot(&mut self, q: usize, dir: f64, pos: usize, step: f64, w: &[f64]) {
+        let leaving = self.basis[pos];
+        for (p, &wp) in w.iter().enumerate() {
+            if wp != 0.0 {
+                self.xb[p] -= wp * dir * step;
+            }
+        }
+        let entering_value = self.xval[q] + dir * step;
+
+        // Park the leaving variable at the bound it hit.
+        let lv = self.xb[pos];
+        let (ll, lu_) = (self.std.lower[leaving], self.std.upper[leaving]);
+        let to_upper = if ll.is_finite() && lu_.is_finite() {
+            (lv - lu_).abs() < (lv - ll).abs()
+        } else {
+            lu_.is_finite()
+        };
+        self.xval[leaving] = if to_upper { lu_ } else { ll };
+        self.state[leaving] = if self.std.kind[leaving] == ColKind::Artificial {
+            // Retire artificials for good the moment they leave.
+            self.std.lower[leaving] = 0.0;
+            self.std.upper[leaving] = 0.0;
+            self.cost[leaving] = 0.0;
+            self.xval[leaving] = 0.0;
+            VarState::Fixed
+        } else if ll == lu_ {
+            VarState::Fixed
+        } else if to_upper {
+            VarState::AtUpper
+        } else {
+            VarState::AtLower
+        };
+
+        self.basis[pos] = q;
+        self.state[q] = VarState::Basic(pos as u32);
+        self.xb[pos] = entering_value;
+
+        // Record the eta for B_new = B_old E. Entries below the drop
+        // tolerance are omitted; the drift is flushed at refactorization.
+        let mut entries = Vec::with_capacity(8);
+        for (p, &wp) in w.iter().enumerate() {
+            if wp.abs() > 1e-12 || p == pos {
+                entries.push((p as u32, wp));
+            }
+        }
+        self.etas.push(Eta {
+            pos: pos as u32,
+            pivot: w[pos],
+            entries,
+        });
+    }
+
+    /// Rebuilds the LU factorization of the current basis and recomputes the
+    /// basic values from scratch to flush accumulated drift.
+    fn refactorize(&mut self) -> Result<(), SolveError> {
+        let m = self.std.nrows;
+        let mut attempt = 0usize;
+        loop {
+            match Lu::factor(&self.std.a, &self.basis, self.cfg.pivot_tol) {
+                Ok(f) => {
+                    self.lu = Some(f);
+                    break;
+                }
+                Err(unpivoted_row) => {
+                    // Singular basis: swap the structurally dependent column
+                    // out for the row's artificial and retry.
+                    attempt += 1;
+                    if attempt > m {
+                        return Err(SolveError::Numerical(
+                            "basis repair failed: persistent singularity".into(),
+                        ));
+                    }
+                    self.repair_basis(unpivoted_row)?;
+                }
+            }
+        }
+        self.etas.clear();
+        self.stats.refactorizations += 1;
+
+        // Recompute xb = B^{-1} (-N x_N).
+        self.work_row[..m].fill(0.0);
+        for j in 0..self.std.ncols() {
+            if matches!(self.state[j], VarState::Basic(_)) {
+                continue;
+            }
+            let xj = self.xval[j];
+            if xj != 0.0 {
+                let (rows, vals) = self.std.a.col(j);
+                for (&r, &v) in rows.iter().zip(vals) {
+                    self.work_row[r as usize] -= v * xj;
+                }
+            }
+        }
+        let mut rhs = std::mem::take(&mut self.work_row);
+        let mut xb = vec![0.0; m];
+        self.lu.as_ref().unwrap().ftran(&mut rhs, &mut xb);
+        self.work_row = rhs;
+        self.xb = xb;
+        Ok(())
+    }
+
+    /// Replaces whichever basis column failed to pivot with the artificial
+    /// of `row`, re-activating that artificial.
+    fn repair_basis(&mut self, row: usize) -> Result<(), SolveError> {
+        let art = self.std.artificial_col(row);
+        if self.basis.contains(&art) {
+            return Err(SolveError::Numerical(format!(
+                "basis repair loop on row {row}"
+            )));
+        }
+        // Find a basis column covering `row` to evict: prefer one whose
+        // column actually has an entry in `row`.
+        let mut evict_pos = None;
+        for (pos, &j) in self.basis.iter().enumerate() {
+            let (rows, _) = self.std.a.col(j);
+            if rows.binary_search(&(row as u32)).is_ok() {
+                evict_pos = Some(pos);
+            }
+        }
+        let pos = evict_pos.unwrap_or(0);
+        let evicted = self.basis[pos];
+        self.xval[evicted] = self.std.resting_value(evicted);
+        self.state[evicted] = if self.std.lower[evicted] == self.std.upper[evicted] {
+            VarState::Fixed
+        } else if self.xval[evicted] == self.std.lower[evicted] {
+            VarState::AtLower
+        } else {
+            VarState::AtUpper
+        };
+        // Re-open the artificial so it can absorb any residual.
+        self.std.lower[art] = f64::NEG_INFINITY;
+        self.std.upper[art] = f64::INFINITY;
+        self.basis[pos] = art;
+        self.state[art] = VarState::Basic(pos as u32);
+        Ok(())
+    }
+
+    /// Assembles the user-facing solution from the current iterate.
+    fn extract(&mut self, status: Status) -> Solution {
+        // Mirror basic values into xval.
+        for (pos, &j) in self.basis.iter().enumerate() {
+            self.xval[j] = self.xb[pos];
+        }
+        let x: Vec<f64> = self.xval[..self.std.nstruct].to_vec();
+        let mut obj = self.std.obj_offset;
+        for (j, &xj) in x.iter().enumerate() {
+            obj += self.std.obj_sign * self.std.cost[j] * xj;
+        }
+        // Duals from a final BTRAN with phase-2 costs.
+        for j in 0..self.std.ncols() {
+            if self.std.kind[j] != ColKind::Artificial {
+                self.cost[j] = self.std.cost[j];
+            }
+        }
+        let y = self.btran_costs();
+        let duals: Vec<f64> = y.iter().map(|&v| self.std.obj_sign * v).collect();
+        Solution {
+            status,
+            objective: obj,
+            x,
+            duals,
+            stats: self.stats,
+        }
+    }
+}
+
+enum RatioOutcome {
+    Unbounded,
+    BoundFlip(f64),
+    Pivot { pos: usize, step: f64 },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Objective, Problem};
+
+    fn assert_near(a: f64, b: f64) {
+        assert!(
+            (a - b).abs() < 1e-6,
+            "expected {b}, got {a} (diff {})",
+            (a - b).abs()
+        );
+    }
+
+    #[test]
+    fn simple_max() {
+        // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6
+        let mut p = Problem::new(Objective::Maximize);
+        let x = p.add_col(0.0, f64::INFINITY, 3.0);
+        let y = p.add_col(0.0, f64::INFINITY, 2.0);
+        p.add_row(f64::NEG_INFINITY, 4.0, &[(x, 1.0), (y, 1.0)]);
+        p.add_row(f64::NEG_INFINITY, 6.0, &[(x, 1.0), (y, 3.0)]);
+        let s = solve(&p).unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_near(s.objective, 12.0);
+        assert_near(s.x[0], 4.0);
+        assert_near(s.x[1], 0.0);
+    }
+
+    #[test]
+    fn equality_rows_need_phase1() {
+        // min x + y s.t. x + y = 3, x - y = 1 => x=2, y=1, obj 3
+        let mut p = Problem::new(Objective::Minimize);
+        let x = p.add_col(0.0, f64::INFINITY, 1.0);
+        let y = p.add_col(0.0, f64::INFINITY, 1.0);
+        p.add_row(3.0, 3.0, &[(x, 1.0), (y, 1.0)]);
+        p.add_row(1.0, 1.0, &[(x, 1.0), (y, -1.0)]);
+        let s = solve(&p).unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_near(s.objective, 3.0);
+        assert_near(s.x[0], 2.0);
+        assert_near(s.x[1], 1.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = Problem::new(Objective::Minimize);
+        let x = p.add_col(0.0, 1.0, 1.0);
+        p.add_row(5.0, f64::INFINITY, &[(x, 1.0)]);
+        let s = solve(&p).unwrap();
+        assert_eq!(s.status, Status::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut p = Problem::new(Objective::Maximize);
+        let x = p.add_col(0.0, f64::INFINITY, 1.0);
+        let y = p.add_col(0.0, f64::INFINITY, 0.0);
+        p.add_row(0.0, f64::INFINITY, &[(x, 1.0), (y, -1.0)]);
+        let s = solve(&p).unwrap();
+        assert_eq!(s.status, Status::Unbounded);
+    }
+
+    #[test]
+    fn bounded_variables_and_ranges() {
+        // max x + y, 1 <= x <= 2, 0 <= y <= 2, 2 <= x + y <= 3
+        let mut p = Problem::new(Objective::Maximize);
+        let x = p.add_col(1.0, 2.0, 1.0);
+        let y = p.add_col(0.0, 2.0, 1.0);
+        p.add_row(2.0, 3.0, &[(x, 1.0), (y, 1.0)]);
+        let s = solve(&p).unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_near(s.objective, 3.0);
+    }
+
+    #[test]
+    fn free_variable() {
+        // min x, x free, x >= -7 via row
+        let mut p = Problem::new(Objective::Minimize);
+        let x = p.add_col(f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        p.add_row(-7.0, f64::INFINITY, &[(x, 1.0)]);
+        let s = solve(&p).unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_near(s.objective, -7.0);
+        assert_near(s.x[0], -7.0);
+    }
+
+    #[test]
+    fn negative_bounds() {
+        // min 2a + b with a in [-3,-1], b in [-5, 0], a + b >= -4
+        let mut p = Problem::new(Objective::Minimize);
+        let a = p.add_col(-3.0, -1.0, 2.0);
+        let b = p.add_col(-5.0, 0.0, 1.0);
+        p.add_row(-4.0, f64::INFINITY, &[(a, 1.0), (b, 1.0)]);
+        let s = solve(&p).unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        // a = -3 gives cost -6, then b >= -1 => b = -1, total -7.
+        assert_near(s.objective, -7.0);
+        assert_near(s.x[0], -3.0);
+        assert_near(s.x[1], -1.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Highly degenerate: many redundant rows through the same vertex.
+        let mut p = Problem::new(Objective::Maximize);
+        let x = p.add_col(0.0, f64::INFINITY, 1.0);
+        let y = p.add_col(0.0, f64::INFINITY, 1.0);
+        for k in 1..=8 {
+            p.add_row(f64::NEG_INFINITY, k as f64, &[(x, k as f64), (y, k as f64)]);
+        }
+        let s = solve(&p).unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_near(s.objective, 1.0);
+    }
+
+    #[test]
+    fn objective_offset_respected() {
+        let mut p = Problem::new(Objective::Minimize);
+        let x = p.add_col(1.0, 5.0, 2.0);
+        let _ = x;
+        p.add_objective_offset(100.0);
+        let s = solve(&p).unwrap();
+        assert_near(s.objective, 102.0);
+    }
+
+    #[test]
+    fn fixed_variables() {
+        let mut p = Problem::new(Objective::Maximize);
+        let x = p.add_col(3.0, 3.0, 1.0);
+        let y = p.add_col(0.0, 10.0, 1.0);
+        p.add_row(f64::NEG_INFINITY, 5.0, &[(x, 1.0), (y, 1.0)]);
+        let s = solve(&p).unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_near(s.x[0], 3.0);
+        assert_near(s.x[1], 2.0);
+    }
+
+    #[test]
+    fn empty_problem() {
+        let p = Problem::new(Objective::Minimize);
+        let s = solve(&p).unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_near(s.objective, 0.0);
+    }
+
+    #[test]
+    fn transportation_problem() {
+        // 2 supplies (10, 20), 3 demands (5, 10, 15), unit costs.
+        let costs = [[2.0, 4.0, 5.0], [3.0, 1.0, 7.0]];
+        let supply = [10.0, 20.0];
+        let demand = [5.0, 10.0, 15.0];
+        let mut p = Problem::new(Objective::Minimize);
+        let mut xs = [[None; 3]; 2];
+        for i in 0..2 {
+            for j in 0..3 {
+                xs[i][j] = Some(p.add_col(0.0, f64::INFINITY, costs[i][j]));
+            }
+        }
+        for i in 0..2 {
+            let coeffs: Vec<_> = (0..3).map(|j| (xs[i][j].unwrap(), 1.0)).collect();
+            p.add_row(f64::NEG_INFINITY, supply[i], &coeffs);
+        }
+        for j in 0..3 {
+            let coeffs: Vec<_> = (0..2).map(|i| (xs[i][j].unwrap(), 1.0)).collect();
+            p.add_row(demand[j], demand[j], &coeffs);
+        }
+        let s = solve(&p).unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        // Optimal: x02=10 (50), x10=5 (15), x11=10 (10), x12=5 (35) => 110.
+        assert_near(s.objective, 110.0);
+    }
+
+    #[test]
+    fn duals_satisfy_weak_pricing() {
+        let mut p = Problem::new(Objective::Maximize);
+        let x = p.add_col(0.0, f64::INFINITY, 3.0);
+        let y = p.add_col(0.0, f64::INFINITY, 5.0);
+        p.add_row(f64::NEG_INFINITY, 4.0, &[(x, 1.0)]);
+        p.add_row(f64::NEG_INFINITY, 12.0, &[(y, 2.0)]);
+        p.add_row(f64::NEG_INFINITY, 18.0, &[(x, 3.0), (y, 2.0)]);
+        let s = solve(&p).unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_near(s.objective, 36.0);
+        // Strong duality: b'y == objective for this classic example.
+        let dual_obj = 4.0 * s.duals[0] + 12.0 * s.duals[1] + 18.0 * s.duals[2];
+        assert_near(dual_obj, 36.0);
+    }
+}

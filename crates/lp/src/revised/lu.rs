@@ -1,0 +1,380 @@
+//! Sparse LU factorization of a simplex basis.
+//!
+//! Gilbert–Peierls left-looking factorization with row partial pivoting and a
+//! sparsest-column-first processing order. Produces `P B Q = L U` where `P`
+//! is the row pivot order, `Q` the column processing order, `L` unit lower
+//! triangular and `U` upper triangular (both in pivot-position space; `L`'s
+//! entries are stored under original row indices for cheap FTRAN).
+
+use crate::sparse::CscMatrix;
+
+const NONE: u32 = u32::MAX;
+
+/// The factors of a basis matrix, plus the permutations.
+#[derive(Debug)]
+pub(crate) struct Lu {
+    m: usize,
+    /// `row_perm[step] = original row pivoted at that step`.
+    row_perm: Vec<u32>,
+    /// Inverse of `row_perm`.
+    row_pos: Vec<u32>,
+    /// `col_order[step] = basis position processed at that step`.
+    col_order: Vec<u32>,
+    /// L columns by step: `(original_row, value)`, unit diagonal implicit.
+    l_cols: Vec<Vec<(u32, f64)>>,
+    /// U off-diagonal columns by step: `(earlier_step, value)`.
+    u_cols: Vec<Vec<(u32, f64)>>,
+    /// U diagonal (the pivots) by step.
+    u_diag: Vec<f64>,
+}
+
+impl Lu {
+    /// Factorizes the basis given by `basis` (column indices into `a`).
+    ///
+    /// On structural or numerical singularity returns `Err(row)` with an
+    /// original row index that could not be pivoted, so the caller can
+    /// repair the basis.
+    pub fn factor(a: &CscMatrix, basis: &[usize], pivot_tol: f64) -> Result<Lu, usize> {
+        let m = basis.len();
+        assert_eq!(a.nrows(), m, "basis size must equal row count");
+
+        // Process sparsest columns first: cheap Markowitz-style ordering that
+        // keeps the mostly-singleton scheduling bases near-diagonal.
+        let mut col_order: Vec<u32> = (0..m as u32).collect();
+        col_order.sort_by_key(|&p| (a.col_nnz(basis[p as usize]), p));
+
+        let mut row_perm = vec![NONE; m];
+        let mut row_pos = vec![NONE; m];
+        let mut l_cols: Vec<Vec<(u32, f64)>> = Vec::with_capacity(m);
+        let mut u_cols: Vec<Vec<(u32, f64)>> = Vec::with_capacity(m);
+        let mut u_diag = Vec::with_capacity(m);
+
+        // Dense accumulator indexed by original row, with explicit pattern.
+        let mut work = vec![0.0_f64; m];
+        let mut visited = vec![false; m];
+        let mut pattern: Vec<u32> = Vec::with_capacity(64);
+        // DFS scratch.
+        let mut dfs: Vec<(u32, usize)> = Vec::with_capacity(64);
+        let mut topo: Vec<u32> = Vec::with_capacity(64);
+
+        for step in 0..m {
+            let bcol = basis[col_order[step] as usize];
+            let (rows, vals) = a.col(bcol);
+
+            // Symbolic: reach of the column pattern through L.
+            pattern.clear();
+            topo.clear();
+            for &r in rows {
+                if visited[r as usize] {
+                    continue;
+                }
+                dfs.push((r, 0));
+                visited[r as usize] = true;
+                pattern.push(r);
+                while let Some(&mut (node, ref mut child)) = dfs.last_mut() {
+                    let p = row_pos[node as usize];
+                    if p == NONE {
+                        dfs.pop();
+                        continue;
+                    }
+                    let lcol = &l_cols[p as usize];
+                    if *child < lcol.len() {
+                        let next = lcol[*child].0;
+                        *child += 1;
+                        if !visited[next as usize] {
+                            visited[next as usize] = true;
+                            pattern.push(next);
+                            dfs.push((next, 0));
+                        }
+                    } else {
+                        dfs.pop();
+                        topo.push(p);
+                    }
+                }
+            }
+
+            // Numeric: scatter and eliminate in topological order.
+            for (&r, &v) in rows.iter().zip(vals) {
+                work[r as usize] = v;
+            }
+            for &p in topo.iter().rev() {
+                let r_piv = row_perm[p as usize] as usize;
+                let v = work[r_piv];
+                if v != 0.0 {
+                    for &(r, lv) in &l_cols[p as usize] {
+                        work[r as usize] -= lv * v;
+                    }
+                }
+            }
+
+            // Pivot: largest magnitude among unpivoted rows in the pattern.
+            let mut piv_row = NONE;
+            let mut piv_val = 0.0_f64;
+            for &r in &pattern {
+                if row_pos[r as usize] == NONE {
+                    let v = work[r as usize];
+                    if v.abs() > piv_val.abs() {
+                        piv_val = v;
+                        piv_row = r;
+                    }
+                }
+            }
+            if piv_row == NONE || piv_val.abs() <= pivot_tol {
+                // Singular: report some still-unpivoted row for repair.
+                let bad = (0..m).find(|&r| row_pos[r] == NONE).unwrap_or(0);
+                // Reset accumulator before bailing.
+                for &r in &pattern {
+                    work[r as usize] = 0.0;
+                    visited[r as usize] = false;
+                }
+                return Err(bad);
+            }
+
+            // Gather U (pivoted part) and L (unpivoted part) of the column.
+            let mut ucol = Vec::new();
+            let mut lcol = Vec::new();
+            for &r in &pattern {
+                let v = work[r as usize];
+                let p = row_pos[r as usize];
+                if p != NONE {
+                    if v != 0.0 {
+                        ucol.push((p, v));
+                    }
+                } else if r != piv_row && v != 0.0 {
+                    lcol.push((r, v / piv_val));
+                }
+                work[r as usize] = 0.0;
+                visited[r as usize] = false;
+            }
+            u_cols.push(ucol);
+            l_cols.push(lcol);
+            u_diag.push(piv_val);
+            row_perm[step] = piv_row;
+            row_pos[piv_row as usize] = step as u32;
+        }
+
+        Ok(Lu {
+            m,
+            row_perm,
+            row_pos,
+            col_order,
+            l_cols,
+            u_cols,
+            u_diag,
+        })
+    }
+
+    /// Solves `B x = rhs`.
+    ///
+    /// `rhs_by_row` is dense, indexed by original row, and is destroyed.
+    /// `out_by_pos` receives `x` indexed by basis position.
+    pub fn ftran(&self, rhs_by_row: &mut [f64], out_by_pos: &mut [f64]) {
+        let m = self.m;
+        debug_assert_eq!(rhs_by_row.len(), m);
+        debug_assert_eq!(out_by_pos.len(), m);
+        // L y = P rhs.
+        for p in 0..m {
+            let v = rhs_by_row[self.row_perm[p] as usize];
+            if v != 0.0 {
+                for &(r, lv) in &self.l_cols[p] {
+                    rhs_by_row[r as usize] -= lv * v;
+                }
+            }
+            out_by_pos[p] = v;
+        }
+        // U z = y (back substitution, in place in out_by_pos).
+        for j in (0..m).rev() {
+            let z = out_by_pos[j] / self.u_diag[j];
+            out_by_pos[j] = z;
+            if z != 0.0 {
+                for &(p, uv) in &self.u_cols[j] {
+                    out_by_pos[p as usize] -= uv * z;
+                }
+            }
+        }
+        // Undo the column permutation: x[col_order[j]] = z_j.
+        rhs_by_row[..m].copy_from_slice(&out_by_pos[..m]);
+        for j in 0..m {
+            out_by_pos[self.col_order[j] as usize] = rhs_by_row[j];
+        }
+        // Leave rhs clean for reuse as a scratch row vector.
+        rhs_by_row[..m].fill(0.0);
+    }
+
+    /// Solves `B' y = c`.
+    ///
+    /// `c` comes in indexed by basis position and leaves indexed by original
+    /// row. `scratch` must have length `m`.
+    pub fn btran(&self, c: &mut [f64], scratch: &mut [f64]) {
+        let m = self.m;
+        debug_assert_eq!(c.len(), m);
+        debug_assert!(scratch.len() >= m);
+        // Apply the column permutation: cq[j] = c[col_order[j]].
+        for j in 0..m {
+            scratch[j] = c[self.col_order[j] as usize];
+        }
+        // U' w = cq (forward, since U' is lower triangular).
+        for j in 0..m {
+            let mut acc = scratch[j];
+            for &(p, uv) in &self.u_cols[j] {
+                acc -= uv * scratch[p as usize];
+            }
+            scratch[j] = acc / self.u_diag[j];
+        }
+        // L' v = w (backward, unit diagonal).
+        for p in (0..m).rev() {
+            let mut acc = scratch[p];
+            for &(r, lv) in &self.l_cols[p] {
+                acc -= lv * scratch[self.row_pos[r as usize] as usize];
+            }
+            scratch[p] = acc;
+        }
+        // y[row_perm[p]] = v_p.
+        for p in 0..m {
+            c[self.row_perm[p] as usize] = scratch[p];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::CscMatrix;
+
+    /// Builds a CSC matrix whose columns are exactly the basis columns.
+    fn mat(cols: &[Vec<(u32, f64)>], m: usize) -> (CscMatrix, Vec<usize>) {
+        let mut a = CscMatrix::empty(m);
+        for c in cols {
+            a.push_col(c);
+        }
+        (a, (0..cols.len()).collect())
+    }
+
+    fn mul(a: &CscMatrix, basis: &[usize], x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; a.nrows()];
+        for (pos, &j) in basis.iter().enumerate() {
+            a.col_axpy(j, x[pos], &mut y);
+        }
+        y
+    }
+
+    #[test]
+    fn identity_roundtrip() {
+        let cols: Vec<Vec<(u32, f64)>> = (0..4).map(|i| vec![(i as u32, 1.0)]).collect();
+        let (a, basis) = mat(&cols, 4);
+        let lu = Lu::factor(&a, &basis, 1e-12).unwrap();
+        let mut rhs = vec![1.0, 2.0, 3.0, 4.0];
+        let mut x = vec![0.0; 4];
+        lu.ftran(&mut rhs, &mut x);
+        assert_eq!(x, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn dense_3x3_ftran_btran() {
+        // B = [[2,1,0],[1,3,1],[0,1,4]] as columns.
+        let cols = vec![
+            vec![(0, 2.0), (1, 1.0)],
+            vec![(0, 1.0), (1, 3.0), (2, 1.0)],
+            vec![(1, 1.0), (2, 4.0)],
+        ];
+        let (a, basis) = mat(&cols, 3);
+        let lu = Lu::factor(&a, &basis, 1e-12).unwrap();
+
+        let want = vec![0.5, -1.5, 2.0];
+        let rhs0 = mul(&a, &basis, &want);
+        let mut rhs = rhs0.clone();
+        let mut x = vec![0.0; 3];
+        lu.ftran(&mut rhs, &mut x);
+        for (xi, wi) in x.iter().zip(&want) {
+            assert!((xi - wi).abs() < 1e-12, "{x:?} vs {want:?}");
+        }
+
+        // BTRAN: y such that B' y = c  <=>  y' B = c'.
+        let mut c = vec![1.0, 0.0, -2.0];
+        let mut scratch = vec![0.0; 3];
+        lu.btran(&mut c, &mut scratch);
+        // Check y' * B columns == original c.
+        let y = c;
+        let orig = [1.0, 0.0, -2.0];
+        for (pos, col) in cols.iter().enumerate() {
+            let mut acc = 0.0;
+            for &(r, v) in col {
+                acc += y[r as usize] * v;
+            }
+            assert!((acc - orig[pos]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn permuted_diagonal() {
+        // Columns hit rows out of order; forces pivoting bookkeeping.
+        let cols = vec![
+            vec![(2, 5.0)],
+            vec![(0, -3.0)],
+            vec![(1, 2.0)],
+        ];
+        let (a, basis) = mat(&cols, 3);
+        let lu = Lu::factor(&a, &basis, 1e-12).unwrap();
+        let want = vec![1.0, 2.0, 3.0];
+        let mut rhs = mul(&a, &basis, &want);
+        let mut x = vec![0.0; 3];
+        lu.ftran(&mut rhs, &mut x);
+        for (xi, wi) in x.iter().zip(&want) {
+            assert!((xi - wi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn singular_reports_row() {
+        // Two identical columns: structurally singular.
+        let cols = vec![vec![(0, 1.0), (1, 1.0)], vec![(0, 1.0), (1, 1.0)]];
+        let (a, basis) = mat(&cols, 2);
+        assert!(Lu::factor(&a, &basis, 1e-12).is_err());
+    }
+
+    #[test]
+    fn randomized_roundtrip() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..30 {
+            let m = 1 + (trial % 12);
+            // Random sparse nonsingular-ish matrix: diagonal + noise.
+            let mut cols: Vec<Vec<(u32, f64)>> = Vec::new();
+            for j in 0..m {
+                let mut col = vec![(j as u32, 1.0 + rng.random_range(0.0..4.0))];
+                for r in 0..m {
+                    if r != j && rng.random_range(0.0..1.0) < 0.3 {
+                        col.push((r as u32, rng.random_range(-1.0..1.0)));
+                    }
+                }
+                col.sort_unstable_by_key(|e| e.0);
+                cols.push(col);
+            }
+            let (a, basis) = mat(&cols, m);
+            let lu = match Lu::factor(&a, &basis, 1e-10) {
+                Ok(l) => l,
+                Err(_) => continue, // genuinely singular draw
+            };
+            let want: Vec<f64> = (0..m).map(|_| rng.random_range(-5.0..5.0)).collect();
+            let mut rhs = mul(&a, &basis, &want);
+            let mut x = vec![0.0; m];
+            lu.ftran(&mut rhs, &mut x);
+            for (xi, wi) in x.iter().zip(&want) {
+                assert!((xi - wi).abs() < 1e-7, "trial {trial}: {x:?} vs {want:?}");
+            }
+            // BTRAN consistency: y' B = c'.
+            let c: Vec<f64> = (0..m).map(|_| rng.random_range(-3.0_f64..3.0)).collect();
+            let mut y = c.clone();
+            let mut scratch = vec![0.0; m];
+            lu.btran(&mut y, &mut scratch);
+            for (pos, col) in cols.iter().enumerate() {
+                let mut acc = 0.0;
+                for &(r, v) in col {
+                    acc += y[r as usize] * v;
+                }
+                assert!((acc - c[pos]).abs() < 1e-7);
+            }
+        }
+    }
+}

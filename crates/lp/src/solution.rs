@@ -1,0 +1,114 @@
+//! Solver outcomes: status codes, solutions, statistics, and errors.
+
+use std::fmt;
+
+/// Termination status of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// An optimal basic feasible solution was found.
+    Optimal,
+    /// The constraints admit no feasible point (within tolerance).
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+    /// The iteration limit was reached before convergence.
+    IterationLimit,
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Status::Optimal => "optimal",
+            Status::Infeasible => "infeasible",
+            Status::Unbounded => "unbounded",
+            Status::IterationLimit => "iteration limit",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Counters describing the work a solve performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SolveStats {
+    /// Total simplex iterations (phase 1 + phase 2).
+    pub iterations: u64,
+    /// Iterations spent in phase 1 (attaining feasibility).
+    pub phase1_iterations: u64,
+    /// Number of basis refactorizations performed.
+    pub refactorizations: u64,
+    /// Number of degenerate pivots (zero step length).
+    pub degenerate_pivots: u64,
+    /// Number of bound flips (nonbasic variable moved between its bounds
+    /// without a basis change).
+    pub bound_flips: u64,
+}
+
+/// The result of an LP solve.
+///
+/// `x` and `duals` are meaningful only when `status` is
+/// [`Status::Optimal`]; for [`Status::Infeasible`] they hold the final
+/// phase-1 iterate (useful for diagnosing which constraints conflict).
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Termination status.
+    pub status: Status,
+    /// Objective value in the problem's own direction (includes any offset).
+    pub objective: f64,
+    /// Primal values, one per problem column.
+    pub x: Vec<f64>,
+    /// Dual values (simplex multipliers), one per problem row, in the
+    /// *minimization* convention used internally: for a maximization problem
+    /// the sign is flipped back so that duals price the original objective.
+    pub duals: Vec<f64>,
+    /// Work counters.
+    pub stats: SolveStats,
+}
+
+impl Solution {
+    /// True if the solve proved optimality.
+    pub fn is_optimal(&self) -> bool {
+        self.status == Status::Optimal
+    }
+}
+
+/// Errors that prevent a solve from producing a meaningful [`Solution`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The model is structurally invalid (e.g. crossed bounds discovered at
+    /// standardization time).
+    InvalidModel(String),
+    /// Numerical failure that repeated refactorization could not repair.
+    Numerical(String),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::InvalidModel(m) => write!(f, "invalid model: {m}"),
+            SolveError::Numerical(m) => write!(f, "numerical failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_display() {
+        assert_eq!(Status::Optimal.to_string(), "optimal");
+        assert_eq!(Status::Infeasible.to_string(), "infeasible");
+        assert_eq!(Status::Unbounded.to_string(), "unbounded");
+        assert_eq!(Status::IterationLimit.to_string(), "iteration limit");
+    }
+
+    #[test]
+    fn error_display() {
+        let e = SolveError::InvalidModel("x".into());
+        assert!(e.to_string().contains("invalid model"));
+        let e = SolveError::Numerical("y".into());
+        assert!(e.to_string().contains("numerical"));
+    }
+}

@@ -1,0 +1,330 @@
+//! Compressed sparse column (CSC) matrices and sparse/dense vector kernels.
+//!
+//! The revised simplex works column-wise: pricing scans columns against a
+//! dense dual vector, and FTRAN pulls single columns out of the matrix. CSC
+//! is the natural layout for both.
+
+/// A sparse matrix in compressed-sparse-column form.
+///
+/// Invariants: `col_ptr.len() == ncols + 1`, `col_ptr[0] == 0`,
+/// `col_ptr[ncols] == row_idx.len() == values.len()`, row indices within a
+/// column are strictly increasing and `< nrows`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    nrows: usize,
+    ncols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Builds a CSC matrix from coefficient triplets `(row, col, value)`.
+    /// Duplicate `(row, col)` pairs are summed; entries that cancel to zero
+    /// are kept (they are harmless and rare).
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        triplets: impl IntoIterator<Item = (u32, u32, f64)>,
+    ) -> Self {
+        let mut per_col: Vec<Vec<(u32, f64)>> = vec![Vec::new(); ncols];
+        for (r, c, v) in triplets {
+            assert!((r as usize) < nrows, "row index {r} out of range");
+            assert!((c as usize) < ncols, "col index {c} out of range");
+            per_col[c as usize].push((r, v));
+        }
+        let mut col_ptr = Vec::with_capacity(ncols + 1);
+        let mut row_idx = Vec::new();
+        let mut values = Vec::new();
+        col_ptr.push(0);
+        for col in &mut per_col {
+            col.sort_unstable_by_key(|&(r, _)| r);
+            let mut i = 0;
+            while i < col.len() {
+                let r = col[i].0;
+                let mut v = col[i].1;
+                let mut j = i + 1;
+                while j < col.len() && col[j].0 == r {
+                    v += col[j].1;
+                    j += 1;
+                }
+                row_idx.push(r);
+                values.push(v);
+                i = j;
+            }
+            col_ptr.push(row_idx.len());
+        }
+        CscMatrix {
+            nrows,
+            ncols,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// An `nrows x 0` matrix to which columns can be appended.
+    pub fn empty(nrows: usize) -> Self {
+        CscMatrix {
+            nrows,
+            ncols: 0,
+            col_ptr: vec![0],
+            row_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Appends a column given as sorted `(row, value)` pairs.
+    ///
+    /// # Panics
+    /// Panics if rows are out of range or not strictly increasing.
+    pub fn push_col(&mut self, entries: &[(u32, f64)]) {
+        let mut prev: Option<u32> = None;
+        for &(r, v) in entries {
+            assert!((r as usize) < self.nrows, "row index out of range");
+            if let Some(p) = prev {
+                assert!(r > p, "rows must be strictly increasing");
+            }
+            prev = Some(r);
+            self.row_idx.push(r);
+            self.values.push(v);
+        }
+        self.ncols += 1;
+        self.col_ptr.push(self.row_idx.len());
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of stored entries in column `j`.
+    #[inline]
+    pub fn col_nnz(&self, j: usize) -> usize {
+        self.col_ptr[j + 1] - self.col_ptr[j]
+    }
+
+    /// The `(row_indices, values)` slices of column `j`.
+    #[inline]
+    pub fn col(&self, j: usize) -> (&[u32], &[f64]) {
+        let lo = self.col_ptr[j];
+        let hi = self.col_ptr[j + 1];
+        (&self.row_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Dot product of column `j` with a dense vector.
+    #[inline]
+    pub fn col_dot(&self, j: usize, dense: &[f64]) -> f64 {
+        let (rows, vals) = self.col(j);
+        let mut acc = 0.0;
+        for (&r, &v) in rows.iter().zip(vals) {
+            acc += v * dense[r as usize];
+        }
+        acc
+    }
+
+    /// `out += scale * column j` (scatter into a dense vector).
+    #[inline]
+    pub fn col_axpy(&self, j: usize, scale: f64, out: &mut [f64]) {
+        let (rows, vals) = self.col(j);
+        for (&r, &v) in rows.iter().zip(vals) {
+            out[r as usize] += scale * v;
+        }
+    }
+
+    /// Computes `y = A x` for dense `x` (len `ncols`) into dense `y`
+    /// (len `nrows`), overwriting `y`.
+    pub fn mul_dense(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols);
+        assert_eq!(y.len(), self.nrows);
+        y.fill(0.0);
+        #[allow(clippy::needless_range_loop)] // column index drives col_axpy
+        for j in 0..self.ncols {
+            let xj = x[j];
+            if xj != 0.0 {
+                self.col_axpy(j, xj, y);
+            }
+        }
+    }
+
+    /// Returns the dense `nrows x ncols` representation (row-major), for
+    /// tests and small-problem fallbacks.
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut d = vec![vec![0.0; self.ncols]; self.nrows];
+        #[allow(clippy::needless_range_loop)] // column index drives col()
+        for j in 0..self.ncols {
+            let (rows, vals) = self.col(j);
+            for (&r, &v) in rows.iter().zip(vals) {
+                d[r as usize][j] = v;
+            }
+        }
+        d
+    }
+}
+
+/// A sparse work vector: dense values plus an explicit nonzero pattern.
+///
+/// Used by FTRAN/BTRAN results where the vector is often sparse but must be
+/// randomly addressable. `pattern` may over-approximate (contain indices
+/// whose value has cancelled to ~0); consumers filter by magnitude.
+#[derive(Debug, Clone)]
+pub struct WorkVec {
+    /// Dense storage of values.
+    pub values: Vec<f64>,
+    /// Indices with (potentially) nonzero values.
+    pub pattern: Vec<u32>,
+    /// Scratch flags marking membership of `pattern`.
+    marked: Vec<bool>,
+}
+
+impl WorkVec {
+    /// Creates a zeroed work vector of dimension `n`.
+    pub fn new(n: usize) -> Self {
+        WorkVec {
+            values: vec![0.0; n],
+            pattern: Vec::new(),
+            marked: vec![false; n],
+        }
+    }
+
+    /// Dimension of the vector.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the dimension is zero.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Resets all tracked entries to zero in O(nnz).
+    pub fn clear(&mut self) {
+        for &i in &self.pattern {
+            self.values[i as usize] = 0.0;
+            self.marked[i as usize] = false;
+        }
+        self.pattern.clear();
+    }
+
+    /// Adds `v` at index `i`, tracking the pattern.
+    #[inline]
+    pub fn add(&mut self, i: u32, v: f64) {
+        if !self.marked[i as usize] {
+            self.marked[i as usize] = true;
+            self.pattern.push(i);
+        }
+        self.values[i as usize] += v;
+    }
+
+    /// Sets index `i` to `v`, tracking the pattern.
+    #[inline]
+    pub fn set(&mut self, i: u32, v: f64) {
+        if !self.marked[i as usize] {
+            self.marked[i as usize] = true;
+            self.pattern.push(i);
+        }
+        self.values[i as usize] = v;
+    }
+
+    /// Current value at index `i`.
+    #[inline]
+    pub fn get(&self, i: u32) -> f64 {
+        self.values[i as usize]
+    }
+
+    /// Loads a sparse column into this (cleared) vector.
+    pub fn load(&mut self, rows: &[u32], vals: &[f64]) {
+        self.clear();
+        for (&r, &v) in rows.iter().zip(vals) {
+            self.set(r, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_roundtrip() {
+        let m = CscMatrix::from_triplets(
+            3,
+            2,
+            vec![(0, 0, 1.0), (2, 0, 3.0), (1, 1, -2.0), (2, 0, 1.0)],
+        );
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 2);
+        assert_eq!(m.nnz(), 3); // duplicate (2,0) summed
+        let (rows, vals) = m.col(0);
+        assert_eq!(rows, &[0, 2]);
+        assert_eq!(vals, &[1.0, 4.0]);
+        let d = m.to_dense();
+        assert_eq!(d[2][0], 4.0);
+        assert_eq!(d[1][1], -2.0);
+    }
+
+    #[test]
+    fn push_col_and_dot() {
+        let mut m = CscMatrix::empty(4);
+        m.push_col(&[(0, 1.0), (3, 2.0)]);
+        m.push_col(&[(1, 5.0)]);
+        assert_eq!(m.ncols(), 2);
+        let dense = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(m.col_dot(0, &dense), 1.0 + 8.0);
+        assert_eq!(m.col_dot(1, &dense), 10.0);
+    }
+
+    #[test]
+    fn mul_dense_matches_manual() {
+        let m = CscMatrix::from_triplets(2, 3, vec![(0, 0, 1.0), (1, 1, 2.0), (0, 2, 3.0)]);
+        let mut y = vec![0.0; 2];
+        m.mul_dense(&[1.0, 1.0, 1.0], &mut y);
+        assert_eq!(y, vec![4.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn push_col_rejects_unsorted() {
+        let mut m = CscMatrix::empty(4);
+        m.push_col(&[(2, 1.0), (1, 2.0)]);
+    }
+
+    #[test]
+    fn workvec_tracks_pattern() {
+        let mut w = WorkVec::new(5);
+        w.add(3, 1.5);
+        w.add(3, 0.5);
+        w.set(1, -1.0);
+        assert_eq!(w.get(3), 2.0);
+        assert_eq!(w.pattern.len(), 2);
+        w.clear();
+        assert_eq!(w.get(3), 0.0);
+        assert!(w.pattern.is_empty());
+    }
+
+    #[test]
+    fn workvec_load() {
+        let mut w = WorkVec::new(4);
+        w.add(0, 9.0);
+        w.load(&[1, 3], &[2.0, 4.0]);
+        assert_eq!(w.get(0), 0.0);
+        assert_eq!(w.get(1), 2.0);
+        assert_eq!(w.get(3), 4.0);
+    }
+}

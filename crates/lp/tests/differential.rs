@@ -1,0 +1,170 @@
+//! Differential testing: the sparse revised simplex against the independent
+//! dense tableau simplex, on randomized problems.
+//!
+//! The two solvers share no lowering, factorization, or pivoting code, so
+//! agreement on status and objective is strong evidence of correctness.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use wavesched_lp::dense::solve_dense;
+use wavesched_lp::{solve, Objective, Problem, Status};
+
+/// Builds a random LP from integer-ish data so borderline feasibility (which
+/// the two solvers could legitimately classify differently at tolerance
+/// level) is avoided.
+fn random_problem(rng: &mut StdRng, nmax: usize, mmax: usize) -> Problem {
+    let maximize = rng.random_range(0..2) == 0;
+    let mut p = Problem::new(if maximize {
+        Objective::Maximize
+    } else {
+        Objective::Minimize
+    });
+    let n = rng.random_range(1..=nmax);
+    let m = rng.random_range(0..=mmax);
+    let mut cols = Vec::new();
+    for _ in 0..n {
+        let cost = rng.random_range(-4i32..=4) as f64;
+        let kind = rng.random_range(0..4);
+        let (l, u) = match kind {
+            0 => (0.0, rng.random_range(1i32..=10) as f64),
+            1 => (0.0, f64::INFINITY),
+            2 => (rng.random_range(-5i32..=0) as f64, rng.random_range(1i32..=8) as f64),
+            _ => (f64::NEG_INFINITY, rng.random_range(0i32..=9) as f64),
+        };
+        cols.push(p.add_col(l, u, cost));
+    }
+    for _ in 0..m {
+        let mut coeffs = Vec::new();
+        for &c in &cols {
+            if rng.random_range(0..100) < 60 {
+                let v = rng.random_range(-3i32..=3) as f64;
+                if v != 0.0 {
+                    coeffs.push((c, v));
+                }
+            }
+        }
+        let kind = rng.random_range(0..4);
+        let b1 = rng.random_range(-10i32..=20) as f64;
+        let b2 = b1 + rng.random_range(0i32..=10) as f64;
+        let (lb, ub) = match kind {
+            0 => (f64::NEG_INFINITY, b2),
+            1 => (b1, f64::INFINITY),
+            2 => (b1, b2),
+            _ => (b1, b1),
+        };
+        p.add_row(lb, ub, &coeffs);
+    }
+    p
+}
+
+fn check_agreement(p: &Problem, label: &str) {
+    let a = solve(p).expect("revised solve");
+    let b = solve_dense(p).expect("dense solve");
+    assert_eq!(
+        a.status, b.status,
+        "{label}: status mismatch revised={:?} dense={:?}",
+        a.status, b.status
+    );
+    if a.status == Status::Optimal {
+        assert!(
+            (a.objective - b.objective).abs() <= 1e-5 * (1.0 + a.objective.abs()),
+            "{label}: objective mismatch revised={} dense={}",
+            a.objective,
+            b.objective
+        );
+        // Both solutions must actually be feasible in the model.
+        assert!(
+            p.max_violation(&a.x) <= 1e-5,
+            "{label}: revised solution infeasible by {}",
+            p.max_violation(&a.x)
+        );
+        assert!(
+            p.max_violation(&b.x) <= 1e-5,
+            "{label}: dense solution infeasible by {}",
+            p.max_violation(&b.x)
+        );
+        // The reported objective must match the reported point.
+        assert!(
+            (p.eval_objective(&a.x) - a.objective).abs() <= 1e-6 * (1.0 + a.objective.abs()),
+            "{label}: revised objective inconsistent with x"
+        );
+    }
+}
+
+#[test]
+fn small_randomized_agreement() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for trial in 0..500 {
+        let p = random_problem(&mut rng, 6, 6);
+        check_agreement(&p, &format!("small trial {trial}"));
+    }
+}
+
+#[test]
+fn medium_randomized_agreement() {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for trial in 0..60 {
+        let p = random_problem(&mut rng, 25, 20);
+        check_agreement(&p, &format!("medium trial {trial}"));
+    }
+}
+
+#[test]
+fn tall_problems_agreement() {
+    // Many rows, few columns: stresses phase 1 and basis repair paths.
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    for trial in 0..60 {
+        let p = random_problem(&mut rng, 4, 30);
+        check_agreement(&p, &format!("tall trial {trial}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Property form of the differential check, with shrinking on failure.
+    #[test]
+    fn proptest_agreement(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = random_problem(&mut rng, 8, 8);
+        check_agreement(&p, &format!("seed {seed}"));
+    }
+
+    /// Weak duality sanity: for optimal maximization LPs with only
+    /// upper-bounded rows and nonnegative variables, b'y bounds the primal.
+    #[test]
+    fn proptest_weak_duality(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut p = Problem::new(Objective::Maximize);
+        let n = rng.random_range(1..6usize);
+        let m = rng.random_range(1..6usize);
+        let cols: Vec<_> = (0..n)
+            .map(|_| p.add_col(0.0, f64::INFINITY, rng.random_range(0i32..5) as f64))
+            .collect();
+        let mut rhs = Vec::new();
+        for _ in 0..m {
+            let coeffs: Vec<_> = cols
+                .iter()
+                .filter_map(|&c| {
+                    let v = rng.random_range(0i32..=3) as f64;
+                    (v > 0.0).then_some((c, v))
+                })
+                .collect();
+            let b = rng.random_range(1i32..=15) as f64;
+            rhs.push(b);
+            p.add_row(f64::NEG_INFINITY, b, &coeffs);
+        }
+        let s = solve(&p).expect("solve");
+        if s.status == Status::Optimal {
+            let dual_obj: f64 = rhs.iter().zip(&s.duals).map(|(b, y)| b * y).collect::<Vec<_>>().iter().sum();
+            // Strong duality should hold at optimum.
+            prop_assert!((dual_obj - s.objective).abs() <= 1e-5 * (1.0 + s.objective.abs()),
+                "primal {} vs dual {}", s.objective, dual_obj);
+            // Duals of <= rows in a max problem are nonnegative.
+            for &y in &s.duals {
+                prop_assert!(y >= -1e-7, "negative dual {y}");
+            }
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for the MILP solver: brute force over all integer points
+//! on tiny bounded problems is an exact oracle.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use wavesched_lp::{solve, solve_milp, MilpConfig, MilpStatus, Objective, Problem, Status};
+
+/// Random small MILP: n binary-ish integer vars with small bounds, m rows.
+fn random_milp(rng: &mut StdRng, n: usize, m: usize) -> Problem {
+    let maximize = rng.random_range(0..2) == 0;
+    let mut p = Problem::new(if maximize {
+        Objective::Maximize
+    } else {
+        Objective::Minimize
+    });
+    let cols: Vec<_> = (0..n)
+        .map(|_| {
+            let ub = rng.random_range(1i32..=3) as f64;
+            p.add_int_col(0.0, ub, rng.random_range(-4i32..=4) as f64)
+        })
+        .collect();
+    for _ in 0..m {
+        let coeffs: Vec<_> = cols
+            .iter()
+            .filter_map(|&c| {
+                let v = rng.random_range(-2i32..=3) as f64;
+                (v != 0.0).then_some((c, v))
+            })
+            .collect();
+        let ub = rng.random_range(0i32..=8) as f64;
+        p.add_row(f64::NEG_INFINITY, ub, &coeffs);
+    }
+    p
+}
+
+/// Exhaustive search over the integer box, respecting rows.
+fn brute_force(p: &Problem) -> Option<f64> {
+    let n = p.num_cols();
+    let bounds: Vec<(i64, i64)> = (0..n)
+        .map(|j| {
+            let (l, u) = p.col_bounds(wavesched_lp::Col::from_index(j));
+            (l as i64, u as i64)
+        })
+        .collect();
+    let maximize = p.objective() == Objective::Maximize;
+    let mut best: Option<f64> = None;
+    let mut x = vec![0f64; n];
+    fn rec(
+        p: &Problem,
+        bounds: &[(i64, i64)],
+        x: &mut Vec<f64>,
+        j: usize,
+        maximize: bool,
+        best: &mut Option<f64>,
+    ) {
+        if j == bounds.len() {
+            if p.max_violation(x) <= 1e-9 {
+                let v = p.eval_objective(x);
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        if maximize {
+                            v > *b
+                        } else {
+                            v < *b
+                        }
+                    }
+                };
+                if better {
+                    *best = Some(v);
+                }
+            }
+            return;
+        }
+        for val in bounds[j].0..=bounds[j].1 {
+            x[j] = val as f64;
+            rec(p, bounds, x, j + 1, maximize, best);
+        }
+        x[j] = bounds[j].0 as f64;
+    }
+    rec(p, &bounds, &mut x, 0, maximize, &mut best);
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn milp_matches_brute_force(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.random_range(1..5usize);
+        let m = rng.random_range(0..4usize);
+        let p = random_milp(&mut rng, n, m);
+        let sol = solve_milp(&p, &MilpConfig::default()).expect("milp");
+        let exact = brute_force(&p);
+        match (sol.status, exact) {
+            (MilpStatus::Optimal, Some(v)) => {
+                prop_assert!((sol.objective - v).abs() <= 1e-6,
+                    "milp {} vs brute force {v}", sol.objective);
+                // The reported point is integral and feasible.
+                prop_assert!(p.max_violation(&sol.x) <= 1e-6);
+                for (j, &xv) in sol.x.iter().enumerate() {
+                    if p.is_integer(wavesched_lp::Col::from_index(j)) {
+                        prop_assert!((xv - xv.round()).abs() <= 1e-6);
+                    }
+                }
+            }
+            (MilpStatus::Infeasible, None) => {}
+            (s, e) => prop_assert!(false, "status {s:?} vs brute force {e:?}"),
+        }
+    }
+
+    /// The MILP optimum never beats its own LP relaxation.
+    #[test]
+    fn milp_bounded_by_relaxation(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.random_range(1..5usize);
+        let m = rng.random_range(1..4usize);
+        let p = random_milp(&mut rng, n, m);
+        let milp = solve_milp(&p, &MilpConfig::default()).expect("milp");
+        let lp = solve(&p).expect("lp");
+        if milp.status == MilpStatus::Optimal && lp.status == Status::Optimal {
+            if p.objective() == Objective::Maximize {
+                prop_assert!(milp.objective <= lp.objective + 1e-6);
+            } else {
+                prop_assert!(milp.objective >= lp.objective - 1e-6);
+            }
+        }
+    }
+}

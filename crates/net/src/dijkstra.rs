@@ -1,0 +1,199 @@
+//! Dijkstra shortest paths with optional edge/node exclusion (as needed by
+//! Yen's spur computations).
+
+use crate::graph::{EdgeId, Graph, NodeId, Path};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A min-heap entry ordered by total weight.
+struct HeapItem {
+    dist: f64,
+    node: NodeId,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist && self.node == other.node
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; tie-break on node id for determinism.
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Edge weight functions for path searches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Weight {
+    /// Every edge costs 1 (hop count). The default: the paper's formulations
+    /// care about path diversity, not geometric length.
+    #[default]
+    Hops,
+    /// Use the edge's geometric length.
+    Length,
+}
+
+impl Weight {
+    fn of(self, g: &Graph, e: EdgeId) -> f64 {
+        match self {
+            Weight::Hops => 1.0,
+            Weight::Length => g.length(e),
+        }
+    }
+}
+
+/// Computes a shortest path from `src` to `dst`, or `None` if unreachable.
+pub fn shortest_path(g: &Graph, src: NodeId, dst: NodeId) -> Option<Path> {
+    shortest_path_filtered(g, src, dst, Weight::Hops, |_| true, |_| true)
+}
+
+/// Dijkstra with filters: only edges passing `edge_ok` and nodes passing
+/// `node_ok` participate (the source and destination must pass `node_ok`).
+pub fn shortest_path_filtered(
+    g: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    weight: Weight,
+    edge_ok: impl Fn(EdgeId) -> bool,
+    node_ok: impl Fn(NodeId) -> bool,
+) -> Option<Path> {
+    if src == dst || !node_ok(src) || !node_ok(dst) {
+        return None;
+    }
+    let n = g.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut pred: Vec<Option<EdgeId>> = vec![None; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[src.index()] = 0.0;
+    heap.push(HeapItem {
+        dist: 0.0,
+        node: src,
+    });
+    while let Some(HeapItem { dist: d, node: v }) = heap.pop() {
+        if done[v.index()] {
+            continue;
+        }
+        done[v.index()] = true;
+        if v == dst {
+            break;
+        }
+        for &e in g.out_edges(v) {
+            if !edge_ok(e) {
+                continue;
+            }
+            let w = g.dst(e);
+            if done[w.index()] || !node_ok(w) {
+                continue;
+            }
+            let nd = d + weight.of(g, e);
+            if nd < dist[w.index()] {
+                dist[w.index()] = nd;
+                pred[w.index()] = Some(e);
+                heap.push(HeapItem { dist: nd, node: w });
+            }
+        }
+    }
+    if !dist[dst.index()].is_finite() {
+        return None;
+    }
+    // Reconstruct.
+    let mut edges = Vec::new();
+    let mut cur = dst;
+    while cur != src {
+        let e = pred[cur.index()].expect("predecessor chain broken");
+        edges.push(e);
+        cur = g.src(e);
+    }
+    edges.reverse();
+    Some(Path::from_edges_unchecked(edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 4-node diamond: 0 -> {1,2} -> 3 plus a long direct 0 -> 3.
+    fn diamond() -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let ns = g.add_nodes(4);
+        g.add_link(ns[0], ns[1], 1); // e0
+        g.add_link(ns[1], ns[3], 1); // e1
+        g.add_link(ns[0], ns[2], 1); // e2
+        g.add_link(ns[2], ns[3], 1); // e3
+        g.add_link_with_length(ns[0], ns[3], 1, 10.0); // e4 direct
+        (g, ns)
+    }
+
+    #[test]
+    fn finds_shortest_by_hops() {
+        let (g, ns) = diamond();
+        let p = shortest_path(&g, ns[0], ns[3]).unwrap();
+        assert_eq!(p.len(), 1); // direct edge wins on hop count
+        assert_eq!(p.source(&g), ns[0]);
+        assert_eq!(p.target(&g), ns[3]);
+    }
+
+    #[test]
+    fn weighted_avoids_long_edge() {
+        let (g, ns) = diamond();
+        let p = shortest_path_filtered(&g, ns[0], ns[3], Weight::Length, |_| true, |_| true)
+            .unwrap();
+        assert_eq!(p.len(), 2); // 2 hops of length 1 beat the length-10 edge
+    }
+
+    #[test]
+    fn respects_edge_filter() {
+        let (g, ns) = diamond();
+        // Ban the direct edge (e4): shortest becomes 2 hops.
+        let p = shortest_path_filtered(
+            &g,
+            ns[0],
+            ns[3],
+            Weight::Hops,
+            |e| e != EdgeId(4),
+            |_| true,
+        )
+        .unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn respects_node_filter() {
+        let (g, ns) = diamond();
+        // Ban node 1 and the direct edge: must route via node 2.
+        let p = shortest_path_filtered(
+            &g,
+            ns[0],
+            ns[3],
+            Weight::Hops,
+            |e| e != EdgeId(4),
+            |v| v != ns[1],
+        )
+        .unwrap();
+        assert_eq!(p.nodes(&g), vec![ns[0], ns[2], ns[3]]);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut g = Graph::new();
+        let ns = g.add_nodes(2);
+        assert!(shortest_path(&g, ns[0], ns[1]).is_none());
+    }
+
+    #[test]
+    fn same_node_is_none() {
+        let (g, ns) = diamond();
+        assert!(shortest_path(&g, ns[0], ns[0]).is_none());
+    }
+}

@@ -1,0 +1,106 @@
+//! Graphviz DOT export for topologies and (optionally) loads.
+//!
+//! Operators debug wavelength plans visually; `to_dot` renders the network
+//! and `to_dot_with_load` colors links by utilization so a schedule's hot
+//! spots stand out (`dot -Tsvg network.dot > network.svg`).
+
+use crate::graph::{EdgeId, Graph};
+use std::fmt::Write as _;
+
+/// Renders the topology as a Graphviz digraph. Bidirectional link pairs are
+/// drawn once with `dir=both` when both directions exist with equal
+/// wavelength counts.
+pub fn to_dot(g: &Graph) -> String {
+    to_dot_with_load(g, |_| None)
+}
+
+/// Like [`to_dot`], with a per-edge load fraction in `[0, 1]` used to color
+/// edges from gray (idle) to red (saturated). Return `None` for unloaded
+/// rendering of that edge.
+pub fn to_dot_with_load(g: &Graph, load: impl Fn(EdgeId) -> Option<f64>) -> String {
+    let mut out = String::from("digraph network {\n");
+    out.push_str("  graph [overlap=false, splines=true];\n");
+    out.push_str("  node [shape=ellipse, fontsize=10];\n");
+    for n in g.nodes() {
+        let _ = writeln!(out, "  n{} [label=\"{}\"];", n.0, g.node_name(n));
+    }
+    // Detect symmetric pairs to draw once.
+    let mut drawn = vec![false; g.num_edges()];
+    for e in g.edge_ids() {
+        if drawn[e.index()] {
+            continue;
+        }
+        let (s, d, w) = (g.src(e), g.dst(e), g.wavelengths(e));
+        let reverse = g
+            .out_edges(d)
+            .iter()
+            .copied()
+            .find(|&r| g.dst(r) == s && !drawn[r.index()] && g.wavelengths(r) == w);
+        let (dir, rev_load) = match reverse {
+            Some(r) => {
+                drawn[r.index()] = true;
+                ("both", load(r))
+            }
+            None => ("forward", None),
+        };
+        drawn[e.index()] = true;
+        let l = match (load(e), rev_load) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (Some(a), None) => Some(a),
+            (None, b) => b,
+        };
+        let color = match l {
+            Some(f) => {
+                let f = f.clamp(0.0, 1.0);
+                // gray -> red ramp.
+                format!("#{:02x}{:02x}{:02x}", 128 + (127.0 * f) as u8, (128.0 * (1.0 - f)) as u8, (128.0 * (1.0 - f)) as u8)
+            }
+            None => "#808080".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [dir={dir}, label=\"{w}λ\", color=\"{color}\"];",
+            s.0, d.0
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abilene::abilene14;
+
+    #[test]
+    fn renders_nodes_and_pairs_once() {
+        let (g, _) = abilene14(4);
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph network {"));
+        assert!(dot.ends_with("}\n"));
+        // 11 node label lines and 14 edge capacity labels.
+        assert_eq!(dot.matches("[label=\"").count(), 11);
+        assert_eq!(dot.matches("label=\"4λ\"").count(), 14);
+        // 14 bidirectional edges drawn once.
+        assert_eq!(dot.matches("dir=both").count(), 14);
+        assert!(dot.contains("Seattle"));
+        assert!(dot.contains("4λ"));
+    }
+
+    #[test]
+    fn load_coloring() {
+        let (g, _) = abilene14(4);
+        let dot = to_dot_with_load(&g, |e| Some(if e.index() == 0 { 1.0 } else { 0.0 }));
+        assert!(dot.contains("#ff0000"), "saturated edge should be red");
+        assert!(dot.contains("#808080"), "idle edges should be gray");
+    }
+
+    #[test]
+    fn asymmetric_edges_drawn_forward() {
+        let mut g = Graph::new();
+        let ns = g.add_nodes(2);
+        g.add_link(ns[0], ns[1], 2);
+        let dot = to_dot(&g);
+        assert!(dot.contains("dir=forward"));
+    }
+}

@@ -1,0 +1,117 @@
+//! An ESnet-style topology.
+//!
+//! The paper's motivation leans on DOE's ESnet (the network carrying most
+//! U.S. science traffic). This module provides a 15-PoP abstraction of the
+//! late-2000s ESnet backbone ring structure — two coast hubs, a northern
+//! and a southern transcontinental path, and the Chicago/Atlanta exchange
+//! points — suitable for experiments that want a second realistic research
+//! network beside Abilene.
+//!
+//! Like all topologies in this crate the link list is a deterministic
+//! constant; wavelength counts are provisioned by the caller.
+
+use crate::graph::{Graph, NodeId};
+
+/// The 15 ESnet-style PoPs, in node order.
+pub const POPS: [&str; 15] = [
+    "Seattle",      // 0
+    "Sunnyvale",    // 1
+    "Los Angeles",  // 2
+    "Albuquerque",  // 3
+    "El Paso",      // 4
+    "Denver",       // 5
+    "Kansas City",  // 6
+    "Houston",      // 7
+    "Chicago",      // 8
+    "Nashville",    // 9
+    "Atlanta",      // 10
+    "Washington DC",// 11
+    "New York",     // 12
+    "Boston",       // 13
+    "Brookhaven",   // 14
+];
+
+/// Link pairs of the ESnet-style backbone (indices into [`POPS`]).
+const LINKS: [(usize, usize); 21] = [
+    // Pacific segment.
+    (0, 1),  // Seattle - Sunnyvale
+    (1, 2),  // Sunnyvale - Los Angeles
+    // Northern path.
+    (0, 5),  // Seattle - Denver
+    (5, 6),  // Denver - Kansas City
+    (6, 8),  // Kansas City - Chicago
+    (1, 5),  // Sunnyvale - Denver
+    // Southern path.
+    (2, 3),  // Los Angeles - Albuquerque
+    (3, 4),  // Albuquerque - El Paso
+    (4, 7),  // El Paso - Houston
+    (7, 9),  // Houston - Nashville
+    (9, 10), // Nashville - Atlanta
+    (3, 5),  // Albuquerque - Denver (cross link)
+    // Eastern seaboard.
+    (10, 11), // Atlanta - Washington DC
+    (11, 12), // Washington DC - New York
+    (12, 13), // New York - Boston
+    (12, 14), // New York - Brookhaven
+    (13, 14), // Boston - Brookhaven (lab dual-homing)
+    // Exchange core.
+    (8, 12),  // Chicago - New York
+    (8, 9),   // Chicago - Nashville
+    (8, 11),  // Chicago - Washington DC
+    (6, 7),   // Kansas City - Houston
+];
+
+/// Builds the ESnet-style backbone with `wavelengths` per link.
+pub fn esnet(wavelengths: u32) -> (Graph, Vec<NodeId>) {
+    let mut g = Graph::new();
+    let nodes: Vec<NodeId> = POPS.iter().map(|&p| g.add_node(p)).collect();
+    for &(a, b) in &LINKS {
+        g.add_link_pair(nodes[a], nodes[b], wavelengths);
+    }
+    (g, nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::shortest_path;
+    use crate::yen::k_shortest_paths;
+
+    #[test]
+    fn shape_and_connectivity() {
+        let (g, nodes) = esnet(4);
+        assert_eq!(g.num_nodes(), 15);
+        assert_eq!(g.num_edges(), 42); // 21 pairs
+        assert!(g.is_strongly_connected());
+        assert_eq!(g.node_name(nodes[14]), "Brookhaven");
+    }
+
+    #[test]
+    fn no_duplicate_links() {
+        let (g, _) = esnet(2);
+        let mut pairs: Vec<(u32, u32)> =
+            g.edge_ids().map(|e| (g.src(e).0, g.dst(e).0)).collect();
+        pairs.sort();
+        let before = pairs.len();
+        pairs.dedup();
+        assert_eq!(before, pairs.len());
+    }
+
+    #[test]
+    fn coast_to_coast_diversity() {
+        // Seattle -> Brookhaven should have at least 3 edge-disjoint-ish
+        // alternatives thanks to the dual transcontinental paths.
+        let (g, nodes) = esnet(4);
+        let p = shortest_path(&g, nodes[0], nodes[14]).unwrap();
+        assert!(p.len() <= 5, "diameter too big: {}", p.len());
+        let ps = k_shortest_paths(&g, nodes[0], nodes[14], 4);
+        assert_eq!(ps.len(), 4, "expected rich path diversity");
+    }
+
+    #[test]
+    fn lab_dual_homing() {
+        // Brookhaven reaches the backbone via both New York and Boston.
+        let (g, nodes) = esnet(4);
+        assert_eq!(g.out_edges(nodes[14]).len(), 2);
+    }
+}

@@ -1,0 +1,229 @@
+//! Waxman random topologies, BRITE-style.
+//!
+//! The paper generates its random networks with BRITE using Waxman's model:
+//! nodes are placed on a plane and the probability of interconnecting two
+//! nodes decays exponentially with their Euclidean distance
+//! (`P(u,v) = beta * exp(-d(u,v) / (alpha * L))`, `L` the maximum distance).
+//!
+//! This implementation produces a *connected* network with an exact number
+//! of bidirectional link pairs (the paper speaks of "100 nodes and 200 pairs
+//! of links", i.e. average node degree 4): a Waxman-weighted random spanning
+//! tree guarantees connectivity, then the remaining pairs are drawn without
+//! replacement with probability proportional to their Waxman weight.
+
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters for [`waxman_network`].
+#[derive(Debug, Clone)]
+pub struct WaxmanConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of bidirectional link pairs (must be at least `nodes - 1`).
+    pub link_pairs: usize,
+    /// Wavelengths provisioned on every link.
+    pub wavelengths: u32,
+    /// Waxman `alpha` (distance decay scale); BRITE's default is 0.15.
+    pub alpha: f64,
+    /// RNG seed for reproducible topologies.
+    pub seed: u64,
+}
+
+impl WaxmanConfig {
+    /// The paper's headline random network: 100 nodes, 200 link pairs
+    /// (average node degree 4).
+    pub fn paper_default(seed: u64) -> Self {
+        WaxmanConfig {
+            nodes: 100,
+            link_pairs: 200,
+            wavelengths: 4,
+            alpha: 0.15,
+            seed,
+        }
+    }
+}
+
+/// Generates a connected Waxman network per `cfg`.
+///
+/// # Panics
+/// Panics if `link_pairs < nodes - 1` (cannot be connected) or exceeds the
+/// complete graph size.
+pub fn waxman_network(cfg: &WaxmanConfig) -> Graph {
+    let n = cfg.nodes;
+    assert!(n >= 2, "need at least two nodes");
+    assert!(
+        cfg.link_pairs >= n - 1,
+        "need at least nodes-1 link pairs for connectivity"
+    );
+    assert!(
+        cfg.link_pairs <= n * (n - 1) / 2,
+        "more link pairs than node pairs"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Node placement on the unit square.
+    let pos: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+        .collect();
+    let dist = |a: usize, b: usize| -> f64 {
+        let dx = pos[a].0 - pos[b].0;
+        let dy = pos[a].1 - pos[b].1;
+        (dx * dx + dy * dy).sqrt()
+    };
+    let mut max_d: f64 = 0.0;
+    for a in 0..n {
+        for b in (a + 1)..n {
+            max_d = max_d.max(dist(a, b));
+        }
+    }
+    let scale = cfg.alpha * max_d;
+    let weight = |a: usize, b: usize| (-dist(a, b) / scale).exp();
+
+    let mut g = Graph::new();
+    let nodes = g.add_nodes(n);
+
+    // `chosen[a][b]` over a < b.
+    let mut chosen = vec![false; n * n];
+    let mark = |chosen: &mut Vec<bool>, a: usize, b: usize| {
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        chosen[a * n + b] = true;
+    };
+    let is_marked =
+        |chosen: &[bool], a: usize, b: usize| chosen[a.min(b) * n + a.max(b)];
+
+    // Waxman-weighted random spanning tree: attach each node (in random
+    // order) to an already-attached node drawn by weight.
+    let mut order: Vec<usize> = (0..n).collect();
+    // Fisher-Yates shuffle.
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut attached = vec![order[0]];
+    let mut pairs_used = 0usize;
+    for &v in &order[1..] {
+        let total: f64 = attached.iter().map(|&u| weight(u, v)).sum();
+        let mut draw = rng.random_range(0.0..total);
+        let mut pick = attached[attached.len() - 1];
+        for &u in &attached {
+            let w = weight(u, v);
+            if draw < w {
+                pick = u;
+                break;
+            }
+            draw -= w;
+        }
+        g.add_link_pair(nodes[pick], nodes[v], cfg.wavelengths);
+        mark(&mut chosen, pick, v);
+        pairs_used += 1;
+        attached.push(v);
+    }
+
+    // Remaining pairs: weighted sampling without replacement.
+    let mut cand: Vec<(usize, usize, f64)> = Vec::new();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if !is_marked(&chosen, a, b) {
+                cand.push((a, b, weight(a, b)));
+            }
+        }
+    }
+    let mut total: f64 = cand.iter().map(|c| c.2).sum();
+    while pairs_used < cfg.link_pairs {
+        let mut draw = rng.random_range(0.0..total);
+        let mut idx = cand.len() - 1;
+        for (i, c) in cand.iter().enumerate() {
+            if draw < c.2 {
+                idx = i;
+                break;
+            }
+            draw -= c.2;
+        }
+        let (a, b, w) = cand.swap_remove(idx);
+        total -= w;
+        g.add_link_pair(nodes[a], nodes[b], cfg.wavelengths);
+        pairs_used += 1;
+    }
+
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_size_and_connected() {
+        let cfg = WaxmanConfig {
+            nodes: 40,
+            link_pairs: 80,
+            wavelengths: 8,
+            alpha: 0.15,
+            seed: 42,
+        };
+        let g = waxman_network(&cfg);
+        assert_eq!(g.num_nodes(), 40);
+        assert_eq!(g.num_edges(), 160); // 80 pairs = 160 directed edges
+        assert!(g.is_strongly_connected());
+        assert!(g.edge_ids().all(|e| g.wavelengths(e) == 8));
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let cfg = WaxmanConfig::paper_default(7);
+        let g1 = waxman_network(&cfg);
+        let g2 = waxman_network(&cfg);
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        for e in g1.edge_ids() {
+            assert_eq!(g1.src(e), g2.src(e));
+            assert_eq!(g1.dst(e), g2.dst(e));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g1 = waxman_network(&WaxmanConfig::paper_default(1));
+        let g2 = waxman_network(&WaxmanConfig::paper_default(2));
+        let same = g1
+            .edge_ids()
+            .zip(g2.edge_ids())
+            .all(|(a, b)| g1.src(a) == g2.src(b) && g1.dst(a) == g2.dst(b));
+        assert!(!same, "seeds 1 and 2 produced identical topologies");
+    }
+
+    #[test]
+    fn paper_default_shape() {
+        let g = waxman_network(&WaxmanConfig::paper_default(3));
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_edges(), 400); // 200 pairs; average degree 4
+        assert!(g.is_strongly_connected());
+    }
+
+    #[test]
+    fn minimum_tree_case() {
+        let cfg = WaxmanConfig {
+            nodes: 10,
+            link_pairs: 9,
+            wavelengths: 2,
+            alpha: 0.15,
+            seed: 5,
+        };
+        let g = waxman_network(&cfg);
+        assert_eq!(g.num_edges(), 18);
+        assert!(g.is_strongly_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "connectivity")]
+    fn too_few_links_panics() {
+        let cfg = WaxmanConfig {
+            nodes: 10,
+            link_pairs: 5,
+            wavelengths: 2,
+            alpha: 0.15,
+            seed: 5,
+        };
+        waxman_network(&cfg);
+    }
+}

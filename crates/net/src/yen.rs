@@ -1,0 +1,190 @@
+//! Yen's algorithm for the k shortest loopless paths.
+//!
+//! Builds the per-job allowed path sets of the paper's formulations. The
+//! paper reports that 4–8 paths per job capture most of the attainable
+//! throughput; `ablation_paths` in the bench crate sweeps this.
+
+use crate::dijkstra::{shortest_path_filtered, Weight};
+use crate::graph::{Graph, NodeId, Path};
+use std::collections::HashSet;
+
+/// Computes up to `k` shortest simple paths from `src` to `dst`, ordered by
+/// increasing weight (ties broken deterministically). Returns fewer than `k`
+/// when the graph does not contain that many simple paths.
+pub fn k_shortest_paths(g: &Graph, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
+    k_shortest_paths_weighted(g, src, dst, k, Weight::Hops)
+}
+
+/// [`k_shortest_paths`] with an explicit edge weight.
+pub fn k_shortest_paths_weighted(
+    g: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    weight: Weight,
+) -> Vec<Path> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let Some(first) = shortest_path_filtered(g, src, dst, weight, |_| true, |_| true) else {
+        return Vec::new();
+    };
+
+    let path_weight = |p: &Path| -> f64 {
+        match weight {
+            Weight::Hops => p.len() as f64,
+            Weight::Length => p.total_length(g),
+        }
+    };
+
+    let mut accepted: Vec<Path> = vec![first];
+    // Candidate pool: (weight, path). Deduplicated by edge sequence.
+    let mut candidates: Vec<(f64, Path)> = Vec::new();
+    let mut seen: HashSet<Vec<u32>> = HashSet::new();
+    seen.insert(accepted[0].edges().iter().map(|e| e.0).collect());
+
+    while accepted.len() < k {
+        let prev = accepted.last().unwrap().clone();
+        let prev_nodes = prev.nodes(g);
+
+        // Spur from every node of the previous path except the destination.
+        for i in 0..prev.len() {
+            let spur_node = prev_nodes[i];
+            let root_edges = &prev.edges()[..i];
+
+            // Edges banned: the (i+1)-th edge of any accepted path sharing
+            // the same root.
+            let mut banned_edges = HashSet::new();
+            for p in &accepted {
+                if p.len() > i && p.edges()[..i] == *root_edges {
+                    banned_edges.insert(p.edges()[i]);
+                }
+            }
+            // Nodes banned: everything on the root before the spur node
+            // (keeps the total path simple).
+            let banned_nodes: HashSet<NodeId> = prev_nodes[..i].iter().copied().collect();
+
+            let Some(spur) = shortest_path_filtered(
+                g,
+                spur_node,
+                dst,
+                weight,
+                |e| !banned_edges.contains(&e),
+                |v| !banned_nodes.contains(&v),
+            ) else {
+                continue;
+            };
+
+            let mut edges = root_edges.to_vec();
+            edges.extend_from_slice(spur.edges());
+            let key: Vec<u32> = edges.iter().map(|e| e.0).collect();
+            if seen.insert(key) {
+                let p = Path::from_edges_unchecked(edges);
+                let w = path_weight(&p);
+                candidates.push((w, p));
+            }
+        }
+
+        if candidates.is_empty() {
+            break;
+        }
+        // Pop the lightest candidate (deterministic tie-break on edges).
+        let best = candidates
+            .iter()
+            .enumerate()
+            .min_by(|(_, (wa, pa)), (_, (wb, pb))| {
+                wa.total_cmp(wb).then_with(|| pa.edges().cmp(pb.edges()))
+            })
+            .map(|(i, _)| i)
+            .unwrap();
+        let (_, p) = candidates.swap_remove(best);
+        accepted.push(p);
+    }
+    accepted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    /// 0 -> 3 through a braided 5-node mesh with many alternatives.
+    fn mesh() -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let ns = g.add_nodes(5);
+        for (a, b) in [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (2, 4), (4, 3)] {
+            g.add_link_pair(ns[a], ns[b], 4);
+        }
+        (g, ns)
+    }
+
+    #[test]
+    fn first_path_is_shortest() {
+        let (g, ns) = mesh();
+        let ps = k_shortest_paths(&g, ns[0], ns[3], 4);
+        assert!(!ps.is_empty());
+        assert_eq!(ps[0].len(), 2); // 0-1-3 or 0-2-3
+    }
+
+    #[test]
+    fn paths_are_sorted_and_distinct() {
+        let (g, ns) = mesh();
+        let ps = k_shortest_paths(&g, ns[0], ns[3], 8);
+        for w in ps.windows(2) {
+            assert!(w[0].len() <= w[1].len(), "not sorted by hop count");
+            assert_ne!(w[0].edges(), w[1].edges(), "duplicate path");
+        }
+        // All start/end correctly and are simple.
+        for p in &ps {
+            assert_eq!(p.source(&g), ns[0]);
+            assert_eq!(p.target(&g), ns[3]);
+            let nodes = p.nodes(&g);
+            let mut dedup = nodes.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(dedup.len(), nodes.len(), "path has a loop: {nodes:?}");
+        }
+    }
+
+    #[test]
+    fn exhausts_small_graphs() {
+        // Line graph: exactly one simple path.
+        let mut g = Graph::new();
+        let ns = g.add_nodes(3);
+        g.add_link(ns[0], ns[1], 1);
+        g.add_link(ns[1], ns[2], 1);
+        let ps = k_shortest_paths(&g, ns[0], ns[2], 10);
+        assert_eq!(ps.len(), 1);
+    }
+
+    #[test]
+    fn disconnected_returns_empty() {
+        let mut g = Graph::new();
+        let ns = g.add_nodes(2);
+        assert!(k_shortest_paths(&g, ns[0], ns[1], 3).is_empty());
+    }
+
+    #[test]
+    fn k_zero() {
+        let (g, ns) = mesh();
+        assert!(k_shortest_paths(&g, ns[0], ns[3], 0).is_empty());
+    }
+
+    #[test]
+    fn counts_simple_paths_in_diamond() {
+        // 0->1->3, 0->2->3, 0->1->2->3, 0->2->1->3 ... depends on edges.
+        let mut g = Graph::new();
+        let ns = g.add_nodes(4);
+        g.add_link(ns[0], ns[1], 1);
+        g.add_link(ns[0], ns[2], 1);
+        g.add_link(ns[1], ns[3], 1);
+        g.add_link(ns[2], ns[3], 1);
+        g.add_link(ns[1], ns[2], 1);
+        let ps = k_shortest_paths(&g, ns[0], ns[3], 10);
+        // Simple paths: 013, 023, 0123. Exactly three.
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps[0].len(), 2);
+        assert_eq!(ps[1].len(), 2);
+        assert_eq!(ps[2].len(), 3);
+    }
+}

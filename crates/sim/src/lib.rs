@@ -1,0 +1,20 @@
+//! # wavesched-sim — discrete-event simulation of the periodic controller
+//!
+//! The paper's framework runs admission control and scheduling every τ time
+//! units while transfers execute on the slices in between. This crate
+//! closes that loop:
+//!
+//! * [`engine`] — the slice-by-slice simulation: feed arrivals to the
+//!   [`Controller`](wavesched_core::Controller) at each invocation instant,
+//!   execute the returned integral schedule one slice at a time, report
+//!   actual progress back.
+//! * [`metrics`] — what came out: completion/on-time rates, rejections,
+//!   expiries, average end times, link utilization, volume moved.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod metrics;
+
+pub use engine::{run_simulation, SimConfig};
+pub use metrics::{JobOutcome, SimReport};

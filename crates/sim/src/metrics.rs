@@ -1,0 +1,143 @@
+//! Simulation outcome metrics.
+
+use std::collections::HashMap;
+use wavesched_workload::JobId;
+
+/// What happened to one job by the end of the simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JobOutcome {
+    /// Rejected at admission (only under the `Reject` policy).
+    Rejected,
+    /// Completed its full (possibly shrunk) demand at the given time.
+    Completed {
+        /// Slice-unit time at which the cumulative transfer reached the
+        /// demand.
+        at: f64,
+        /// Whether completion happened by the *originally requested* end.
+        on_time: bool,
+    },
+    /// Its window elapsed before the demand was met.
+    Expired,
+    /// Still in flight when the simulation stopped.
+    Unfinished,
+}
+
+/// Aggregated results of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Final outcome per job.
+    pub outcomes: HashMap<JobId, JobOutcome>,
+    /// Total normalized demand volume actually moved.
+    pub volume_moved: f64,
+    /// Total normalized demand volume requested (all jobs).
+    pub volume_requested: f64,
+    /// Mean over simulated slices of mean link utilization.
+    pub mean_utilization: f64,
+    /// Number of controller invocations performed.
+    pub invocations: usize,
+    /// Number of slices simulated.
+    pub slices: usize,
+}
+
+impl SimReport {
+    /// Fraction of all jobs that completed.
+    pub fn completion_rate(&self) -> f64 {
+        self.rate(|o| matches!(o, JobOutcome::Completed { .. }))
+    }
+
+    /// Fraction of all jobs that completed by their original deadline.
+    pub fn on_time_rate(&self) -> f64 {
+        self.rate(|o| matches!(o, JobOutcome::Completed { on_time: true, .. }))
+    }
+
+    /// Fraction of all jobs rejected at admission.
+    pub fn rejection_rate(&self) -> f64 {
+        self.rate(|o| matches!(o, JobOutcome::Rejected))
+    }
+
+    /// Fraction of all jobs that expired unfinished.
+    pub fn expiry_rate(&self) -> f64 {
+        self.rate(|o| matches!(o, JobOutcome::Expired))
+    }
+
+    /// Mean completion time of completed jobs, `None` when none completed.
+    pub fn average_end_time(&self) -> Option<f64> {
+        let times: Vec<f64> = self
+            .outcomes
+            .values()
+            .filter_map(|o| match o {
+                JobOutcome::Completed { at, .. } => Some(*at),
+                _ => None,
+            })
+            .collect();
+        if times.is_empty() {
+            None
+        } else {
+            Some(times.iter().sum::<f64>() / times.len() as f64)
+        }
+    }
+
+    /// Fraction of requested volume that was delivered.
+    pub fn goodput(&self) -> f64 {
+        if self.volume_requested == 0.0 {
+            0.0
+        } else {
+            self.volume_moved / self.volume_requested
+        }
+    }
+
+    fn rate(&self, pred: impl Fn(&JobOutcome) -> bool) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        let n = self.outcomes.values().filter(|o| pred(o)).count();
+        n as f64 / self.outcomes.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        let mut outcomes = HashMap::new();
+        outcomes.insert(JobId(0), JobOutcome::Completed { at: 4.0, on_time: true });
+        outcomes.insert(JobId(1), JobOutcome::Completed { at: 8.0, on_time: false });
+        outcomes.insert(JobId(2), JobOutcome::Rejected);
+        outcomes.insert(JobId(3), JobOutcome::Expired);
+        SimReport {
+            outcomes,
+            volume_moved: 30.0,
+            volume_requested: 40.0,
+            mean_utilization: 0.5,
+            invocations: 3,
+            slices: 12,
+        }
+    }
+
+    #[test]
+    fn rates() {
+        let r = report();
+        assert!((r.completion_rate() - 0.5).abs() < 1e-12);
+        assert!((r.on_time_rate() - 0.25).abs() < 1e-12);
+        assert!((r.rejection_rate() - 0.25).abs() < 1e-12);
+        assert!((r.expiry_rate() - 0.25).abs() < 1e-12);
+        assert!((r.goodput() - 0.75).abs() < 1e-12);
+        assert_eq!(r.average_end_time(), Some(6.0));
+    }
+
+    #[test]
+    fn empty_report() {
+        let r = SimReport {
+            outcomes: HashMap::new(),
+            volume_moved: 0.0,
+            volume_requested: 0.0,
+            mean_utilization: 0.0,
+            invocations: 0,
+            slices: 0,
+        };
+        assert_eq!(r.completion_rate(), 0.0);
+        assert_eq!(r.goodput(), 0.0);
+        assert_eq!(r.average_end_time(), None);
+    }
+}

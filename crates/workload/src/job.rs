@@ -1,0 +1,158 @@
+//! The bulk-transfer job request tuple.
+
+use wavesched_net::NodeId;
+
+/// Handle to a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u32);
+
+impl JobId {
+    /// Index of the job in its workload.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// A bulk-transfer request: the paper's 6-tuple
+/// `(A_i, s_i, d_i, D_i, S_i, E_i)`.
+///
+/// All times are in *slice units*: the scheduling grid's slice length is the
+/// time unit, so slice `j` covers `[j, j+1)` on the default uniform grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    /// Job identity (`i`).
+    pub id: JobId,
+    /// Arrival time of the request (`A_i`).
+    pub arrival: f64,
+    /// Source node (`s_i`).
+    pub src: NodeId,
+    /// Destination node (`d_i`).
+    pub dst: NodeId,
+    /// Raw file size in gigabytes (`D_i` before normalization).
+    pub size_gb: f64,
+    /// Requested start time (`S_i >= A_i`).
+    pub start: f64,
+    /// Requested end time (`E_i >= S_i`).
+    pub end: f64,
+}
+
+impl Job {
+    /// Creates a job, validating the time ordering `A <= S <= E` and a
+    /// positive size.
+    ///
+    /// # Panics
+    /// Panics on violated invariants.
+    pub fn new(
+        id: JobId,
+        arrival: f64,
+        src: NodeId,
+        dst: NodeId,
+        size_gb: f64,
+        start: f64,
+        end: f64,
+    ) -> Self {
+        assert!(size_gb > 0.0, "job size must be positive");
+        assert!(src != dst, "source and destination must differ");
+        assert!(
+            arrival <= start && start <= end,
+            "job times must satisfy A <= S <= E (got {arrival}, {start}, {end})"
+        );
+        Job {
+            id,
+            arrival,
+            src,
+            dst,
+            size_gb,
+            start,
+            end,
+        }
+    }
+
+    /// Length of the requested transfer window, in slice units.
+    pub fn window(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// Returns a copy with the end time extended by the factor `1 + b`
+    /// (the RET relaxation `I((1+b) E_i)` operates on this).
+    pub fn with_extended_end(&self, b: f64) -> Job {
+        assert!(b >= 0.0, "extension factor must be nonnegative");
+        let mut j = self.clone();
+        j.end = self.end * (1.0 + b);
+        j
+    }
+
+    /// Returns a copy with the start-to-end window stretched by the factor
+    /// `1 + b` (the alternative deadline relaxation mentioned in the
+    /// paper's Section II-C remark: intervals, not absolute end times, are
+    /// scaled).
+    pub fn with_stretched_window(&self, b: f64) -> Job {
+        assert!(b >= 0.0, "stretch factor must be nonnegative");
+        let mut j = self.clone();
+        j.end = self.start + (self.end - self.start) * (1.0 + b);
+        j
+    }
+
+    /// Returns a copy with the size scaled by `z` (the Stage-2 demand
+    /// reduction applies `Z_i < 1`).
+    pub fn with_scaled_size(&self, z: f64) -> Job {
+        assert!(z > 0.0, "scale must be positive");
+        let mut j = self.clone();
+        j.size_gb = self.size_gb * z;
+        j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk() -> Job {
+        Job::new(JobId(0), 0.0, NodeId(0), NodeId(1), 50.0, 1.0, 9.0)
+    }
+
+    #[test]
+    fn window_and_scaling() {
+        let j = mk();
+        assert_eq!(j.window(), 8.0);
+        let e = j.with_extended_end(0.5);
+        assert!((e.end - 13.5).abs() < 1e-12);
+        assert_eq!(e.start, j.start);
+        let s = j.with_scaled_size(0.5);
+        assert!((s.size_gb - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_stretch() {
+        let j = mk(); // start 1, end 9, window 8
+        let w = j.with_stretched_window(0.5);
+        assert_eq!(w.start, 1.0);
+        assert!((w.end - 13.0).abs() < 1e-12); // 1 + 8 * 1.5
+        assert!((w.window() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "A <= S <= E")]
+    fn bad_times_panic() {
+        Job::new(JobId(0), 5.0, NodeId(0), NodeId(1), 1.0, 1.0, 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn same_endpoints_panic() {
+        Job::new(JobId(0), 0.0, NodeId(0), NodeId(0), 1.0, 1.0, 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_size_panics() {
+        Job::new(JobId(0), 0.0, NodeId(0), NodeId(1), 0.0, 1.0, 9.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Demand normalization.
+//!
+//! The Stage-2 formulation states: "all the demands `D_i` are normalized by
+//! the capacity per wavelength". With wavelength assignments `x_i(p, j)` in
+//! whole wavelengths and slice lengths `LEN(j)` in slice units, the natural
+//! demand unit is the amount of data one wavelength moves in one slice.
+//! This module performs that conversion from gigabytes.
+
+/// A link's aggregate rate and its division into wavelengths.
+///
+/// The paper's Fig. 1/2 sweeps vary the number of wavelengths per link
+/// *while holding the link capacity constant*, so the per-wavelength rate is
+/// `total_gbps / wavelengths`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkRate {
+    /// Aggregate link rate in Gbit/s (20 Gbps in all the paper's runs).
+    pub total_gbps: f64,
+    /// Number of wavelengths the link is divided into.
+    pub wavelengths: u32,
+}
+
+impl LinkRate {
+    /// The paper's standard link: 20 Gbps split into `w` wavelengths.
+    pub fn paper(w: u32) -> Self {
+        LinkRate {
+            total_gbps: 20.0,
+            wavelengths: w,
+        }
+    }
+
+    /// Rate of a single wavelength, Gbit/s.
+    pub fn per_wavelength_gbps(&self) -> f64 {
+        assert!(self.wavelengths > 0, "a link needs at least one wavelength");
+        self.total_gbps / self.wavelengths as f64
+    }
+}
+
+/// Gigabytes moved by one wavelength in one slice of `slice_secs` seconds.
+pub fn gb_per_wavelength_slice(rate: LinkRate, slice_secs: f64) -> f64 {
+    assert!(slice_secs > 0.0, "slice length must be positive");
+    rate.per_wavelength_gbps() * slice_secs / 8.0
+}
+
+/// Converts a file size in gigabytes into normalized demand units
+/// (wavelength·slices): the `D_i` appearing in the formulations.
+pub fn normalized_demand(size_gb: f64, rate: LinkRate, slice_secs: f64) -> f64 {
+    size_gb / gb_per_wavelength_slice(rate, slice_secs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_wavelength_rate() {
+        let r = LinkRate::paper(4);
+        assert!((r.per_wavelength_gbps() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gb_per_slice() {
+        // 5 Gbps wavelength, 60 s slice: 5 * 60 / 8 = 37.5 GB per slice.
+        let r = LinkRate::paper(4);
+        assert!((gb_per_wavelength_slice(r, 60.0) - 37.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn demand_roundtrip() {
+        let r = LinkRate::paper(2); // 10 Gbps per wavelength
+        // 100 GB at 10 Gbps = 80 s = 2 slices of 40 s => demand 2.0.
+        let d = normalized_demand(100.0, r, 40.0);
+        assert!((d - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_constant_sweep() {
+        // Doubling wavelengths at constant capacity doubles the demand units
+        // but also doubles the available wavelengths: total work constant.
+        let slice = 60.0;
+        let d2 = normalized_demand(100.0, LinkRate::paper(2), slice);
+        let d4 = normalized_demand(100.0, LinkRate::paper(4), slice);
+        assert!((d4 / d2 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one wavelength")]
+    fn zero_wavelengths_panics() {
+        LinkRate {
+            total_gbps: 20.0,
+            wavelengths: 0,
+        }
+        .per_wavelength_gbps();
+    }
+}

@@ -1,0 +1,214 @@
+//! Workload traces: CSV persistence for job lists.
+//!
+//! Lets experiments be pinned to an exact request sequence (rather than a
+//! generator seed), and lets real request logs be replayed. The format is
+//! one header line plus one line per job:
+//!
+//! ```text
+//! id,arrival,src,dst,size_gb,start,end
+//! 0,0.0,3,7,42.5,0.0,12.0
+//! ```
+//!
+//! `src`/`dst` are node indices into the target network's node order.
+
+use crate::job::{Job, JobId};
+use std::fmt::Write as _;
+use wavesched_net::{Graph, NodeId};
+
+/// Error type for trace parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line number of the offending record.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Header written/expected by this module.
+pub const HEADER: &str = "id,arrival,src,dst,size_gb,start,end";
+
+/// Serializes jobs to the CSV trace format.
+pub fn write_trace(jobs: &[Job]) -> String {
+    let mut out = String::with_capacity(32 * (jobs.len() + 1));
+    out.push_str(HEADER);
+    out.push('\n');
+    for j in jobs {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{}",
+            j.id.0, j.arrival, j.src.0, j.dst.0, j.size_gb, j.start, j.end
+        );
+    }
+    out
+}
+
+/// Parses a CSV trace, validating node indices against `g` and the job
+/// invariants (`A <= S <= E`, positive size, distinct endpoints).
+pub fn parse_trace(text: &str, g: &Graph) -> Result<Vec<Job>, TraceError> {
+    let mut jobs = Vec::new();
+    let mut lines = text.lines().enumerate();
+
+    // Header (tolerate surrounding whitespace and BOM).
+    let header = loop {
+        match lines.next() {
+            Some((i, l)) => {
+                let t = l.trim_start_matches('\u{feff}').trim();
+                if t.is_empty() || t.starts_with('#') {
+                    continue;
+                }
+                break (i, t);
+            }
+            None => {
+                return Err(TraceError {
+                    line: 0,
+                    message: "empty trace".into(),
+                })
+            }
+        }
+    };
+    if header.1 != HEADER {
+        return Err(TraceError {
+            line: header.0 + 1,
+            message: format!("bad header {:?}, expected {HEADER:?}", header.1),
+        });
+    }
+
+    for (i, l) in lines {
+        let line = i + 1;
+        let t = l.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = t.split(',').map(str::trim).collect();
+        if fields.len() != 7 {
+            return Err(TraceError {
+                line,
+                message: format!("expected 7 fields, got {}", fields.len()),
+            });
+        }
+        let err = |message: String| TraceError { line, message };
+        let id: u32 = fields[0]
+            .parse()
+            .map_err(|_| err(format!("bad id {:?}", fields[0])))?;
+        let num = |k: usize, name: &str| -> Result<f64, TraceError> {
+            fields[k]
+                .parse::<f64>()
+                .map_err(|_| err(format!("bad {name} {:?}", fields[k])))
+        };
+        let arrival = num(1, "arrival")?;
+        let src: u32 = fields[2]
+            .parse()
+            .map_err(|_| err(format!("bad src {:?}", fields[2])))?;
+        let dst: u32 = fields[3]
+            .parse()
+            .map_err(|_| err(format!("bad dst {:?}", fields[3])))?;
+        let size_gb = num(4, "size_gb")?;
+        let start = num(5, "start")?;
+        let end = num(6, "end")?;
+
+        if (src as usize) >= g.num_nodes() || (dst as usize) >= g.num_nodes() {
+            return Err(err(format!(
+                "node index out of range (network has {} nodes)",
+                g.num_nodes()
+            )));
+        }
+        if src == dst {
+            return Err(err("src == dst".into()));
+        }
+        if size_gb <= 0.0 || size_gb.is_nan() {
+            return Err(err(format!("non-positive size {size_gb}")));
+        }
+        if !(arrival <= start && start <= end) {
+            return Err(err(format!(
+                "times must satisfy A <= S <= E, got {arrival}, {start}, {end}"
+            )));
+        }
+        jobs.push(Job::new(
+            JobId(id),
+            arrival,
+            NodeId(src),
+            NodeId(dst),
+            size_gb,
+            start,
+            end,
+        ));
+    }
+    Ok(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{WorkloadConfig, WorkloadGenerator};
+    use wavesched_net::abilene14;
+
+    #[test]
+    fn roundtrip() {
+        let (g, _) = abilene14(4);
+        let jobs = WorkloadGenerator::new(WorkloadConfig {
+            num_jobs: 25,
+            seed: 7,
+            ..Default::default()
+        })
+        .generate(&g);
+        let text = write_trace(&jobs);
+        let back = parse_trace(&text, &g).unwrap();
+        assert_eq!(jobs, back);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let (g, _) = abilene14(4);
+        let text = format!("# a comment\n\n{HEADER}\n# another\n0,0,0,1,5,0,4\n\n");
+        let jobs = parse_trace(&text, &g).unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].size_gb, 5.0);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let (g, _) = abilene14(4);
+        let e = parse_trace("id,nope\n", &g).unwrap_err();
+        assert!(e.message.contains("bad header"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_node() {
+        let (g, _) = abilene14(4);
+        let text = format!("{HEADER}\n0,0,0,99,5,0,4\n");
+        let e = parse_trace(&text, &g).unwrap_err();
+        assert!(e.message.contains("out of range"));
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn rejects_bad_times_and_sizes() {
+        let (g, _) = abilene14(4);
+        let text = format!("{HEADER}\n0,5,0,1,5,0,4\n");
+        assert!(parse_trace(&text, &g).is_err()); // arrival > start
+        let text = format!("{HEADER}\n0,0,0,1,-5,0,4\n");
+        assert!(parse_trace(&text, &g).is_err()); // negative size
+        let text = format!("{HEADER}\n0,0,0,1,5,0\n");
+        assert!(parse_trace(&text, &g).is_err()); // missing field
+        let text = format!("{HEADER}\n0,0,0,1,5,0,abc\n");
+        let e = parse_trace(&text, &g).unwrap_err();
+        assert!(e.message.contains("bad end"));
+    }
+
+    #[test]
+    fn empty_trace_error() {
+        let (g, _) = abilene14(4);
+        assert!(parse_trace("", &g).is_err());
+        // Header only is a valid empty workload.
+        let jobs = parse_trace(&format!("{HEADER}\n"), &g).unwrap();
+        assert!(jobs.is_empty());
+    }
+}

@@ -1,0 +1,107 @@
+//! A high-energy-physics data campaign on an overloaded research network —
+//! the negotiation scenario that motivates the paper's two overload
+//! actions.
+//!
+//! A tier-0 site must fan experiment data out to tier-1 sites with tight
+//! deadlines; the network cannot satisfy everything (`Z* < 1`). The
+//! example compares what each negotiation outcome delivers:
+//!
+//! * **Shrink demands** (Section II-B): every job keeps its deadline but
+//!   only `Z_i` of its data arrives.
+//! * **Extend deadlines** (Section II-C, RET): every byte arrives, all
+//!   deadlines slip by the same factor `(1+b)`.
+//!
+//! ```text
+//! cargo run --release --example hep_campaign
+//! ```
+
+use wavesched::core::instance::{Instance, InstanceConfig};
+use wavesched::core::pipeline::max_throughput_pipeline;
+use wavesched::core::ret::{solve_ret, RetConfig};
+use wavesched::net::{waxman_network, PathSet, WaxmanConfig};
+use wavesched::workload::{Job, JobId};
+
+fn main() {
+    // A 40-node research backbone, 80 fiber pairs, 2 wavelengths per link.
+    let net_cfg = WaxmanConfig {
+        nodes: 40,
+        link_pairs: 80,
+        wavelengths: 2,
+        alpha: 0.15,
+        seed: 11,
+    };
+    let graph = waxman_network(&net_cfg);
+    let nodes: Vec<_> = graph.nodes().collect();
+
+    // Tier-0 at node 0 pushes large datasets to six tier-1 sites, all due
+    // within 6 slices (~6 minutes of 60 s slices at this scale).
+    let tier0 = nodes[0];
+    let tier1 = [5usize, 11, 17, 23, 29, 35];
+    let jobs: Vec<Job> = tier1
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| {
+            Job::new(
+                JobId(i as u32),
+                0.0,
+                tier0,
+                nodes[t],
+                400.0 + 100.0 * i as f64, // 400-900 GB datasets
+                0.0,
+                6.0,
+            )
+        })
+        .collect();
+
+    let cfg = InstanceConfig::paper(2); // 10 Gbps per wavelength
+    let mut paths = PathSet::new(cfg.paths_per_job);
+    let inst = Instance::build(&graph, &jobs, &cfg, &mut paths);
+
+    println!("== campaign: {} transfers, {:.1} demand units total ==", jobs.len(), inst.total_demand());
+
+    // Option A: keep deadlines, shrink demands.
+    let pipe = max_throughput_pipeline(&inst, 0.1).expect("pipeline");
+    println!("\n-- option A: end-time guarantee, demands shrink (Z* = {:.3}) --", pipe.z_star);
+    if pipe.z_star < 1.0 {
+        println!("network is OVERLOADED: only Z* of each dataset fits by deadline");
+    }
+    for (i, job) in inst.jobs.iter().enumerate() {
+        let zi = pipe.lpdar.throughput(&inst, i).min(1.0);
+        println!(
+            "  {}: {:.0} GB requested, {:.0} GB deliverable by slice {} ({:.0}%)",
+            job.id,
+            job.size_gb,
+            job.size_gb * zi,
+            job.end,
+            zi * 100.0
+        );
+    }
+
+    // Option B: deliver everything, extend deadlines minimally.
+    let ret = solve_ret(&graph, &jobs, &cfg, &RetConfig::default())
+        .expect("ret solver")
+        .expect("an extension exists");
+    println!(
+        "\n-- option B: full delivery, deadlines extended by (1+b), b = {:.2} --",
+        ret.b_final
+    );
+    for (i, job) in ret.instance.jobs.iter().enumerate() {
+        let done = ret
+            .lpdar
+            .completion_time(&ret.instance, i, 1e-6)
+            .expect("RET completes everything");
+        println!(
+            "  {}: full {:.0} GB done at slice {:.0} (deadline was {:.0}, now {:.0})",
+            job.id,
+            job.size_gb,
+            done,
+            jobs[i].end,
+            job.end
+        );
+    }
+    println!(
+        "\naverage end time: LP {:.2} vs LPDAR {:.2} slices",
+        ret.lp_avg_end_time().unwrap(),
+        ret.lpdar_avg_end_time().unwrap()
+    );
+}

@@ -1,0 +1,87 @@
+//! Quickstart: schedule a handful of bulk transfers on the Abilene
+//! backbone with the paper's two-stage pipeline and print the resulting
+//! integral wavelength schedule.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use wavesched::core::instance::{Instance, InstanceConfig};
+use wavesched::core::lpdar::{adjust_rates_capped, truncate, AdjustOrder};
+use wavesched::core::stage1::solve_stage1;
+use wavesched::core::stage2::solve_stage2;
+use wavesched::net::{abilene14, PathSet};
+use wavesched::workload::{Job, JobId};
+
+fn main() {
+    // The canonical Abilene backbone with 4 wavelengths per 20 Gbps link.
+    let (graph, nodes) = abilene14(4);
+    let seattle = nodes[0];
+    let sunnyvale = nodes[1];
+    let atlanta = nodes[8];
+    let new_york = nodes[10];
+
+    // Three bulk transfers: (id, arrival, src, dst, size GB, start, end).
+    // Times are in slices of 60 s.
+    let jobs = vec![
+        Job::new(JobId(0), 0.0, seattle, new_york, 300.0, 0.0, 10.0),
+        Job::new(JobId(1), 0.0, sunnyvale, atlanta, 150.0, 0.0, 8.0),
+        Job::new(JobId(2), 0.0, new_york, seattle, 450.0, 2.0, 12.0),
+    ];
+
+    let cfg = InstanceConfig::paper(4); // 4 paths/job, 5 Gbps per wavelength
+    let mut paths = PathSet::new(cfg.paths_per_job);
+    let inst = Instance::build(&graph, &jobs, &cfg, &mut paths);
+
+    // Stage 1: how loaded is the network? Z* >= 1 means every deadline is
+    // satisfiable; Z* < 1 means demands must shrink by that factor.
+    let s1 = solve_stage1(&inst).expect("stage 1");
+    println!("maximum concurrent throughput Z* = {:.3}", s1.z_star);
+
+    // Stage 2 (fractional) + LPDAR, capped at each job's demand so the
+    // printed schedule is the one an operator would actually provision.
+    let s2 = solve_stage2(&inst, s1.z_star, 0.1).expect("stage 2");
+    let lpd = truncate(&inst, &s2.schedule);
+    let schedule = adjust_rates_capped(&inst, &lpd, AdjustOrder::Paper)
+        // Remark 2: release wavelengths beyond each job's demand.
+        .trim_to_demand(&inst);
+    println!();
+
+    for (i, job) in inst.jobs.iter().enumerate() {
+        println!(
+            "{}: {} -> {} ({:.0} GB, {:.1} demand units, window [{}, {}])",
+            job.id,
+            inst.graph.node_name(job.src),
+            inst.graph.node_name(job.dst),
+            job.size_gb,
+            inst.demands[i],
+            job.start,
+            job.end,
+        );
+        for p in 0..inst.vars.paths_of(i) {
+            let hops: Vec<&str> = inst.paths[i][p]
+                .nodes(&inst.graph)
+                .iter()
+                .map(|&n| inst.graph.node_name(n))
+                .collect();
+            let mut any = false;
+            let mut line = String::new();
+            for slice in inst.vars.window(i) {
+                let x = schedule.x[inst.vars.var(i, p, slice)];
+                if x > 0.0 {
+                    any = true;
+                    line.push_str(&format!(" slice {slice}: {x:.0}λ"));
+                }
+            }
+            if any {
+                println!("  via {}:{}", hops.join("-"), line);
+            }
+        }
+        println!(
+            "  delivered {:.2} of {:.2} units (Z_i = {:.2})",
+            schedule.transferred(&inst, i),
+            inst.demands[i],
+            schedule.throughput(&inst, i)
+        );
+    }
+}

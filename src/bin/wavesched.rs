@@ -1,0 +1,252 @@
+//! `wavesched` — command-line front end for the scheduler.
+//!
+//! ```text
+//! wavesched gen-trace --network abilene14 --jobs 20 --seed 7 > trace.csv
+//! wavesched schedule  --network abilene14 --trace trace.csv --wavelengths 4
+//! wavesched ret       --network esnet     --trace trace.csv --wavelengths 2
+//! wavesched simulate  --network abilene14 --trace trace.csv --policy extend
+//! wavesched dot       --network esnet > esnet.dot
+//! ```
+//!
+//! Networks: `abilene14`, `abilene20`, `esnet`, or `waxman:<nodes>:<pairs>:<seed>`.
+
+use std::process::ExitCode;
+use wavesched::core::controller::OverloadPolicy;
+use wavesched::core::instance::{Instance, InstanceConfig};
+use wavesched::core::pipeline::max_throughput_pipeline;
+use wavesched::core::report::{job_timeline, link_utilization};
+use wavesched::core::ret::{solve_ret, RetConfig};
+use wavesched::net::{abilene14, abilene20, esnet, to_dot, waxman_network, Graph, PathSet, WaxmanConfig};
+use wavesched::sim::{run_simulation, SimConfig};
+use wavesched::workload::{parse_trace, write_trace, WorkloadConfig, WorkloadGenerator};
+
+fn usage() -> &'static str {
+    "usage: wavesched <command> [options]
+
+commands:
+  gen-trace   generate a random workload trace (CSV on stdout)
+  schedule    run the two-stage pipeline + LPDAR on a trace
+  ret         run the Relaxing-End-Times algorithm on a trace
+  simulate    run the periodic controller simulation on a trace
+  dot         print the network as Graphviz DOT
+
+common options:
+  --network <abilene14|abilene20|esnet|waxman:<nodes>:<pairs>:<seed>>
+  --wavelengths <w>      wavelengths per 20 Gbps link (default 4)
+  --trace <file>         job trace CSV (see workload::trace)
+  --paths <k>            allowed paths per job (default 4)
+  --alpha <a>            stage-2 fairness slack (default 0.1)
+
+gen-trace options:
+  --jobs <n> --seed <s>  workload size and seed
+
+simulate options:
+  --policy <reject|shrink|extend>   overload action (default shrink)
+  --tau <t>                          controller period in slices (default 1)
+"
+}
+
+struct Args {
+    command: String,
+    opts: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse() -> Option<Args> {
+        let mut it = std::env::args().skip(1);
+        let command = it.next()?;
+        let mut opts = Vec::new();
+        let mut key: Option<String> = None;
+        for a in it {
+            if let Some(k) = a.strip_prefix("--") {
+                if let Some(prev) = key.take() {
+                    opts.push((prev, String::new()));
+                }
+                key = Some(k.to_string());
+            } else if let Some(k) = key.take() {
+                opts.push((k, a));
+            } else {
+                eprintln!("unexpected argument {a:?}");
+                return None;
+            }
+        }
+        if let Some(k) = key.take() {
+            opts.push((k, String::new()));
+        }
+        Some(Args { command, opts })
+    }
+
+    fn get(&self, k: &str) -> Option<&str> {
+        self.opts
+            .iter()
+            .rev()
+            .find(|(key, _)| key == k)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn num<T: std::str::FromStr>(&self, k: &str, default: T) -> Result<T, String> {
+        match self.get(k) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad --{k} value {v:?}")),
+        }
+    }
+}
+
+fn build_network(spec: &str, w: u32) -> Result<Graph, String> {
+    match spec {
+        "abilene14" => Ok(abilene14(w).0),
+        "abilene20" => Ok(abilene20(w).0),
+        "esnet" => Ok(esnet(w).0),
+        other => {
+            if let Some(rest) = other.strip_prefix("waxman:") {
+                let parts: Vec<&str> = rest.split(':').collect();
+                if parts.len() != 3 {
+                    return Err("waxman spec is waxman:<nodes>:<pairs>:<seed>".into());
+                }
+                let nodes = parts[0].parse().map_err(|_| "bad node count")?;
+                let link_pairs = parts[1].parse().map_err(|_| "bad pair count")?;
+                let seed = parts[2].parse().map_err(|_| "bad seed")?;
+                Ok(waxman_network(&WaxmanConfig {
+                    nodes,
+                    link_pairs,
+                    wavelengths: w,
+                    alpha: 0.15,
+                    seed,
+                }))
+            } else {
+                Err(format!("unknown network {other:?}"))
+            }
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let Some(args) = Args::parse() else {
+        return Err(usage().to_string());
+    };
+    if args.command == "help" || args.command == "--help" {
+        println!("{}", usage());
+        return Ok(());
+    }
+
+    let w: u32 = args.num("wavelengths", 4)?;
+    let net_spec = args.get("network").unwrap_or("abilene14").to_string();
+    let graph = build_network(&net_spec, w)?;
+    let paths_per_job: usize = args.num("paths", 4)?;
+    let alpha: f64 = args.num("alpha", 0.1)?;
+    let inst_cfg = InstanceConfig {
+        paths_per_job,
+        ..InstanceConfig::paper(w)
+    };
+
+    let load_trace = || -> Result<_, String> {
+        let path = args
+            .get("trace")
+            .ok_or_else(|| "missing --trace <file>".to_string())?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+        parse_trace(&text, &graph).map_err(|e| e.to_string())
+    };
+
+    match args.command.as_str() {
+        "gen-trace" => {
+            let jobs_n: usize = args.num("jobs", 20)?;
+            let seed: u64 = args.num("seed", 0)?;
+            let jobs = WorkloadGenerator::new(WorkloadConfig {
+                num_jobs: jobs_n,
+                seed,
+                ..Default::default()
+            })
+            .generate(&graph);
+            print!("{}", write_trace(&jobs));
+        }
+        "schedule" => {
+            let jobs = load_trace()?;
+            let mut ps = PathSet::new(inst_cfg.paths_per_job);
+            let inst = Instance::build(&graph, &jobs, &inst_cfg, &mut ps);
+            let r = max_throughput_pipeline(&inst, alpha).map_err(|e| e.to_string())?;
+            let plan = r.lpdar.trim_to_demand(&inst);
+            println!("network {net_spec}, {} jobs, Z* = {:.3}", jobs.len(), r.z_star);
+            if r.z_star < 1.0 {
+                println!("OVERLOADED: demands shrink to each job's Z_i");
+            }
+            println!(
+                "weighted throughput: LP {:.3}, LPD {:.3}, LPDAR {:.3}",
+                r.lp_throughput, r.lpd_throughput, r.lpdar_throughput
+            );
+            println!();
+            print!("{}", job_timeline(&inst, &plan));
+            println!();
+            print!("{}", link_utilization(&inst, &plan, 10));
+        }
+        "ret" => {
+            let jobs = load_trace()?;
+            let out = solve_ret(&graph, &jobs, &inst_cfg, &RetConfig::default())
+                .map_err(|e| e.to_string())?;
+            match out {
+                None => println!("no end-time extension up to b_max completes all jobs"),
+                Some(r) => {
+                    println!(
+                        "minimal fractional extension b = {:.3}; integral completion at b = {:.3}",
+                        r.b_lp, r.b_final
+                    );
+                    println!(
+                        "average end time: LP {:.2}, LPDAR {:.2} slices; LPD finishes {:.0}%",
+                        r.lp_avg_end_time().unwrap_or(f64::NAN),
+                        r.lpdar_avg_end_time().unwrap_or(f64::NAN),
+                        100.0 * r.lpd_fraction_finished()
+                    );
+                    println!();
+                    print!("{}", job_timeline(&r.instance, &r.lpdar));
+                }
+            }
+        }
+        "simulate" => {
+            let jobs = load_trace()?;
+            let mut cfg = SimConfig::paper(w);
+            cfg.controller.instance = inst_cfg;
+            cfg.controller.alpha = alpha;
+            cfg.controller.tau = args.num("tau", 1)?;
+            cfg.controller.policy = match args.get("policy").unwrap_or("shrink") {
+                "reject" => OverloadPolicy::Reject,
+                "shrink" => OverloadPolicy::ShrinkDemands,
+                "extend" => OverloadPolicy::ExtendDeadlines,
+                other => return Err(format!("unknown policy {other:?}")),
+            };
+            let rep = run_simulation(&graph, &jobs, &cfg).map_err(|e| e.to_string())?;
+            println!(
+                "{} slices, {} invocations | completed {:.0}% (on time {:.0}%), rejected {:.0}%, expired {:.0}%",
+                rep.slices,
+                rep.invocations,
+                100.0 * rep.completion_rate(),
+                100.0 * rep.on_time_rate(),
+                100.0 * rep.rejection_rate(),
+                100.0 * rep.expiry_rate()
+            );
+            println!(
+                "goodput {:.0}%, mean utilization {:.1}%{}",
+                100.0 * rep.goodput(),
+                100.0 * rep.mean_utilization,
+                rep.average_end_time()
+                    .map(|t| format!(", avg end time {t:.1} slices"))
+                    .unwrap_or_default()
+            );
+        }
+        "dot" => {
+            print!("{}", to_dot(&graph));
+        }
+        other => {
+            return Err(format!("unknown command {other:?}\n\n{}", usage()));
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

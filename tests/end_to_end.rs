@@ -1,0 +1,155 @@
+//! End-to-end integration tests across all crates: topology generation →
+//! workload → instance → two-stage pipeline → LPDAR, plus RET and the
+//! controller/simulator loop.
+
+use wavesched::core::instance::{Instance, InstanceConfig};
+use wavesched::core::pipeline::max_throughput_pipeline;
+use wavesched::core::ret::{solve_ret, RetConfig};
+use wavesched::net::{abilene20, waxman_network, PathSet, WaxmanConfig};
+use wavesched::sim::{run_simulation, SimConfig};
+use wavesched::workload::{ArrivalModel, WorkloadConfig, WorkloadGenerator};
+
+fn waxman_small(w: u32, seed: u64) -> wavesched::net::Graph {
+    waxman_network(&WaxmanConfig {
+        nodes: 30,
+        link_pairs: 60,
+        wavelengths: w,
+        alpha: 0.15,
+        seed,
+    })
+}
+
+#[test]
+fn pipeline_on_random_network() {
+    let w = 2;
+    let g = waxman_small(w, 3);
+    let jobs = WorkloadGenerator::new(WorkloadConfig {
+        num_jobs: 40,
+        seed: 17,
+        window: (4.0, 10.0),
+        ..Default::default()
+    })
+    .generate(&g);
+    let cfg = InstanceConfig::paper(w);
+    let mut ps = PathSet::new(cfg.paths_per_job);
+    let inst = Instance::build(&g, &jobs, &cfg, &mut ps);
+
+    let r = max_throughput_pipeline(&inst, 0.1).expect("pipeline");
+    assert!(r.z_star > 0.0);
+    // Ordering of the three solutions.
+    assert!(r.lpd_throughput <= r.lpdar_throughput + 1e-9);
+    // Feasibility and integrality of the heuristic outputs.
+    assert!(r.lpd.is_integral(1e-9));
+    assert!(r.lpdar.is_integral(1e-9));
+    assert!(r.lp.max_capacity_violation(&inst) < 1e-6);
+    assert!(r.lpd.max_capacity_violation(&inst) < 1e-9);
+    assert!(r.lpdar.max_capacity_violation(&inst) < 1e-9);
+    // Fairness floor honored by the fractional stage-2 solution.
+    for i in 0..inst.num_jobs() {
+        assert!(
+            r.lp.throughput(&inst, i) >= 0.9 * r.z_star - 1e-5,
+            "job {i} below fairness floor"
+        );
+    }
+}
+
+#[test]
+fn z_star_invariant_under_wavelength_split() {
+    // Fig. 1's sweep holds link capacity constant: splitting 20 Gbps into
+    // more wavelengths scales demands and capacities together, so the
+    // fractional Z* must not change.
+    let jobs_cfg = WorkloadConfig {
+        num_jobs: 25,
+        seed: 5,
+        window: (4.0, 10.0),
+        ..Default::default()
+    };
+    let mut z_values = Vec::new();
+    for &w in &[2u32, 8, 32] {
+        let g = waxman_small(w, 9);
+        let jobs = WorkloadGenerator::new(jobs_cfg.clone()).generate(&g);
+        let cfg = InstanceConfig::paper(w);
+        let mut ps = PathSet::new(cfg.paths_per_job);
+        let inst = Instance::build(&g, &jobs, &cfg, &mut ps);
+        let r = wavesched::core::stage1::solve_stage1(&inst).expect("stage1");
+        z_values.push(r.z_star);
+    }
+    for w in z_values.windows(2) {
+        assert!(
+            (w[0] - w[1]).abs() < 1e-4 * w[0].abs().max(1.0),
+            "Z* changed under capacity-constant wavelength split: {z_values:?}"
+        );
+    }
+}
+
+#[test]
+fn ret_on_abilene() {
+    let w = 2;
+    let (g, _) = abilene20(w);
+    let jobs = WorkloadGenerator::new(WorkloadConfig {
+        num_jobs: 15,
+        seed: 23,
+        size_gb: (50.0, 100.0),
+        window: (3.0, 6.0),
+        ..Default::default()
+    })
+    .generate(&g);
+    let cfg = InstanceConfig::paper(w);
+    let r = solve_ret(&g, &jobs, &cfg, &RetConfig::default())
+        .expect("solver ok")
+        .expect("extension exists");
+    assert_eq!(r.lpdar_fraction_finished(), 1.0);
+    assert!(r.lpd_fraction_finished() <= r.lpdar_fraction_finished());
+    assert!(r.b_final >= r.b_lp);
+    assert!(r.lpdar.max_capacity_violation(&r.instance) < 1e-9);
+    // Average end times exist and LPDAR's is not absurdly above LP's.
+    let lp_t = r.lp_avg_end_time().unwrap();
+    let heur_t = r.lpdar_avg_end_time().unwrap();
+    assert!(heur_t >= lp_t - 1e-9, "integrality cannot speed things up on average");
+}
+
+#[test]
+fn simulation_closes_the_loop() {
+    let (g, _) = abilene20(4);
+    let jobs = WorkloadGenerator::new(WorkloadConfig {
+        num_jobs: 12,
+        seed: 31,
+        size_gb: (10.0, 80.0),
+        arrival: ArrivalModel::Poisson { rate: 1.0 },
+        window: (8.0, 16.0),
+        ..Default::default()
+    })
+    .generate(&g);
+    let cfg = SimConfig::paper(4);
+    let report = run_simulation(&g, &jobs, &cfg).expect("simulation");
+    assert!(report.invocations >= 1);
+    assert!(report.volume_moved > 0.0);
+    assert!(report.volume_moved <= report.volume_requested + 1e-6);
+    assert!(report.completion_rate() > 0.5);
+    // Every job has a definite outcome entry.
+    assert_eq!(report.outcomes.len(), jobs.len());
+}
+
+#[test]
+fn multi_seed_determinism() {
+    // Same seeds end to end => byte-identical results.
+    let run = || {
+        let g = waxman_small(4, 77);
+        let jobs = WorkloadGenerator::new(WorkloadConfig {
+            num_jobs: 20,
+            seed: 88,
+            ..Default::default()
+        })
+        .generate(&g);
+        let cfg = InstanceConfig::paper(4);
+        let mut ps = PathSet::new(cfg.paths_per_job);
+        let inst = Instance::build(&g, &jobs, &cfg, &mut ps);
+        let r = max_throughput_pipeline(&inst, 0.1).expect("pipeline");
+        (r.z_star, r.lp_throughput, r.lpdar.x.clone())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0.to_bits(), b.0.to_bits());
+    assert_eq!(a.1.to_bits(), b.1.to_bits());
+    assert_eq!(a.2, b.2);
+}
