@@ -1,0 +1,175 @@
+//! Criterion benchmarks for warm-started re-solves: RET with session-based
+//! probes versus per-probe cold solves, and Stage 2 warm-started from the
+//! Stage-1 basis versus solved cold.
+//!
+//! Besides wall-clock, each group prints the solver work counters once at
+//! startup (iterations, warm starts accepted, cold fallbacks) so the
+//! iteration savings of warm starting are visible directly — the RET
+//! comparison is the paper-scale Fig. 4 workload at bench-friendly size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wavesched_core::instance::InstanceConfig;
+use wavesched_core::ret::{solve_ret, RetConfig, RetResult};
+use wavesched_core::stage1::solve_stage1;
+use wavesched_core::stage2::{
+    solve_stage2_weighted_with_start, stage2_basis_from_stage1, WeightPolicy,
+};
+use wavesched_lp::SimplexConfig;
+use wavesched_net::{abilene14, Graph, PathSet};
+use wavesched_workload::{Job, WorkloadConfig, WorkloadGenerator};
+
+/// The Fig. 4 shape at bench-friendly size: an overloaded Abilene so RET's
+/// bisection and δ-growth both do real work.
+fn fig4_workload() -> (Graph, Vec<Job>, InstanceConfig, RetConfig) {
+    let (g, _) = abilene14(2);
+    let jobs = WorkloadGenerator::new(WorkloadConfig {
+        num_jobs: 15,
+        seed: 3000,
+        size_gb: (100.0, 400.0),
+        window: (2.0, 4.0),
+        ..Default::default()
+    })
+    .generate(&g);
+    let cfg = InstanceConfig::paper(2);
+    let ret_cfg = RetConfig {
+        bsearch_tol: 0.05,
+        b_max: 10.0,
+        max_delta_steps: 120,
+        ..RetConfig::default()
+    };
+    (g, jobs, cfg, ret_cfg)
+}
+
+fn run_ret(g: &Graph, jobs: &[Job], cfg: &InstanceConfig, ret_cfg: &RetConfig) -> RetResult {
+    solve_ret(g, jobs, cfg, ret_cfg)
+        .expect("ret solve")
+        .expect("workload must be overloaded but extensible")
+}
+
+fn bench_ret_cold_vs_warm(c: &mut Criterion) {
+    let (g, jobs, cfg, warm_cfg) = fig4_workload();
+    let cold_cfg = RetConfig {
+        warm_start: false,
+        ..warm_cfg.clone()
+    };
+
+    // One instrumented run of each mode: same b̂ and schedules by
+    // construction, different work.
+    let cold = run_ret(&g, &jobs, &cfg, &cold_cfg);
+    let warm = run_ret(&g, &jobs, &cfg, &warm_cfg);
+    assert_eq!(cold.b_final.to_bits(), warm.b_final.to_bits());
+    eprintln!(
+        "# ret cold: {} solves, {} iters ({} phase-1), {} warm accepted, {} fallbacks",
+        cold.stats.solves,
+        cold.stats.iterations,
+        cold.stats.phase1_iterations,
+        cold.stats.warm_starts_accepted,
+        cold.stats.warm_start_fallbacks,
+    );
+    eprintln!(
+        "# ret warm: {} solves, {} iters ({} phase-1), {} warm accepted, {} fallbacks",
+        warm.stats.solves,
+        warm.stats.iterations,
+        warm.stats.phase1_iterations,
+        warm.stats.warm_starts_accepted,
+        warm.stats.warm_start_fallbacks,
+    );
+    eprintln!(
+        "# ret warm saves {:.1}% of simplex iterations",
+        100.0 * (1.0 - warm.stats.iterations as f64 / cold.stats.iterations as f64)
+    );
+
+    let mut group = c.benchmark_group("ret_cold_vs_warm");
+    group.sample_size(10);
+    group.bench_function("cold", |b| {
+        b.iter(|| black_box(run_ret(&g, &jobs, &cfg, &cold_cfg)))
+    });
+    group.bench_function("warm", |b| {
+        b.iter(|| black_box(run_ret(&g, &jobs, &cfg, &warm_cfg)))
+    });
+    group.finish();
+}
+
+fn bench_stage2_cold_vs_warm(c: &mut Criterion) {
+    let (g, _) = abilene14(4);
+    let jobs = WorkloadGenerator::new(WorkloadConfig {
+        num_jobs: 20,
+        seed: 11,
+        ..Default::default()
+    })
+    .generate(&g);
+    let icfg = InstanceConfig::paper(4);
+    let mut ps = PathSet::new(icfg.paths_per_job);
+    let inst = wavesched_core::instance::Instance::build(&g, &jobs, &icfg, &mut ps);
+    let lp = SimplexConfig::default();
+    let s1 = solve_stage1(&inst).expect("stage 1");
+    let start = s1
+        .basis
+        .as_ref()
+        .and_then(|b| stage2_basis_from_stage1(b, inst.vars.len()));
+
+    let cold = solve_stage2_weighted_with_start(
+        &inst,
+        s1.z_star,
+        0.1,
+        &WeightPolicy::DemandProportional,
+        &lp,
+        None,
+    )
+    .expect("stage 2 cold");
+    let warm = solve_stage2_weighted_with_start(
+        &inst,
+        s1.z_star,
+        0.1,
+        &WeightPolicy::DemandProportional,
+        &lp,
+        start.as_ref(),
+    )
+    .expect("stage 2 warm");
+    eprintln!(
+        "# stage2 cold: {} iters ({} phase-1); warm: {} iters ({} phase-1), {} accepted",
+        cold.stats.iterations,
+        cold.stats.phase1_iterations,
+        warm.stats.iterations,
+        warm.stats.phase1_iterations,
+        warm.stats.warm_starts_accepted,
+    );
+
+    let mut group = c.benchmark_group("stage2_cold_vs_warm");
+    group.sample_size(10);
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            black_box(
+                solve_stage2_weighted_with_start(
+                    &inst,
+                    s1.z_star,
+                    0.1,
+                    &WeightPolicy::DemandProportional,
+                    &lp,
+                    None,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.bench_function("warm", |b| {
+        b.iter(|| {
+            black_box(
+                solve_stage2_weighted_with_start(
+                    &inst,
+                    s1.z_star,
+                    0.1,
+                    &WeightPolicy::DemandProportional,
+                    &lp,
+                    start.as_ref(),
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ret_cold_vs_warm, bench_stage2_cold_vs_warm);
+criterion_main!(benches);

@@ -40,7 +40,11 @@ fn main() {
             .fold(f64::INFINITY, f64::min);
         println!(
             "{alpha},{:.3},{:.3},{:.4},{:.4},{:.4}",
-            r.z_star, r.lp_throughput, r.lpdar_normalized(), min_lp, min_lpdar
+            r.z_star,
+            r.lp_throughput,
+            r.lpdar_normalized(),
+            min_lp,
+            min_lpdar
         );
     }
 }

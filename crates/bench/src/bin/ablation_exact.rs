@@ -39,7 +39,11 @@ fn stage2_milp(inst: &Instance, fairness: Option<(f64, f64)>) -> Problem {
                     (cols[v], inst.grid.len_of(s))
                 })
                 .collect();
-            p.add_row((1.0 - alpha) * z_star * inst.demands[i], f64::INFINITY, &coeffs);
+            p.add_row(
+                (1.0 - alpha) * z_star * inst.demands[i],
+                f64::INFINITY,
+                &coeffs,
+            );
         }
     }
     let mut keys: Vec<_> = inst.capacity_groups.keys().collect();
@@ -76,7 +80,15 @@ fn main() {
         .generate(&g);
         let cfg = InstanceConfig::paper(2);
         let mut ps = PathSet::new(3);
-        let inst = Instance::build(&g, &jobs, &InstanceConfig { paths_per_job: 3, ..cfg }, &mut ps);
+        let inst = Instance::build(
+            &g,
+            &jobs,
+            &InstanceConfig {
+                paths_per_job: 3,
+                ..cfg
+            },
+            &mut ps,
+        );
 
         let s1 = solve_stage1(&inst).expect("stage1");
         let s2 = solve_stage2(&inst, s1.z_star, 0.1).expect("stage2");
@@ -93,8 +105,8 @@ fn main() {
             MilpStatus::Optimal => (sol.objective, sol.nodes),
             _ => (f64::NAN, sol.nodes),
         };
-        let fair = solve_milp(&stage2_milp(&inst, Some((s1.z_star, 0.1))), &cfg_milp)
-            .expect("milp");
+        let fair =
+            solve_milp(&stage2_milp(&inst, Some((s1.z_star, 0.1))), &cfg_milp).expect("milp");
         let fair_obj = match fair.status {
             MilpStatus::Optimal => fair.objective,
             _ => f64::NAN,

@@ -24,9 +24,17 @@ fn main() {
     let exact_time = t.elapsed();
 
     println!("# Ablation A5: approximate (Garg-Konemann) vs exact Stage 1");
-    println!("# random network, W={w}, jobs={jobs_n}; exact Z*={:.4} in {}s", exact.z_star, secs(exact_time));
+    println!(
+        "# random network, W={w}, jobs={jobs_n}; exact Z*={:.4} in {}s",
+        exact.z_star,
+        secs(exact_time)
+    );
     println!("method,epsilon,z,z_over_exact,phases,time_s");
-    println!("simplex,0,{:.4},1.0000,0,{}", exact.z_star, secs(exact_time));
+    println!(
+        "simplex,0,{:.4},1.0000,0,{}",
+        exact.z_star,
+        secs(exact_time)
+    );
     for eps in [0.5, 0.2, 0.1, 0.05] {
         let t = Instant::now();
         let gk = approx_stage1(

@@ -5,8 +5,8 @@
 //! cargo run --release -p wavesched-bench --bin ablation_paths
 //! ```
 
-use wavesched_bench::{build_instance, env_usize, fig_workload, paper_random_network, quick, secs};
 use std::time::Instant;
+use wavesched_bench::{build_instance, env_usize, fig_workload, paper_random_network, quick, secs};
 use wavesched_core::pipeline::max_throughput_pipeline;
 
 fn main() {

@@ -24,20 +24,25 @@ fn main() {
 
     println!("# Fig. 3: computation time vs number of jobs (random network, W={w})");
     println!("# times in seconds; lpX_time includes every stage up to X (paper convention)");
-    println!("jobs,stage1_s,lp_s,lpd_s,lpdar_s,lpd_extra_s,lpdar_extra_s");
+    println!("# solver-work columns: simplex iterations (phase 1 of those) and warm starts");
+    println!("# accepted across the two stages (Stage 2 warm-starts from Stage 1's basis)");
+    println!("jobs,stage1_s,lp_s,lpd_s,lpdar_s,lpd_extra_s,lpdar_extra_s,iters,phase1_iters,warm_accepted");
     for &n in &job_counts {
         let g = paper_random_network(w, 42);
         let jobs = fig_workload(&g, n, 1000);
         let inst = build_instance(&g, &jobs, w, 4);
         let r = max_throughput_pipeline(&inst, 0.1).expect("pipeline");
         println!(
-            "{n},{},{},{},{},{},{}",
+            "{n},{},{},{},{},{},{},{},{},{}",
             secs(r.stage1_time),
             secs(r.lp_time),
             secs(r.lpd_time),
             secs(r.lpdar_time),
             secs(r.lpd_time - r.lp_time),
             secs(r.lpdar_time - r.lpd_time),
+            r.stats.iterations,
+            r.stats.phase1_iterations,
+            r.stats.warm_starts_accepted,
         );
     }
 }

@@ -26,8 +26,12 @@ fn main() {
     };
     let w = 2;
 
-    println!("# Fig. 4: RET average end time vs number of jobs (random network, W={w}, QF objective)");
-    println!("jobs,b_lp,b_final,lp_avg_end,lpdar_avg_end,lpd_frac_finished,lp_solves");
+    println!(
+        "# Fig. 4: RET average end time vs number of jobs (random network, W={w}, QF objective)"
+    );
+    println!("# solver-work columns: total LP solves, simplex iterations (phase 1 of those),");
+    println!("# warm starts accepted, and cold fallbacks across the bisection and delta growth");
+    println!("jobs,b_lp,b_final,lp_avg_end,lpdar_avg_end,lpd_frac_finished,lp_solves,iters,phase1_iters,warm_accepted,cold_fallbacks");
     for &n in &job_counts {
         let g = paper_random_network(w, 42);
         let jobs = WorkloadGenerator::new(WorkloadConfig {
@@ -48,16 +52,20 @@ fn main() {
         match solve_ret(&g, &jobs, &cfg, &ret_cfg).expect("ret") {
             Some(r) => {
                 println!(
-                    "{n},{:.3},{:.3},{:.3},{:.3},{:.3},{}",
+                    "{n},{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{},{},{}",
                     r.b_lp,
                     r.b_final,
                     r.lp_avg_end_time().unwrap_or(f64::NAN),
                     r.lpdar_avg_end_time().unwrap_or(f64::NAN),
                     r.lpd_fraction_finished(),
-                    r.lp_solves
+                    r.lp_solves(),
+                    r.stats.iterations,
+                    r.stats.phase1_iterations,
+                    r.stats.warm_starts_accepted,
+                    r.stats.warm_start_fallbacks,
                 );
             }
-            None => println!("{n},NA,NA,NA,NA,NA,NA"),
+            None => println!("{n},NA,NA,NA,NA,NA,NA,NA,NA,NA,NA"),
         }
     }
 }

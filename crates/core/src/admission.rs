@@ -47,7 +47,11 @@ pub fn admit_by_priority(
             return Ok(f64::INFINITY);
         }
         let mut demands: Vec<f64> = mandatory_demands.to_vec();
-        demands.extend(candidates[..prefix].iter().map(|j| cfg.demand_units(j.size_gb)));
+        demands.extend(
+            candidates[..prefix]
+                .iter()
+                .map(|j| cfg.demand_units(j.size_gb)),
+        );
         let inst = Instance::build_with_demands(graph, &jobs, demands, cfg, &mut pathset);
         Ok(solve_stage1_with(&inst, lp_cfg)?.z_star)
     };
@@ -141,8 +145,15 @@ mod tests {
         let candidates: Vec<Job> = (0..3)
             .map(|i| Job::new(JobId(i), 0.0, ns[0], ns[1], 150.0, 0.0, 4.0))
             .collect();
-        let out = admit_by_priority(&g, &mandatory, &m_demand, &candidates, &cfg, &Default::default())
-            .unwrap();
+        let out = admit_by_priority(
+            &g,
+            &mandatory,
+            &m_demand,
+            &candidates,
+            &cfg,
+            &Default::default(),
+        )
+        .unwrap();
         assert_eq!(out.admitted_prefix, 1);
     }
 
@@ -153,8 +164,15 @@ mod tests {
         let mandatory = vec![Job::new(JobId(9), 0.0, ns[0], ns[1], 1200.0, 0.0, 4.0)];
         let m_demand = vec![cfg.demand_units(1200.0)];
         let candidates = vec![Job::new(JobId(0), 0.0, ns[0], ns[1], 150.0, 0.0, 4.0)];
-        let out = admit_by_priority(&g, &mandatory, &m_demand, &candidates, &cfg, &Default::default())
-            .unwrap();
+        let out = admit_by_priority(
+            &g,
+            &mandatory,
+            &m_demand,
+            &candidates,
+            &cfg,
+            &Default::default(),
+        )
+        .unwrap();
         assert_eq!(out.admitted_prefix, 0);
         assert!(out.z_star < 1.0);
     }

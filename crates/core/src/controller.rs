@@ -14,10 +14,11 @@
 use crate::admission::admit_by_priority;
 use crate::instance::{Instance, InstanceConfig};
 use crate::lpdar::AdjustOrder;
-use crate::pipeline::max_throughput_pipeline_with;
+use crate::pipeline::max_throughput_pipeline_warmed;
 use crate::ret::{solve_ret_with_demands, RetConfig};
 use crate::schedule::Schedule;
-use wavesched_lp::{SimplexConfig, SolveError};
+use crate::stage1::solve_stage1_with_start;
+use wavesched_lp::{Basis, SimplexConfig, SolveError, SolveStats};
 use wavesched_net::{Graph, PathSet};
 use wavesched_workload::{Job, JobId};
 
@@ -100,6 +101,9 @@ pub struct InvocationResult {
     /// The common deadline-extension factor applied this round (only under
     /// [`OverloadPolicy::ExtendDeadlines`]).
     pub extension: f64,
+    /// Solver work performed by this invocation (all stages, probes and RET
+    /// included).
+    pub stats: SolveStats,
 }
 
 /// The periodic AC/scheduling controller.
@@ -112,6 +116,11 @@ pub struct Controller {
     finished: Vec<JobId>,
     expired: Vec<JobId>,
     rejected_total: usize,
+    /// Stage-1 optimal basis from the previous invocation; the next round's
+    /// Stage 1 warm-starts from it when the job set's shape still matches
+    /// (the solver falls back to a cold start otherwise).
+    warm_stage1: Option<Basis>,
+    stats: SolveStats,
 }
 
 impl Controller {
@@ -127,7 +136,14 @@ impl Controller {
             finished: Vec::new(),
             expired: Vec::new(),
             rejected_total: 0,
+            warm_stage1: None,
+            stats: SolveStats::default(),
         }
+    }
+
+    /// Aggregated solver work counters over every invocation so far.
+    pub fn stats(&self) -> &SolveStats {
+        &self.stats
     }
 
     /// Currently admitted, unfinished jobs.
@@ -260,8 +276,15 @@ impl Controller {
             }
         }
 
+        // Solver work this invocation; folded into the lifetime counters on
+        // every exit path.
+        let mut inv_stats = SolveStats::default();
+
         // ExtendDeadlines under overload: schedule via RET (Quick-Finish +
-        // capped LPDAR), which completes every job by the extended ends.
+        // capped LPDAR), which completes every job by the extended ends. The
+        // overload probe is a plain Stage-1 solve over the same job set the
+        // pipeline would schedule, so it both consumes and refreshes the
+        // carried warm basis.
         if self.cfg.policy == OverloadPolicy::ExtendDeadlines && !jobs.is_empty() {
             let mut probe_ps = PathSet::new(self.cfg.instance.paths_per_job);
             let probe = Instance::build_with_demands(
@@ -271,7 +294,12 @@ impl Controller {
                 &self.cfg.instance,
                 &mut probe_ps,
             );
-            let z = crate::stage1::solve_stage1_with(&probe, &self.cfg.lp)?.z_star;
+            let s1 = solve_stage1_with_start(&probe, &self.cfg.lp, self.warm_stage1.as_ref())?;
+            inv_stats.merge(&s1.stats);
+            if s1.basis.is_some() {
+                self.warm_stage1 = s1.basis;
+            }
+            let z = s1.z_star;
             if z < 1.0 {
                 if let Some(ret) = solve_ret_with_demands(
                     &self.graph,
@@ -280,6 +308,8 @@ impl Controller {
                     &self.cfg.instance,
                     &self.cfg.ret,
                 )? {
+                    inv_stats.merge(&ret.stats);
+                    self.stats.merge(&inv_stats);
                     extension = ret.b_final;
                     let ext_jobs: Vec<Job> = jobs
                         .iter()
@@ -301,13 +331,16 @@ impl Controller {
                         admitted,
                         rejected,
                         extension,
+                        stats: inv_stats,
                     });
                 }
             }
         }
 
         // Build the instance over the admitted set and schedule with the
-        // two-stage pipeline + LPDAR.
+        // two-stage pipeline + LPDAR, warm-starting Stage 1 from the carried
+        // basis (the previous invocation's — or, under ExtendDeadlines, this
+        // round's overload probe over the identical instance).
         let inst = Instance::build_with_demands(
             &self.graph,
             &jobs,
@@ -315,7 +348,17 @@ impl Controller {
             &self.cfg.instance,
             &mut self.pathset,
         );
-        let pipe = max_throughput_pipeline_with(&inst, self.cfg.alpha, self.cfg.order, &self.cfg.lp)?;
+        let pipe = max_throughput_pipeline_warmed(
+            &inst,
+            self.cfg.alpha,
+            self.cfg.order,
+            &self.cfg.lp,
+            self.warm_stage1.as_ref(),
+        )?;
+        inv_stats.merge(&pipe.stats);
+        if pipe.stage1_basis.is_some() {
+            self.warm_stage1 = pipe.stage1_basis.clone();
+        }
 
         // Refresh the active set: mandatory jobs keep their remaining
         // demand; new jobs enter with full demand. Committed demand under
@@ -324,9 +367,7 @@ impl Controller {
         for (idx, j) in jobs.iter().enumerate() {
             let remaining = demands[idx];
             let committed = match self.cfg.policy {
-                OverloadPolicy::ShrinkDemands => {
-                    remaining.min(pipe.lpdar.transferred(&inst, idx))
-                }
+                OverloadPolicy::ShrinkDemands => remaining.min(pipe.lpdar.transferred(&inst, idx)),
                 _ => remaining,
             };
             next_active.push(ActiveJob {
@@ -336,6 +377,7 @@ impl Controller {
             });
         }
         self.active = next_active;
+        self.stats.merge(&inv_stats);
 
         Ok(InvocationResult {
             z_star: pipe.z_star,
@@ -344,6 +386,7 @@ impl Controller {
             admitted,
             rejected,
             extension,
+            stats: inv_stats,
         })
     }
 }
@@ -441,9 +484,66 @@ mod tests {
         assert!(r.extension > 0.0, "overload must extend deadlines");
         // With extended deadlines the whole demand fits.
         let total: f64 = (0..r.instance.num_jobs())
-            .map(|i| r.schedule.transferred(&r.instance, i).min(r.instance.demands[i]))
+            .map(|i| {
+                r.schedule
+                    .transferred(&r.instance, i)
+                    .min(r.instance.demands[i])
+            })
             .sum();
         assert!((total - r.instance.total_demand()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn controller_accumulates_stats_and_reuses_basis() {
+        let (mut c, g) = controller(4, OverloadPolicy::ShrinkDemands);
+        let js = jobs(&g, 6, 1);
+        let r1 = c.invoke(0.0, &js).unwrap();
+        assert!(r1.stats.solves >= 2, "stage 1 + stage 2 at minimum");
+        // First round: stage 2 warm-starts from stage 1, stage 1 is cold.
+        assert!(r1.stats.warm_starts_accepted >= 1);
+        let after_first = *c.stats();
+        assert_eq!(after_first.solves, r1.stats.solves);
+
+        // Re-invoke with nothing transferred and no arrivals: the same job
+        // set (clamped one slice later) is re-scheduled, and the carried
+        // stage-1 basis warms the new round.
+        let r2 = c.invoke(1.0, &[]).unwrap();
+        assert!(
+            r2.stats.warm_starts_accepted >= 1,
+            "carried basis unused: {:?}",
+            r2.stats
+        );
+        // Lifetime counters accumulate across invocations.
+        assert_eq!(c.stats().solves, after_first.solves + r2.stats.solves);
+        assert_eq!(
+            c.stats().iterations,
+            after_first.iterations + r2.stats.iterations
+        );
+    }
+
+    #[test]
+    fn extend_policy_reports_ret_stats() {
+        let mut g = Graph::new();
+        let ns = g.add_nodes(2);
+        g.add_link_pair(ns[0], ns[1], 1);
+        let cfg = {
+            let mut c = ControllerConfig::paper(1);
+            c.policy = OverloadPolicy::ExtendDeadlines;
+            c
+        };
+        let mut c = Controller::new(g, cfg);
+        let reqs: Vec<Job> = (0..3)
+            .map(|i| Job::new(JobId(i), 0.0, ns[0], ns[1], 300.0, 0.0, 4.0))
+            .collect();
+        let r = c.invoke(0.0, &reqs).unwrap();
+        assert!(r.extension > 0.0);
+        // The probe plus RET's bisection amount to several LP solves.
+        assert!(
+            r.stats.solves > 2,
+            "RET work missing from stats: {:?}",
+            r.stats
+        );
+        assert_eq!(c.stats().solves, r.stats.solves);
     }
 
     #[test]

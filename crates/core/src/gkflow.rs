@@ -116,9 +116,7 @@ pub fn approx_stage1(inst: &Instance, cfg: &GkConfig) -> GkResult {
     let mut length: Vec<f64> = caps.iter().map(|&c| delta / c).collect();
     let mut x = vec![0.0_f64; inst.vars.len()];
 
-    let d_of = |length: &[f64]| -> f64 {
-        length.iter().zip(&caps).map(|(l, c)| l * c).sum()
-    };
+    let d_of = |length: &[f64]| -> f64 { length.iter().zip(&caps).map(|(l, c)| l * c).sum() };
 
     let mut phases = 0usize;
     while d_of(&length) < 1.0 && phases < cfg.max_phases {
@@ -141,11 +139,7 @@ pub fn approx_stage1(inst: &Instance, cfg: &GkConfig) -> GkResult {
                 let c = &cand[best];
                 // Volume step: bounded by the bottleneck capacity so no
                 // single step overruns a resource by more than its capacity.
-                let bottleneck = c
-                    .res
-                    .iter()
-                    .map(|&r| caps[r])
-                    .fold(f64::INFINITY, f64::min);
+                let bottleneck = c.res.iter().map(|&r| caps[r]).fold(f64::INFINITY, f64::min);
                 let vol = remaining.min(bottleneck * c.len);
                 let units = vol / c.len;
                 x[inst.vars.var(i, c.path, c.slice)] += units;
@@ -172,7 +166,11 @@ pub fn approx_stage1(inst: &Instance, cfg: &GkConfig) -> GkResult {
         .filter(|(u, _)| **u > 0.0)
         .map(|(u, c)| c / u)
         .fold(f64::INFINITY, f64::min);
-    let scale = if scale.is_finite() { scale.min(1.0) } else { 1.0 };
+    let scale = if scale.is_finite() {
+        scale.min(1.0)
+    } else {
+        1.0
+    };
     for v in &mut x {
         *v *= scale;
     }

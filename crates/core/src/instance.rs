@@ -267,8 +267,7 @@ impl Instance {
     /// True when some job has no allowed path or an empty window — such a
     /// job can never be scheduled and makes `Z* = 0`.
     pub fn has_unschedulable_job(&self) -> bool {
-        (0..self.num_jobs())
-            .any(|i| self.paths[i].is_empty() || self.vars.window(i).is_empty())
+        (0..self.num_jobs()).any(|i| self.paths[i].is_empty() || self.vars.window(i).is_empty())
     }
 }
 

@@ -45,8 +45,8 @@ pub mod stage2;
 pub mod timegrid;
 
 pub use admission::{admit_by_priority, AdmissionOutcome};
-pub use gkflow::{approx_stage1, GkConfig, GkResult};
 pub use controller::{Controller, ControllerConfig, OverloadPolicy};
+pub use gkflow::{approx_stage1, GkConfig, GkResult};
 pub use instance::{Instance, InstanceConfig, VarMap};
 pub use lpdar::{adjust_rates, adjust_rates_capped, lpdar, lpdar_capped, truncate, AdjustOrder};
 pub use pipeline::{max_throughput_pipeline, PipelineResult};

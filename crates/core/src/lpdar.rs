@@ -43,15 +43,14 @@ pub enum AdjustOrder {
 
 /// LPD: floor every assignment to an integer (paper step 2).
 pub fn truncate(inst: &Instance, lp: &Schedule) -> Schedule {
-    let x = lp
-        .x
-        .iter()
-        .map(|&v| {
-            // Guard against values sitting a hair under an integer due to
-            // LP tolerance: 2.9999999995 truncates to 3, not 2.
-            (v + 1e-9).floor().max(0.0)
-        })
-        .collect();
+    let x =
+        lp.x.iter()
+            .map(|&v| {
+                // Guard against values sitting a hair under an integer due to
+                // LP tolerance: 2.9999999995 truncates to 3, not 2.
+                (v + 1e-9).floor().max(0.0)
+            })
+            .collect();
     Schedule::from_values(inst, x)
 }
 

@@ -9,10 +9,10 @@
 use crate::instance::Instance;
 use crate::lpdar::{adjust_rates, truncate, AdjustOrder};
 use crate::schedule::Schedule;
-use crate::stage1::solve_stage1_with;
-use crate::stage2::solve_stage2_with;
+use crate::stage1::solve_stage1_with_start;
+use crate::stage2::{solve_stage2_weighted_with_start, stage2_basis_from_stage1, WeightPolicy};
 use std::time::{Duration, Instant};
-use wavesched_lp::{SimplexConfig, SolveError};
+use wavesched_lp::{Basis, SimplexConfig, SolveError, SolveStats};
 
 /// Everything the Fig. 1–3 experiments need from one pipeline run.
 #[derive(Debug, Clone)]
@@ -39,16 +39,36 @@ pub struct PipelineResult {
     pub lpd_time: Duration,
     /// Cumulative time to produce LPDAR (LPD + Algorithm 1).
     pub lpdar_time: Duration,
+    /// Stage-1 optimal basis, for warm-starting the next structurally
+    /// identical pipeline run (e.g. the following controller period).
+    pub stage1_basis: Option<Basis>,
+    /// Aggregated solver work counters across both stages.
+    pub stats: SolveStats,
 }
 
 impl PipelineResult {
     /// LPD throughput normalized by LP's (the paper's Fig. 1/2 y-axis).
+    ///
+    /// When `lp_throughput` is zero (nothing schedulable, so LP, LPD and
+    /// LPDAR all moved nothing) the ratio is reported as 1.0 — the
+    /// discretization lost nothing — rather than the NaN a literal `0/0`
+    /// would give.
     pub fn lpd_normalized(&self) -> f64 {
+        if self.lp_throughput == 0.0 {
+            return 1.0;
+        }
         self.lpd_throughput / self.lp_throughput
     }
 
     /// LPDAR throughput normalized by LP's.
+    ///
+    /// Reports 1.0 when `lp_throughput` is zero; see [`lpd_normalized`].
+    ///
+    /// [`lpd_normalized`]: PipelineResult::lpd_normalized
     pub fn lpdar_normalized(&self) -> f64 {
+        if self.lp_throughput == 0.0 {
+            return 1.0;
+        }
         self.lpdar_throughput / self.lp_throughput
     }
 }
@@ -66,11 +86,41 @@ pub fn max_throughput_pipeline_with(
     order: AdjustOrder,
     cfg: &SimplexConfig,
 ) -> Result<PipelineResult, SolveError> {
+    max_throughput_pipeline_warmed(inst, alpha, order, cfg, None)
+}
+
+/// Runs the two-stage pipeline, warm-starting Stage 1 from `stage1_start`.
+///
+/// Stage 2 is always warm-started from the Stage-1 optimum (the two stages
+/// share their polytope; see
+/// [`stage2_basis_from_stage1`](crate::stage2::stage2_basis_from_stage1)),
+/// and `stage1_start` — typically [`PipelineResult::stage1_basis`] of the
+/// previous controller period — additionally seeds Stage 1 itself. Either
+/// warm start degrades to a cold solve on shape mismatch; the schedules are
+/// identical either way.
+pub fn max_throughput_pipeline_warmed(
+    inst: &Instance,
+    alpha: f64,
+    order: AdjustOrder,
+    cfg: &SimplexConfig,
+    stage1_start: Option<&Basis>,
+) -> Result<PipelineResult, SolveError> {
     let t0 = Instant::now();
-    let s1 = solve_stage1_with(inst, cfg)?;
+    let s1 = solve_stage1_with_start(inst, cfg, stage1_start)?;
     let stage1_time = t0.elapsed();
 
-    let s2 = solve_stage2_with(inst, s1.z_star, alpha, cfg)?;
+    let s2_start = s1
+        .basis
+        .as_ref()
+        .and_then(|b| stage2_basis_from_stage1(b, inst.vars.len()));
+    let s2 = solve_stage2_weighted_with_start(
+        inst,
+        s1.z_star,
+        alpha,
+        &WeightPolicy::DemandProportional,
+        cfg,
+        s2_start.as_ref(),
+    )?;
     let lp_time = t0.elapsed();
 
     let lpd = truncate(inst, &s2.schedule);
@@ -78,6 +128,9 @@ pub fn max_throughput_pipeline_with(
 
     let adj = adjust_rates(inst, &lpd, order);
     let lpdar_time = t0.elapsed();
+
+    let mut stats = s1.stats;
+    stats.merge(&s2.stats);
 
     Ok(PipelineResult {
         z_star: s1.z_star,
@@ -91,6 +144,8 @@ pub fn max_throughput_pipeline_with(
         lp_time,
         lpd_time,
         lpdar_time,
+        stage1_basis: s1.basis,
+        stats,
     })
 }
 
@@ -142,6 +197,47 @@ mod tests {
         );
         // And LPD should be visibly worse or equal.
         assert!(r.lpd_normalized() <= r.lpdar_normalized() + 1e-9);
+    }
+
+    #[test]
+    fn normalized_ratios_defined_when_nothing_schedulable() {
+        // A job whose window can't fit a single slice produces an LP
+        // throughput of exactly zero; the normalized ratios must report a
+        // lossless 1.0, not NaN.
+        use wavesched_net::abilene14;
+        use wavesched_workload::{Job, JobId};
+        let (g, nodes) = abilene14(2);
+        let job = Job::new(JobId(0), 0.0, nodes[0], nodes[1], 10.0, 0.2, 0.8);
+        let cfg = InstanceConfig::paper(2);
+        let mut ps = PathSet::new(cfg.paths_per_job);
+        let inst = Instance::build(&g, &[job], &cfg, &mut ps);
+        let r = max_throughput_pipeline(&inst, 0.1).unwrap();
+        assert_eq!(r.lp_throughput, 0.0);
+        assert_eq!(r.lpd_normalized(), 1.0);
+        assert_eq!(r.lpdar_normalized(), 1.0);
+    }
+
+    #[test]
+    fn warmed_pipeline_matches_cold_and_saves_work() {
+        // Re-running the pipeline on the same instance, warm-started from
+        // the previous run's Stage-1 basis, must reproduce the same optima
+        // with both warm starts accepted.
+        let inst = abilene_instance(12, 2, 21);
+        let cfg = SimplexConfig::default();
+        let cold = max_throughput_pipeline_with(&inst, 0.1, AdjustOrder::Paper, &cfg).unwrap();
+        let warm = max_throughput_pipeline_warmed(
+            &inst,
+            0.1,
+            AdjustOrder::Paper,
+            &cfg,
+            cold.stage1_basis.as_ref(),
+        )
+        .unwrap();
+        assert!((warm.z_star - cold.z_star).abs() < 1e-9);
+        assert!((warm.lp_throughput - cold.lp_throughput).abs() < 1e-9);
+        // Stage 1 re-solve and Stage 2 both start from optimal bases.
+        assert_eq!(warm.stats.warm_starts_accepted, 2);
+        assert!(warm.stats.iterations <= cold.stats.iterations);
     }
 
     #[test]

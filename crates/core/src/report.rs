@@ -69,7 +69,11 @@ pub fn link_utilization(inst: &Instance, sched: &Schedule, top: usize) -> String
     rows.truncate(top);
 
     let mut out = String::new();
-    let _ = writeln!(out, "{:<28} {:>5} {:>6} {:>6}", "link @ slice", "used", "cap", "util");
+    let _ = writeln!(
+        out,
+        "{:<28} {:>5} {:>6} {:>6}",
+        "link @ slice", "used", "cap", "util"
+    );
     for ((e, s), used, cap) in rows {
         let edge = wavesched_net::EdgeId(e);
         let name = format!(

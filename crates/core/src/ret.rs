@@ -16,7 +16,11 @@ use crate::builders::{add_assignment_cols, add_capacity_rows, job_volume_coeffs}
 use crate::instance::{Instance, InstanceConfig};
 use crate::lpdar::{lpdar_capped, AdjustOrder};
 use crate::schedule::Schedule;
-use wavesched_lp::{solve_with, Objective, Problem, SimplexConfig, SolveError, Status};
+use std::ops::Range;
+use wavesched_lp::{
+    solve_with, Col, Objective, Problem, SimplexConfig, SolveError, SolveStats, SolverSession,
+    Status,
+};
 use wavesched_net::{Graph, PathSet};
 use wavesched_workload::Job;
 
@@ -64,6 +68,12 @@ pub struct RetConfig {
     pub lp: SimplexConfig,
     /// Safety cap on δ-growth iterations.
     pub max_delta_steps: usize,
+    /// Answer the bisection's feasibility probes in a single
+    /// [`SolverSession`] built at `b_max`, warm-starting every probe from
+    /// the previous optimal basis (see [`solve_ret`]). Disable to force a
+    /// fresh cold solve per probe; the search trajectory and the returned
+    /// schedules are identical either way — only the work counters differ.
+    pub warm_start: bool,
 }
 
 impl Default for RetConfig {
@@ -76,6 +86,7 @@ impl Default for RetConfig {
             order: AdjustOrder::Paper,
             lp: SimplexConfig::default(),
             max_delta_steps: 60,
+            warm_start: true,
         }
     }
 }
@@ -97,11 +108,17 @@ pub struct RetResult {
     pub lpd: Schedule,
     /// LPDAR solution at `b_final` — completes every job by construction.
     pub lpdar: Schedule,
-    /// Number of LP solves performed (bisection + growth).
-    pub lp_solves: usize,
+    /// Aggregated solver work over every LP solve Algorithm 2 performed
+    /// (bisection probes + δ-growth), including warm-start accounting.
+    pub stats: SolveStats,
 }
 
 impl RetResult {
+    /// Number of LP solves performed (bisection + growth), derived from
+    /// [`RetResult::stats`].
+    pub fn lp_solves(&self) -> usize {
+        self.stats.solves as usize
+    }
     /// Fraction of jobs finished by the fractional solution (1.0 whenever
     /// SUB-RET is feasible — completion is a hard constraint).
     pub fn lp_fraction_finished(&self) -> f64 {
@@ -130,18 +147,17 @@ impl RetResult {
     }
 }
 
-/// Builds the SUB-RET problem on an (already end-extended) instance.
-///
-/// With `quick_finish` the objective is the paper's `gamma(j) = j+1` cost;
-/// without, a zero objective turns the solve into a pure feasibility check
-/// (phase 1 only).
-fn build_subret(inst: &Instance, quick_finish: bool) -> Problem {
+/// Tolerance on the probe LP's completion ratio: SUB-RET counts as feasible
+/// when every job can reach at least `1 - RET_PROBE_TOL` of its demand.
+const RET_PROBE_TOL: f64 = 1e-6;
+
+/// Builds the SUB-RET problem (Quick-Finish objective, eqs. 14–16) on an
+/// (already end-extended) instance.
+fn build_subret(inst: &Instance) -> Problem {
     let mut p = Problem::new(Objective::Minimize);
     let cols = add_assignment_cols(&mut p, inst);
-    if quick_finish {
-        for (var, _, _, slice) in inst.vars.iter() {
-            p.set_cost(cols[var], (slice + 1) as f64);
-        }
+    for (var, _, _, slice) in inst.vars.iter() {
+        p.set_cost(cols[var], (slice + 1) as f64);
     }
     // Eq. 15: every job moves at least its demand.
     for i in 0..inst.num_jobs() {
@@ -150,6 +166,242 @@ fn build_subret(inst: &Instance, quick_finish: bool) -> Problem {
     }
     add_capacity_rows(&mut p, inst, &cols);
     p
+}
+
+/// Builds the bisection's feasibility probe as an always-feasible LP:
+/// maximize the common completion ratio `z` (capped at 1) subject to
+/// `volume_i >= z D_i` — Stage 1's question with completion inequalities.
+/// SUB-RET at the same windows is feasible exactly when `z* = 1`; testing
+/// `z* >= 1 - RET_PROBE_TOL` makes the check robust. Because `x = 0, z = 0`
+/// is always feasible, a warm start never has to prove infeasibility — the
+/// situation where a warm simplex must discard its basis — so re-solves in
+/// a session stay warm across the whole search.
+fn build_probe(inst: &Instance) -> Problem {
+    let mut p = Problem::new(Objective::Maximize);
+    let cols = add_assignment_cols(&mut p, inst);
+    let z = p.add_col(0.0, 1.0, 1.0);
+    for i in 0..inst.num_jobs() {
+        let mut coeffs = job_volume_coeffs(inst, &cols, i);
+        coeffs.push((z, -inst.demands[i]));
+        p.add_row(0.0, f64::INFINITY, &coeffs);
+    }
+    add_capacity_rows(&mut p, inst, &cols);
+    p
+}
+
+/// Answers the bisection's feasibility questions `feasible(b)?`.
+///
+/// Both modes answer through the same [`build_probe`] LP, so the probe
+/// answers — and therefore the bisection trajectory and `b̂` — never depend
+/// on `warm_start`. With warm starts enabled, that LP is built **once** at
+/// `b_max` — whose variable space contains every probe's, since windows
+/// only grow with `b` — and each probe merely retightens column bounds:
+/// variables of slices outside a job's window at the trial `b` are fixed to
+/// `[0, 0]`, the rest restored to `[0, bottleneck]`. That restricted LP
+/// asks the same question as the instance built directly at `b` (the extra
+/// capacity rows are satisfied trivially by the zeros, and the completion
+/// rows reduce to the in-window sums). Each probe re-solves in one
+/// [`SolverSession`], warm-starting from the previous optimal basis;
+/// structural trouble degrades to a cold solve inside the session, never to
+/// a wrong answer.
+struct Prober<'a> {
+    graph: &'a Graph,
+    jobs: &'a [Job],
+    demands: &'a [f64],
+    inst_cfg: &'a InstanceConfig,
+    cfg: &'a RetConfig,
+    pathset: &'a mut PathSet,
+    warm: Option<WarmProbe>,
+    stats: SolveStats,
+}
+
+/// The reusable probe LP (see [`Prober`]).
+struct WarmProbe {
+    /// The instance at `b_max`; every probe's windows nest inside its own.
+    inst: Instance,
+    session: SolverSession,
+    /// Per-variable upper bound (the path's bottleneck wavelength count).
+    upper: Vec<f64>,
+}
+
+impl<'a> Prober<'a> {
+    fn new(
+        graph: &'a Graph,
+        jobs: &'a [Job],
+        demands: &'a [f64],
+        inst_cfg: &'a InstanceConfig,
+        cfg: &'a RetConfig,
+        pathset: &'a mut PathSet,
+    ) -> Result<Self, SolveError> {
+        let mut warm = None;
+        if cfg.warm_start {
+            let inst =
+                extended_instance(graph, jobs, demands, cfg.b_max, cfg.mode, inst_cfg, pathset);
+            // An unschedulable job at b_max stays unschedulable at every
+            // smaller b (windows shrink, paths don't change); the cold
+            // probes then answer without solving, so a session is useless.
+            if !inst.has_unschedulable_job() {
+                let p = build_probe(&inst);
+                let session = SolverSession::with_config(&p, &cfg.lp)?;
+                let upper: Vec<f64> = inst
+                    .vars
+                    .iter()
+                    .map(|(_, job, path, _)| {
+                        inst.paths[job][path].bottleneck_wavelengths(&inst.graph) as f64
+                    })
+                    .collect();
+                warm = Some(WarmProbe {
+                    inst,
+                    session,
+                    upper,
+                });
+            }
+        }
+        Ok(Prober {
+            graph,
+            jobs,
+            demands,
+            inst_cfg,
+            cfg,
+            pathset,
+            warm,
+            stats: SolveStats::default(),
+        })
+    }
+
+    /// Is the fractional SUB-RET feasible at extension `b`?
+    fn feasible(&mut self, b: f64) -> Result<bool, SolveError> {
+        let Some(wp) = self.warm.as_mut() else {
+            return self.feasible_cold(b);
+        };
+        // Windows at trial b, on the b_max grid. The grid is uniform, so a
+        // window that fits under the b_max horizon is the same range the
+        // shorter grid of the b-instance would produce.
+        let mut windows: Vec<Range<usize>> = Vec::with_capacity(self.jobs.len());
+        for job in self.jobs {
+            let ext = self.cfg.mode.apply(job, b);
+            let w = wp.inst.grid.window_slices(ext.start, ext.end);
+            if w.is_empty() {
+                // Mirrors the cold path's `has_unschedulable_job` check:
+                // answer without an LP solve.
+                return Ok(false);
+            }
+            windows.push(w);
+        }
+        for (var, job, _, slice) in wp.inst.vars.iter() {
+            let ub = if windows[job].contains(&slice) {
+                wp.upper[var]
+            } else {
+                0.0
+            };
+            wp.session.set_col_bounds(Col::from_index(var), 0.0, ub);
+        }
+        let sol = wp.session.solve()?;
+        self.stats.merge(&sol.stats);
+        Ok(sol.status == Status::Optimal && sol.objective >= 1.0 - RET_PROBE_TOL)
+    }
+
+    /// The per-probe cold path: build the instance and the probe LP at `b`
+    /// and solve from scratch.
+    fn feasible_cold(&mut self, b: f64) -> Result<bool, SolveError> {
+        let inst = extended_instance(
+            self.graph,
+            self.jobs,
+            self.demands,
+            b,
+            self.cfg.mode,
+            self.inst_cfg,
+            self.pathset,
+        );
+        if inst.has_unschedulable_job() {
+            return Ok(false);
+        }
+        let p = build_probe(&inst);
+        let sol = solve_with(&p, &self.cfg.lp)?;
+        self.stats.merge(&sol.stats);
+        Ok(sol.status == Status::Optimal && sol.objective >= 1.0 - RET_PROBE_TOL)
+    }
+
+    /// Ends probing, releasing the path cache and yielding the work done.
+    fn finish(self) -> SolveStats {
+        self.stats
+    }
+}
+
+/// Per-variable upper bounds for an instance's assignment columns: the
+/// bottleneck wavelength count of the variable's path.
+fn bottleneck_uppers(inst: &Instance) -> Vec<f64> {
+    inst.vars
+        .iter()
+        .map(|(_, job, path, _)| inst.paths[job][path].bottleneck_wavelengths(&inst.graph) as f64)
+        .collect()
+}
+
+/// The δ-growth loop's Quick-Finish solver: one SUB-RET LP on the `b_max`
+/// envelope, re-solved per step with column bounds retightened to the
+/// step's windows and warm-started from the previous step's optimal basis.
+///
+/// Used in **both** warm and cold [`RetConfig`] modes: consecutive δ-steps
+/// run the exact same deterministic call sequence either way, so the
+/// fractional points — and therefore the LPDAR schedules and `b_final` —
+/// cannot depend on `warm_start`. (Probing is where the modes differ; see
+/// [`Prober`].)
+struct GrowthSession {
+    inst: Instance,
+    session: SolverSession,
+    upper: Vec<f64>,
+}
+
+impl GrowthSession {
+    fn new(inst: Instance, lp: &SimplexConfig) -> Result<Self, SolveError> {
+        let p = build_subret(&inst);
+        let session = SolverSession::with_config(&p, lp)?;
+        let upper = bottleneck_uppers(&inst);
+        Ok(GrowthSession {
+            inst,
+            session,
+            upper,
+        })
+    }
+
+    /// Solves the Quick-Finish SUB-RET at extension `b` and maps the
+    /// solution onto `inst_b` (the instance built directly at `b`, whose
+    /// windows nest inside the envelope's). Returns the status and, when
+    /// optimal, the values over `inst_b`'s variables.
+    fn solve_step(
+        &mut self,
+        inst_b: &Instance,
+        jobs: &[Job],
+        mode: RetMode,
+        b: f64,
+        stats: &mut SolveStats,
+    ) -> Result<(Status, Option<Vec<f64>>), SolveError> {
+        let windows: Vec<Range<usize>> = jobs
+            .iter()
+            .map(|job| {
+                let ext = mode.apply(job, b);
+                self.inst.grid.window_slices(ext.start, ext.end)
+            })
+            .collect();
+        for (var, job, _, slice) in self.inst.vars.iter() {
+            let ub = if windows[job].contains(&slice) {
+                self.upper[var]
+            } else {
+                0.0
+            };
+            self.session.set_col_bounds(Col::from_index(var), 0.0, ub);
+        }
+        let sol = self.session.solve()?;
+        stats.merge(&sol.stats);
+        let x = (sol.status == Status::Optimal).then(|| {
+            inst_b
+                .vars
+                .iter()
+                .map(|(_, job, path, slice)| sol.x[self.inst.vars.var(job, path, slice)])
+                .collect()
+        });
+        Ok((sol.status, x))
+    }
 }
 
 /// Builds the instance with every window relaxed by `(1+b)` per `mode`.
@@ -176,7 +428,10 @@ pub fn solve_ret(
     inst_cfg: &InstanceConfig,
     cfg: &RetConfig,
 ) -> Result<Option<RetResult>, SolveError> {
-    let demands: Vec<f64> = jobs.iter().map(|j| inst_cfg.demand_units(j.size_gb)).collect();
+    let demands: Vec<f64> = jobs
+        .iter()
+        .map(|j| inst_cfg.demand_units(j.size_gb))
+        .collect();
     solve_ret_with_demands(graph, jobs, &demands, inst_cfg, cfg)
 }
 
@@ -192,29 +447,18 @@ pub fn solve_ret_with_demands(
     assert!(!jobs.is_empty(), "RET needs at least one job");
     assert_eq!(jobs.len(), demands.len());
     let mut pathset = PathSet::new(inst_cfg.paths_per_job);
-    let mut lp_solves = 0usize;
-
-    let mut feasible = |b: f64, lp_solves: &mut usize| -> Result<bool, SolveError> {
-        let inst = extended_instance(graph, jobs, demands, b, cfg.mode, inst_cfg, &mut pathset);
-        if inst.has_unschedulable_job() {
-            return Ok(false);
-        }
-        let p = build_subret(&inst, false);
-        *lp_solves += 1;
-        let sol = solve_with(&p, &cfg.lp)?;
-        Ok(sol.status == Status::Optimal)
-    };
 
     // Step 1: binary search for the smallest feasible b (fractional).
-    let b_lp = if feasible(0.0, &mut lp_solves)? {
+    let mut prober = Prober::new(graph, jobs, demands, inst_cfg, cfg, &mut pathset)?;
+    let b_lp = if prober.feasible(0.0)? {
         0.0
-    } else if !feasible(cfg.b_max, &mut lp_solves)? {
+    } else if !prober.feasible(cfg.b_max)? {
         return Ok(None);
     } else {
         let (mut lo, mut hi) = (0.0, cfg.b_max);
         while hi - lo > cfg.bsearch_tol {
             let mid = 0.5 * (lo + hi);
-            if feasible(mid, &mut lp_solves)? {
+            if prober.feasible(mid)? {
                 hi = mid;
             } else {
                 lo = mid;
@@ -222,24 +466,41 @@ pub fn solve_ret_with_demands(
         }
         hi
     };
-    // End the closure's mutable borrow of `pathset`.
-    #[allow(clippy::drop_non_drop)]
-    drop(feasible);
+    let mut stats = prober.finish();
 
     // Steps 2–5: solve with Quick-Finish, discretize with LPDAR, grow b by
-    // delta until the integral schedule completes everything.
+    // delta until the integral schedule completes everything. The solves
+    // chain through one envelope session in *both* modes (see
+    // [`GrowthSession`]); only an extension past b_max — possible on the
+    // final step — exceeds the envelope and drops to a one-off cold build,
+    // again identically in both modes.
+    let env = extended_instance(
+        graph,
+        jobs,
+        demands,
+        cfg.b_max,
+        cfg.mode,
+        inst_cfg,
+        &mut pathset,
+    );
+    let mut growth = GrowthSession::new(env, &cfg.lp)?;
     let mut b = b_lp;
     for _ in 0..cfg.max_delta_steps {
         let inst = extended_instance(graph, jobs, demands, b, cfg.mode, inst_cfg, &mut pathset);
-        let p = build_subret(&inst, true);
-        lp_solves += 1;
-        let sol = solve_with(&p, &cfg.lp)?;
-        if sol.status == Status::Optimal {
-            let lp_sched = Schedule::from_values(&inst, sol.x[..inst.vars.len()].to_vec());
+        let (status, x) = if b <= cfg.b_max {
+            growth.solve_step(&inst, jobs, cfg.mode, b, &mut stats)?
+        } else {
+            let p = build_subret(&inst);
+            let sol = solve_with(&p, &cfg.lp)?;
+            stats.merge(&sol.stats);
+            let x = (sol.status == Status::Optimal).then(|| sol.x[..inst.vars.len()].to_vec());
+            (sol.status, x)
+        };
+        if status == Status::Optimal {
+            let lp_sched = Schedule::from_values(&inst, x.expect("optimal solve carries values"));
             let lpd = crate::lpdar::truncate(&inst, &lp_sched);
             let adj = lpdar_capped(&inst, &lp_sched, cfg.order);
-            let all_done = (0..inst.num_jobs())
-                .all(|i| adj.completes(&inst, i, COMPLETION_TOL));
+            let all_done = (0..inst.num_jobs()).all(|i| adj.completes(&inst, i, COMPLETION_TOL));
             if all_done {
                 return Ok(Some(RetResult {
                     b_lp,
@@ -248,7 +509,7 @@ pub fn solve_ret_with_demands(
                     lpd,
                     lpdar: adj,
                     instance: inst,
-                    lp_solves,
+                    stats,
                 }));
             }
         }
@@ -371,6 +632,88 @@ mod tests {
         let cfg = InstanceConfig::paper(2);
         let r = solve_ret(&g, &[job], &cfg, &RetConfig::default()).unwrap();
         assert!(r.is_none());
+    }
+
+    #[test]
+    fn warm_probes_match_cold_bitwise() {
+        // Same b̂, same final b, and the exact same schedules — the session
+        // only changes how fast probes are answered, never the answers.
+        for seed in [2, 4, 7] {
+            let (g, jobs) = overloaded_jobs(10, seed);
+            let cfg = InstanceConfig::paper(2);
+            let cold_cfg = RetConfig {
+                warm_start: false,
+                ..RetConfig::default()
+            };
+            let cold = solve_ret(&g, &jobs, &cfg, &cold_cfg)
+                .unwrap()
+                .expect("cold feasible");
+            let warm = solve_ret(&g, &jobs, &cfg, &RetConfig::default())
+                .unwrap()
+                .expect("warm feasible");
+            assert_eq!(cold.b_lp.to_bits(), warm.b_lp.to_bits(), "seed {seed}");
+            assert_eq!(
+                cold.b_final.to_bits(),
+                warm.b_final.to_bits(),
+                "seed {seed}"
+            );
+            assert_eq!(cold.lp, warm.lp, "seed {seed}");
+            assert_eq!(cold.lpd, warm.lpd, "seed {seed}");
+            assert_eq!(cold.lpdar, warm.lpdar, "seed {seed}");
+            assert_eq!(cold.lp_solves(), warm.lp_solves(), "seed {seed}");
+            // Cold mode still chains the δ-growth session (shared by both
+            // modes); the warm mode adds the probe session on top.
+            assert!(
+                warm.stats.warm_starts_accepted >= cold.stats.warm_starts_accepted,
+                "seed {seed}"
+            );
+            assert!(
+                warm.stats.iterations <= cold.stats.iterations,
+                "seed {seed}: warm {} > cold {}",
+                warm.stats.iterations,
+                cold.stats.iterations
+            );
+        }
+    }
+
+    #[test]
+    fn warm_probes_cut_iterations_on_fig4_workload() {
+        // The Fig. 4 RET workload (scaled to test size): warm-started probes
+        // must save at least 30% of the total simplex iterations.
+        let (g, _) = abilene14(2);
+        let jobs = WorkloadGenerator::new(WorkloadConfig {
+            num_jobs: 15,
+            seed: 3000,
+            size_gb: (100.0, 400.0),
+            window: (2.0, 4.0),
+            ..Default::default()
+        })
+        .generate(&g);
+        let cfg = InstanceConfig::paper(2);
+        let base = RetConfig {
+            bsearch_tol: 0.05,
+            b_max: 10.0,
+            max_delta_steps: 120,
+            ..RetConfig::default()
+        };
+        let cold_cfg = RetConfig {
+            warm_start: false,
+            ..base.clone()
+        };
+        let cold = solve_ret(&g, &jobs, &cfg, &cold_cfg)
+            .unwrap()
+            .expect("cold feasible");
+        let warm = solve_ret(&g, &jobs, &cfg, &base)
+            .unwrap()
+            .expect("warm feasible");
+        assert_eq!(cold.b_lp.to_bits(), warm.b_lp.to_bits());
+        assert_eq!(cold.lpdar, warm.lpdar);
+        assert!(
+            (warm.stats.iterations as f64) <= 0.7 * cold.stats.iterations as f64,
+            "warm {} vs cold {} iterations: less than 30% saved",
+            warm.stats.iterations,
+            cold.stats.iterations
+        );
     }
 
     #[test]

@@ -8,7 +8,9 @@
 use crate::builders::{add_assignment_cols, add_capacity_rows, job_volume_coeffs};
 use crate::instance::Instance;
 use crate::schedule::Schedule;
-use wavesched_lp::{solve_with, Objective, Problem, SimplexConfig, SolveError, SolveStats, Status};
+use wavesched_lp::{
+    solve_with_start, Basis, Objective, Problem, SimplexConfig, SolveError, SolveStats, Status,
+};
 
 /// Result of the Stage-1 solve.
 #[derive(Debug, Clone)]
@@ -17,6 +19,11 @@ pub struct Stage1Result {
     pub z_star: f64,
     /// The fractional assignment achieving `Z*`.
     pub schedule: Schedule,
+    /// The optimal simplex basis, for warm-starting related solves: Stage 2
+    /// over the same instance (see
+    /// [`stage2_basis_from_stage1`](crate::stage2::stage2_basis_from_stage1))
+    /// or the next controller round's Stage 1. `None` for empty instances.
+    pub basis: Option<Basis>,
     /// Solver work counters.
     pub stats: SolveStats,
 }
@@ -27,14 +34,26 @@ pub fn solve_stage1(inst: &Instance) -> Result<Stage1Result, SolveError> {
 }
 
 /// Solves the Stage-1 MCF with explicit simplex settings.
-pub fn solve_stage1_with(
+pub fn solve_stage1_with(inst: &Instance, cfg: &SimplexConfig) -> Result<Stage1Result, SolveError> {
+    solve_stage1_with_start(inst, cfg, None)
+}
+
+/// Solves the Stage-1 MCF, warm-starting from `start` when given.
+///
+/// The basis is typically the [`Stage1Result::basis`] of a previous,
+/// structurally identical solve (e.g. the preceding controller period). A
+/// basis of the wrong shape degrades to a cold solve — the result is the
+/// same either way, only [`SolveStats`] differ.
+pub fn solve_stage1_with_start(
     inst: &Instance,
     cfg: &SimplexConfig,
+    start: Option<&Basis>,
 ) -> Result<Stage1Result, SolveError> {
     if inst.num_jobs() == 0 {
         return Ok(Stage1Result {
             z_star: f64::INFINITY,
             schedule: Schedule::zero(inst),
+            basis: None,
             stats: SolveStats::default(),
         });
     }
@@ -51,14 +70,12 @@ pub fn solve_stage1_with(
     }
     add_capacity_rows(&mut p, inst, &cols);
 
-    let sol = solve_with(&p, cfg)?;
+    let sol = solve_with_start(&p, cfg, start)?;
     match sol.status {
         Status::Optimal => Ok(Stage1Result {
             z_star: sol.objective,
-            schedule: Schedule::from_values(
-                inst,
-                sol.x[..inst.vars.len()].to_vec(),
-            ),
+            schedule: Schedule::from_values(inst, sol.x[..inst.vars.len()].to_vec()),
+            basis: sol.basis,
             stats: sol.stats,
         }),
         // Z = 0, x = 0 is always feasible, so anything else is a solver

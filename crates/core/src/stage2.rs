@@ -12,7 +12,9 @@
 use crate::builders::{add_assignment_cols, add_capacity_rows, job_volume_coeffs};
 use crate::instance::Instance;
 use crate::schedule::Schedule;
-use wavesched_lp::{solve_with, Objective, Problem, SimplexConfig, SolveError, SolveStats, Status};
+use wavesched_lp::{
+    solve_with_start, Basis, Objective, Problem, SimplexConfig, SolveError, SolveStats, Status,
+};
 
 /// The job weights `w_i` in the Stage-2 objective `sum_i w_i Z_i / sum_i w_i`.
 ///
@@ -55,19 +57,35 @@ pub struct Stage2Result {
     pub schedule: Schedule,
     /// Weighted throughput (eq. 7) of the fractional solution.
     pub objective: f64,
+    /// The optimal simplex basis. `None` for empty instances.
+    pub basis: Option<Basis>,
     /// Solver work counters.
     pub stats: SolveStats,
+}
+
+/// Maps a Stage-1 optimal basis onto the Stage-2 problem over the same
+/// instance.
+///
+/// The two stages share their variable space exactly — one column per
+/// assignment variable in [`Instance::vars`] order plus a trailing `Z`
+/// column — and their row layout (one row per job, then one per capacity
+/// group in sorted key order). Only bounds and costs differ, which warm
+/// starting absorbs: the Stage-1 optimal vertex `(x*, Z*)` is feasible for
+/// Stage 2 as-is, so the basis transfers verbatim. Returns `None` when the
+/// shape doesn't match (`num_vars` is the assignment-variable count,
+/// `inst.vars.len()`); callers then simply solve cold.
+pub fn stage2_basis_from_stage1(stage1: &Basis, num_vars: usize) -> Option<Basis> {
+    if stage1.cols.len() != num_vars + 1 {
+        return None;
+    }
+    Some(stage1.clone())
 }
 
 /// Solves the Stage-2 relaxation with default simplex settings.
 ///
 /// `z_star` is the Stage-1 maximum concurrent throughput; `alpha` the
 /// fairness slack (0.1 in the paper's evaluation).
-pub fn solve_stage2(
-    inst: &Instance,
-    z_star: f64,
-    alpha: f64,
-) -> Result<Stage2Result, SolveError> {
+pub fn solve_stage2(inst: &Instance, z_star: f64, alpha: f64) -> Result<Stage2Result, SolveError> {
     solve_stage2_with(inst, z_star, alpha, &SimplexConfig::default())
 }
 
@@ -93,11 +111,29 @@ pub fn solve_stage2_weighted(
     weights: &WeightPolicy,
     cfg: &SimplexConfig,
 ) -> Result<Stage2Result, SolveError> {
+    solve_stage2_weighted_with_start(inst, z_star, alpha, weights, cfg, None)
+}
+
+/// Solves the Stage-2 relaxation, warm-starting from `start` when given.
+///
+/// The natural start is the Stage-1 optimum over the same instance, mapped
+/// via [`stage2_basis_from_stage1`]: Stage 2 explores the same polytope from
+/// a vertex that already satisfies the capacity rows and sits on the fairness
+/// floors. A mismatched basis degrades to a cold solve.
+pub fn solve_stage2_weighted_with_start(
+    inst: &Instance,
+    z_star: f64,
+    alpha: f64,
+    weights: &WeightPolicy,
+    cfg: &SimplexConfig,
+    start: Option<&Basis>,
+) -> Result<Stage2Result, SolveError> {
     assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
     if inst.num_jobs() == 0 {
         return Ok(Stage2Result {
             schedule: Schedule::zero(inst),
             objective: 0.0,
+            basis: None,
             stats: SolveStats::default(),
         });
     }
@@ -105,6 +141,14 @@ pub fn solve_stage2_weighted(
     let total_weight: f64 = (0..inst.num_jobs()).map(|i| weights.weight(inst, i)).sum();
     let mut p = Problem::new(Objective::Maximize);
     let cols = add_assignment_cols(&mut p, inst);
+    // A costless fairness-level variable Z >= (1-alpha) Z*, mirroring
+    // Stage 1's Z column so the two problems share one variable space and a
+    // Stage-1 basis installs verbatim. Writing the fairness rows as
+    // `volume_i - D_i Z >= 0` is equivalent to the literal floor
+    // `volume_i >= (1-alpha) Z* D_i`: lowering Z only relaxes the rows, so
+    // the x-projections of the two feasible sets coincide, and the objective
+    // doesn't involve Z.
+    let z = p.add_col((1.0 - alpha) * z_star, f64::INFINITY, 0.0);
 
     // Objective: sum_i (w_i / D_i) sum_{p,j} x·LEN / sum_i w_i
     // (eq. 7 generalized; with w_i = D_i this is total volume / total demand).
@@ -115,17 +159,18 @@ pub fn solve_stage2_weighted(
 
     // Fairness (eq. 9): per-job transferred volume >= (1-alpha) Z* D_i.
     for i in 0..inst.num_jobs() {
-        let coeffs = job_volume_coeffs(inst, &cols, i);
-        let floor = (1.0 - alpha) * z_star * inst.demands[i];
-        p.add_row(floor, f64::INFINITY, &coeffs);
+        let mut coeffs = job_volume_coeffs(inst, &cols, i);
+        coeffs.push((z, -inst.demands[i]));
+        p.add_row(0.0, f64::INFINITY, &coeffs);
     }
     add_capacity_rows(&mut p, inst, &cols);
 
-    let sol = solve_with(&p, cfg)?;
+    let sol = solve_with_start(&p, cfg, start)?;
     match sol.status {
         Status::Optimal => Ok(Stage2Result {
             schedule: Schedule::from_values(inst, sol.x[..inst.vars.len()].to_vec()),
             objective: sol.objective,
+            basis: sol.basis,
             stats: sol.stats,
         }),
         // With z_star from Stage 1 the fairness floors are feasible by
@@ -246,14 +291,9 @@ mod tests {
         let inst = build(&g, &[small, large], 1);
         let cfg = wavesched_lp::SimplexConfig::default();
 
-        let fav_large = solve_stage2_weighted(
-            &inst,
-            0.0,
-            1.0,
-            &WeightPolicy::DemandProportional,
-            &cfg,
-        )
-        .unwrap();
+        let fav_large =
+            solve_stage2_weighted(&inst, 0.0, 1.0, &WeightPolicy::DemandProportional, &cfg)
+                .unwrap();
         let fav_small =
             solve_stage2_weighted(&inst, 0.0, 1.0, &WeightPolicy::InverseDemand, &cfg).unwrap();
         // Under inverse weighting the small job's throughput cannot drop.
@@ -279,6 +319,58 @@ mod tests {
         let w = WeightPolicy::Importance(vec![1.0, 5.0, 1.0, 1.0]);
         let r = solve_stage2_weighted(&inst, s1.z_star, 0.1, &w, &Default::default()).unwrap();
         assert!(r.schedule.max_capacity_violation(&inst) < 1e-6);
+    }
+
+    #[test]
+    fn warm_start_from_stage1_matches_cold() {
+        let (g, _) = abilene14(4);
+        let jobs = WorkloadGenerator::new(WorkloadConfig {
+            num_jobs: 15,
+            seed: 11,
+            ..Default::default()
+        })
+        .generate(&g);
+        let inst = build(&g, &jobs, 4);
+        let cfg = wavesched_lp::SimplexConfig::default();
+        let s1 = solve_stage1(&inst).unwrap();
+        let start = stage2_basis_from_stage1(s1.basis.as_ref().unwrap(), inst.vars.len())
+            .expect("stage1/stage2 shapes match by construction");
+
+        let cold = solve_stage2_with(&inst, s1.z_star, 0.1, &cfg).unwrap();
+        let warm = solve_stage2_weighted_with_start(
+            &inst,
+            s1.z_star,
+            0.1,
+            &WeightPolicy::DemandProportional,
+            &cfg,
+            Some(&start),
+        )
+        .unwrap();
+
+        assert!(
+            (warm.objective - cold.objective).abs() < 1e-9,
+            "warm {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
+        assert_eq!(warm.stats.warm_starts_accepted, 1, "warm start rejected");
+        assert!(
+            warm.stats.iterations <= cold.stats.iterations,
+            "warm start did more work: {} vs {}",
+            warm.stats.iterations,
+            cold.stats.iterations
+        );
+        assert!(warm.schedule.max_capacity_violation(&inst) < 1e-6);
+    }
+
+    #[test]
+    fn stage1_basis_shape_mismatch_is_none() {
+        let b = Basis {
+            cols: vec![wavesched_lp::BasisStatus::AtLower; 5],
+            rows: vec![],
+        };
+        assert!(stage2_basis_from_stage1(&b, 5).is_none());
+        assert!(stage2_basis_from_stage1(&b, 4).is_some());
     }
 
     #[test]

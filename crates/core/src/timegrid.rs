@@ -69,10 +69,7 @@ impl TimeGrid {
     /// or beyond the horizon map to the last slice.
     pub fn slice_index(&self, t: f64) -> usize {
         assert!(t >= 0.0, "negative time");
-        match self
-            .bounds
-            .binary_search_by(|b| b.partial_cmp(&t).unwrap())
-        {
+        match self.bounds.binary_search_by(|b| b.partial_cmp(&t).unwrap()) {
             Ok(i) => i.min(self.num_slices() - 1),
             Err(i) => (i - 1).min(self.num_slices() - 1),
         }

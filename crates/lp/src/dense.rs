@@ -47,8 +47,16 @@ pub fn solve_dense(p: &Problem) -> Result<Solution, SolveError> {
     let mut iupper: Vec<f64> = Vec::new(); // internal finite upper bounds (inf if none)
     let mut const_cost = p.obj_offset;
     for c in &p.cols {
-        let l = if is_inf(c.lower) { f64::NEG_INFINITY } else { c.lower };
-        let u = if is_inf(c.upper) { f64::INFINITY } else { c.upper };
+        let l = if is_inf(c.lower) {
+            f64::NEG_INFINITY
+        } else {
+            c.lower
+        };
+        let u = if is_inf(c.upper) {
+            f64::INFINITY
+        } else {
+            c.upper
+        };
         if l > u {
             return Err(SolveError::InvalidModel("crossed bounds".into()));
         }
@@ -107,13 +115,20 @@ pub fn solve_dense(p: &Problem) -> Result<Solution, SolveError> {
     }
     let mut sys: Vec<(Vec<f64>, f64, Kind)> = Vec::new();
     for (i, r) in p.rows.iter().enumerate() {
-        let lb = if is_inf(r.lower) { f64::NEG_INFINITY } else { r.lower };
-        let ub = if is_inf(r.upper) { f64::INFINITY } else { r.upper };
+        let lb = if is_inf(r.lower) {
+            f64::NEG_INFINITY
+        } else {
+            r.lower
+        };
+        let ub = if is_inf(r.upper) {
+            f64::INFINITY
+        } else {
+            r.upper
+        };
         if lb > ub {
             return Err(SolveError::InvalidModel("crossed row bounds".into()));
         }
-        if lb.is_finite() && ub.is_finite() && (ub - lb).abs() <= f64::EPSILON * lb.abs().max(1.0)
-        {
+        if lb.is_finite() && ub.is_finite() && (ub - lb).abs() <= f64::EPSILON * lb.abs().max(1.0) {
             sys.push((dense_rows[i].clone(), lb - shift[i], Kind::Eq));
         } else {
             if ub.is_finite() {
@@ -198,7 +213,14 @@ pub fn solve_dense(p: &Problem) -> Result<Solution, SolveError> {
         }
         let status = tableau_simplex(&mut a, &mut b, &mut basis, &c1, first_art, &mut stats);
         if status == Status::IterationLimit {
-            return Ok(dense_solution(Status::IterationLimit, p, &rewrites, &[], const_cost, stats));
+            return Ok(dense_solution(
+                Status::IterationLimit,
+                p,
+                &rewrites,
+                &[],
+                const_cost,
+                stats,
+            ));
         }
         let infeas: f64 = basis
             .iter()
@@ -207,7 +229,14 @@ pub fn solve_dense(p: &Problem) -> Result<Solution, SolveError> {
             .map(|(_, &v)| v)
             .sum();
         if infeas > FEAS_TOL.max(1e-9 * m as f64) {
-            return Ok(dense_solution(Status::Infeasible, p, &rewrites, &[], const_cost, stats));
+            return Ok(dense_solution(
+                Status::Infeasible,
+                p,
+                &rewrites,
+                &[],
+                const_cost,
+                stats,
+            ));
         }
         // Pivot basic artificials out where possible (degenerate rows).
         for i in 0..m {
@@ -369,6 +398,7 @@ fn dense_solution(
         objective,
         x,
         duals: Vec::new(),
+        basis: None,
         stats,
     }
 }

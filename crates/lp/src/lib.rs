@@ -49,11 +49,11 @@ pub mod sparse;
 pub(crate) mod stdform;
 
 pub use milp::{solve_milp, MilpConfig, MilpSolution, MilpStatus};
+pub use model::{Col, Objective, Problem, Row};
 pub use mps::{parse_mps, write_mps, MpsModel};
 pub use presolve::{presolve, PresolveOutcome, Reduction};
-pub use model::{Col, Objective, Problem, Row};
-pub use revised::{solve, solve_with, SimplexConfig};
-pub use solution::{SolveError, SolveStats, Solution, Status};
+pub use revised::{solve, solve_with, solve_with_start, SimplexConfig, SolverSession};
+pub use solution::{Basis, BasisStatus, Solution, SolveError, SolveStats, Status};
 
 /// Default feasibility tolerance: a bound or row is considered satisfied if
 /// violated by no more than this amount.

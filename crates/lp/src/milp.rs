@@ -71,9 +71,7 @@ pub struct MilpSolution {
 /// Solves `p`, honoring the integrality marks set with
 /// [`Problem::add_int_col`] / [`Problem::set_integer`].
 pub fn solve_milp(p: &Problem, cfg: &MilpConfig) -> Result<MilpSolution, SolveError> {
-    let int_cols: Vec<usize> = (0..p.num_cols())
-        .filter(|&j| p.cols[j].integer)
-        .collect();
+    let int_cols: Vec<usize> = (0..p.num_cols()).filter(|&j| p.cols[j].integer).collect();
 
     // `better(a, b)`: is objective `a` better than `b` in the problem sense?
     let maximize = p.objective() == Objective::Maximize;
@@ -158,10 +156,7 @@ pub fn solve_milp(p: &Problem, cfg: &MilpConfig) -> Result<MilpSolution, SolveEr
                                     x[j] = x[j].round();
                                 }
                                 let obj = p.eval_objective(&x);
-                                if incumbent
-                                    .as_ref()
-                                    .is_none_or(|(inc, _)| better(obj, *inc))
-                                {
+                                if incumbent.as_ref().is_none_or(|(inc, _)| better(obj, *inc)) {
                                     incumbent = Some((obj, x));
                                 }
                             }

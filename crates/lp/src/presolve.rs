@@ -228,7 +228,11 @@ pub fn presolve(p: &Problem) -> PresolveOutcome {
                 continue;
             }
             // Improving direction for the objective.
-            let want_low = if minimize { cost[j] > 0.0 } else { cost[j] < 0.0 };
+            let want_low = if minimize {
+                cost[j] > 0.0
+            } else {
+                cost[j] < 0.0
+            };
             let v = if cost[j] == 0.0 {
                 // Any feasible value; prefer a finite bound, else 0.
                 if col_lo[j].is_finite() {

@@ -24,10 +24,10 @@
 
 mod lu;
 
-use crate::model::Problem;
-use crate::solution::{Solution, SolveError, SolveStats, Status};
+use crate::model::{Col, Problem, Row};
+use crate::solution::{Basis, BasisStatus, Solution, SolveError, SolveStats, Status};
 use crate::stdform::{standardize, ColKind, StdForm};
-use crate::{FEAS_TOL, OPT_TOL, PIVOT_TOL};
+use crate::{is_inf, FEAS_TOL, OPT_TOL, PIVOT_TOL};
 
 use lu::Lu;
 
@@ -69,9 +69,29 @@ pub fn solve(p: &Problem) -> Result<Solution, SolveError> {
 
 /// Solves `p` with explicit [`SimplexConfig`] settings.
 pub fn solve_with(p: &Problem, cfg: &SimplexConfig) -> Result<Solution, SolveError> {
+    solve_with_start(p, cfg, None)
+}
+
+/// Solves `p`, optionally warm-starting from a basis of a related problem.
+///
+/// When `start` is given and its shape matches `p` (same number of columns
+/// and rows), the solver installs that basis, repairs any infeasibility it
+/// causes with a bound-shift phase-1 restart, and proceeds to phase 2. On a
+/// shape mismatch, any numerical trouble during installation, or a repair
+/// phase 1 that cannot clear the violations (which includes every genuinely
+/// infeasible instance — only the cold artificial-based phase 1 constitutes
+/// an infeasibility proof), the solver silently restarts cold. A warm start
+/// can therefore never change the answer, only the work required to reach
+/// it. `Solution::stats` records which path ran (`warm_starts_accepted` /
+/// `warm_start_fallbacks`).
+pub fn solve_with_start(
+    p: &Problem,
+    cfg: &SimplexConfig,
+    start: Option<&Basis>,
+) -> Result<Solution, SolveError> {
     let std = standardize(p)?;
     let mut engine = Engine::new(std, cfg.clone());
-    engine.run()
+    engine.solve(start)
 }
 
 /// Where a nonbasic variable rests.
@@ -119,6 +139,19 @@ struct Engine {
     /// entries. Lets the pivotal-row pass touch only columns intersecting
     /// the (sparse) BTRAN result.
     csr: Vec<Vec<(u32, f64)>>,
+    /// Columns whose bounds are temporarily shifted during phase 1 so the
+    /// starting point is feasible, with their original bounds. Covers the
+    /// signed artificials of a cold start and any basic variables a warm
+    /// start left outside their bounds.
+    relaxed: Vec<Relaxed>,
+}
+
+/// A phase-1 bound relaxation: column `col` temporarily has one bound opened
+/// and a ±1 phase-1 cost; `(lo, up)` are the bounds to restore afterwards.
+struct Relaxed {
+    col: usize,
+    lo: f64,
+    up: f64,
 }
 
 /// One product-form update: `B_new = B_old * E` where `E` is the identity
@@ -167,8 +200,33 @@ impl Engine {
             d: vec![0.0; ncols],
             weights: vec![1.0; ncols],
             csr,
+            relaxed: Vec::new(),
             std,
             cfg,
+        }
+    }
+
+    /// Clears all per-solve state so the engine can run again on its held
+    /// (possibly mutated) standardized form. Artificial columns are returned
+    /// to their pristine fixed-at-zero state; a previous solve may have
+    /// signed and opened them.
+    fn reset_for_solve(&mut self) {
+        self.stats = SolveStats {
+            solves: 1,
+            ..SolveStats::default()
+        };
+        self.cost.fill(0.0);
+        self.etas.clear();
+        self.lu = None;
+        self.bland = false;
+        self.degen_run = 0;
+        self.relaxed.clear();
+        for i in 0..self.std.nrows {
+            let a = self.std.artificial_col(i);
+            self.std.lower[a] = 0.0;
+            self.std.upper[a] = 0.0;
+            self.state[a] = VarState::Fixed;
+            self.xval[a] = 0.0;
         }
     }
 
@@ -226,15 +284,7 @@ impl Engine {
                 let a = self.std.artificial_col(i);
                 // Row equation: act - s + a = 0  =>  a = s - act.
                 let aval = srest - v;
-                if aval >= 0.0 {
-                    self.std.lower[a] = 0.0;
-                    self.std.upper[a] = f64::INFINITY;
-                    self.cost[a] = 1.0;
-                } else {
-                    self.std.lower[a] = f64::NEG_INFINITY;
-                    self.std.upper[a] = 0.0;
-                    self.cost[a] = -1.0;
-                }
+                self.relax_column(a, aval);
                 self.basis.push(a);
                 self.state[a] = VarState::Basic(i as u32);
                 self.xb[i] = aval;
@@ -242,39 +292,83 @@ impl Engine {
         }
     }
 
-    fn run(&mut self) -> Result<Solution, SolveError> {
+    /// Solves the held standardized form, warm-starting from `start` when
+    /// supplied and usable, with a silent cold fallback otherwise.
+    fn solve(&mut self, start: Option<&Basis>) -> Result<Solution, SolveError> {
+        if let Some(basis) = start {
+            self.reset_for_solve();
+            match self.attempt_warm(basis) {
+                Ok(sol) => return Ok(sol),
+                Err(_) => {
+                    // Undo phase-1 bound shifts before restarting cold; the
+                    // cold path resets every other piece of engine state.
+                    for k in 0..self.relaxed.len() {
+                        let Relaxed { col, lo, up } = self.relaxed[k];
+                        self.std.lower[col] = lo;
+                        self.std.upper[col] = up;
+                    }
+                    let sol = self.run_cold();
+                    if let Ok(s) = &sol {
+                        debug_assert_eq!(s.stats.warm_start_fallbacks, 1);
+                    }
+                    return sol;
+                }
+            }
+        }
+        let mut sol = self.run_cold()?;
+        sol.stats.warm_start_fallbacks = 0; // no basis was offered
+        self.stats.warm_start_fallbacks = 0;
+        Ok(sol)
+    }
+
+    /// Cold start: crash basis, phase 1 if needed, phase 2. Tentatively
+    /// counts itself as a warm-start fallback; [`Self::solve`] clears the
+    /// counter when no basis was offered in the first place.
+    fn run_cold(&mut self) -> Result<Solution, SolveError> {
+        self.reset_for_solve();
+        self.stats.warm_start_fallbacks = 1;
         self.crash();
         self.refactorize()?;
 
         // Phase 1: minimize total artificial magnitude (costs set in crash).
-        let needs_phase1 = self
-            .basis
-            .iter()
-            .any(|&j| self.std.kind[j] == ColKind::Artificial);
-        if needs_phase1 {
-            let before = self.stats.iterations;
-            let out = self.iterate(true)?;
-            self.stats.phase1_iterations = self.stats.iterations - before;
-            match out {
-                PhaseOutcome::IterationLimit => {
-                    return Ok(self.extract(Status::IterationLimit));
-                }
-                PhaseOutcome::Unbounded => {
-                    // Phase-1 objective is bounded below by zero; an
-                    // "unbounded" signal is a numerical breakdown.
-                    return Err(SolveError::Numerical(
-                        "phase 1 reported unbounded".into(),
-                    ));
-                }
-                PhaseOutcome::Optimal => {}
-            }
-            let infeas = self.phase1_objective();
-            if infeas > self.cfg.feas_tol.max(1e-9 * self.std.nrows as f64) {
-                return Ok(self.extract(Status::Infeasible));
+        if !self.relaxed.is_empty() {
+            if let Some(sol) = self.run_phase1()? {
+                return Ok(sol);
             }
         }
+        self.finish_phase2()
+    }
 
-        // Phase 2: pin artificials to zero and install the true costs.
+    /// Runs phase 1 with the relaxation costs already installed. Returns a
+    /// terminal solution (iteration limit or infeasible), or `None` when the
+    /// iterate reached feasibility and phase 2 should proceed.
+    fn run_phase1(&mut self) -> Result<Option<Solution>, SolveError> {
+        let before = self.stats.iterations;
+        let out = self.iterate(true)?;
+        self.stats.phase1_iterations += self.stats.iterations - before;
+        match out {
+            PhaseOutcome::IterationLimit => {
+                return Ok(Some(self.extract(Status::IterationLimit)));
+            }
+            PhaseOutcome::Unbounded => {
+                // Phase-1 objective is bounded below; an "unbounded" signal
+                // is a numerical breakdown.
+                return Err(SolveError::Numerical("phase 1 reported unbounded".into()));
+            }
+            PhaseOutcome::Optimal => {}
+        }
+        let infeas = self.phase1_objective();
+        if infeas > self.cfg.feas_tol.max(1e-9 * self.std.nrows as f64) {
+            return Ok(Some(self.extract(Status::Infeasible)));
+        }
+        Ok(None)
+    }
+
+    /// Restores relaxed bounds, pins artificials, installs the true costs,
+    /// and runs phase 2 to termination.
+    fn finish_phase2(&mut self) -> Result<Solution, SolveError> {
+        self.restore_relaxed();
+        // Pin artificials to zero and install the true costs.
         for i in 0..self.std.nrows {
             let a = self.std.artificial_col(i);
             self.std.lower[a] = 0.0;
@@ -299,14 +393,198 @@ impl Engine {
         }
     }
 
+    /// Opens the bound of `col` on the side `value` violates, gives it the
+    /// matching ±1 phase-1 cost, and records the original bounds for
+    /// [`Self::restore_relaxed`]. For artificials the "original" bounds are
+    /// always `[0, 0]` regardless of what a previous basis repair left.
+    fn relax_column(&mut self, col: usize, value: f64) {
+        let (lo, up) = if self.std.kind[col] == ColKind::Artificial {
+            (0.0, 0.0)
+        } else {
+            (self.std.lower[col], self.std.upper[col])
+        };
+        if value >= up {
+            // Too high: open upward, cost pushes back down toward `up`.
+            self.std.lower[col] = up;
+            self.std.upper[col] = f64::INFINITY;
+            self.cost[col] = 1.0;
+        } else {
+            // Too low: open downward, cost pushes back up toward `lo`.
+            self.std.lower[col] = f64::NEG_INFINITY;
+            self.std.upper[col] = lo;
+            self.cost[col] = -1.0;
+        }
+        self.relaxed.push(Relaxed { col, lo, up });
+    }
+
+    /// Total violation of the original bounds of every relaxed column at the
+    /// current iterate — the phase-1 objective (for a cold start this is the
+    /// classic total artificial magnitude).
     fn phase1_objective(&self) -> f64 {
         let mut v = 0.0;
-        for (pos, &j) in self.basis.iter().enumerate() {
-            if self.std.kind[j] == ColKind::Artificial {
-                v += self.xb[pos].abs();
-            }
+        for r in &self.relaxed {
+            let x = match self.state[r.col] {
+                VarState::Basic(pos) => self.xb[pos as usize],
+                _ => self.xval[r.col],
+            };
+            v += (x - r.up).max(0.0) + (r.lo - x).max(0.0);
         }
         v
+    }
+
+    /// Puts every relaxed column's original bounds back after a successful
+    /// phase 1 and re-parks the ones that went nonbasic: a column that
+    /// parked at its temporary finite bound is sitting exactly on the
+    /// original bound it used to violate.
+    fn restore_relaxed(&mut self) {
+        for k in 0..self.relaxed.len() {
+            let Relaxed { col, lo, up } = self.relaxed[k];
+            self.std.lower[col] = lo;
+            self.std.upper[col] = up;
+            self.cost[col] = 0.0;
+            if !matches!(self.state[col], VarState::Basic(_)) {
+                self.state[col] = if lo == up {
+                    VarState::Fixed
+                } else if self.xval[col] == up {
+                    VarState::AtUpper
+                } else if self.xval[col] == lo {
+                    VarState::AtLower
+                } else if lo.is_infinite() && up.is_infinite() {
+                    VarState::Free
+                } else {
+                    // Drifted off both bounds (retired artificial, repaired
+                    // basis): park at the nearest original bound.
+                    self.xval[col] = self.std.resting_value(col);
+                    if self.xval[col] == up {
+                        VarState::AtUpper
+                    } else {
+                        VarState::AtLower
+                    }
+                };
+            }
+        }
+        self.relaxed.clear();
+    }
+
+    /// Tries to solve starting from `warm`. An `Err` means the basis could
+    /// not be installed (shape mismatch or numerical failure) and the caller
+    /// should restart cold; it never means the problem itself is bad.
+    fn attempt_warm(&mut self, warm: &Basis) -> Result<Solution, ()> {
+        if warm.cols.len() != self.std.nstruct || warm.rows.len() != self.std.nrows {
+            return Err(());
+        }
+        let m = self.std.nrows;
+
+        // Install nonbasic states at bounds compatible with the *current*
+        // bounds (the problem may have been mutated since the basis was
+        // extracted); collect basic candidates.
+        let mut basic: Vec<usize> = Vec::with_capacity(m);
+        for j in 0..self.std.nstruct + m {
+            let status = if j < self.std.nstruct {
+                warm.cols[j]
+            } else {
+                warm.rows[j - self.std.nstruct]
+            };
+            if status == BasisStatus::Basic {
+                basic.push(j);
+                continue;
+            }
+            self.park_nonbasic(j, status);
+        }
+        // Wrong basic count: demote extras, pad a deficit with artificials
+        // (their columns are independent; a redundant choice is caught and
+        // repaired during factorization).
+        while basic.len() > m {
+            let j = basic.pop().unwrap();
+            self.park_nonbasic(j, BasisStatus::AtLower);
+        }
+        let mut next_row = 0usize;
+        while basic.len() < m {
+            basic.push(self.std.artificial_col(next_row));
+            next_row += 1;
+        }
+        self.basis = basic;
+        for (pos, &j) in self.basis.iter().enumerate() {
+            self.state[j] = VarState::Basic(pos as u32);
+        }
+        // Factorize (with singularity repair) and compute the basic values
+        // the installed nonbasic point implies.
+        if self.refactorize().is_err() {
+            return Err(());
+        }
+
+        // Any basic value outside its bounds gets a phase-1 bound shift.
+        for pos in 0..m {
+            let j = self.basis[pos];
+            let v = self.xb[pos];
+            let (lo, up) = if self.std.kind[j] == ColKind::Artificial {
+                // Basis repair may have reopened an artificial; it must
+                // still end phase 1 at zero.
+                (0.0, 0.0)
+            } else {
+                (self.std.lower[j], self.std.upper[j])
+            };
+            let tol = self.cfg.feas_tol;
+            if v > up + tol || v < lo - tol {
+                self.relax_column(j, v);
+            } else if self.std.kind[j] == ColKind::Artificial
+                && (self.std.lower[j] != 0.0 || self.std.upper[j] != 0.0)
+            {
+                // Feasible (≈0) but reopened: pin it back down.
+                self.std.lower[j] = 0.0;
+                self.std.upper[j] = 0.0;
+            }
+        }
+
+        self.stats.warm_starts_accepted = 1;
+        if !self.relaxed.is_empty() {
+            match self.run_phase1() {
+                // Phase 1 could not clear the violations. That is NOT an
+                // infeasibility proof here: the bound shift clamps each
+                // relaxed variable at the bound it violated, and true
+                // feasibility may need it strictly inside its range. Only
+                // the cold artificial-based phase 1 decides infeasibility,
+                // so any terminal phase-1 outcome falls back.
+                Ok(Some(_)) => return Err(()),
+                Ok(None) => {}
+                // Numerical trouble while repairing the warm point: let the
+                // caller restart cold rather than surfacing an error a cold
+                // solve would not produce.
+                Err(_) => return Err(()),
+            }
+        }
+        self.finish_phase2().map_err(|_| ())
+    }
+
+    /// Parks column `j` nonbasic in the state `status` suggests, degrading
+    /// to whatever its current bounds actually allow.
+    fn park_nonbasic(&mut self, j: usize, status: BasisStatus) {
+        let (l, u) = (self.std.lower[j], self.std.upper[j]);
+        if l == u {
+            self.state[j] = VarState::Fixed;
+            self.xval[j] = l;
+            return;
+        }
+        let (state, x) = match status {
+            BasisStatus::AtLower if l.is_finite() => (VarState::AtLower, l),
+            BasisStatus::AtUpper if u.is_finite() => (VarState::AtUpper, u),
+            BasisStatus::Free if l.is_infinite() && u.is_infinite() => (VarState::Free, 0.0),
+            // Requested side no longer exists: rest wherever the current
+            // bounds put a fresh nonbasic variable.
+            _ => {
+                let r = self.std.resting_value(j);
+                let s = if l.is_infinite() && u.is_infinite() {
+                    VarState::Free
+                } else if r == l {
+                    VarState::AtLower
+                } else {
+                    VarState::AtUpper
+                };
+                (s, r)
+            }
+        };
+        self.state[j] = state;
+        self.xval[j] = x;
     }
 
     /// Core primal simplex loop shared by both phases.
@@ -350,9 +628,7 @@ impl Engine {
             match self.ratio_test(q, dir, &w) {
                 RatioOutcome::Unbounded => {
                     if phase1 {
-                        return Err(SolveError::Numerical(
-                            "unbounded ray in phase 1".into(),
-                        ));
+                        return Err(SolveError::Numerical("unbounded ray in phase 1".into()));
                     }
                     return Ok(PhaseOutcome::Unbounded);
                 }
@@ -638,9 +914,7 @@ impl Engine {
                 let art = self.std.kind[j] == ColKind::Artificial;
                 let better = match best {
                     None => true,
-                    Some((_, _, bp, bart)) => {
-                        wp.abs() > bp || (wp.abs() == bp && art && !bart)
-                    }
+                    Some((_, _, bp, bart)) => wp.abs() > bp || (wp.abs() == bp && art && !bart),
                 };
                 if better {
                     best = Some((pos, limit, wp.abs(), art));
@@ -827,11 +1101,24 @@ impl Engine {
         }
         let y = self.btran_costs();
         let duals: Vec<f64> = y.iter().map(|&v| self.std.obj_sign * v).collect();
+        let snap = |state: VarState| match state {
+            VarState::Basic(_) => BasisStatus::Basic,
+            VarState::AtLower | VarState::Fixed => BasisStatus::AtLower,
+            VarState::AtUpper => BasisStatus::AtUpper,
+            VarState::Free => BasisStatus::Free,
+        };
+        let basis = Basis {
+            cols: (0..self.std.nstruct).map(|j| snap(self.state[j])).collect(),
+            rows: (0..self.std.nrows)
+                .map(|i| snap(self.state[self.std.activity_col(i)]))
+                .collect(),
+        };
         Solution {
             status,
             objective: obj,
             x,
             duals,
+            basis: Some(basis),
             stats: self.stats,
         }
     }
@@ -841,6 +1128,157 @@ enum RatioOutcome {
     Unbounded,
     BoundFlip(f64),
     Pivot { pos: usize, step: f64 },
+}
+
+/// A stateful solver holding one standardized problem across a *sequence*
+/// of solves.
+///
+/// A session standardizes its [`Problem`] once and keeps the simplex
+/// engine's workspace alive between solves, so callers that repeatedly
+/// re-solve small variations of the same LP — mutated bounds, RHS ranges,
+/// or costs — avoid both the rebuild and most of the simplex work:
+/// each [`solve`](Self::solve) warm-starts from the previous solve's final
+/// basis (or one supplied via [`warm_start_from`](Self::warm_start_from)).
+///
+/// Warm starts are strictly an optimization: if the stored basis cannot be
+/// installed (shape mismatch after the problem was mutated elsewhere,
+/// singular basis, numerical trouble), the solve silently restarts cold and
+/// reports it in [`SolveStats::warm_start_fallbacks`]. The answer is always
+/// the same as a fresh [`solve`](crate::solve) of the mutated problem,
+/// within tolerance.
+///
+/// ```
+/// use wavesched_lp::{Objective, Problem, SolverSession, Status};
+///
+/// let mut p = Problem::new(Objective::Maximize);
+/// let x = p.add_col(0.0, 10.0, 1.0);
+/// let r = p.add_row(f64::NEG_INFINITY, 6.0, &[(x, 1.0)]);
+/// let mut sess = SolverSession::new(&p).unwrap();
+/// let s1 = sess.solve().unwrap();
+/// assert_eq!(s1.status, Status::Optimal);
+/// assert!((s1.objective - 6.0).abs() < 1e-9);
+///
+/// // Tighten the row in place and re-solve warm.
+/// sess.set_row_bounds(r, f64::NEG_INFINITY, 4.0);
+/// let s2 = sess.solve().unwrap();
+/// assert!((s2.objective - 4.0).abs() < 1e-9);
+/// assert_eq!(sess.stats().warm_starts_accepted, 1);
+/// ```
+pub struct SolverSession {
+    engine: Engine,
+    warm: Option<Basis>,
+    agg: SolveStats,
+}
+
+impl SolverSession {
+    /// Builds a session for `p` under default simplex settings.
+    pub fn new(p: &Problem) -> Result<Self, SolveError> {
+        Self::with_config(p, &SimplexConfig::default())
+    }
+
+    /// Builds a session for `p` with explicit [`SimplexConfig`] settings.
+    pub fn with_config(p: &Problem, cfg: &SimplexConfig) -> Result<Self, SolveError> {
+        let std = standardize(p)?;
+        Ok(SolverSession {
+            engine: Engine::new(std, cfg.clone()),
+            warm: None,
+            agg: SolveStats::default(),
+        })
+    }
+
+    /// Number of columns of the held problem.
+    pub fn num_cols(&self) -> usize {
+        self.engine.std.nstruct
+    }
+
+    /// Number of rows of the held problem.
+    pub fn num_rows(&self) -> usize {
+        self.engine.std.nrows
+    }
+
+    /// Overrides the bounds of `col` in place (no rebuild).
+    ///
+    /// # Panics
+    /// Panics on NaN or crossed finite bounds, or a foreign column.
+    pub fn set_col_bounds(&mut self, col: Col, lower: f64, upper: f64) {
+        let j = col.index();
+        assert!(j < self.engine.std.nstruct, "col out of range");
+        self.set_std_bounds(j, lower, upper);
+    }
+
+    /// Overrides the bounds of `row` in place (no rebuild).
+    ///
+    /// # Panics
+    /// Panics on NaN or crossed finite bounds, or a foreign row.
+    pub fn set_row_bounds(&mut self, row: Row, lower: f64, upper: f64) {
+        let i = row.index();
+        assert!(i < self.engine.std.nrows, "row out of range");
+        let j = self.engine.std.activity_col(i);
+        self.set_std_bounds(j, lower, upper);
+    }
+
+    fn set_std_bounds(&mut self, j: usize, lower: f64, upper: f64) {
+        assert!(!lower.is_nan() && !upper.is_nan(), "NaN bound");
+        let l = if is_inf(lower) && lower < 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            lower
+        };
+        let u = if is_inf(upper) && upper > 0.0 {
+            f64::INFINITY
+        } else {
+            upper
+        };
+        assert!(l <= u, "bounds crossed: [{l}, {u}]");
+        self.engine.std.lower[j] = l;
+        self.engine.std.upper[j] = u;
+    }
+
+    /// Overrides the objective coefficient of `col` in place.
+    ///
+    /// # Panics
+    /// Panics on a NaN cost or a foreign column.
+    pub fn set_cost(&mut self, col: Col, cost: f64) {
+        let j = col.index();
+        assert!(j < self.engine.std.nstruct, "col out of range");
+        assert!(cost.is_finite(), "non-finite cost");
+        self.engine.std.cost[j] = self.engine.std.obj_sign * cost;
+    }
+
+    /// Seeds the next solve with `basis` — e.g. one extracted from a
+    /// structurally related problem — replacing whatever basis the session
+    /// was carrying.
+    pub fn warm_start_from(&mut self, basis: Basis) {
+        self.warm = Some(basis);
+    }
+
+    /// Drops the carried basis; the next solve starts cold.
+    pub fn clear_warm_start(&mut self) {
+        self.warm = None;
+    }
+
+    /// Solves the current state of the held problem, warm-starting from the
+    /// carried basis when one is available.
+    ///
+    /// Only an **optimal** solve replaces the carried basis: the final basis
+    /// of an infeasible (or limit-hit) solve is a phase-1 artifact that makes
+    /// a poor starting point, so after such a solve the session keeps
+    /// warm-starting from the last optimal basis it saw. Use
+    /// [`warm_start_from`](SolverSession::warm_start_from) /
+    /// [`clear_warm_start`](SolverSession::clear_warm_start) to override.
+    pub fn solve(&mut self) -> Result<Solution, SolveError> {
+        let sol = self.engine.solve(self.warm.as_ref())?;
+        if sol.status == Status::Optimal {
+            self.warm.clone_from(&sol.basis);
+        }
+        self.agg.merge(&sol.stats);
+        Ok(sol)
+    }
+
+    /// Counters aggregated over every solve this session has run.
+    pub fn stats(&self) -> SolveStats {
+        self.agg
+    }
 }
 
 #[cfg(test)]

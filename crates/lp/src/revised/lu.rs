@@ -308,11 +308,7 @@ mod tests {
     #[test]
     fn permuted_diagonal() {
         // Columns hit rows out of order; forces pivoting bookkeeping.
-        let cols = vec![
-            vec![(2, 5.0)],
-            vec![(0, -3.0)],
-            vec![(1, 2.0)],
-        ];
+        let cols = vec![vec![(2, 5.0)], vec![(0, -3.0)], vec![(1, 2.0)]];
         let (a, basis) = mat(&cols, 3);
         let lu = Lu::factor(&a, &basis, 1e-12).unwrap();
         let want = vec![1.0, 2.0, 3.0];

@@ -27,7 +27,41 @@ impl fmt::Display for Status {
     }
 }
 
+/// Where a column or row (its activity variable) sits in a simplex basis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BasisStatus {
+    /// In the basis.
+    Basic,
+    /// Nonbasic at its lower bound (also used for fixed variables).
+    AtLower,
+    /// Nonbasic at its upper bound.
+    AtUpper,
+    /// Nonbasic free variable resting at zero.
+    Free,
+}
+
+/// A snapshot of an optimal (or final) simplex basis, expressed in terms of
+/// the original problem's columns and rows.
+///
+/// Obtained from [`Solution::basis`] and consumed by
+/// [`solve_with_start`](crate::solve_with_start) or a
+/// [`SolverSession`](crate::SolverSession) to warm-start a related solve.
+/// A basis only makes sense for a problem with the same number of columns
+/// and rows it was extracted from; the solver falls back to a cold start
+/// when the shapes disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Basis {
+    /// Status per problem column, in column order.
+    pub cols: Vec<BasisStatus>,
+    /// Status per problem row (the row's activity variable), in row order.
+    pub rows: Vec<BasisStatus>,
+}
+
 /// Counters describing the work a solve performed.
+///
+/// Also used in aggregated form (e.g. by
+/// [`SolverSession::stats`](crate::SolverSession::stats) or the scheduling
+/// layers above), where the counters sum over `solves` individual solves.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SolveStats {
     /// Total simplex iterations (phase 1 + phase 2).
@@ -41,6 +75,33 @@ pub struct SolveStats {
     /// Number of bound flips (nonbasic variable moved between its bounds
     /// without a basis change).
     pub bound_flips: u64,
+    /// Number of LP solves aggregated into these counters (1 for the stats
+    /// of a single [`Solution`]).
+    pub solves: u64,
+    /// Solves that started from a supplied basis and kept it.
+    pub warm_starts_accepted: u64,
+    /// Solves that were offered a basis but fell back to a cold start
+    /// (shape mismatch or numerical failure during installation).
+    pub warm_start_fallbacks: u64,
+}
+
+impl SolveStats {
+    /// Iterations spent in phase 2 (optimizing after feasibility).
+    pub fn phase2_iterations(&self) -> u64 {
+        self.iterations - self.phase1_iterations
+    }
+
+    /// Accumulates `other` into `self`, field by field.
+    pub fn merge(&mut self, other: &SolveStats) {
+        self.iterations += other.iterations;
+        self.phase1_iterations += other.phase1_iterations;
+        self.refactorizations += other.refactorizations;
+        self.degenerate_pivots += other.degenerate_pivots;
+        self.bound_flips += other.bound_flips;
+        self.solves += other.solves;
+        self.warm_starts_accepted += other.warm_starts_accepted;
+        self.warm_start_fallbacks += other.warm_start_fallbacks;
+    }
 }
 
 /// The result of an LP solve.
@@ -60,6 +121,10 @@ pub struct Solution {
     /// *minimization* convention used internally: for a maximization problem
     /// the sign is flipped back so that duals price the original objective.
     pub duals: Vec<f64>,
+    /// The final simplex basis, suitable for warm-starting a related solve.
+    /// `None` for solvers that do not maintain an explicit basis (e.g. the
+    /// dense oracle).
+    pub basis: Option<Basis>,
     /// Work counters.
     pub stats: SolveStats,
 }
@@ -102,6 +167,37 @@ mod tests {
         assert_eq!(Status::Infeasible.to_string(), "infeasible");
         assert_eq!(Status::Unbounded.to_string(), "unbounded");
         assert_eq!(Status::IterationLimit.to_string(), "iteration limit");
+    }
+
+    #[test]
+    fn stats_merge_sums_fields() {
+        let mut a = SolveStats {
+            iterations: 10,
+            phase1_iterations: 4,
+            refactorizations: 2,
+            degenerate_pivots: 1,
+            bound_flips: 3,
+            solves: 1,
+            warm_starts_accepted: 1,
+            warm_start_fallbacks: 0,
+        };
+        let b = SolveStats {
+            iterations: 5,
+            phase1_iterations: 0,
+            refactorizations: 1,
+            degenerate_pivots: 0,
+            bound_flips: 0,
+            solves: 1,
+            warm_starts_accepted: 0,
+            warm_start_fallbacks: 1,
+        };
+        a.merge(&b);
+        assert_eq!(a.iterations, 15);
+        assert_eq!(a.phase1_iterations, 4);
+        assert_eq!(a.phase2_iterations(), 11);
+        assert_eq!(a.solves, 2);
+        assert_eq!(a.warm_starts_accepted, 1);
+        assert_eq!(a.warm_start_fallbacks, 1);
     }
 
     #[test]

@@ -268,9 +268,6 @@ mod tests {
         let mut p = Problem::new(Objective::Minimize);
         let c = p.add_col(0.0, 1.0, 0.0);
         p.cols[c.index()].cost = f64::INFINITY;
-        assert!(matches!(
-            standardize(&p),
-            Err(SolveError::InvalidModel(_))
-        ));
+        assert!(matches!(standardize(&p), Err(SolveError::InvalidModel(_))));
     }
 }

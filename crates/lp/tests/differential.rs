@@ -8,7 +8,10 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use wavesched_lp::dense::solve_dense;
-use wavesched_lp::{solve, Objective, Problem, Status};
+use wavesched_lp::{
+    solve, solve_with_start, Basis, BasisStatus, Objective, Problem, SimplexConfig, SolverSession,
+    Status,
+};
 
 /// Builds a random LP from integer-ish data so borderline feasibility (which
 /// the two solvers could legitimately classify differently at tolerance
@@ -29,7 +32,10 @@ fn random_problem(rng: &mut StdRng, nmax: usize, mmax: usize) -> Problem {
         let (l, u) = match kind {
             0 => (0.0, rng.random_range(1i32..=10) as f64),
             1 => (0.0, f64::INFINITY),
-            2 => (rng.random_range(-5i32..=0) as f64, rng.random_range(1i32..=8) as f64),
+            2 => (
+                rng.random_range(-5i32..=0) as f64,
+                rng.random_range(1i32..=8) as f64,
+            ),
             _ => (f64::NEG_INFINITY, rng.random_range(0i32..=9) as f64),
         };
         cols.push(p.add_col(l, u, cost));
@@ -120,6 +126,162 @@ fn tall_problems_agreement() {
     }
 }
 
+/// Applies a random small perturbation to the bounds of a few columns and
+/// rows of `p` (the warm-start scenario: the same structure, nearby data).
+fn perturb(p: &mut Problem, rng: &mut StdRng) {
+    let ncols = p.num_cols();
+    let nrows = p.num_rows();
+    for _ in 0..rng.random_range(1..=4) {
+        if ncols > 0 && rng.random_range(0..2) == 0 {
+            let c = wavesched_lp::Col::from_index(rng.random_range(0..ncols));
+            let (l, u) = p.col_bounds(c);
+            let d = rng.random_range(-2i32..=2) as f64;
+            // Shift whichever sides are finite; keep l <= u.
+            let nl = if l.is_finite() { l - d.abs() } else { l };
+            let nu = if u.is_finite() { u + d.max(0.0) } else { u };
+            p.set_col_bounds(c, nl, nu);
+        } else if nrows > 0 {
+            let r = wavesched_lp::Row::from_index(rng.random_range(0..nrows));
+            let (l, u) = p.row_bounds(r);
+            let d = rng.random_range(-3i32..=3) as f64;
+            let (nl, nu) = if l == u {
+                // Keep equalities equalities: move the RHS.
+                (l + d, u + d)
+            } else {
+                (
+                    if l.is_finite() { l - d.abs() } else { l },
+                    if u.is_finite() { u + d.abs() } else { u },
+                )
+            };
+            p.set_row_bounds(r, nl, nu);
+        }
+    }
+}
+
+/// Cold-solves `p`, perturbs it, then checks that a warm-started re-solve
+/// from the first basis agrees with a cold solve of the perturbed problem.
+fn check_warm_agreement(p: &mut Problem, rng: &mut StdRng, label: &str) {
+    let first = solve(p).expect("first solve");
+    let basis = first.basis.clone().expect("revised solve returns a basis");
+    perturb(p, rng);
+    let cold = solve(p).expect("cold re-solve");
+    let warm = solve_with_start(p, &SimplexConfig::default(), Some(&basis)).expect("warm re-solve");
+    assert_eq!(
+        warm.status, cold.status,
+        "{label}: status mismatch warm={:?} cold={:?}",
+        warm.status, cold.status
+    );
+    if cold.status == Status::Optimal {
+        assert!(
+            (warm.objective - cold.objective).abs() <= 1e-9 * (1.0 + cold.objective.abs()),
+            "{label}: objective mismatch warm={} cold={}",
+            warm.objective,
+            cold.objective
+        );
+        assert!(
+            p.max_violation(&warm.x) <= 1e-6,
+            "{label}: warm solution infeasible by {}",
+            p.max_violation(&warm.x)
+        );
+    }
+}
+
+#[test]
+fn warm_start_mismatched_basis_falls_back_cold() {
+    // A basis from a differently-shaped problem must be rejected, not
+    // mis-applied: the solve silently restarts cold and still answers.
+    let mut small = Problem::new(Objective::Maximize);
+    let x = small.add_col(0.0, 5.0, 1.0);
+    small.add_row(f64::NEG_INFINITY, 3.0, &[(x, 1.0)]);
+    let donor = solve(&small).unwrap().basis.unwrap();
+
+    let mut big = Problem::new(Objective::Maximize);
+    let a = big.add_col(0.0, 10.0, 2.0);
+    let b = big.add_col(0.0, 10.0, 1.0);
+    big.add_row(f64::NEG_INFINITY, 8.0, &[(a, 1.0), (b, 1.0)]);
+    big.add_row(f64::NEG_INFINITY, 6.0, &[(a, 1.0)]);
+
+    let warm = solve_with_start(&big, &SimplexConfig::default(), Some(&donor)).unwrap();
+    let cold = solve(&big).unwrap();
+    assert_eq!(warm.status, Status::Optimal);
+    assert!((warm.objective - cold.objective).abs() <= 1e-9);
+    assert_eq!(warm.stats.warm_start_fallbacks, 1);
+    assert_eq!(warm.stats.warm_starts_accepted, 0);
+}
+
+#[test]
+fn warm_start_garbage_basis_still_correct() {
+    // Right shape, nonsense content (everything basic / everything at a
+    // bound): install + repair must still land on the right answer.
+    let mut rng = StdRng::seed_from_u64(0xDEAD);
+    for trial in 0..50 {
+        let p = random_problem(&mut rng, 8, 8);
+        let cold = solve(&p).unwrap();
+        for garbage in [
+            Basis {
+                cols: vec![BasisStatus::Basic; p.num_cols()],
+                rows: vec![BasisStatus::Basic; p.num_rows()],
+            },
+            Basis {
+                cols: vec![BasisStatus::AtLower; p.num_cols()],
+                rows: vec![BasisStatus::AtUpper; p.num_rows()],
+            },
+            Basis {
+                cols: vec![BasisStatus::Free; p.num_cols()],
+                rows: vec![BasisStatus::AtLower; p.num_rows()],
+            },
+        ] {
+            let warm = solve_with_start(&p, &SimplexConfig::default(), Some(&garbage))
+                .expect("warm solve");
+            assert_eq!(
+                warm.status, cold.status,
+                "garbage trial {trial}: status mismatch"
+            );
+            if cold.status == Status::Optimal {
+                assert!(
+                    (warm.objective - cold.objective).abs() <= 1e-9 * (1.0 + cold.objective.abs()),
+                    "garbage trial {trial}: {} vs {}",
+                    warm.objective,
+                    cold.objective
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn session_tracks_repeated_mutations() {
+    // A session re-solving a shrinking knapsack stays correct against
+    // from-scratch cold solves at every step.
+    let mut p = Problem::new(Objective::Maximize);
+    let cols: Vec<_> = (0..6)
+        .map(|i| p.add_col(0.0, 4.0, 1.0 + i as f64))
+        .collect();
+    let coeffs: Vec<_> = cols.iter().map(|&c| (c, 1.0)).collect();
+    let budget = p.add_row(f64::NEG_INFINITY, 12.0, &coeffs);
+
+    let mut sess = SolverSession::new(&p).unwrap();
+    for cap in (0..=12).rev() {
+        p.set_row_bounds(budget, f64::NEG_INFINITY, cap as f64);
+        sess.set_row_bounds(budget, f64::NEG_INFINITY, cap as f64);
+        let cold = solve(&p).unwrap();
+        let warm = sess.solve().unwrap();
+        assert_eq!(warm.status, cold.status, "cap {cap}");
+        assert!(
+            (warm.objective - cold.objective).abs() <= 1e-9 * (1.0 + cold.objective.abs()),
+            "cap {cap}: warm {} cold {}",
+            warm.objective,
+            cold.objective
+        );
+    }
+    let stats = sess.stats();
+    assert_eq!(stats.solves, 13);
+    assert!(
+        stats.warm_starts_accepted >= 12,
+        "expected warm re-solves, got {stats:?}"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -129,6 +291,15 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let p = random_problem(&mut rng, 8, 8);
         check_agreement(&p, &format!("seed {seed}"));
+    }
+
+    /// Warm-started re-solves after random bound/RHS perturbations match a
+    /// cold solve of the perturbed problem to 1e-9.
+    #[test]
+    fn proptest_warm_matches_cold(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut p = random_problem(&mut rng, 8, 8);
+        check_warm_agreement(&mut p, &mut rng, &format!("warm seed {seed}"));
     }
 
     /// Weak duality sanity: for optimal maximization LPs with only

@@ -71,7 +71,11 @@ pub fn abilene14(wavelengths: u32) -> (Graph, Vec<NodeId>) {
 /// The paper-sized 11-node, 20-link-pair Abilene variant (canonical links
 /// plus six deterministic augmenting chords).
 pub fn abilene20(wavelengths: u32) -> (Graph, Vec<NodeId>) {
-    let all: Vec<(usize, usize)> = CORE_LINKS.iter().chain(EXTRA_LINKS.iter()).copied().collect();
+    let all: Vec<(usize, usize)> = CORE_LINKS
+        .iter()
+        .chain(EXTRA_LINKS.iter())
+        .copied()
+        .collect();
     build(&all, wavelengths)
 }
 
@@ -101,10 +105,7 @@ mod tests {
     #[test]
     fn no_duplicate_links() {
         let (g, _) = abilene20(4);
-        let mut pairs: Vec<(u32, u32)> = g
-            .edge_ids()
-            .map(|e| (g.src(e).0, g.dst(e).0))
-            .collect();
+        let mut pairs: Vec<(u32, u32)> = g.edge_ids().map(|e| (g.src(e).0, g.dst(e).0)).collect();
         pairs.sort();
         let before = pairs.len();
         pairs.dedup();

@@ -147,8 +147,8 @@ mod tests {
     #[test]
     fn weighted_avoids_long_edge() {
         let (g, ns) = diamond();
-        let p = shortest_path_filtered(&g, ns[0], ns[3], Weight::Length, |_| true, |_| true)
-            .unwrap();
+        let p =
+            shortest_path_filtered(&g, ns[0], ns[3], Weight::Length, |_| true, |_| true).unwrap();
         assert_eq!(p.len(), 2); // 2 hops of length 1 beat the length-10 edge
     }
 
@@ -156,15 +156,9 @@ mod tests {
     fn respects_edge_filter() {
         let (g, ns) = diamond();
         // Ban the direct edge (e4): shortest becomes 2 hops.
-        let p = shortest_path_filtered(
-            &g,
-            ns[0],
-            ns[3],
-            Weight::Hops,
-            |e| e != EdgeId(4),
-            |_| true,
-        )
-        .unwrap();
+        let p =
+            shortest_path_filtered(&g, ns[0], ns[3], Weight::Hops, |e| e != EdgeId(4), |_| true)
+                .unwrap();
         assert_eq!(p.len(), 2);
     }
 

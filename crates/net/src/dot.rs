@@ -53,7 +53,12 @@ pub fn to_dot_with_load(g: &Graph, load: impl Fn(EdgeId) -> Option<f64>) -> Stri
             Some(f) => {
                 let f = f.clamp(0.0, 1.0);
                 // gray -> red ramp.
-                format!("#{:02x}{:02x}{:02x}", 128 + (127.0 * f) as u8, (128.0 * (1.0 - f)) as u8, (128.0 * (1.0 - f)) as u8)
+                format!(
+                    "#{:02x}{:02x}{:02x}",
+                    128 + (127.0 * f) as u8,
+                    (128.0 * (1.0 - f)) as u8,
+                    (128.0 * (1.0 - f)) as u8
+                )
             }
             None => "#808080".to_string(),
         };

@@ -14,33 +14,33 @@ use crate::graph::{Graph, NodeId};
 
 /// The 15 ESnet-style PoPs, in node order.
 pub const POPS: [&str; 15] = [
-    "Seattle",      // 0
-    "Sunnyvale",    // 1
-    "Los Angeles",  // 2
-    "Albuquerque",  // 3
-    "El Paso",      // 4
-    "Denver",       // 5
-    "Kansas City",  // 6
-    "Houston",      // 7
-    "Chicago",      // 8
-    "Nashville",    // 9
-    "Atlanta",      // 10
-    "Washington DC",// 11
-    "New York",     // 12
-    "Boston",       // 13
-    "Brookhaven",   // 14
+    "Seattle",       // 0
+    "Sunnyvale",     // 1
+    "Los Angeles",   // 2
+    "Albuquerque",   // 3
+    "El Paso",       // 4
+    "Denver",        // 5
+    "Kansas City",   // 6
+    "Houston",       // 7
+    "Chicago",       // 8
+    "Nashville",     // 9
+    "Atlanta",       // 10
+    "Washington DC", // 11
+    "New York",      // 12
+    "Boston",        // 13
+    "Brookhaven",    // 14
 ];
 
 /// Link pairs of the ESnet-style backbone (indices into [`POPS`]).
 const LINKS: [(usize, usize); 21] = [
     // Pacific segment.
-    (0, 1),  // Seattle - Sunnyvale
-    (1, 2),  // Sunnyvale - Los Angeles
+    (0, 1), // Seattle - Sunnyvale
+    (1, 2), // Sunnyvale - Los Angeles
     // Northern path.
-    (0, 5),  // Seattle - Denver
-    (5, 6),  // Denver - Kansas City
-    (6, 8),  // Kansas City - Chicago
-    (1, 5),  // Sunnyvale - Denver
+    (0, 5), // Seattle - Denver
+    (5, 6), // Denver - Kansas City
+    (6, 8), // Kansas City - Chicago
+    (1, 5), // Sunnyvale - Denver
     // Southern path.
     (2, 3),  // Los Angeles - Albuquerque
     (3, 4),  // Albuquerque - El Paso
@@ -55,10 +55,10 @@ const LINKS: [(usize, usize); 21] = [
     (12, 14), // New York - Brookhaven
     (13, 14), // Boston - Brookhaven (lab dual-homing)
     // Exchange core.
-    (8, 12),  // Chicago - New York
-    (8, 9),   // Chicago - Nashville
-    (8, 11),  // Chicago - Washington DC
-    (6, 7),   // Kansas City - Houston
+    (8, 12), // Chicago - New York
+    (8, 9),  // Chicago - Nashville
+    (8, 11), // Chicago - Washington DC
+    (6, 7),  // Kansas City - Houston
 ];
 
 /// Builds the ESnet-style backbone with `wavelengths` per link.
@@ -89,8 +89,7 @@ mod tests {
     #[test]
     fn no_duplicate_links() {
         let (g, _) = esnet(2);
-        let mut pairs: Vec<(u32, u32)> =
-            g.edge_ids().map(|e| (g.src(e).0, g.dst(e).0)).collect();
+        let mut pairs: Vec<(u32, u32)> = g.edge_ids().map(|e| (g.src(e).0, g.dst(e).0)).collect();
         pairs.sort();
         let before = pairs.len();
         pairs.dedup();

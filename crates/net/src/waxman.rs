@@ -89,8 +89,7 @@ pub fn waxman_network(cfg: &WaxmanConfig) -> Graph {
         let (a, b) = if a < b { (a, b) } else { (b, a) };
         chosen[a * n + b] = true;
     };
-    let is_marked =
-        |chosen: &[bool], a: usize, b: usize| chosen[a.min(b) * n + a.max(b)];
+    let is_marked = |chosen: &[bool], a: usize, b: usize| chosen[a.min(b) * n + a.max(b)];
 
     // Waxman-weighted random spanning tree: attach each node (in random
     // order) to an already-attached node drawn by weight.

@@ -6,9 +6,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::VecDeque;
-use wavesched_net::{
-    k_shortest_paths, shortest_path, waxman_network, Graph, NodeId, WaxmanConfig,
-};
+use wavesched_net::{k_shortest_paths, shortest_path, waxman_network, Graph, NodeId, WaxmanConfig};
 
 /// BFS hop distance, as an independent oracle for Dijkstra on unit weights.
 fn bfs_hops(g: &Graph, src: NodeId, dst: NodeId) -> Option<usize> {

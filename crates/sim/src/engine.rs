@@ -9,8 +9,8 @@
 use crate::metrics::{JobOutcome, SimReport};
 use std::collections::HashMap;
 use wavesched_core::controller::{Controller, ControllerConfig, InvocationResult};
-use wavesched_core::schedule::Schedule;
 use wavesched_core::instance::Instance;
+use wavesched_core::schedule::Schedule;
 use wavesched_lp::SolveError;
 use wavesched_net::Graph;
 use wavesched_workload::{Job, JobId};
@@ -49,8 +49,10 @@ pub fn run_simulation(
     pending.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
     let mut next_arrival = 0usize;
 
-    let mut outcomes: HashMap<JobId, JobOutcome> =
-        jobs.iter().map(|j| (j.id, JobOutcome::Unfinished)).collect();
+    let mut outcomes: HashMap<JobId, JobOutcome> = jobs
+        .iter()
+        .map(|j| (j.id, JobOutcome::Unfinished))
+        .collect();
     // Original requested ends, for on-time accounting (the controller may
     // extend deadlines).
     let original_end: HashMap<JobId, f64> = jobs.iter().map(|j| (j.id, j.end)).collect();
@@ -148,10 +150,7 @@ pub fn run_simulation(
         if slice.is_multiple_of(tau) {
             for j in jobs {
                 if let Some(JobOutcome::Unfinished) = outcomes.get(&j.id) {
-                    let dispatched = pending
-                        .iter()
-                        .take(next_arrival)
-                        .any(|p| p.id == j.id);
+                    let dispatched = pending.iter().take(next_arrival).any(|p| p.id == j.id);
                     let still_active = controller.active().iter().any(|a| a.job.id == j.id);
                     if dispatched && !still_active && remaining[&j.id] > 1e-9 {
                         // Give the controller one invocation of grace: it
@@ -222,7 +221,11 @@ mod tests {
         let cfg = SimConfig::paper(4);
         let r = run_simulation(&g, &jobs, &cfg).unwrap();
         assert!(r.invocations > 2);
-        assert!(r.completion_rate() > 0.5, "completion {}", r.completion_rate());
+        assert!(
+            r.completion_rate() > 0.5,
+            "completion {}",
+            r.completion_rate()
+        );
         assert!(r.mean_utilization > 0.0);
     }
 
@@ -233,17 +236,7 @@ mod tests {
         let ns = g.add_nodes(2);
         g.add_link_pair(ns[0], ns[1], 1);
         let jobs: Vec<Job> = (0..6)
-            .map(|i| {
-                Job::new(
-                    JobId(i),
-                    0.0,
-                    ns[0],
-                    ns[1],
-                    300.0,
-                    0.0,
-                    4.0,
-                )
-            })
+            .map(|i| Job::new(JobId(i), 0.0, ns[0], ns[1], 300.0, 0.0, 4.0))
             .collect();
         let mut cfg = SimConfig::paper(1);
         cfg.controller.policy = OverloadPolicy::Reject;

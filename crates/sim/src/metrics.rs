@@ -101,8 +101,20 @@ mod tests {
 
     fn report() -> SimReport {
         let mut outcomes = HashMap::new();
-        outcomes.insert(JobId(0), JobOutcome::Completed { at: 4.0, on_time: true });
-        outcomes.insert(JobId(1), JobOutcome::Completed { at: 8.0, on_time: false });
+        outcomes.insert(
+            JobId(0),
+            JobOutcome::Completed {
+                at: 4.0,
+                on_time: true,
+            },
+        );
+        outcomes.insert(
+            JobId(1),
+            JobOutcome::Completed {
+                at: 8.0,
+                on_time: false,
+            },
+        );
         outcomes.insert(JobId(2), JobOutcome::Rejected);
         outcomes.insert(JobId(3), JobOutcome::Expired);
         SimReport {

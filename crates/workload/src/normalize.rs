@@ -67,7 +67,7 @@ mod tests {
     #[test]
     fn demand_roundtrip() {
         let r = LinkRate::paper(2); // 10 Gbps per wavelength
-        // 100 GB at 10 Gbps = 80 s = 2 slices of 40 s => demand 2.0.
+                                    // 100 GB at 10 Gbps = 80 s = 2 slices of 40 s => demand 2.0.
         let d = normalized_demand(100.0, r, 40.0);
         assert!((d - 2.0).abs() < 1e-12);
     }

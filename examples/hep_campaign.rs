@@ -57,11 +57,18 @@ fn main() {
     let mut paths = PathSet::new(cfg.paths_per_job);
     let inst = Instance::build(&graph, &jobs, &cfg, &mut paths);
 
-    println!("== campaign: {} transfers, {:.1} demand units total ==", jobs.len(), inst.total_demand());
+    println!(
+        "== campaign: {} transfers, {:.1} demand units total ==",
+        jobs.len(),
+        inst.total_demand()
+    );
 
     // Option A: keep deadlines, shrink demands.
     let pipe = max_throughput_pipeline(&inst, 0.1).expect("pipeline");
-    println!("\n-- option A: end-time guarantee, demands shrink (Z* = {:.3}) --", pipe.z_star);
+    println!(
+        "\n-- option A: end-time guarantee, demands shrink (Z* = {:.3}) --",
+        pipe.z_star
+    );
     if pipe.z_star < 1.0 {
         println!("network is OVERLOADED: only Z* of each dataset fits by deadline");
     }
@@ -92,11 +99,7 @@ fn main() {
             .expect("RET completes everything");
         println!(
             "  {}: full {:.0} GB done at slice {:.0} (deadline was {:.0}, now {:.0})",
-            job.id,
-            job.size_gb,
-            done,
-            jobs[i].end,
-            job.end
+            job.id, job.size_gb, done, jobs[i].end, job.end
         );
     }
     println!(

@@ -59,5 +59,8 @@ fn main() {
     };
     let dot = to_dot_with_load(&graph, peak);
     std::fs::write("esnet_load.dot", &dot).expect("write dot");
-    println!("\nwrote esnet_load.dot ({} bytes) — render with `dot -Tsvg`", dot.len());
+    println!(
+        "\nwrote esnet_load.dot ({} bytes) — render with `dot -Tsvg`",
+        dot.len()
+    );
 }

@@ -16,7 +16,9 @@ use wavesched::core::instance::{Instance, InstanceConfig};
 use wavesched::core::pipeline::max_throughput_pipeline;
 use wavesched::core::report::{job_timeline, link_utilization};
 use wavesched::core::ret::{solve_ret, RetConfig};
-use wavesched::net::{abilene14, abilene20, esnet, to_dot, waxman_network, Graph, PathSet, WaxmanConfig};
+use wavesched::net::{
+    abilene14, abilene20, esnet, to_dot, waxman_network, Graph, PathSet, WaxmanConfig,
+};
 use wavesched::sim::{run_simulation, SimConfig};
 use wavesched::workload::{parse_trace, write_trace, WorkloadConfig, WorkloadGenerator};
 
@@ -165,7 +167,11 @@ fn run() -> Result<(), String> {
             let inst = Instance::build(&graph, &jobs, &inst_cfg, &mut ps);
             let r = max_throughput_pipeline(&inst, alpha).map_err(|e| e.to_string())?;
             let plan = r.lpdar.trim_to_demand(&inst);
-            println!("network {net_spec}, {} jobs, Z* = {:.3}", jobs.len(), r.z_star);
+            println!(
+                "network {net_spec}, {} jobs, Z* = {:.3}",
+                jobs.len(),
+                r.z_star
+            );
             if r.z_star < 1.0 {
                 println!("OVERLOADED: demands shrink to each job's Z_i");
             }

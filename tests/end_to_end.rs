@@ -105,7 +105,10 @@ fn ret_on_abilene() {
     // Average end times exist and LPDAR's is not absurdly above LP's.
     let lp_t = r.lp_avg_end_time().unwrap();
     let heur_t = r.lpdar_avg_end_time().unwrap();
-    assert!(heur_t >= lp_t - 1e-9, "integrality cannot speed things up on average");
+    assert!(
+        heur_t >= lp_t - 1e-9,
+        "integrality cannot speed things up on average"
+    );
 }
 
 #[test]

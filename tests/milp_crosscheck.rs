@@ -109,8 +109,11 @@ fn sandwich_property_holds() {
             "seed {seed}: LPDAR {heur_obj} beat the unconstrained ILP {ilp_obj}?!"
         );
         // The fairness-constrained ILP can only be worse (more constraints).
-        let fair = solve_milp(&stage2_milp(&inst, Some((s1.z_star, 0.1))), &MilpConfig::default())
-            .expect("milp");
+        let fair = solve_milp(
+            &stage2_milp(&inst, Some((s1.z_star, 0.1))),
+            &MilpConfig::default(),
+        )
+        .expect("milp");
         if fair.status == MilpStatus::Optimal {
             assert!(
                 fair.objective <= ilp_obj + 1e-6,
@@ -125,7 +128,10 @@ fn sandwich_property_holds() {
             heur_obj / ilp_obj
         );
     }
-    assert!(checked >= 5, "too few instances solved to optimality: {checked}");
+    assert!(
+        checked >= 5,
+        "too few instances solved to optimality: {checked}"
+    );
 }
 
 #[test]

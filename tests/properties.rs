@@ -11,13 +11,7 @@ use wavesched::net::{waxman_network, PathSet, WaxmanConfig};
 use wavesched::workload::{WorkloadConfig, WorkloadGenerator};
 
 /// A random small instance driven by proptest parameters.
-fn build_instance(
-    net_seed: u64,
-    job_seed: u64,
-    n_jobs: usize,
-    w: u32,
-    paths: usize,
-) -> Instance {
+fn build_instance(net_seed: u64, job_seed: u64, n_jobs: usize, w: u32, paths: usize) -> Instance {
     let g = waxman_network(&WaxmanConfig {
         nodes: 15,
         link_pairs: 25,

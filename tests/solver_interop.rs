@@ -97,8 +97,7 @@ fn stage2_survives_presolve() {
             let s = solve(&r.problem).unwrap();
             assert_eq!(s.status, Status::Optimal);
             assert!(
-                (s.objective - direct.objective).abs()
-                    <= 1e-6 * (1.0 + direct.objective.abs()),
+                (s.objective - direct.objective).abs() <= 1e-6 * (1.0 + direct.objective.abs()),
                 "direct {} vs presolved {}",
                 direct.objective,
                 s.objective

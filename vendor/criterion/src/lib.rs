@@ -1,0 +1,219 @@
+//! Vendored, offline stand-in for the subset of `criterion` this workspace
+//! uses. It runs each benchmark closure for a short wall-clock window and
+//! prints mean iteration time — no statistics, plots, or baselines — so
+//! `cargo bench` works without registry access. The API mirrors criterion
+//! 0.7: `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterised benchmark.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+pub struct Bencher {
+    /// Mean seconds per iteration, filled in by `iter`.
+    mean_s: f64,
+    iters: u64,
+    measure_for: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one call, also used to size the batch.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+
+        let target = self.measure_for;
+        let batch = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        let total = start.elapsed();
+        self.iters = batch;
+        self.mean_s = total.as_secs_f64() / batch as f64;
+    }
+}
+
+fn human(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn run_one(name: &str, measure_for: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        mean_s: 0.0,
+        iters: 0,
+        measure_for,
+    };
+    f(&mut b);
+    println!(
+        "{name:<50} time: {:>12}   ({} iters)",
+        human(b.mean_s),
+        b.iters
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    crit: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in's timing window is
+    /// fixed, so the sample count is not used.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.crit.measure_for = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id);
+        run_one(&name, self.crit.measure_for, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id);
+        run_one(&name, self.crit.measure_for, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Short window: keeps `cargo bench` fast while still averaging
+            // enough iterations for stable relative comparisons.
+            measure_for: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group: {name}");
+        BenchmarkGroup { name, crit: self }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), self.measure_for, &mut f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+/// Ignores harness CLI arguments (`--bench`, filters) that cargo passes.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench targets with `--test`; there is
+            // nothing to test in this stand-in harness, so exit quickly.
+            if ::std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_and_counts() {
+        let mut c = Criterion {
+            measure_for: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("g");
+        let mut calls = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("revised", 30).to_string(), "revised/30");
+        assert_eq!(BenchmarkId::from_parameter(100).to_string(), "100");
+    }
+}

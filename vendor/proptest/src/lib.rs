@@ -1,0 +1,243 @@
+//! Vendored, offline stand-in for the subset of `proptest` this workspace
+//! uses: the `proptest!` macro over `name in strategy` bindings, numeric
+//! range strategies, `any::<T>()`, `ProptestConfig::with_cases`, and the
+//! `prop_assert*` macros.
+//!
+//! Each test runs `cases` deterministic iterations seeded per case index.
+//! There is no shrinking: a failing case panics with the bound values in
+//! the message instead, which is enough to reproduce (the harness is
+//! deterministic).
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, RngExt, SampleUniform};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of values for one `name in strategy` binding.
+    pub trait Strategy {
+        type Value: std::fmt::Debug;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        T: SampleUniform + Clone + std::fmt::Debug,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for RangeInclusive<T>
+    where
+        T: SampleUniform + Clone + std::fmt::Debug,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.random_range(self.clone())
+        }
+    }
+
+    /// Strategy returned by [`any`]: the full domain of `T`.
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// Types with a whole-domain strategy.
+    pub trait Arbitrary: Sized + std::fmt::Debug {
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            // Finite values only: proptest's default f64 domain is richer,
+            // but no test here relies on NaN/inf inputs.
+            rng.next_f64() * 2e6 - 1e6
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Runner configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Declares property tests. Each `fn name(x in strategy, ...) { body }`
+/// expands to a `#[test]` running `cases` seeded iterations of the body.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg = $cfg;
+            for case in 0..cfg.cases as u64 {
+                // Per-case seed; mixed so adjacent cases diverge immediately.
+                let mut __proptest_rng =
+                    <::rand::rngs::StdRng as ::rand::SeedableRng>::seed_from_u64(
+                        case.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA5A5_5A5A_DEAD_BEEF,
+                    );
+                $(
+                    let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __proptest_rng);
+                )+
+                let __proptest_ctx = format!(
+                    concat!("proptest case {} of ", stringify!($name), ":",
+                        $(" ", stringify!($arg), "={:?}",)+),
+                    case $(, $arg)+
+                );
+                // Bodies may `return Ok(())` to skip a case (proptest's
+                // rejection convention), so the closure returns a Result.
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || -> ::std::result::Result<(), ()> {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    },
+                ));
+                match result {
+                    Ok(_) => {}
+                    Err(e) => {
+                        eprintln!("{}", __proptest_ctx);
+                        ::std::panic::resume_unwind(e);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_bind_in_domain(n in 3usize..40, x in 0u64..500, f in 0.01f64..10.0) {
+            prop_assert!((3..40).contains(&n));
+            prop_assert!(x < 500);
+            prop_assert!((0.01..10.0).contains(&f));
+        }
+
+        #[test]
+        fn any_u64_varies(seed in any::<u64>()) {
+            // Not a real property; just exercises the binding path.
+            prop_assert_eq!(seed, seed);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        // Two expansions with the same config see the same bound values.
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        assert_eq!((0usize..100).sample(&mut r1), (0usize..100).sample(&mut r2));
+    }
+}

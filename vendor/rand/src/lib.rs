@@ -1,0 +1,220 @@
+//! Vendored, dependency-free stand-in for the subset of the `rand` crate
+//! this workspace uses. The build environment has no registry access, so the
+//! workspace points its `rand` requirement at this path.
+//!
+//! Provided surface: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and
+//! `RngExt::random_range` over integer and float `Range`/`RangeInclusive`.
+//! The generator is a deterministic SplitMix64-seeded xoshiro256** — seeded
+//! streams are reproducible across runs and platforms, which is all the
+//! workloads and tests rely on (they assert properties, not exact draws).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core source of randomness: a stream of `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform draw in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience sampling methods, blanket-implemented for every `RngCore`.
+pub trait RngExt: RngCore {
+    /// Uniform sample from a range (`lo..hi` or `lo..=hi`).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// Types that can be drawn uniformly from a bounded interval.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample in `[lo, hi)` if `inclusive` is false, `[lo, hi]` else.
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                if inclusive {
+                    assert!(lo <= hi, "empty inclusive range");
+                } else {
+                    assert!(lo < hi, "empty range");
+                }
+                // Width as u64 of the half-open span; an inclusive full-width
+                // span would overflow, but no caller samples a full domain.
+                let span = (hi as i128 - lo as i128 + if inclusive { 1 } else { 0 }) as u64;
+                // Modulo bias is negligible for the small spans used here.
+                let off = rng.next_u64() % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleUniform for f64 {
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        _inclusive: bool,
+    ) -> Self {
+        assert!(lo < hi, "empty float range");
+        let u = rng.next_f64();
+        // `u < 1` keeps the result strictly below `hi` and at least `lo`
+        // (important for e.g. `f64::MIN_POSITIVE..1.0`, which feeds `ln()`).
+        let v = lo + (hi - lo) * u;
+        if v < lo {
+            lo
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self {
+        f64::sample_between(rng, lo as f64, hi as f64, inclusive) as f32
+    }
+}
+
+/// Range forms accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_between(rng, lo, hi, true)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator seeded via SplitMix64, mirroring
+    /// how the real `StdRng` is seeded from a `u64`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngCore, RngExt, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.random_range(0..100);
+            assert!((0..100).contains(&x));
+            let y: usize = rng.random_range(3..=9);
+            assert!((3..=9).contains(&y));
+            let f = rng.random_range(f64::MIN_POSITIVE..1.0);
+            assert!(f > 0.0 && f < 1.0);
+            let g = rng.random_range(-2.5..=4.0);
+            assert!((-2.5..=4.0).contains(&g));
+            let n = rng.random_range(-4i32..=4);
+            assert!((-4..=4).contains(&n));
+        }
+    }
+
+    #[test]
+    fn all_values_reachable_on_small_spans() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.random_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
