@@ -13,6 +13,7 @@ use wavesched_net::{abilene20, PathSet};
 use wavesched_workload::{WorkloadConfig, WorkloadGenerator};
 
 fn main() {
+    let opts = wavesched_bench::bench_opts();
     let jobs_n = env_usize("WS_JOBS", if quick() { 20 } else { 120 });
     let w = 2;
     let (g, _) = abilene20(w);
@@ -47,4 +48,6 @@ fn main() {
             min_lpdar
         );
     }
+
+    wavesched_bench::write_report(&opts);
 }

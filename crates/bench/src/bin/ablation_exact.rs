@@ -60,6 +60,7 @@ fn stage2_milp(inst: &Instance, fairness: Option<(f64, f64)>) -> Problem {
 }
 
 fn main() {
+    let opts = wavesched_bench::bench_opts();
     let trials = env_usize("WS_SEEDS", 5);
     println!("# Ablation A4: LPDAR vs exact ILP (tiny ring networks, W=2)");
     println!("trial,jobs,lp_obj,ilp_obj,ilp_fair_obj,lpdar_obj,lpdar_over_ilp,nodes_explored");
@@ -117,4 +118,6 @@ fn main() {
             heur_obj / ilp_obj
         );
     }
+
+    wavesched_bench::write_report(&opts);
 }

@@ -13,6 +13,7 @@ use wavesched_core::gkflow::{approx_stage1, GkConfig};
 use wavesched_core::stage1::solve_stage1;
 
 fn main() {
+    let opts = wavesched_bench::bench_opts();
     let jobs_n = env_usize("WS_JOBS", if quick() { 25 } else { 100 });
     let w = 4;
     let g = paper_random_network(w, 42);
@@ -52,4 +53,6 @@ fn main() {
             secs(t.elapsed())
         );
     }
+
+    wavesched_bench::write_report(&opts);
 }

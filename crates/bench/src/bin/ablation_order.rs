@@ -12,6 +12,7 @@ use wavesched_core::stage1::solve_stage1;
 use wavesched_core::stage2::solve_stage2;
 
 fn main() {
+    let opts = wavesched_bench::bench_opts();
     let jobs_n = env_usize("WS_JOBS", if quick() { 30 } else { 150 });
     let w = 2;
     let g = paper_random_network(w, 42);
@@ -40,4 +41,6 @@ fn main() {
             .fold(f64::INFINITY, f64::min);
         println!("{name},{norm:.4},{min_z:.4}");
     }
+
+    wavesched_bench::write_report(&opts);
 }

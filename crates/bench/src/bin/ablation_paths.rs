@@ -10,6 +10,7 @@ use wavesched_bench::{build_instance, env_usize, fig_workload, paper_random_netw
 use wavesched_core::pipeline::max_throughput_pipeline;
 
 fn main() {
+    let opts = wavesched_bench::bench_opts();
     let jobs_n = env_usize("WS_JOBS", if quick() { 25 } else { 100 });
     let w = 4;
     let g = paper_random_network(w, 42);
@@ -29,4 +30,6 @@ fn main() {
             secs(t.elapsed())
         );
     }
+
+    wavesched_bench::write_report(&opts);
 }

@@ -13,6 +13,7 @@ use wavesched_bench::{build_instance, env_usize, fig_workload, mean, paper_rando
 use wavesched_core::pipeline::max_throughput_pipeline;
 
 fn main() {
+    let opts = wavesched_bench::bench_opts();
     let jobs_n = env_usize("WS_JOBS", if quick() { 40 } else { 250 });
     let seeds = env_usize("WS_SEEDS", if quick() { 1 } else { 2 });
     let wavelengths: &[u32] = if quick() {
@@ -47,4 +48,6 @@ fn main() {
             mean(&lps)
         );
     }
+
+    wavesched_bench::write_report(&opts);
 }

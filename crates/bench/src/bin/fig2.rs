@@ -16,6 +16,7 @@ use wavesched_net::{abilene20, PathSet};
 use wavesched_workload::{WorkloadConfig, WorkloadGenerator};
 
 fn main() {
+    let opts = wavesched_bench::bench_opts();
     let jobs_n = env_usize("WS_JOBS", if quick() { 20 } else { 150 });
     let seeds = env_usize("WS_SEEDS", if quick() { 1 } else { 3 });
     let wavelengths: &[u32] = if quick() {
@@ -59,4 +60,6 @@ fn main() {
             mean(&lps)
         );
     }
+
+    wavesched_bench::write_report(&opts);
 }

@@ -14,6 +14,7 @@ use wavesched_bench::{build_instance, env_usize, fig_workload, paper_random_netw
 use wavesched_core::pipeline::max_throughput_pipeline;
 
 fn main() {
+    let opts = wavesched_bench::bench_opts();
     let job_counts: Vec<usize> = if quick() {
         vec![20, 40]
     } else {
@@ -45,4 +46,6 @@ fn main() {
             r.stats.warm_starts_accepted,
         );
     }
+
+    wavesched_bench::write_report(&opts);
 }

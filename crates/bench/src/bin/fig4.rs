@@ -18,6 +18,7 @@ use wavesched_core::ret::{solve_ret, RetConfig};
 use wavesched_workload::{WorkloadConfig, WorkloadGenerator};
 
 fn main() {
+    let opts = wavesched_bench::bench_opts();
     let job_counts: Vec<usize> = if quick() {
         vec![10, 20]
     } else {
@@ -68,4 +69,6 @@ fn main() {
             None => println!("{n},NA,NA,NA,NA,NA,NA,NA,NA,NA,NA"),
         }
     }
+
+    wavesched_bench::write_report(&opts);
 }

@@ -18,6 +18,7 @@ use wavesched_net::abilene20;
 use wavesched_workload::{WorkloadConfig, WorkloadGenerator};
 
 fn main() {
+    let opts = wavesched_bench::bench_opts();
     let seeds = env_usize("WS_SEEDS", if quick() { 1 } else { 3 });
     println!("# §III-B.1: fraction of jobs finished at the final RET extension");
     println!("network,seed,jobs,b_lp,b_final,lp_frac,lpd_frac,lpdar_frac");
@@ -78,4 +79,6 @@ fn main() {
             println!("abilene20,{seed},{na},NA,NA,NA,NA,NA");
         }
     }
+
+    wavesched_bench::write_report(&opts);
 }

@@ -11,7 +11,15 @@
 //! * `WS_JOBS` — override the job count(s)
 //! * `WS_SEEDS` — number of workload seeds to average over (default 3)
 //! * `WS_QUICK=1` — shrink everything for a fast smoke run
+//!
+//! Every binary also accepts two CLI flags (parsed by [`bench_opts`]):
+//!
+//! * `--smoke` — same as `WS_QUICK=1`
+//! * `--report <path>` — enable the `wavesched-obs` layer and dump a
+//!   JSON-lines metrics snapshot (span durations, solver counters,
+//!   histograms) to `path` on exit
 
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::time::Duration;
 use wavesched_core::instance::{Instance, InstanceConfig};
 use wavesched_net::{waxman_network, Graph, PathSet, WaxmanConfig};
@@ -25,9 +33,62 @@ pub fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
-/// True when `WS_QUICK=1` asks for a smoke-scale run.
+static SMOKE: AtomicBool = AtomicBool::new(false);
+
+/// True when `WS_QUICK=1` (env) or `--smoke` (CLI, via [`bench_opts`]) asks
+/// for a smoke-scale run.
 pub fn quick() -> bool {
-    std::env::var("WS_QUICK").map(|v| v == "1").unwrap_or(false)
+    SMOKE.load(Relaxed) || std::env::var("WS_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// CLI options shared by every bench binary.
+#[derive(Debug, Default)]
+pub struct BenchOpts {
+    /// Where to write the JSON-lines metrics report, if requested.
+    pub report: Option<String>,
+}
+
+/// Parses the common bench CLI (`--smoke`, `--report <path>`), turning on
+/// the observability layer when a report is requested. Exits with a usage
+/// message on unknown arguments, so typos fail loudly instead of silently
+/// running the full-scale experiment.
+pub fn bench_opts() -> BenchOpts {
+    let mut opts = BenchOpts::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => SMOKE.store(true, Relaxed),
+            "--report" => match args.next() {
+                Some(path) => opts.report = Some(path),
+                None => {
+                    eprintln!("--report needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument {other:?}; supported: --smoke, --report <path>");
+                std::process::exit(2);
+            }
+        }
+    }
+    if opts.report.is_some() {
+        wavesched_obs::set_enabled(true);
+    }
+    opts
+}
+
+/// Writes the JSON-lines metrics snapshot to the `--report` path, if one
+/// was given. Call at the end of `main`.
+pub fn write_report(opts: &BenchOpts) {
+    let Some(path) = &opts.report else {
+        return;
+    };
+    let text = wavesched_obs::to_json_lines(&wavesched_obs::snapshot());
+    if let Err(e) = std::fs::write(path, &text) {
+        eprintln!("failed to write report {path:?}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {} metric lines to {path}", text.lines().count());
 }
 
 /// The paper's random evaluation network: 100 nodes, 200 link pairs,

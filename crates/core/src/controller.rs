@@ -20,6 +20,7 @@ use crate::schedule::Schedule;
 use crate::stage1::solve_stage1_with_start;
 use wavesched_lp::{Basis, SimplexConfig, SolveError, SolveStats};
 use wavesched_net::{Graph, PathSet};
+use wavesched_obs as obs;
 use wavesched_workload::{Job, JobId};
 
 /// What the controller does when the network cannot meet every deadline
@@ -182,6 +183,8 @@ impl Controller {
         now: f64,
         new_requests: &[Job],
     ) -> Result<InvocationResult, SolveError> {
+        let _span = obs::span("invoke");
+        obs::counter_add("controller.invocations", 1);
         // Retire completed jobs; expire jobs with less than a full slice of
         // window left (they can receive nothing more).
         let mut finished = std::mem::take(&mut self.finished);
@@ -275,6 +278,10 @@ impl Controller {
                 }
             }
         }
+
+        obs::counter_add("controller.admitted", admitted.len() as u64);
+        obs::counter_add("controller.rejected", rejected.len() as u64);
+        obs::record("controller.jobs_scheduled", jobs.len() as u64);
 
         // Solver work this invocation; folded into the lifetime counters on
         // every exit path.

@@ -13,6 +13,7 @@ use crate::stage1::solve_stage1_with_start;
 use crate::stage2::{solve_stage2_weighted_with_start, stage2_basis_from_stage1, WeightPolicy};
 use std::time::{Duration, Instant};
 use wavesched_lp::{Basis, SimplexConfig, SolveError, SolveStats};
+use wavesched_obs as obs;
 
 /// Everything the Fig. 1–3 experiments need from one pipeline run.
 #[derive(Debug, Clone)]
@@ -105,28 +106,41 @@ pub fn max_throughput_pipeline_warmed(
     cfg: &SimplexConfig,
     stage1_start: Option<&Basis>,
 ) -> Result<PipelineResult, SolveError> {
+    let _pipeline_span = obs::span("pipeline");
     let t0 = Instant::now();
-    let s1 = solve_stage1_with_start(inst, cfg, stage1_start)?;
+    let s1 = {
+        let _s = obs::span("stage1");
+        solve_stage1_with_start(inst, cfg, stage1_start)?
+    };
     let stage1_time = t0.elapsed();
 
-    let s2_start = s1
-        .basis
-        .as_ref()
-        .and_then(|b| stage2_basis_from_stage1(b, inst.vars.len()));
-    let s2 = solve_stage2_weighted_with_start(
-        inst,
-        s1.z_star,
-        alpha,
-        &WeightPolicy::DemandProportional,
-        cfg,
-        s2_start.as_ref(),
-    )?;
+    let s2 = {
+        let _s = obs::span("stage2");
+        let s2_start = s1
+            .basis
+            .as_ref()
+            .and_then(|b| stage2_basis_from_stage1(b, inst.vars.len()));
+        solve_stage2_weighted_with_start(
+            inst,
+            s1.z_star,
+            alpha,
+            &WeightPolicy::DemandProportional,
+            cfg,
+            s2_start.as_ref(),
+        )?
+    };
     let lp_time = t0.elapsed();
 
-    let lpd = truncate(inst, &s2.schedule);
+    let lpd = {
+        let _s = obs::span("lpd");
+        truncate(inst, &s2.schedule)
+    };
     let lpd_time = t0.elapsed();
 
-    let adj = adjust_rates(inst, &lpd, order);
+    let adj = {
+        let _s = obs::span("lpdar");
+        adjust_rates(inst, &lpd, order)
+    };
     let lpdar_time = t0.elapsed();
 
     let mut stats = s1.stats;

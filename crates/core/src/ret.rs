@@ -22,6 +22,7 @@ use wavesched_lp::{
     Status,
 };
 use wavesched_net::{Graph, PathSet};
+use wavesched_obs as obs;
 use wavesched_workload::Job;
 
 /// Completion tolerance used when checking whether a job received its full
@@ -271,6 +272,8 @@ impl<'a> Prober<'a> {
 
     /// Is the fractional SUB-RET feasible at extension `b`?
     fn feasible(&mut self, b: f64) -> Result<bool, SolveError> {
+        let _span = obs::span("ret_probe");
+        obs::counter_add("ret.probes", 1);
         let Some(wp) = self.warm.as_mut() else {
             return self.feasible_cold(b);
         };
@@ -446,6 +449,7 @@ pub fn solve_ret_with_demands(
 ) -> Result<Option<RetResult>, SolveError> {
     assert!(!jobs.is_empty(), "RET needs at least one job");
     assert_eq!(jobs.len(), demands.len());
+    let _span = obs::span("ret");
     let mut pathset = PathSet::new(inst_cfg.paths_per_job);
 
     // Step 1: binary search for the smallest feasible b (fractional).
@@ -486,6 +490,8 @@ pub fn solve_ret_with_demands(
     let mut growth = GrowthSession::new(env, &cfg.lp)?;
     let mut b = b_lp;
     for _ in 0..cfg.max_delta_steps {
+        let _step_span = obs::span("ret_growth_step");
+        obs::counter_add("ret.growth_rounds", 1);
         let inst = extended_instance(graph, jobs, demands, b, cfg.mode, inst_cfg, &mut pathset);
         let (status, x) = if b <= cfg.b_max {
             growth.solve_step(&inst, jobs, cfg.mode, b, &mut stats)?

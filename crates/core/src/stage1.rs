@@ -11,6 +11,7 @@ use crate::schedule::Schedule;
 use wavesched_lp::{
     solve_with_start, Basis, Objective, Problem, SimplexConfig, SolveError, SolveStats, Status,
 };
+use wavesched_obs as obs;
 
 /// Result of the Stage-1 solve.
 #[derive(Debug, Clone)]
@@ -58,6 +59,7 @@ pub fn solve_stage1_with_start(
         });
     }
 
+    let build_span = obs::span("build");
     let mut p = Problem::new(Objective::Maximize);
     let cols = add_assignment_cols(&mut p, inst);
     let z = p.add_col(0.0, f64::INFINITY, 1.0); // maximize Z
@@ -69,6 +71,7 @@ pub fn solve_stage1_with_start(
         p.add_row(0.0, 0.0, &coeffs);
     }
     add_capacity_rows(&mut p, inst, &cols);
+    drop(build_span);
 
     let sol = solve_with_start(&p, cfg, start)?;
     match sol.status {

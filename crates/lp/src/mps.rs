@@ -503,6 +503,69 @@ ENDATA
     }
 
     #[test]
+    fn ranges_negative_values() {
+        // Standard MPS semantics with a negative range value r:
+        //   L: [b - |r|, b]      G: [b, b + |r|]      E: [b + r, b]
+        // (for E with r >= 0 the interval is [b, b + r] — checked above).
+        let text = "\
+NAME RNEG
+ROWS
+ N OBJ
+ L R1
+ G R2
+ E R3
+COLUMNS
+ X OBJ 1.0 R1 1.0
+ X R2 1.0 R3 1.0
+RHS
+ RHS R1 10.0 R2 2.0 R3 5.0
+RANGES
+ RNG R1 -4.0 R2 -3.0 R3 -2.0
+ENDATA
+";
+        let p = parse_mps(text).unwrap().problem;
+        assert_eq!(p.row_bounds(crate::Row::from_index(0)), (6.0, 10.0));
+        assert_eq!(p.row_bounds(crate::Row::from_index(1)), (2.0, 5.0));
+        assert_eq!(p.row_bounds(crate::Row::from_index(2)), (3.0, 5.0));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// Negative and positive RANGES values on E/L/G rows obey the
+        /// standard convention, and the resulting range rows survive a
+        /// write → parse round trip bit-exactly.
+        #[test]
+        fn ranges_sign_convention_round_trips(
+            kind in 0usize..3,
+            b in -20i32..=20,
+            r in -10i32..=10,
+        ) {
+            if r == 0 {
+                return Ok(()); // a zero range is a plain row; skip the case
+            }
+            let (kc, b, r) = (["L", "G", "E"][kind], b as f64, r as f64);
+            let text = format!(
+                "NAME P\nROWS\n N OBJ\n {kc} R0\nCOLUMNS\n X OBJ 1.0 R0 1.0\n\
+                 RHS\n RHS R0 {b}\nRANGES\n RNG R0 {r}\nENDATA\n"
+            );
+            let p = parse_mps(&text).unwrap().problem;
+            let expect = match kc {
+                "L" => (b - r.abs(), b),
+                "G" => (b, b + r.abs()),
+                _ if r >= 0.0 => (b, b + r),
+                _ => (b + r, b),
+            };
+            let row = crate::Row::from_index(0);
+            proptest::prop_assert_eq!(p.row_bounds(row), expect);
+            // Round trip: the writer re-encodes the finite interval as an
+            // L row plus a positive range; bounds must be preserved.
+            let q = parse_mps(&write_mps(&p, "P")).unwrap().problem;
+            proptest::prop_assert_eq!(q.row_bounds(row), expect);
+        }
+    }
+
+    #[test]
     fn roundtrip_preserves_solution() {
         use crate::model::{Objective, Problem};
         let mut p = Problem::new(Objective::Maximize);

@@ -15,9 +15,11 @@
 //!   factorization (Gilbert–Peierls left-looking, partial pivoting,
 //!   sparsest-column-first ordering) plus an eta file, refactorized
 //!   periodically and on numerical drift.
-//! * **Dantzig pricing with a Bland fallback** after a run of degenerate
+//! * **Devex pricing with a Bland fallback** after a run of degenerate
 //!   pivots, guaranteeing termination in the presence of degeneracy (the
-//!   MCF-style scheduling LPs of the paper are massively degenerate).
+//!   MCF-style scheduling LPs of the paper are massively degenerate). The
+//!   reference framework resets when the Devex weights blow up
+//!   (`SolveStats::devex_resets` counts these).
 //! * **Two-pass (Harris-style) ratio test**: pass one finds the best step
 //!   with a relaxed feasibility tolerance, pass two picks the numerically
 //!   largest pivot among the near-blocking rows.
@@ -28,6 +30,7 @@ use crate::model::{Col, Problem, Row};
 use crate::solution::{Basis, BasisStatus, Solution, SolveError, SolveStats, Status};
 use crate::stdform::{standardize, ColKind, StdForm};
 use crate::{is_inf, FEAS_TOL, OPT_TOL, PIVOT_TOL};
+use wavesched_obs as obs;
 
 use lu::Lu;
 
@@ -92,6 +95,24 @@ pub fn solve_with_start(
     let std = standardize(p)?;
     let mut engine = Engine::new(std, cfg.clone());
     engine.solve(start)
+}
+
+/// Folds a finished solve's counters into the process-wide observability
+/// registry (one branch when the layer is disabled, see `wavesched-obs`).
+fn publish_stats(s: &SolveStats) {
+    if !obs::enabled() {
+        return;
+    }
+    obs::counter_add("lp.solves", s.solves);
+    obs::counter_add("lp.iterations", s.iterations);
+    obs::counter_add("lp.phase1_iterations", s.phase1_iterations);
+    obs::counter_add("lp.refactorizations", s.refactorizations);
+    obs::counter_add("lp.degenerate_pivots", s.degenerate_pivots);
+    obs::counter_add("lp.devex_resets", s.devex_resets);
+    obs::counter_add("lp.bound_flips", s.bound_flips);
+    obs::counter_add("lp.warm_starts_accepted", s.warm_starts_accepted);
+    obs::counter_add("lp.warm_start_fallbacks", s.warm_start_fallbacks);
+    obs::record("lp.solve_iterations", s.iterations);
 }
 
 /// Where a nonbasic variable rests.
@@ -295,6 +316,13 @@ impl Engine {
     /// Solves the held standardized form, warm-starting from `start` when
     /// supplied and usable, with a silent cold fallback otherwise.
     fn solve(&mut self, start: Option<&Basis>) -> Result<Solution, SolveError> {
+        let _span = obs::span("lp_solve");
+        let sol = self.solve_inner(start)?;
+        publish_stats(&sol.stats);
+        Ok(sol)
+    }
+
+    fn solve_inner(&mut self, start: Option<&Basis>) -> Result<Solution, SolveError> {
         if let Some(basis) = start {
             self.reset_for_solve();
             match self.attempt_warm(basis) {
@@ -814,6 +842,7 @@ impl Engine {
         // Reference-framework reset when weights blow up.
         if max_weight > 1e8 {
             self.weights.fill(1.0);
+            self.stats.devex_resets += 1;
         }
     }
 
@@ -1021,6 +1050,7 @@ impl Engine {
                 }
             }
         }
+        obs::record("lp.eta_len_at_refactor", self.etas.len() as u64);
         self.etas.clear();
         self.stats.refactorizations += 1;
 

@@ -72,6 +72,8 @@ pub struct SolveStats {
     pub refactorizations: u64,
     /// Number of degenerate pivots (zero step length).
     pub degenerate_pivots: u64,
+    /// Number of Devex reference-framework resets forced by weight blowup.
+    pub devex_resets: u64,
     /// Number of bound flips (nonbasic variable moved between its bounds
     /// without a basis change).
     pub bound_flips: u64,
@@ -97,6 +99,7 @@ impl SolveStats {
         self.phase1_iterations += other.phase1_iterations;
         self.refactorizations += other.refactorizations;
         self.degenerate_pivots += other.degenerate_pivots;
+        self.devex_resets += other.devex_resets;
         self.bound_flips += other.bound_flips;
         self.solves += other.solves;
         self.warm_starts_accepted += other.warm_starts_accepted;
@@ -176,6 +179,7 @@ mod tests {
             phase1_iterations: 4,
             refactorizations: 2,
             degenerate_pivots: 1,
+            devex_resets: 1,
             bound_flips: 3,
             solves: 1,
             warm_starts_accepted: 1,
@@ -186,6 +190,7 @@ mod tests {
             phase1_iterations: 0,
             refactorizations: 1,
             degenerate_pivots: 0,
+            devex_resets: 2,
             bound_flips: 0,
             solves: 1,
             warm_starts_accepted: 0,
@@ -193,6 +198,7 @@ mod tests {
         };
         a.merge(&b);
         assert_eq!(a.iterations, 15);
+        assert_eq!(a.devex_resets, 3);
         assert_eq!(a.phase1_iterations, 4);
         assert_eq!(a.phase2_iterations(), 11);
         assert_eq!(a.solves, 2);

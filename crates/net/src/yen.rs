@@ -171,6 +171,19 @@ mod tests {
     }
 
     #[test]
+    fn src_equals_dst_returns_empty() {
+        // A zero-hop "transfer" has no path representation; asking for
+        // paths from a node to itself must yield none, for any k.
+        let (g, ns) = mesh();
+        for k in [0, 1, 5] {
+            assert!(
+                k_shortest_paths(&g, ns[1], ns[1], k).is_empty(),
+                "src == dst must return no paths (k = {k})"
+            );
+        }
+    }
+
+    #[test]
     fn counts_simple_paths_in_diamond() {
         // 0->1->3, 0->2->3, 0->1->2->3, 0->2->1->3 ... depends on edges.
         let mut g = Graph::new();

@@ -1,0 +1,419 @@
+//! JSON-lines serialization of [`Metric`] snapshots, plus the matching
+//! parser — both hand-rolled so the crate stays dependency-free.
+//!
+//! Schema: one JSON object per line, discriminated by `"type"`:
+//!
+//! ```text
+//! {"type":"counter","name":"lp.iterations","value":123}
+//! {"type":"histogram","name":"lp.eta_len","count":4,"sum":10,"min":1,"max":4,"buckets":[[1,2],[3,2]]}
+//! {"type":"span","path":"pipeline/stage1","count":3,"total_ns":812345,"min_ns":1021,"max_ns":700111}
+//! ```
+//!
+//! All numbers are unsigned 64-bit integers; `buckets` is a sparse array of
+//! `[bucket_index, count]` pairs. Blank lines are ignored on input.
+
+use crate::Metric;
+use std::fmt::Write as _;
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Serializes `metrics` into the JSON-lines report format (one object per
+/// line, trailing newline).
+pub fn to_json_lines(metrics: &[Metric]) -> String {
+    let mut out = String::new();
+    for m in metrics {
+        match m {
+            Metric::Counter { name, value } => {
+                out.push_str("{\"type\":\"counter\",\"name\":");
+                push_json_str(&mut out, name);
+                let _ = write!(out, ",\"value\":{value}}}");
+            }
+            Metric::Histogram {
+                name,
+                count,
+                sum,
+                min,
+                max,
+                buckets,
+            } => {
+                out.push_str("{\"type\":\"histogram\",\"name\":");
+                push_json_str(&mut out, name);
+                let _ = write!(
+                    out,
+                    ",\"count\":{count},\"sum\":{sum},\"min\":{min},\"max\":{max},\"buckets\":["
+                );
+                for (i, (b, c)) in buckets.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "[{b},{c}]");
+                }
+                out.push_str("]}");
+            }
+            Metric::Span {
+                path,
+                count,
+                total_ns,
+                min_ns,
+                max_ns,
+            } => {
+                out.push_str("{\"type\":\"span\",\"path\":");
+                push_json_str(&mut out, path);
+                let _ = write!(
+                    out,
+                    ",\"count\":{count},\"total_ns\":{total_ns},\"min_ns\":{min_ns},\"max_ns\":{max_ns}}}"
+                );
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A parsed JSON value — only the subset the report schema uses.
+#[derive(Debug, PartialEq)]
+enum JVal {
+    Str(String),
+    Num(u64),
+    Arr(Vec<JVal>),
+    Obj(Vec<(String, JVal)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JVal, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => self.string().map(JVal::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'0'..=b'9') => self.number().map(JVal::Num),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => {
+                            s.push('"');
+                            self.pos += 1;
+                        }
+                        Some(b'\\') => {
+                            s.push('\\');
+                            self.pos += 1;
+                        }
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                            s.push(char::from_u32(cp).ok_or("non-scalar \\u escape")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("unsupported escape {other:?}")),
+                    }
+                }
+                Some(_) => {
+                    // Advance one UTF-8 character (input came from &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let ch_len = std::str::from_utf8(rest)
+                        .map_err(|e| e.to_string())?
+                        .chars()
+                        .next()
+                        .map(char::len_utf8)
+                        .ok_or("empty continuation")?;
+                    s.push_str(std::str::from_utf8(&rest[..ch_len]).unwrap());
+                    self.pos += ch_len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected digits at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .unwrap()
+            .parse()
+            .map_err(|e| format!("bad integer: {e}"))
+    }
+
+    fn array(&mut self) -> Result<JVal, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JVal::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JVal::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']' got {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JVal, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JVal::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JVal::Obj(fields));
+                }
+                other => return Err(format!("expected ',' or '}}' got {other:?}")),
+            }
+        }
+    }
+}
+
+fn field<'v>(obj: &'v [(String, JVal)], key: &str) -> Result<&'v JVal, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn str_field(obj: &[(String, JVal)], key: &str) -> Result<String, String> {
+    match field(obj, key)? {
+        JVal::Str(s) => Ok(s.clone()),
+        _ => Err(format!("field {key:?} is not a string")),
+    }
+}
+
+fn num_field(obj: &[(String, JVal)], key: &str) -> Result<u64, String> {
+    match field(obj, key)? {
+        JVal::Num(n) => Ok(*n),
+        _ => Err(format!("field {key:?} is not an integer")),
+    }
+}
+
+fn metric_of_line(line: &str) -> Result<Metric, String> {
+    let mut p = Parser::new(line);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    let JVal::Obj(obj) = v else {
+        return Err("line is not a JSON object".into());
+    };
+    match str_field(&obj, "type")?.as_str() {
+        "counter" => Ok(Metric::Counter {
+            name: str_field(&obj, "name")?,
+            value: num_field(&obj, "value")?,
+        }),
+        "histogram" => {
+            let JVal::Arr(raw) = field(&obj, "buckets")? else {
+                return Err("field \"buckets\" is not an array".into());
+            };
+            let mut buckets = Vec::with_capacity(raw.len());
+            for item in raw {
+                match item {
+                    JVal::Arr(pair) => match pair.as_slice() {
+                        [JVal::Num(b), JVal::Num(c)] => {
+                            let b = u32::try_from(*b).map_err(|_| "bucket index overflow")?;
+                            if b as usize >= crate::HIST_BUCKETS {
+                                return Err(format!("bucket index {b} out of range"));
+                            }
+                            buckets.push((b, *c));
+                        }
+                        _ => return Err("bucket entry is not [index, count]".into()),
+                    },
+                    _ => return Err("bucket entry is not an array".into()),
+                }
+            }
+            Ok(Metric::Histogram {
+                name: str_field(&obj, "name")?,
+                count: num_field(&obj, "count")?,
+                sum: num_field(&obj, "sum")?,
+                min: num_field(&obj, "min")?,
+                max: num_field(&obj, "max")?,
+                buckets,
+            })
+        }
+        "span" => Ok(Metric::Span {
+            path: str_field(&obj, "path")?,
+            count: num_field(&obj, "count")?,
+            total_ns: num_field(&obj, "total_ns")?,
+            min_ns: num_field(&obj, "min_ns")?,
+            max_ns: num_field(&obj, "max_ns")?,
+        }),
+        other => Err(format!("unknown metric type {other:?}")),
+    }
+}
+
+/// Parses a JSON-lines report back into metrics, validating the schema.
+/// Blank lines are skipped; the error names the offending line.
+pub fn parse_json_lines(text: &str) -> Result<Vec<Metric>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(metric_of_line(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Metric> {
+        vec![
+            Metric::Counter {
+                name: "lp.iterations".into(),
+                value: 123,
+            },
+            Metric::Counter {
+                name: "odd \"name\"\\with\nescapes".into(),
+                value: 0,
+            },
+            Metric::Histogram {
+                name: "lp.eta_len".into(),
+                count: 4,
+                sum: 10,
+                min: 1,
+                max: 4,
+                buckets: vec![(1, 2), (3, 2)],
+            },
+            Metric::Span {
+                path: "pipeline/stage1".into(),
+                count: 3,
+                total_ns: 812_345,
+                min_ns: 1_021,
+                max_ns: 700_111,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip() {
+        let metrics = sample();
+        let text = to_json_lines(&metrics);
+        assert_eq!(text.lines().count(), metrics.len());
+        let back = parse_json_lines(&text).expect("parses");
+        assert_eq!(back, metrics);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = format!("\n{}\n\n", to_json_lines(&sample()));
+        assert_eq!(parse_json_lines(&text).unwrap(), sample());
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_line_numbers() {
+        for (bad, what) in [
+            ("{\"type\":\"counter\",\"name\":\"x\"}", "missing value"),
+            ("{\"type\":\"rocket\",\"name\":\"x\",\"value\":1}", "bad type"),
+            ("{\"type\":\"counter\",\"name\":\"x\",\"value\":-1}", "negative"),
+            ("[1,2,3]", "not an object"),
+            ("{\"type\":\"counter\",\"name\":\"x\",\"value\":1} junk", "trailing"),
+            (
+                "{\"type\":\"histogram\",\"name\":\"h\",\"count\":1,\"sum\":1,\"min\":1,\"max\":1,\"buckets\":[[99,1]]}",
+                "bucket range",
+            ),
+        ] {
+            let text = format!("{}{bad}\n", to_json_lines(&sample()));
+            let err = parse_json_lines(&text).expect_err(what);
+            assert!(err.starts_with("line 5:"), "{what}: {err}");
+        }
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        assert_eq!(parse_json_lines("").unwrap(), Vec::new());
+        assert_eq!(to_json_lines(&[]), "");
+    }
+}

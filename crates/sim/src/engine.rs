@@ -13,6 +13,7 @@ use wavesched_core::instance::Instance;
 use wavesched_core::schedule::Schedule;
 use wavesched_lp::SolveError;
 use wavesched_net::Graph;
+use wavesched_obs as obs;
 use wavesched_workload::{Job, JobId};
 
 /// Simulation parameters.
@@ -41,6 +42,7 @@ pub fn run_simulation(
     jobs: &[Job],
     cfg: &SimConfig,
 ) -> Result<SimReport, SolveError> {
+    let _span = obs::span("sim");
     let tau = cfg.controller.tau;
     let mut controller = Controller::new(graph.clone(), cfg.controller.clone());
 
@@ -70,6 +72,8 @@ pub fn run_simulation(
 
     let mut slice = 0usize;
     while slice < cfg.max_slices {
+        let _slice_span = obs::span("slice");
+        obs::counter_add("sim.slices", 1);
         let now = slice as f64;
 
         // Controller invocation at multiples of τ.

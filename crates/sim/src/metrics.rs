@@ -148,8 +148,19 @@ mod tests {
             invocations: 0,
             slices: 0,
         };
+        // Empty-report semantics: every rate is exactly 0.0 — never NaN
+        // (the 0/0 family of bugs; `assert_eq!` would accept nothing else,
+        // since NaN != NaN).
         assert_eq!(r.completion_rate(), 0.0);
+        assert_eq!(r.on_time_rate(), 0.0);
+        assert_eq!(r.rejection_rate(), 0.0);
+        assert_eq!(r.expiry_rate(), 0.0);
         assert_eq!(r.goodput(), 0.0);
+        assert!(!r.completion_rate().is_nan());
+        assert!(!r.on_time_rate().is_nan());
+        assert!(!r.rejection_rate().is_nan());
+        assert!(!r.expiry_rate().is_nan());
+        assert!(!r.goodput().is_nan());
         assert_eq!(r.average_end_time(), None);
     }
 }

@@ -19,6 +19,7 @@ use wavesched::core::ret::{solve_ret, RetConfig};
 use wavesched::net::{
     abilene14, abilene20, esnet, to_dot, waxman_network, Graph, PathSet, WaxmanConfig,
 };
+use wavesched::obs;
 use wavesched::sim::{run_simulation, SimConfig};
 use wavesched::workload::{parse_trace, write_trace, WorkloadConfig, WorkloadGenerator};
 
@@ -31,11 +32,14 @@ commands:
   ret         run the Relaxing-End-Times algorithm on a trace
   simulate    run the periodic controller simulation on a trace
   dot         print the network as Graphviz DOT
+  check-report <file>    validate a JSON-lines metrics report (--report output)
 
 common options:
   --network <abilene14|abilene20|esnet|waxman:<nodes>:<pairs>:<seed>>
   --wavelengths <w>      wavelengths per 20 Gbps link (default 4)
   --trace <file>         job trace CSV (see workload::trace)
+  --trace                with no value: print the observability span tree
+                         to stderr after the command
   --paths <k>            allowed paths per job (default 4)
   --alpha <a>            stage-2 fairness slack (default 0.1)
 
@@ -51,6 +55,7 @@ simulate options:
 struct Args {
     command: String,
     opts: Vec<(String, String)>,
+    positional: Vec<String>,
 }
 
 impl Args {
@@ -58,6 +63,7 @@ impl Args {
         let mut it = std::env::args().skip(1);
         let command = it.next()?;
         let mut opts = Vec::new();
+        let mut positional = Vec::new();
         let mut key: Option<String> = None;
         for a in it {
             if let Some(k) = a.strip_prefix("--") {
@@ -68,14 +74,17 @@ impl Args {
             } else if let Some(k) = key.take() {
                 opts.push((k, a));
             } else {
-                eprintln!("unexpected argument {a:?}");
-                return None;
+                positional.push(a);
             }
         }
         if let Some(k) = key.take() {
             opts.push((k, String::new()));
         }
-        Some(Args { command, opts })
+        Some(Args {
+            command,
+            opts,
+            positional,
+        })
     }
 
     fn get(&self, k: &str) -> Option<&str> {
@@ -83,6 +92,21 @@ impl Args {
             .iter()
             .rev()
             .find(|(key, _)| key == k)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True when `--k` was given bare (no value) — e.g. the span-tree form
+    /// of `--trace`, as opposed to `--trace <file>`.
+    fn flag(&self, k: &str) -> bool {
+        self.opts.iter().any(|(key, v)| key == k && v.is_empty())
+    }
+
+    /// Last non-empty value of `--k <value>`; bare `--k` flags don't count.
+    fn value_of(&self, k: &str) -> Option<&str> {
+        self.opts
+            .iter()
+            .rev()
+            .find(|(key, v)| key == k && !v.is_empty())
             .map(|(_, v)| v.as_str())
     }
 
@@ -131,6 +155,38 @@ fn run() -> Result<(), String> {
         return Ok(());
     }
 
+    if args.command == "check-report" {
+        let path = args
+            .positional
+            .first()
+            .map(String::as_str)
+            .ok_or_else(|| "check-report needs a file path".to_string())?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+        let metrics =
+            obs::parse_json_lines(&text).map_err(|e| format!("{path}: invalid report: {e}"))?;
+        let (mut counters, mut hists, mut spans) = (0usize, 0usize, 0usize);
+        for m in &metrics {
+            match m {
+                obs::Metric::Counter { .. } => counters += 1,
+                obs::Metric::Histogram { .. } => hists += 1,
+                obs::Metric::Span { .. } => spans += 1,
+            }
+        }
+        println!(
+            "{path}: valid report, {} metrics ({counters} counters, {hists} histograms, {spans} spans)",
+            metrics.len()
+        );
+        return Ok(());
+    }
+
+    // Bare `--trace` (no value) turns on the observability layer and prints
+    // the span tree to stderr when the command finishes; `--trace <file>`
+    // remains the job-trace input option.
+    let trace_spans = args.flag("trace");
+    if trace_spans {
+        obs::set_enabled(true);
+    }
+
     let w: u32 = args.num("wavelengths", 4)?;
     let net_spec = args.get("network").unwrap_or("abilene14").to_string();
     let graph = build_network(&net_spec, w)?;
@@ -143,7 +199,7 @@ fn run() -> Result<(), String> {
 
     let load_trace = || -> Result<_, String> {
         let path = args
-            .get("trace")
+            .value_of("trace")
             .ok_or_else(|| "missing --trace <file>".to_string())?;
         let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
         parse_trace(&text, &graph).map_err(|e| e.to_string())
@@ -243,6 +299,9 @@ fn run() -> Result<(), String> {
         other => {
             return Err(format!("unknown command {other:?}\n\n{}", usage()));
         }
+    }
+    if trace_spans {
+        eprint!("{}", obs::render_span_tree());
     }
     Ok(())
 }

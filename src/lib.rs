@@ -10,6 +10,8 @@
 //! * [`core`] — the paper's algorithms: Stage-1 MCF, Stage-2, LPD, LPDAR, RET,
 //!   admission control, periodic controller
 //! * [`sim`] — discrete-event simulation of the controller loop
+//! * [`obs`] — zero-dependency observability: spans, counters, histograms,
+//!   JSON-lines reports
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! full system inventory and experiment index.
@@ -17,5 +19,6 @@
 pub use wavesched_core as core;
 pub use wavesched_lp as lp;
 pub use wavesched_net as net;
+pub use wavesched_obs as obs;
 pub use wavesched_sim as sim;
 pub use wavesched_workload as workload;
