@@ -1,0 +1,173 @@
+//! Criterion benchmarks for the `wavesched-par` work pool: fixed thread
+//! counts (not `WS_THREADS`) so the serial and pooled variants of the same
+//! work are compared directly.
+//!
+//! Groups:
+//!
+//! * `pool_dispatch` — raw overhead of `par_map_indexed_with` on trivial
+//!   items, width 1 (inline path, no spawn) vs width 4.
+//! * `sweep_width` — a fig1-style sweep of independent pipeline solves,
+//!   mapped at widths 1 / 2 / 4. On a multi-core host the wall-clock ratio
+//!   is the harness speedup quoted in EXPERIMENTS.md; results are
+//!   bit-identical at every width.
+//! * `ret_width` — the Fig. 4 RET search with speculative probes at widths
+//!   1 / 2 / 4 (`RetConfig::threads`); b̂ and the work counters are
+//!   width-independent by construction.
+//! * `milp_workers` — branch-and-bound on a 16-variable knapsack with 1 vs
+//!   4 workers (`MilpConfig::threads`); the incumbent is identical, node
+//!   order is not.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wavesched_bench::{build_instance, fig_workload, paper_random_network};
+use wavesched_core::instance::InstanceConfig;
+use wavesched_core::pipeline::max_throughput_pipeline;
+use wavesched_core::ret::{solve_ret, RetConfig};
+use wavesched_lp::{solve_milp, MilpConfig, Objective, Problem};
+use wavesched_net::abilene14;
+use wavesched_workload::{WorkloadConfig, WorkloadGenerator};
+
+const WIDTHS: [usize; 3] = [1, 2, 4];
+
+fn bench_pool_dispatch(c: &mut Criterion) {
+    let items: Vec<u64> = (0..256).collect();
+    let mut group = c.benchmark_group("pool_dispatch");
+    for width in [1usize, 4] {
+        group.bench_function(format!("width{width}"), |b| {
+            b.iter(|| {
+                black_box(wavesched_par::par_map_with(width, &items, |&x| {
+                    x.wrapping_mul(0x9e3779b97f4a7c15)
+                }))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sweep_width(c: &mut Criterion) {
+    // Four independent sweep points, as fig1 runs them: small random
+    // networks so a bench iteration stays under a second.
+    std::env::set_var("WS_QUICK", "1");
+    let points: Vec<u64> = (0..4).collect();
+    let solve = |&seed: &u64| {
+        let g = paper_random_network(4, 42 + seed);
+        let jobs = fig_workload(&g, 30, 1000 + seed);
+        let inst = build_instance(&g, &jobs, 4, 4);
+        let r = max_throughput_pipeline(&inst, 0.1).expect("pipeline");
+        r.z_star
+    };
+    let serial = wavesched_par::par_map_with(1, &points, solve);
+
+    let mut group = c.benchmark_group("sweep_width");
+    group.sample_size(10);
+    for width in WIDTHS {
+        let pooled = wavesched_par::par_map_with(width, &points, solve);
+        assert_eq!(serial, pooled, "sweep must be width-independent");
+        group.bench_function(format!("width{width}"), |b| {
+            b.iter(|| black_box(wavesched_par::par_map_with(width, &points, solve)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ret_width(c: &mut Criterion) {
+    // The Fig. 4 shape at bench-friendly size (see benches/warm.rs): an
+    // overloaded Abilene so the bisection speculates over real probes.
+    let (g, _) = abilene14(2);
+    let jobs = WorkloadGenerator::new(WorkloadConfig {
+        num_jobs: 15,
+        seed: 3000,
+        size_gb: (100.0, 400.0),
+        window: (2.0, 4.0),
+        ..Default::default()
+    })
+    .generate(&g);
+    let cfg = InstanceConfig::paper(2);
+    let ret_at = |threads: usize| RetConfig {
+        bsearch_tol: 0.05,
+        b_max: 10.0,
+        max_delta_steps: 120,
+        threads,
+        ..RetConfig::default()
+    };
+    let serial = solve_ret(&g, &jobs, &cfg, &ret_at(1))
+        .expect("ret")
+        .expect("overloaded");
+
+    let mut group = c.benchmark_group("ret_width");
+    group.sample_size(10);
+    for width in WIDTHS {
+        let r = solve_ret(&g, &jobs, &cfg, &ret_at(width))
+            .expect("ret")
+            .expect("overloaded");
+        assert_eq!(serial.b_final.to_bits(), r.b_final.to_bits());
+        assert_eq!(
+            serial.stats, r.stats,
+            "work counters must be width-independent"
+        );
+        group.bench_function(format!("width{width}"), |b| {
+            b.iter(|| black_box(solve_ret(&g, &jobs, &cfg, &ret_at(width)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// A 16-variable 0/1 knapsack with two capacity rows — enough branching to
+/// keep 4 workers busy (same xorshift family as the milp unit tests).
+fn knapsack() -> Problem {
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut p = Problem::new(Objective::Maximize);
+    let n = 16;
+    let mut cols = Vec::new();
+    let mut weights = Vec::new();
+    for _ in 0..n {
+        let value = 1.0 + (next() * 20.0).round();
+        cols.push(p.add_int_col(0.0, 1.0, value));
+        weights.push(1.0 + (next() * 12.0).round());
+    }
+    let coeffs: Vec<_> = cols.iter().copied().zip(weights.iter().copied()).collect();
+    let cap: f64 = weights.iter().sum::<f64>() * 0.4;
+    p.add_row(f64::NEG_INFINITY, cap.round(), &coeffs);
+    let alt: Vec<_> = cols
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c, 1.0 + (i % 3) as f64))
+        .collect();
+    p.add_row(f64::NEG_INFINITY, (n as f64 * 0.8).round(), &alt);
+    p
+}
+
+fn bench_milp_workers(c: &mut Criterion) {
+    let p = knapsack();
+    let cfg_at = |threads: usize| MilpConfig {
+        threads,
+        ..MilpConfig::default()
+    };
+    let serial = solve_milp(&p, &cfg_at(1)).expect("milp");
+
+    let mut group = c.benchmark_group("milp_workers");
+    group.sample_size(10);
+    for width in [1usize, 4] {
+        let sol = solve_milp(&p, &cfg_at(width)).expect("milp");
+        assert_eq!(serial.objective.to_bits(), sol.objective.to_bits());
+        group.bench_function(format!("workers{width}"), |b| {
+            b.iter(|| black_box(solve_milp(&p, &cfg_at(width)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pool_dispatch,
+    bench_sweep_width,
+    bench_ret_width,
+    bench_milp_workers
+);
+criterion_main!(benches);

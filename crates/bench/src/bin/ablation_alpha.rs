@@ -6,7 +6,7 @@
 //! cargo run --release -p wavesched-bench --bin ablation_alpha
 //! ```
 
-use wavesched_bench::{env_usize, quick};
+use wavesched_bench::{env_usize, par_points, quick};
 use wavesched_core::instance::{Instance, InstanceConfig};
 use wavesched_core::pipeline::max_throughput_pipeline;
 use wavesched_net::{abilene20, PathSet};
@@ -31,7 +31,10 @@ fn main() {
 
     println!("# Ablation A2: fairness slack alpha (Abilene-20, W={w}, jobs={jobs_n})");
     println!("alpha,z_star,lp_throughput,lpdar_norm,lp_min_job_z,lpdar_min_job_z");
-    for alpha in [0.0, 0.05, 0.1, 0.2, 0.4, 0.8] {
+    // Alpha sweep points share the (read-only) instance and run across the
+    // WS_THREADS pool; rows print afterwards in sweep order.
+    let alphas = [0.0, 0.05, 0.1, 0.2, 0.4, 0.8];
+    let rows = par_points(&alphas, |&alpha| {
         let r = max_throughput_pipeline(&inst, alpha).expect("pipeline");
         let min_lpdar = (0..inst.num_jobs())
             .map(|i| r.lpdar.throughput(&inst, i))
@@ -39,14 +42,17 @@ fn main() {
         let min_lp = (0..inst.num_jobs())
             .map(|i| r.lp.throughput(&inst, i))
             .fold(f64::INFINITY, f64::min);
-        println!(
+        format!(
             "{alpha},{:.3},{:.3},{:.4},{:.4},{:.4}",
             r.z_star,
             r.lp_throughput,
             r.lpdar_normalized(),
             min_lp,
             min_lpdar
-        );
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
 
     wavesched_bench::write_report(&opts);

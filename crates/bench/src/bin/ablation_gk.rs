@@ -8,7 +8,9 @@
 //! ```
 
 use std::time::Instant;
-use wavesched_bench::{build_instance, env_usize, fig_workload, paper_random_network, quick, secs};
+use wavesched_bench::{
+    build_instance, env_usize, fig_workload, paper_random_network, par_points, quick, secs,
+};
 use wavesched_core::gkflow::{approx_stage1, GkConfig};
 use wavesched_core::stage1::solve_stage1;
 
@@ -36,7 +38,10 @@ fn main() {
         exact.z_star,
         secs(exact_time)
     );
-    for eps in [0.5, 0.2, 0.1, 0.05] {
+    // Epsilon sweep points share the instance and run across the
+    // WS_THREADS pool; time_s shares cores at WS_THREADS>1.
+    let epsilons = [0.5, 0.2, 0.1, 0.05];
+    let rows = par_points(&epsilons, |&eps| {
         let t = Instant::now();
         let gk = approx_stage1(
             &inst,
@@ -45,13 +50,16 @@ fn main() {
                 ..Default::default()
             },
         );
-        println!(
+        format!(
             "gk,{eps},{:.4},{:.4},{},{}",
             gk.z_lower,
             gk.z_lower / exact.z_star,
             gk.phases,
             secs(t.elapsed())
-        );
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
 
     wavesched_bench::write_report(&opts);

@@ -6,7 +6,9 @@
 //! cargo run --release -p wavesched-bench --bin ablation_order
 //! ```
 
-use wavesched_bench::{build_instance, env_usize, fig_workload, paper_random_network, quick};
+use wavesched_bench::{
+    build_instance, env_usize, fig_workload, paper_random_network, par_points, quick,
+};
 use wavesched_core::lpdar::{adjust_rates, truncate, AdjustOrder};
 use wavesched_core::stage1::solve_stage1;
 use wavesched_core::stage2::solve_stage2;
@@ -27,19 +29,25 @@ fn main() {
     println!("# Ablation A1: LPDAR visit order (random network, W={w}, jobs={jobs_n})");
     println!("# lp_throughput={lp_thru:.3}");
     println!("order,lpdar_norm,min_job_throughput");
-    for (name, order) in [
+    // Each visit order re-adjusts the same truncated schedule; the five
+    // variants are independent, so they run across the WS_THREADS pool.
+    let orders = [
         ("paper", AdjustOrder::Paper),
         ("largest_first", AdjustOrder::LargestJobFirst),
         ("smallest_first", AdjustOrder::SmallestJobFirst),
         ("random_a", AdjustOrder::Random(1)),
         ("random_b", AdjustOrder::Random(2)),
-    ] {
+    ];
+    let rows = par_points(&orders, |&(name, order)| {
         let s = adjust_rates(&inst, &lpd, order);
         let norm = s.weighted_throughput(&inst) / lp_thru;
         let min_z = (0..inst.num_jobs())
             .map(|i| s.throughput(&inst, i))
             .fold(f64::INFINITY, f64::min);
-        println!("{name},{norm:.4},{min_z:.4}");
+        format!("{name},{norm:.4},{min_z:.4}")
+    });
+    for row in rows {
+        println!("{row}");
     }
 
     wavesched_bench::write_report(&opts);

@@ -6,7 +6,9 @@
 //! ```
 
 use std::time::Instant;
-use wavesched_bench::{build_instance, env_usize, fig_workload, paper_random_network, quick, secs};
+use wavesched_bench::{
+    build_instance, env_usize, fig_workload, paper_random_network, par_points, quick, secs,
+};
 use wavesched_core::pipeline::max_throughput_pipeline;
 
 fn main() {
@@ -18,17 +20,23 @@ fn main() {
 
     println!("# Ablation A3: paths per job (random network, W={w}, jobs={jobs_n})");
     println!("paths_per_job,z_star,lp_throughput,lpdar_norm,lp_time_s");
-    for k in [1usize, 2, 4, 8] {
+    // Path-budget sweep points run across the WS_THREADS pool; the timing
+    // column shares cores at WS_THREADS>1 (use 1 for clean absolute times).
+    let ks = [1usize, 2, 4, 8];
+    let rows = par_points(&ks, |&k| {
         let inst = build_instance(&g, &jobs, w, k);
         let t = Instant::now();
         let r = max_throughput_pipeline(&inst, 0.1).expect("pipeline");
-        println!(
+        format!(
             "{k},{:.3},{:.3},{:.4},{}",
             r.z_star,
             r.lp_throughput,
             r.lpdar_normalized(),
             secs(t.elapsed())
-        );
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
 
     wavesched_bench::write_report(&opts);

@@ -9,7 +9,9 @@
 //! cargo run --release -p wavesched-bench --bin fig1
 //! ```
 
-use wavesched_bench::{build_instance, env_usize, fig_workload, mean, paper_random_network, quick};
+use wavesched_bench::{
+    build_instance, env_usize, fig_workload, mean, paper_random_network, par_points, quick,
+};
 use wavesched_core::pipeline::max_throughput_pipeline;
 
 fn main() {
@@ -25,27 +27,34 @@ fn main() {
     println!("# Fig. 1: throughput vs wavelengths per link (random network)");
     println!("# jobs={jobs_n} seeds={seeds} alpha=0.1 paths/job=4");
     println!("wavelengths,lp_norm,lpd_norm,lpdar_norm,z_star,lp_throughput");
-    for &w in wavelengths {
-        let mut lpd = Vec::new();
-        let mut lpdar = Vec::new();
-        let mut zs = Vec::new();
-        let mut lps = Vec::new();
-        for seed in 0..seeds as u64 {
-            let g = paper_random_network(w, 42 + seed);
-            let jobs = fig_workload(&g, jobs_n, 1000 + seed);
-            let inst = build_instance(&g, &jobs, w, 4);
-            let r = max_throughput_pipeline(&inst, 0.1).expect("pipeline");
-            lpd.push(r.lpd_normalized());
-            lpdar.push(r.lpdar_normalized());
-            zs.push(r.z_star);
-            lps.push(r.lp_throughput);
-        }
+    // Every (wavelength, seed) cell is independent: flatten the grid across
+    // the WS_THREADS pool, then fold per wavelength in input order — means
+    // and rows are bit-identical to the serial double loop.
+    let grid: Vec<(u32, u64)> = wavelengths
+        .iter()
+        .flat_map(|&w| (0..seeds as u64).map(move |seed| (w, seed)))
+        .collect();
+    let cells = par_points(&grid, |&(w, seed)| {
+        let g = paper_random_network(w, 42 + seed);
+        let jobs = fig_workload(&g, jobs_n, 1000 + seed);
+        let inst = build_instance(&g, &jobs, w, 4);
+        let r = max_throughput_pipeline(&inst, 0.1).expect("pipeline");
+        (
+            r.lpd_normalized(),
+            r.lpdar_normalized(),
+            r.z_star,
+            r.lp_throughput,
+        )
+    });
+    for (wi, &w) in wavelengths.iter().enumerate() {
+        let rows = &cells[wi * seeds..(wi + 1) * seeds];
+        let col = |f: fn(&(f64, f64, f64, f64)) -> f64| rows.iter().map(f).collect::<Vec<_>>();
         println!(
             "{w},1.000,{:.3},{:.3},{:.3},{:.3}",
-            mean(&lpd),
-            mean(&lpdar),
-            mean(&zs),
-            mean(&lps)
+            mean(&col(|r| r.0)),
+            mean(&col(|r| r.1)),
+            mean(&col(|r| r.2)),
+            mean(&col(|r| r.3))
         );
     }
 

@@ -12,7 +12,7 @@
 //! cargo run --release -p wavesched-bench --bin fig4
 //! ```
 
-use wavesched_bench::{env_usize, paper_random_network, quick};
+use wavesched_bench::{env_usize, paper_random_network, par_points, quick};
 use wavesched_core::instance::InstanceConfig;
 use wavesched_core::ret::{solve_ret, RetConfig};
 use wavesched_workload::{WorkloadConfig, WorkloadGenerator};
@@ -33,7 +33,12 @@ fn main() {
     println!("# solver-work columns: total LP solves, simplex iterations (phase 1 of those),");
     println!("# warm starts accepted, and cold fallbacks across the bisection and delta growth");
     println!("jobs,b_lp,b_final,lp_avg_end,lpdar_avg_end,lpd_frac_finished,lp_solves,iters,phase1_iters,warm_accepted,cold_fallbacks");
-    for &n in &job_counts {
+    // Job-count sweep points run across the WS_THREADS pool. Each point's
+    // RET search also speculates probes on the same knob (RetConfig.threads
+    // defaults to WS_THREADS), and every column — including the solver-work
+    // counters — is bit-identical at any thread count (see
+    // tests/determinism.rs).
+    let rows = par_points(&job_counts, |&n| {
         let g = paper_random_network(w, 42);
         let jobs = WorkloadGenerator::new(WorkloadConfig {
             num_jobs: n,
@@ -51,23 +56,24 @@ fn main() {
             ..RetConfig::default()
         };
         match solve_ret(&g, &jobs, &cfg, &ret_cfg).expect("ret") {
-            Some(r) => {
-                println!(
-                    "{n},{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{},{},{}",
-                    r.b_lp,
-                    r.b_final,
-                    r.lp_avg_end_time().unwrap_or(f64::NAN),
-                    r.lpdar_avg_end_time().unwrap_or(f64::NAN),
-                    r.lpd_fraction_finished(),
-                    r.lp_solves(),
-                    r.stats.iterations,
-                    r.stats.phase1_iterations,
-                    r.stats.warm_starts_accepted,
-                    r.stats.warm_start_fallbacks,
-                );
-            }
-            None => println!("{n},NA,NA,NA,NA,NA,NA,NA,NA,NA,NA"),
+            Some(r) => format!(
+                "{n},{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{},{},{}",
+                r.b_lp,
+                r.b_final,
+                r.lp_avg_end_time().unwrap_or(f64::NAN),
+                r.lpdar_avg_end_time().unwrap_or(f64::NAN),
+                r.lpd_fraction_finished(),
+                r.lp_solves(),
+                r.stats.iterations,
+                r.stats.phase1_iterations,
+                r.stats.warm_starts_accepted,
+                r.stats.warm_start_fallbacks,
+            ),
+            None => format!("{n},NA,NA,NA,NA,NA,NA,NA,NA,NA,NA"),
         }
+    });
+    for row in rows {
+        println!("{row}");
     }
 
     wavesched_bench::write_report(&opts);

@@ -11,7 +11,7 @@
 //! cargo run --release -p wavesched-bench --bin jobs_finished
 //! ```
 
-use wavesched_bench::{env_usize, paper_random_network, quick};
+use wavesched_bench::{env_usize, paper_random_network, par_seeds, quick};
 use wavesched_core::instance::InstanceConfig;
 use wavesched_core::ret::{solve_ret, RetConfig};
 use wavesched_net::abilene20;
@@ -28,7 +28,22 @@ fn main() {
         ..RetConfig::default()
     };
 
-    for seed in 0..seeds as u64 {
+    // Seed replications run across the WS_THREADS pool; each seed returns
+    // its two scenario rows as strings, printed afterwards in seed order.
+    let seed_list: Vec<u64> = (0..seeds as u64).collect();
+    let row_fmt =
+        |net: &str, seed: u64, n: usize, r: Option<&wavesched_core::ret::RetResult>| match r {
+            Some(r) => format!(
+                "{net},{seed},{n},{:.3},{:.3},{:.3},{:.3},{:.3}",
+                r.b_lp,
+                r.b_final,
+                r.lp_fraction_finished(),
+                r.lpd_fraction_finished(),
+                r.lpdar_fraction_finished()
+            ),
+            None => format!("{net},{seed},{n},NA,NA,NA,NA,NA"),
+        };
+    let lines = par_seeds(&seed_list, |seed| {
         // Random network scenario.
         let w = 2;
         let n = if quick() { 15 } else { 50 };
@@ -42,18 +57,8 @@ fn main() {
         })
         .generate(&g);
         let cfg = InstanceConfig::paper(w);
-        if let Some(r) = solve_ret(&g, &jobs, &cfg, &ret_cfg).expect("ret") {
-            println!(
-                "random100,{seed},{n},{:.3},{:.3},{:.3},{:.3},{:.3}",
-                r.b_lp,
-                r.b_final,
-                r.lp_fraction_finished(),
-                r.lpd_fraction_finished(),
-                r.lpdar_fraction_finished()
-            );
-        } else {
-            println!("random100,{seed},{n},NA,NA,NA,NA,NA");
-        }
+        let r = solve_ret(&g, &jobs, &cfg, &ret_cfg).expect("ret");
+        let random_row = row_fmt("random100", seed, n, r.as_ref());
 
         // Abilene scenario.
         let (ga, _) = abilene20(w);
@@ -66,18 +71,12 @@ fn main() {
             ..Default::default()
         })
         .generate(&ga);
-        if let Some(r) = solve_ret(&ga, &jobs_a, &cfg, &ret_cfg).expect("ret") {
-            println!(
-                "abilene20,{seed},{na},{:.3},{:.3},{:.3},{:.3},{:.3}",
-                r.b_lp,
-                r.b_final,
-                r.lp_fraction_finished(),
-                r.lpd_fraction_finished(),
-                r.lpdar_fraction_finished()
-            );
-        } else {
-            println!("abilene20,{seed},{na},NA,NA,NA,NA,NA");
-        }
+        let ra = solve_ret(&ga, &jobs_a, &cfg, &ret_cfg).expect("ret");
+        [random_row, row_fmt("abilene20", seed, na, ra.as_ref())]
+    });
+    for [random_row, abilene_row] in lines {
+        println!("{random_row}");
+        println!("{abilene_row}");
     }
 
     wavesched_bench::write_report(&opts);

@@ -11,6 +11,10 @@
 //! * `WS_JOBS` — override the job count(s)
 //! * `WS_SEEDS` — number of workload seeds to average over (default 3)
 //! * `WS_QUICK=1` — shrink everything for a fast smoke run
+//! * `WS_THREADS` — work-pool width for seed replications and sweep
+//!   points ([`par_seeds`] / [`par_points`]; default: available cores,
+//!   `1` = exact serial). Results are bit-identical at any width — only
+//!   wall-clock columns vary (see `tests/determinism.rs`).
 //!
 //! Every binary also accepts two CLI flags (parsed by [`bench_opts`]):
 //!
@@ -25,12 +29,54 @@ use wavesched_core::instance::{Instance, InstanceConfig};
 use wavesched_net::{waxman_network, Graph, PathSet, WaxmanConfig};
 use wavesched_workload::{Job, WorkloadConfig, WorkloadGenerator};
 
-/// Reads a `usize` environment knob with a default.
+/// Reads a `usize` environment knob with a default: unset resolves to
+/// `default`, anything set must parse. (`Err` carries the usage message.)
+/// A knob that silently fell back to its default would run the wrong
+/// experiment and label the output with the right one — every misparse is
+/// an error.
+pub fn try_env_usize(name: &str, default: usize) -> Result<usize, String> {
+    match std::env::var(name) {
+        Err(_) => Ok(default),
+        Ok(v) => v
+            .parse()
+            .map_err(|_| format!("{name}={v:?} is not a valid unsigned integer")),
+    }
+}
+
+/// Reads a `usize` environment knob with a default, exiting loudly
+/// (status 2, like unknown CLI flags) when the variable is set but
+/// unparseable.
 pub fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    match try_env_usize(name, default) {
+        Ok(n) => n,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Runs `f` once per seed across the `WS_THREADS` work pool, returning
+/// results in seed order — replications are independent by construction,
+/// and the order-preserving pool keeps every downstream mean/CSV row
+/// bit-identical to the serial loop ([`wavesched_par::par_map`]).
+pub fn par_seeds<R, F>(seeds: &[u64], f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(u64) -> R + Sync,
+{
+    wavesched_par::par_map(seeds, |&s| f(s))
+}
+
+/// Maps independent sweep points (job counts, alphas, orders, …) across
+/// the `WS_THREADS` work pool, preserving input order. See [`par_seeds`].
+pub fn par_points<T, R, F>(points: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    wavesched_par::par_map(points, f)
 }
 
 static SMOKE: AtomicBool = AtomicBool::new(false);
@@ -168,5 +214,35 @@ mod tests {
         assert_eq!(mean(&[1.0, 3.0]), 2.0);
         assert!(mean(&[]).is_nan());
         assert_eq!(env_usize("WS_SURELY_UNSET_VAR", 7), 7);
+    }
+
+    #[test]
+    fn env_knobs_fail_loudly_on_garbage() {
+        // Unset -> default; set-but-unparseable -> Err (env_usize exits).
+        assert_eq!(try_env_usize("WS_TEST_UNSET_KNOB", 3), Ok(3));
+        std::env::set_var("WS_TEST_GARBAGE_KNOB", "12abc");
+        assert!(try_env_usize("WS_TEST_GARBAGE_KNOB", 3).is_err());
+        std::env::set_var("WS_TEST_GARBAGE_KNOB", "-4");
+        assert!(try_env_usize("WS_TEST_GARBAGE_KNOB", 3).is_err());
+        std::env::set_var("WS_TEST_GARBAGE_KNOB", "");
+        assert!(try_env_usize("WS_TEST_GARBAGE_KNOB", 3).is_err());
+        std::env::set_var("WS_TEST_GARBAGE_KNOB", "42");
+        assert_eq!(try_env_usize("WS_TEST_GARBAGE_KNOB", 3), Ok(42));
+        std::env::remove_var("WS_TEST_GARBAGE_KNOB");
+        // WS_THREADS itself goes through the same loud-failure policy,
+        // with 0 additionally rejected (crates/par owns that parse).
+        assert!(wavesched_par::parse_threads(Some("0"), 4).is_err());
+        assert!(wavesched_par::parse_threads(Some("two"), 4).is_err());
+        assert_eq!(wavesched_par::parse_threads(Some("2"), 4), Ok(2));
+    }
+
+    #[test]
+    fn par_helpers_preserve_order() {
+        let seeds: Vec<u64> = (100..140).collect();
+        let out = par_seeds(&seeds, |s| s * 7);
+        assert_eq!(out, seeds.iter().map(|s| s * 7).collect::<Vec<_>>());
+        let points = [5usize, 1, 9, 2];
+        let out = par_points(&points, |&p| p + 1);
+        assert_eq!(out, vec![6, 2, 10, 3]);
     }
 }

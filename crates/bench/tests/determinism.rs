@@ -1,0 +1,147 @@
+//! Determinism regression: the `WS_THREADS` work pool must never change
+//! results — only wall-clock. Three layers are pinned bit-identical at
+//! 1 vs 4 threads:
+//!
+//! * the fig4 binary end-to-end (subprocess, `WS_THREADS` env path): the
+//!   whole CSV, including the solver-work counter columns, byte for byte;
+//! * RET directly (`RetConfig::threads`): b̂, schedules, and the full
+//!   [`SolveStats`] despite speculative probing;
+//! * MILP directly (`MilpConfig::threads`): incumbent objective and point
+//!   despite scheduling-dependent node order.
+//!
+//! Thread-dependent observables (wall-clock, `milp.nodes`,
+//! `ret.speculative_probes`, `lp.*` counters folded in from mis-speculated
+//! probes) are deliberately *not* compared.
+
+use std::process::Command;
+use wavesched_core::instance::InstanceConfig;
+use wavesched_core::ret::{solve_ret, RetConfig};
+use wavesched_lp::{solve_milp, MilpConfig, MilpStatus, Objective, Problem};
+use wavesched_net::abilene14;
+use wavesched_workload::{WorkloadConfig, WorkloadGenerator};
+
+/// Runs a bench binary with `--smoke` under a given `WS_THREADS`, returning
+/// its stdout.
+fn run_smoke(bin: &str, threads: &str) -> String {
+    let out = Command::new(bin)
+        .arg("--smoke")
+        .env("WS_THREADS", threads)
+        .output()
+        .expect("bench binary runs");
+    assert!(
+        out.status.success(),
+        "{bin} failed under WS_THREADS={threads}: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 csv")
+}
+
+#[test]
+fn fig4_smoke_csv_is_bit_identical_across_thread_counts() {
+    let bin = env!("CARGO_BIN_EXE_fig4");
+    let serial = run_smoke(bin, "1");
+    let pooled = run_smoke(bin, "4");
+    // Every column — b̂, end times, LP solves, simplex iterations, warm
+    // starts, cold fallbacks — must survive both sweep-level parallelism
+    // and RET's speculative probes unchanged.
+    assert_eq!(serial, pooled, "fig4 CSV must not depend on WS_THREADS");
+    assert!(serial.lines().count() > 4, "fig4 produced no data rows");
+}
+
+#[test]
+fn jobs_finished_smoke_csv_is_bit_identical_across_thread_counts() {
+    let bin = env!("CARGO_BIN_EXE_jobs_finished");
+    let serial = run_smoke(bin, "1");
+    let pooled = run_smoke(bin, "4");
+    assert_eq!(
+        serial, pooled,
+        "jobs_finished CSV must not depend on WS_THREADS"
+    );
+}
+
+#[test]
+fn ret_search_is_bit_identical_across_probe_widths() {
+    // The fig4 shape at test-friendly size: overloaded Abilene so the
+    // bisection actually speculates (b_lp > 0).
+    let (g, _) = abilene14(2);
+    let jobs = WorkloadGenerator::new(WorkloadConfig {
+        num_jobs: 12,
+        seed: 3000,
+        size_gb: (100.0, 400.0),
+        window: (2.0, 4.0),
+        ..Default::default()
+    })
+    .generate(&g);
+    let cfg = InstanceConfig::paper(2);
+    let ret_at = |threads: usize| RetConfig {
+        bsearch_tol: 0.05,
+        b_max: 10.0,
+        max_delta_steps: 120,
+        threads,
+        ..RetConfig::default()
+    };
+
+    let serial = solve_ret(&g, &jobs, &cfg, &ret_at(1))
+        .expect("ret")
+        .expect("workload must be overloaded but extensible");
+    assert!(serial.b_lp > 0.0, "bisection must do real work");
+    let pooled = solve_ret(&g, &jobs, &cfg, &ret_at(4))
+        .expect("ret")
+        .expect("workload must be overloaded but extensible");
+
+    assert_eq!(serial.b_lp.to_bits(), pooled.b_lp.to_bits());
+    assert_eq!(serial.b_final.to_bits(), pooled.b_final.to_bits());
+    assert_eq!(serial.lp, pooled.lp);
+    assert_eq!(serial.lpd, pooled.lpd);
+    assert_eq!(serial.lpdar, pooled.lpdar);
+    // Full stats: solves, iterations, phase-1 iterations, warm starts —
+    // the fixed-round speculation realizes the same probes in the same
+    // order at every width.
+    assert_eq!(serial.stats, pooled.stats);
+}
+
+#[test]
+fn milp_incumbent_is_bit_identical_across_worker_counts() {
+    // A 14-variable knapsack with enough fractional branching for 4
+    // workers to race on the incumbent.
+    let mut state = 0xfeed_5eed_u64;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut p = Problem::new(Objective::Maximize);
+    let mut coeffs = Vec::new();
+    for _ in 0..14 {
+        let c = p.add_int_col(0.0, 1.0, 1.0 + (next() * 20.0).round());
+        coeffs.push((c, 1.0 + (next() * 12.0).round()));
+    }
+    let cap: f64 = coeffs.iter().map(|&(_, w)| w).sum::<f64>() * 0.4;
+    p.add_row(f64::NEG_INFINITY, cap.round(), &coeffs);
+
+    let solve_at = |threads: usize| {
+        solve_milp(
+            &p,
+            &MilpConfig {
+                threads,
+                ..MilpConfig::default()
+            },
+        )
+        .expect("milp")
+    };
+    let serial = solve_at(1);
+    assert_eq!(serial.status, MilpStatus::Optimal);
+    for workers in [2usize, 4] {
+        let pooled = solve_at(workers);
+        assert_eq!(pooled.status, MilpStatus::Optimal);
+        assert_eq!(
+            serial.objective.to_bits(),
+            pooled.objective.to_bits(),
+            "objective differs at {workers} workers"
+        );
+        // The lexicographic tie-break makes the incumbent *point* (not just
+        // its objective) reproducible.
+        assert_eq!(serial.x, pooled.x, "incumbent differs at {workers} workers");
+    }
+}

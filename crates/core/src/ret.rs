@@ -16,6 +16,7 @@ use crate::builders::{add_assignment_cols, add_capacity_rows, job_volume_coeffs}
 use crate::instance::{Instance, InstanceConfig};
 use crate::lpdar::{lpdar_capped, AdjustOrder};
 use crate::schedule::Schedule;
+use std::collections::HashMap;
 use std::ops::Range;
 use wavesched_lp::{
     solve_with, Col, Objective, Problem, SimplexConfig, SolveError, SolveStats, SolverSession,
@@ -69,12 +70,24 @@ pub struct RetConfig {
     pub lp: SimplexConfig,
     /// Safety cap on δ-growth iterations.
     pub max_delta_steps: usize,
-    /// Answer the bisection's feasibility probes in a single
-    /// [`SolverSession`] built at `b_max`, warm-starting every probe from
-    /// the previous optimal basis (see [`solve_ret`]). Disable to force a
-    /// fresh cold solve per probe; the search trajectory and the returned
-    /// schedules are identical either way — only the work counters differ.
+    /// Answer the bisection's feasibility probes on clones of a template
+    /// [`SolverSession`] built (and solved once) at `b_max`, warm-starting
+    /// every probe from that optimal basis (see [`solve_ret`]). Disable to
+    /// force a fresh cold solve per probe; the search trajectory and the
+    /// returned schedules are identical either way — only the work counters
+    /// differ.
     pub warm_start: bool,
+    /// Worker threads for speculative bisection probing: each round
+    /// evaluates the next `d` midpoint levels of the search tree
+    /// (`2^d − 1 <= threads`) concurrently, each probe on its own clone of
+    /// the warm template, then walks only the realized path. Probe answers
+    /// are pure functions of `b`, so `b̂`, the schedules, and the merged
+    /// work counters are bit-identical for every thread count. `0` (the
+    /// default) resolves from the `WS_THREADS` environment knob; `1` probes
+    /// serially on the calling thread. Ignored when `warm_start` is off —
+    /// cold probes rebuild instances through a shared path cache and stay
+    /// serial.
+    pub threads: usize,
 }
 
 impl Default for RetConfig {
@@ -88,6 +101,7 @@ impl Default for RetConfig {
             lp: SimplexConfig::default(),
             max_delta_steps: 60,
             warm_start: true,
+            threads: 0,
         }
     }
 }
@@ -196,15 +210,26 @@ fn build_probe(inst: &Instance) -> Problem {
 /// answers — and therefore the bisection trajectory and `b̂` — never depend
 /// on `warm_start`. With warm starts enabled, that LP is built **once** at
 /// `b_max` — whose variable space contains every probe's, since windows
-/// only grow with `b` — and each probe merely retightens column bounds:
-/// variables of slices outside a job's window at the trial `b` are fixed to
-/// `[0, 0]`, the rest restored to `[0, bottleneck]`. That restricted LP
-/// asks the same question as the instance built directly at `b` (the extra
-/// capacity rows are satisfied trivially by the zeros, and the completion
-/// rows reduce to the in-window sums). Each probe re-solves in one
-/// [`SolverSession`], warm-starting from the previous optimal basis;
-/// structural trouble degrades to a cold solve inside the session, never to
-/// a wrong answer.
+/// only grow with `b` — and each probe runs on a **clone** of that template
+/// session with column bounds retightened: variables of slices outside a
+/// job's window at the trial `b` are fixed to `[0, 0]`, the rest restored
+/// to `[0, bottleneck]`. That restricted LP asks the same question as the
+/// instance built directly at `b` (the extra capacity rows are satisfied
+/// trivially by the zeros, and the completion rows reduce to the in-window
+/// sums).
+///
+/// The template is solved lazily and re-anchored at fixed points of the
+/// realized sequence: the opening `feasible(0.0)` probe clones it
+/// *unsolved* (a cold solve, exactly like the cold mode's first probe); the
+/// `b_max` probe and the first bisection midpoint re-solve the template
+/// **in place** (see [`WarmProbe::probe_in_place`]); every other probe runs
+/// on a clone, warm-starting from the anchored optimal basis. Between
+/// anchor points the template is constant, so a probe's answer *and its
+/// work counters* are pure functions of `b` — the property that lets
+/// [`Prober::bisect`] evaluate speculative midpoints in parallel and still
+/// merge bit-identical realized stats at every pool width. Structural
+/// trouble degrades to a cold solve inside the clone, never to a wrong
+/// answer.
 struct Prober<'a> {
     graph: &'a Graph,
     jobs: &'a [Job],
@@ -213,19 +238,124 @@ struct Prober<'a> {
     cfg: &'a RetConfig,
     pathset: &'a mut PathSet,
     warm: Option<WarmProbe>,
+    /// Resolved probe-pool width (`cfg.threads`, `0` → `WS_THREADS`).
+    width: usize,
     stats: SolveStats,
 }
 
-/// The reusable probe LP (see [`Prober`]).
+/// A warm probe's outcome: `(feasible, work, solved session if any)`.
+type ProbeResult = Result<(bool, SolveStats, Option<SolverSession>), SolveError>;
+
+/// The reusable probe template (see [`Prober`]).
 struct WarmProbe {
     /// The instance at `b_max`; every probe's windows nest inside its own.
     inst: Instance,
-    session: SolverSession,
+    /// The template session; unsolved until [`Prober`] needs the `b_max`
+    /// answer, then solved in place so clones inherit the optimal basis.
+    template: SolverSession,
     /// Per-variable upper bound (the path's bottleneck wavelength count).
     upper: Vec<f64>,
 }
 
+impl WarmProbe {
+    /// Windows at trial `b`, on the `b_max` grid; `None` when some job's
+    /// window is empty (mirrors the cold path's `has_unschedulable_job`
+    /// check: the probe then answers `false` without an LP solve). The grid
+    /// is uniform, so a window that fits under the `b_max` horizon is the
+    /// same range the shorter grid of the `b`-instance would produce.
+    fn windows_at(&self, jobs: &[Job], mode: RetMode, b: f64) -> Option<Vec<Range<usize>>> {
+        let mut windows: Vec<Range<usize>> = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let ext = mode.apply(job, b);
+            let w = self.inst.grid.window_slices(ext.start, ext.end);
+            if w.is_empty() {
+                return None;
+            }
+            windows.push(w);
+        }
+        Some(windows)
+    }
+
+    /// Retightens `session`'s column bounds to the given windows: variables
+    /// of out-of-window slices fixed to `[0, 0]`, the rest restored to
+    /// `[0, bottleneck]`. (An associated function over split fields so it
+    /// can also target the template itself.)
+    fn apply_windows(
+        inst: &Instance,
+        upper: &[f64],
+        session: &mut SolverSession,
+        windows: &[Range<usize>],
+    ) {
+        for (var, job, _, slice) in inst.vars.iter() {
+            let ub = if windows[job].contains(&slice) {
+                upper[var]
+            } else {
+                0.0
+            };
+            session.set_col_bounds(Col::from_index(var), 0.0, ub);
+        }
+    }
+
+    /// One feasibility probe at extension `b`, on a fresh clone of the
+    /// template: a **pure function** of `b` (and the fixed template state) —
+    /// no shared mutation, so probes may run concurrently and a probe's
+    /// `(answer, stats)` never depends on which other probes ran. The
+    /// solved clone is returned so the caller may adopt a *realized*
+    /// probe's basis as the next template (`None` when the probe answered
+    /// without solving).
+    fn probe(&self, jobs: &[Job], mode: RetMode, b: f64) -> ProbeResult {
+        let _span = obs::span("ret_probe");
+        let Some(windows) = self.windows_at(jobs, mode, b) else {
+            return Ok((false, SolveStats::default(), None));
+        };
+        let mut session = self.template.clone();
+        Self::apply_windows(&self.inst, &self.upper, &mut session, &windows);
+        let sol = session.solve()?;
+        Ok((
+            sol.status == Status::Optimal && sol.objective >= 1.0 - RET_PROBE_TOL,
+            sol.stats,
+            Some(session),
+        ))
+    }
+
+    /// Like [`WarmProbe::probe`], but re-solves the template **in place**,
+    /// re-anchoring the basis every later clone warm-starts from. Used at
+    /// two fixed points of the realized sequence — the `b_max` probe and
+    /// the first bisection midpoint — so the policy is independent of the
+    /// pool width and probe purity still holds for everything after.
+    fn probe_in_place(
+        &mut self,
+        jobs: &[Job],
+        mode: RetMode,
+        b: f64,
+    ) -> Result<(bool, SolveStats), SolveError> {
+        let _span = obs::span("ret_probe");
+        let Some(windows) = self.windows_at(jobs, mode, b) else {
+            return Ok((false, SolveStats::default()));
+        };
+        let WarmProbe {
+            inst,
+            template,
+            upper,
+        } = self;
+        Self::apply_windows(inst, upper, template, &windows);
+        let sol = template.solve()?;
+        Ok((
+            sol.status == Status::Optimal && sol.objective >= 1.0 - RET_PROBE_TOL,
+            sol.stats,
+        ))
+    }
+}
+
 impl<'a> Prober<'a> {
+    /// Levels of the midpoint tree covered per bisection round. Fixed (not
+    /// width-derived) because the round boundaries decide where the
+    /// template re-anchors: a width-dependent depth would give different
+    /// widths different warm-start anchors and break bit-identical work
+    /// counters. Depth 2 (three candidate probes) fits pools of 3–4
+    /// workers exactly and still halves the rounds for wider ones.
+    const ROUND_DEPTH: usize = 2;
+
     fn new(
         graph: &'a Graph,
         jobs: &'a [Job],
@@ -243,17 +373,11 @@ impl<'a> Prober<'a> {
             // probes then answer without solving, so a session is useless.
             if !inst.has_unschedulable_job() {
                 let p = build_probe(&inst);
-                let session = SolverSession::with_config(&p, &cfg.lp)?;
-                let upper: Vec<f64> = inst
-                    .vars
-                    .iter()
-                    .map(|(_, job, path, _)| {
-                        inst.paths[job][path].bottleneck_wavelengths(&inst.graph) as f64
-                    })
-                    .collect();
+                let template = SolverSession::with_config(&p, &cfg.lp)?;
+                let upper = bottleneck_uppers(&inst);
                 warm = Some(WarmProbe {
                     inst,
-                    session,
+                    template,
                     upper,
                 });
             }
@@ -266,47 +390,159 @@ impl<'a> Prober<'a> {
             cfg,
             pathset,
             warm,
+            width: wavesched_par::resolve_threads(cfg.threads),
             stats: SolveStats::default(),
         })
     }
 
-    /// Is the fractional SUB-RET feasible at extension `b`?
+    /// Algorithm 2's binary search: the smallest `b` (to `bsearch_tol`) at
+    /// which the fractional SUB-RET is feasible, or `None` when even
+    /// `b_max` fails. Runs the opening probes, then [`Prober::bisect`].
+    fn search(&mut self) -> Result<Option<f64>, SolveError> {
+        // The opening probes are fixed points of the realized sequence at
+        // every width, so they may all anchor the template in place,
+        // chaining their warm starts: b = 0 solves cold (the template is
+        // fresh), b_max warms from the b = 0 basis.
+        if self.feasible_anchoring(0.0)? {
+            return Ok(Some(0.0));
+        }
+        if !self.feasible_top()? {
+            return Ok(None);
+        }
+        self.bisect(0.0, self.cfg.b_max).map(Some)
+    }
+
+    /// Is the fractional SUB-RET feasible at extension `b`? (A *realized*
+    /// probe: counted and merged into the returned stats.)
     fn feasible(&mut self, b: f64) -> Result<bool, SolveError> {
-        let _span = obs::span("ret_probe");
         obs::counter_add("ret.probes", 1);
-        let Some(wp) = self.warm.as_mut() else {
-            return self.feasible_cold(b);
-        };
-        // Windows at trial b, on the b_max grid. The grid is uniform, so a
-        // window that fits under the b_max horizon is the same range the
-        // shorter grid of the b-instance would produce.
-        let mut windows: Vec<Range<usize>> = Vec::with_capacity(self.jobs.len());
-        for job in self.jobs {
-            let ext = self.cfg.mode.apply(job, b);
-            let w = wp.inst.grid.window_slices(ext.start, ext.end);
-            if w.is_empty() {
-                // Mirrors the cold path's `has_unschedulable_job` check:
-                // answer without an LP solve.
-                return Ok(false);
+        match &self.warm {
+            Some(wp) => {
+                let (ans, stats, _) = wp.probe(self.jobs, self.cfg.mode, b)?;
+                self.stats.merge(&stats);
+                Ok(ans)
             }
-            windows.push(w);
+            None => self.feasible_cold(b),
         }
-        for (var, job, _, slice) in wp.inst.vars.iter() {
-            let ub = if windows[job].contains(&slice) {
-                wp.upper[var]
+    }
+
+    /// The probe at `b_max`. In warm mode this solves the template **in
+    /// place**, so later probes warm-start from an optimal basis.
+    fn feasible_top(&mut self) -> Result<bool, SolveError> {
+        let b = self.cfg.b_max;
+        self.feasible_anchoring(b)
+    }
+
+    /// A realized probe that, in warm mode, re-solves the template in place
+    /// at `b`, re-anchoring the basis every later clone starts from. Called
+    /// at fixed points of the realized sequence only (the `b_max` probe and
+    /// the first bisection midpoint), so the template state seen by all
+    /// other probes stays independent of the pool width.
+    fn feasible_anchoring(&mut self, b: f64) -> Result<bool, SolveError> {
+        obs::counter_add("ret.probes", 1);
+        let (jobs, mode) = (self.jobs, self.cfg.mode);
+        match &mut self.warm {
+            Some(wp) => {
+                let (ans, stats) = wp.probe_in_place(jobs, mode, b)?;
+                self.stats.merge(&stats);
+                Ok(ans)
+            }
+            None => self.feasible_cold(b),
+        }
+    }
+
+    /// The bisection proper, between an infeasible `lo` and a feasible
+    /// `hi`.
+    ///
+    /// Warm mode proceeds in rounds of a **fixed** depth
+    /// [`Self::ROUND_DEPTH`]: each round covers the next `D` levels of the
+    /// midpoint tree (the `2^D − 1` candidate midpoints), every probe a
+    /// pure clone-solve of the round-entry template. With a pool width
+    /// over one, the whole round is evaluated concurrently up front
+    /// (speculation); serially, only realized midpoints are probed — in
+    /// both cases the walk merges the realized probes' stats, counts them
+    /// in `ret.probes`, and finally installs the last realized probe's
+    /// solved session as the next round's template, so warm-start anchors
+    /// converge toward `b̂` like a chained search would. The round
+    /// structure, the realized trajectory, and the installed anchors are
+    /// all independent of the pool width, so `b̂` and the merged stats are
+    /// bit-identical to the serial walk; mis-speculated probes cost only
+    /// wasted wall clock on otherwise-idle workers (reported under
+    /// `ret.speculative_probes`).
+    fn bisect(&mut self, lo: f64, hi: f64) -> Result<f64, SolveError> {
+        let tol = self.cfg.bsearch_tol;
+        let (mut lo, mut hi) = (lo, hi);
+        if self.warm.is_none() {
+            while hi - lo > tol {
+                let mid = 0.5 * (lo + hi);
+                if self.feasible(mid)? {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            return Ok(hi);
+        }
+
+        while hi - lo > tol {
+            let mut cands: Vec<f64> = Vec::with_capacity((1 << Self::ROUND_DEPTH) - 1);
+            collect_midpoints(lo, hi, Self::ROUND_DEPTH, tol, &mut cands);
+            let wp = self.warm.as_ref().expect("checked above");
+            let (jobs, mode) = (self.jobs, self.cfg.mode);
+            // Speculate the full round when workers are available; probe
+            // lazily (realized midpoints only) on a width-1 pool.
+            let mut by_bits: HashMap<u64, ProbeResult> = if self.width > 1 {
+                let answers = wavesched_par::par_map_with(self.cfg.threads, &cands, |&b| {
+                    wp.probe(jobs, mode, b)
+                });
+                obs::counter_add("ret.speculative_probes", cands.len() as u64);
+                cands
+                    .iter()
+                    .zip(answers)
+                    .map(|(b, r)| (b.to_bits(), r))
+                    .collect()
             } else {
-                0.0
+                HashMap::new()
             };
-            wp.session.set_col_bounds(Col::from_index(var), 0.0, ub);
+            // Walk the realized path. Midpoints are pure functions of
+            // (lo, hi), so a speculated round was built over exactly these
+            // bit patterns; errors on mis-speculated probes are discarded
+            // with them — only a realized probe's error surfaces, as in
+            // the serial walk.
+            let mut last_realized: Option<SolverSession> = None;
+            for _ in 0..Self::ROUND_DEPTH {
+                if hi - lo <= tol {
+                    break;
+                }
+                let mid = 0.5 * (lo + hi);
+                let (ans, stats, session) = match by_bits.remove(&mid.to_bits()) {
+                    Some(r) => r?,
+                    None => wp.probe(jobs, mode, mid)?,
+                };
+                obs::counter_add("ret.probes", 1);
+                self.stats.merge(&stats);
+                if let Some(s) = session {
+                    last_realized = Some(s);
+                }
+                if ans {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            // Re-anchor for the next round on the last realized basis (a
+            // pure function of the realized trajectory — width-independent).
+            if let Some(s) = last_realized {
+                self.warm.as_mut().expect("checked above").template = s;
+            }
         }
-        let sol = wp.session.solve()?;
-        self.stats.merge(&sol.stats);
-        Ok(sol.status == Status::Optimal && sol.objective >= 1.0 - RET_PROBE_TOL)
+        Ok(hi)
     }
 
     /// The per-probe cold path: build the instance and the probe LP at `b`
     /// and solve from scratch.
     fn feasible_cold(&mut self, b: f64) -> Result<bool, SolveError> {
+        let _span = obs::span("ret_probe");
         let inst = extended_instance(
             self.graph,
             self.jobs,
@@ -329,6 +565,19 @@ impl<'a> Prober<'a> {
     fn finish(self) -> SolveStats {
         self.stats
     }
+}
+
+/// Pre-order collection of the bisection tree's candidate midpoints to
+/// `depth` levels below `[lo, hi]`, skipping subtrees the walk could never
+/// enter (intervals already within `tol`).
+fn collect_midpoints(lo: f64, hi: f64, depth: usize, tol: f64, out: &mut Vec<f64>) {
+    if depth == 0 || hi - lo <= tol {
+        return;
+    }
+    let mid = 0.5 * (lo + hi);
+    out.push(mid);
+    collect_midpoints(lo, mid, depth - 1, tol, out);
+    collect_midpoints(mid, hi, depth - 1, tol, out);
 }
 
 /// Per-variable upper bounds for an instance's assignment columns: the
@@ -452,23 +701,11 @@ pub fn solve_ret_with_demands(
     let _span = obs::span("ret");
     let mut pathset = PathSet::new(inst_cfg.paths_per_job);
 
-    // Step 1: binary search for the smallest feasible b (fractional).
+    // Step 1: binary search for the smallest feasible b (fractional),
+    // with speculative parallel probing in warm mode (see [`Prober`]).
     let mut prober = Prober::new(graph, jobs, demands, inst_cfg, cfg, &mut pathset)?;
-    let b_lp = if prober.feasible(0.0)? {
-        0.0
-    } else if !prober.feasible(cfg.b_max)? {
+    let Some(b_lp) = prober.search()? else {
         return Ok(None);
-    } else {
-        let (mut lo, mut hi) = (0.0, cfg.b_max);
-        while hi - lo > cfg.bsearch_tol {
-            let mid = 0.5 * (lo + hi);
-            if prober.feasible(mid)? {
-                hi = mid;
-            } else {
-                lo = mid;
-            }
-        }
-        hi
     };
     let mut stats = prober.finish();
 
@@ -719,6 +956,114 @@ mod tests {
             "warm {} vs cold {} iterations: less than 30% saved",
             warm.stats.iterations,
             cold.stats.iterations
+        );
+    }
+
+    /// Fig. 4-shaped overload: heavy transfers in short windows, so the
+    /// fractional SUB-RET is infeasible at `b = 0` and the bisection
+    /// actually runs (the lighter `overloaded_jobs` workloads are already
+    /// LP-feasible unextended).
+    fn bisecting_jobs(n: usize, seed: u64) -> (Graph, Vec<Job>) {
+        let (g, _) = abilene14(2);
+        let jobs = WorkloadGenerator::new(WorkloadConfig {
+            num_jobs: n,
+            seed,
+            size_gb: (100.0, 400.0),
+            window: (2.0, 4.0),
+            ..Default::default()
+        })
+        .generate(&g);
+        (g, jobs)
+    }
+
+    /// The RET knobs the Fig. 4 bench uses for that workload shape.
+    fn bisecting_cfg() -> RetConfig {
+        RetConfig {
+            bsearch_tol: 0.05,
+            b_max: 10.0,
+            max_delta_steps: 120,
+            ..RetConfig::default()
+        }
+    }
+
+    #[test]
+    fn speculative_probes_match_serial_bitwise() {
+        // Probe answers and work counters are pure functions of b (clones
+        // of one anchored template), and only realized probes are merged —
+        // so EVERY field of the result, including the solver-work stats,
+        // must be bit-identical at any pool width.
+        for seed in [3000, 3001] {
+            let (g, jobs) = bisecting_jobs(10, seed);
+            let cfg = InstanceConfig::paper(2);
+            let run = |threads: usize| {
+                let ret_cfg = RetConfig {
+                    threads,
+                    ..bisecting_cfg()
+                };
+                solve_ret(&g, &jobs, &cfg, &ret_cfg)
+                    .unwrap()
+                    .expect("feasible")
+            };
+            let serial = run(1);
+            assert!(serial.b_lp > 0.0, "seed {seed}: workload must bisect");
+            for threads in [2, 4, 8] {
+                let spec = run(threads);
+                assert_eq!(
+                    serial.b_lp.to_bits(),
+                    spec.b_lp.to_bits(),
+                    "seed {seed} threads {threads}: b_lp"
+                );
+                assert_eq!(
+                    serial.b_final.to_bits(),
+                    spec.b_final.to_bits(),
+                    "seed {seed} threads {threads}: b_final"
+                );
+                assert_eq!(serial.lp, spec.lp, "seed {seed} threads {threads}");
+                assert_eq!(serial.lpd, spec.lpd, "seed {seed} threads {threads}");
+                assert_eq!(serial.lpdar, spec.lpdar, "seed {seed} threads {threads}");
+                assert_eq!(
+                    serial.stats, spec.stats,
+                    "seed {seed} threads {threads}: realized work counters"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn speculation_counts_only_realized_probes() {
+        // The ret.probes counter must report the serial trajectory's probe
+        // count at every width; mis-speculated work lands in
+        // ret.speculative_probes only.
+        let (g, jobs) = bisecting_jobs(10, 3000);
+        let cfg = InstanceConfig::paper(2);
+        let probes_at = |threads: usize| {
+            obs::set_enabled(true);
+            obs::reset();
+            let ret_cfg = RetConfig {
+                threads,
+                ..bisecting_cfg()
+            };
+            solve_ret(&g, &jobs, &cfg, &ret_cfg).unwrap().unwrap();
+            let snap = obs::snapshot();
+            obs::set_enabled(false);
+            obs::reset();
+            let get = |name: &str| {
+                snap.iter().find_map(|m| match m {
+                    obs::Metric::Counter { name: n, value } if n == name => Some(*value),
+                    _ => None,
+                })
+            };
+            (get("ret.probes"), get("ret.speculative_probes"))
+        };
+        let (serial_probes, serial_spec) = probes_at(1);
+        assert!(serial_probes.is_some());
+        assert_eq!(serial_spec, None, "serial path never speculates");
+        let (par_probes, par_spec) = probes_at(4);
+        assert_eq!(par_probes, serial_probes, "realized probe count");
+        let spec = par_spec.expect("width 4 speculates");
+        assert!(
+            spec >= par_probes.unwrap() - 2,
+            "speculation covers at least the realized midpoints: {spec}"
         );
     }
 

@@ -127,6 +127,7 @@ enum VarState {
     Fixed,
 }
 
+#[derive(Clone)]
 struct Engine {
     std: StdForm,
     cfg: SimplexConfig,
@@ -169,6 +170,7 @@ struct Engine {
 
 /// A phase-1 bound relaxation: column `col` temporarily has one bound opened
 /// and a ±1 phase-1 cost; `(lo, up)` are the bounds to restore afterwards.
+#[derive(Clone)]
 struct Relaxed {
     col: usize,
     lo: f64,
@@ -177,6 +179,7 @@ struct Relaxed {
 
 /// One product-form update: `B_new = B_old * E` where `E` is the identity
 /// with column `pos` replaced by `w = B_old^{-1} a_q`.
+#[derive(Clone)]
 struct Eta {
     pos: u32,
     /// Sparse entries of `w` (basis-position indexed), including `pos`.
@@ -1177,6 +1180,14 @@ enum RatioOutcome {
 /// the same as a fresh [`solve`](crate::solve) of the mutated problem,
 /// within tolerance.
 ///
+/// Sessions are [`Clone`]: a clone carries the full engine state, including
+/// the basis the original would warm-start from, and the two evolve
+/// independently afterwards. Speculative evaluation (e.g. the RET probe
+/// pool) clones one template session per probe so every probe re-solves
+/// from the *same* starting basis — making each answer, and its iteration
+/// counts, a pure function of the probed bounds rather than of which
+/// thread answered which probe in which order.
+///
 /// ```
 /// use wavesched_lp::{Objective, Problem, SolverSession, Status};
 ///
@@ -1194,6 +1205,7 @@ enum RatioOutcome {
 /// assert!((s2.objective - 4.0).abs() < 1e-9);
 /// assert_eq!(sess.stats().warm_starts_accepted, 1);
 /// ```
+#[derive(Clone)]
 pub struct SolverSession {
     engine: Engine,
     warm: Option<Basis>,
@@ -1481,6 +1493,38 @@ mod tests {
         assert_eq!(s.status, Status::Optimal);
         // Optimal: x02=10 (50), x10=5 (15), x11=10 (10), x12=5 (35) => 110.
         assert_near(s.objective, 110.0);
+    }
+
+    #[test]
+    fn cloned_sessions_answer_identically_and_independently() {
+        // A template session solved once; clones re-solve tightened
+        // variants. Every clone starts from the same basis, so the same
+        // tightening must produce bit-identical objectives and stats no
+        // matter how many clones ran before it — the property the RET
+        // speculative probe pool is built on.
+        let mut p = Problem::new(Objective::Maximize);
+        let x = p.add_col(0.0, 4.0, 1.0);
+        let y = p.add_col(0.0, 10.0, 2.0);
+        p.add_row(f64::NEG_INFINITY, 12.0, &[(x, 1.0), (y, 2.0)]);
+        let mut template = SolverSession::new(&p).unwrap();
+        let base = template.solve().unwrap();
+        assert_eq!(base.status, Status::Optimal);
+
+        let probe = |ub: f64| {
+            let mut s = template.clone();
+            s.set_col_bounds(y, 0.0, ub);
+            let sol = s.solve().unwrap();
+            (sol.objective.to_bits(), sol.stats)
+        };
+        let (obj_a, stats_a) = probe(3.0);
+        let (obj_b, _) = probe(1.0);
+        let (obj_a2, stats_a2) = probe(3.0); // same probe after another ran
+        assert_eq!(obj_a, obj_a2, "clone answers must not depend on order");
+        assert_eq!(stats_a, stats_a2);
+        assert_ne!(obj_a, obj_b);
+        // The template itself was never advanced by its clones.
+        let again = template.solve().unwrap();
+        assert_eq!(again.objective.to_bits(), base.objective.to_bits());
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::sparse::CscMatrix;
 const NONE: u32 = u32::MAX;
 
 /// The factors of a basis matrix, plus the permutations.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct Lu {
     m: usize,
     /// `row_perm[step] = original row pivoted at that step`.

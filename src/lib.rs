@@ -12,6 +12,8 @@
 //! * [`sim`] — discrete-event simulation of the controller loop
 //! * [`obs`] — zero-dependency observability: spans, counters, histograms,
 //!   JSON-lines reports
+//! * [`par`] — std-only scoped work pool (`WS_THREADS`) with
+//!   order-preserving, deterministic parallel map
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! full system inventory and experiment index.
@@ -20,5 +22,6 @@ pub use wavesched_core as core;
 pub use wavesched_lp as lp;
 pub use wavesched_net as net;
 pub use wavesched_obs as obs;
+pub use wavesched_par as par;
 pub use wavesched_sim as sim;
 pub use wavesched_workload as workload;
