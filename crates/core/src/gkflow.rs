@@ -16,7 +16,7 @@
 
 use crate::instance::Instance;
 use crate::schedule::Schedule;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Parameters of the approximation scheme.
 #[derive(Debug, Clone)]
@@ -69,7 +69,7 @@ pub fn approx_stage1(inst: &Instance, cfg: &GkConfig) -> GkResult {
     }
 
     // Resource indexing over the used (edge, slice) pairs.
-    let mut res_index: HashMap<(u32, u32), usize> = HashMap::new();
+    let mut res_index: BTreeMap<(u32, u32), usize> = BTreeMap::new();
     let mut caps: Vec<f64> = Vec::new();
     {
         let mut keys: Vec<&(u32, u32)> = inst.capacity_groups.keys().collect();
@@ -134,7 +134,8 @@ pub fn approx_stage1(inst: &Instance, cfg: &GkConfig) -> GkResult {
                         (k, s / c.len)
                     })
                     .min_by(|a, b| a.1.total_cmp(&b.1))
-                    .expect("non-empty candidates");
+                    // lint: allow(lib-unwrap, reason = "invariant: the candidate list was checked non-empty before this block")
+                    .expect("invariant: non-empty candidates");
                 let _ = cost;
                 let c = &cand[best];
                 // Volume step: bounded by the bottleneck capacity so no

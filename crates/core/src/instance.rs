@@ -10,7 +10,7 @@
 //! the (edge, slice) capacity groups.
 
 use crate::timegrid::TimeGrid;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::ops::Range;
 use wavesched_net::{Graph, Path, PathSet};
 use wavesched_workload::{normalized_demand, Job, LinkRate};
@@ -191,7 +191,7 @@ pub struct Instance {
     pub config: InstanceConfig,
     /// For every (edge, slice) touched by an allowed path: the variables
     /// crossing it. Keys are `(edge index, slice)`.
-    pub capacity_groups: HashMap<(u32, u32), Vec<u32>>,
+    pub capacity_groups: BTreeMap<(u32, u32), Vec<u32>>,
 }
 
 impl Instance {
@@ -232,7 +232,7 @@ impl Instance {
         let num_paths: Vec<usize> = paths.iter().map(|p| p.len()).collect();
         let vars = VarMap::build(&windows, &num_paths);
 
-        let mut capacity_groups: HashMap<(u32, u32), Vec<u32>> = HashMap::new();
+        let mut capacity_groups: BTreeMap<(u32, u32), Vec<u32>> = BTreeMap::new();
         for (var, job, p, slice) in vars.iter() {
             for &e in paths[job][p].edges() {
                 capacity_groups

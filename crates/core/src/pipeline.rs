@@ -107,6 +107,7 @@ pub fn max_throughput_pipeline_warmed(
     stage1_start: Option<&Basis>,
 ) -> Result<PipelineResult, SolveError> {
     let _pipeline_span = obs::span("pipeline");
+    // lint: allow(wallclock, reason = "stage timings are reporting-only fields of PipelineResult; no scheduling decision reads them")
     let t0 = Instant::now();
     let s1 = {
         let _s = obs::span("stage1");

@@ -16,7 +16,7 @@ use crate::builders::{add_assignment_cols, add_capacity_rows, job_volume_coeffs}
 use crate::instance::{Instance, InstanceConfig};
 use crate::lpdar::{lpdar_capped, AdjustOrder};
 use crate::schedule::Schedule;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::ops::Range;
 use wavesched_lp::{
     solve_with, Col, Objective, Problem, SimplexConfig, SolveError, SolveStats, SolverSession,
@@ -487,11 +487,12 @@ impl<'a> Prober<'a> {
         while hi - lo > tol {
             let mut cands: Vec<f64> = Vec::with_capacity((1 << Self::ROUND_DEPTH) - 1);
             collect_midpoints(lo, hi, Self::ROUND_DEPTH, tol, &mut cands);
-            let wp = self.warm.as_ref().expect("checked above");
+            // lint: allow(lib-unwrap, reason = "invariant: the warm-probe branch is only entered after `self.warm` was populated")
+            let wp = self.warm.as_ref().expect("invariant: warm pack present");
             let (jobs, mode) = (self.jobs, self.cfg.mode);
             // Speculate the full round when workers are available; probe
             // lazily (realized midpoints only) on a width-1 pool.
-            let mut by_bits: HashMap<u64, ProbeResult> = if self.width > 1 {
+            let mut by_bits: BTreeMap<u64, ProbeResult> = if self.width > 1 {
                 let answers = wavesched_par::par_map_with(self.cfg.threads, &cands, |&b| {
                     wp.probe(jobs, mode, b)
                 });
@@ -502,7 +503,7 @@ impl<'a> Prober<'a> {
                     .map(|(b, r)| (b.to_bits(), r))
                     .collect()
             } else {
-                HashMap::new()
+                BTreeMap::new()
             };
             // Walk the realized path. Midpoints are pure functions of
             // (lo, hi), so a speculated round was built over exactly these
@@ -533,7 +534,11 @@ impl<'a> Prober<'a> {
             // Re-anchor for the next round on the last realized basis (a
             // pure function of the realized trajectory — width-independent).
             if let Some(s) = last_realized {
-                self.warm.as_mut().expect("checked above").template = s;
+                self.warm
+                    .as_mut()
+                    // lint: allow(lib-unwrap, reason = "invariant: same warm-probe branch; `self.warm` was populated before the round started")
+                    .expect("invariant: warm pack present")
+                    .template = s;
             }
         }
         Ok(hi)
@@ -740,7 +745,9 @@ pub fn solve_ret_with_demands(
             (sol.status, x)
         };
         if status == Status::Optimal {
-            let lp_sched = Schedule::from_values(&inst, x.expect("optimal solve carries values"));
+            // lint: allow(lib-unwrap, reason = "invariant: an Optimal status always carries primal values")
+            let x = x.expect("invariant: optimal carries values");
+            let lp_sched = Schedule::from_values(&inst, x);
             let lpd = crate::lpdar::truncate(&inst, &lp_sched);
             let adj = lpdar_capped(&inst, &lp_sched, cfg.order);
             let all_done = (0..inst.num_jobs()).all(|i| adj.completes(&inst, i, COMPLETION_TOL));

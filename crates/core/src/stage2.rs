@@ -289,7 +289,7 @@ mod tests {
         let small = Job::new(JobId(0), 0.0, ns[0], ns[1], 150.0, 0.0, 2.0);
         let large = Job::new(JobId(1), 0.0, ns[0], ns[1], 600.0, 0.0, 2.0);
         let inst = build(&g, &[small, large], 1);
-        let cfg = wavesched_lp::SimplexConfig::default();
+        let cfg = SimplexConfig::default();
 
         let fav_large =
             solve_stage2_weighted(&inst, 0.0, 1.0, &WeightPolicy::DemandProportional, &cfg)
@@ -331,7 +331,7 @@ mod tests {
         })
         .generate(&g);
         let inst = build(&g, &jobs, 4);
-        let cfg = wavesched_lp::SimplexConfig::default();
+        let cfg = SimplexConfig::default();
         let s1 = solve_stage1(&inst).unwrap();
         let start = stage2_basis_from_stage1(s1.basis.as_ref().unwrap(), inst.vars.len())
             .expect("stage1/stage2 shapes match by construction");

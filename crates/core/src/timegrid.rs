@@ -47,7 +47,8 @@ impl TimeGrid {
 
     /// End of the grid (start of time is always 0).
     pub fn horizon(&self) -> f64 {
-        *self.bounds.last().unwrap()
+        // lint: allow(lib-unwrap, reason = "invariant: both constructors assert at least two boundaries, so `bounds` is never empty")
+        *self.bounds.last().expect("invariant: non-empty bounds")
     }
 
     /// `LEN(j)`: length of slice `j`.
@@ -69,7 +70,7 @@ impl TimeGrid {
     /// or beyond the horizon map to the last slice.
     pub fn slice_index(&self, t: f64) -> usize {
         assert!(t >= 0.0, "negative time");
-        match self.bounds.binary_search_by(|b| b.partial_cmp(&t).unwrap()) {
+        match self.bounds.binary_search_by(|b| b.total_cmp(&t)) {
             Ok(i) => i.min(self.num_slices() - 1),
             Err(i) => (i - 1).min(self.num_slices() - 1),
         }

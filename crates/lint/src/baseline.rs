@@ -1,0 +1,507 @@
+//! The baseline ratchet: known debt is checked in, new debt is rejected.
+//!
+//! A baseline entry keys a finding group by `(rule, file, snippet)` — the
+//! *trimmed text* of the offending line rather than its number — so pure
+//! line churn (code moving up or down a file) neither hides a violation
+//! nor invents one. `count` is how many findings share that key.
+//!
+//! Comparing a run against the baseline yields three buckets:
+//!
+//! * **new** — findings beyond the baselined count for their key (or with
+//!   no entry at all). These fail the build.
+//! * **matched** — findings covered by the baseline; reported only in
+//!   summaries.
+//! * **stale** — baseline entries (or surplus counts) with no matching
+//!   finding anymore: debt that was paid down. Reported so the baseline
+//!   can be re-shrunk with `--update-baseline`; never a failure.
+//!
+//! The file format is plain JSON written and parsed by the tiny
+//! self-contained implementation below (the linter is dependency-free on
+//! purpose). Entries are sorted, one per line, so diffs review cleanly.
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+
+/// One unit of accepted debt.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Entry {
+    /// Rule name.
+    pub rule: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// Trimmed text of the offending line.
+    pub snippet: String,
+    /// Number of findings sharing this (rule, file, snippet) key.
+    pub count: usize,
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Accepted debt, sorted by (rule, file, snippet).
+    pub entries: Vec<Entry>,
+}
+
+/// Result of checking findings against a [`Baseline`].
+#[derive(Debug, Default)]
+pub struct Diff {
+    /// Findings not covered by the baseline — these fail the run.
+    pub new: Vec<Finding>,
+    /// Number of findings absorbed by baseline entries.
+    pub matched: usize,
+    /// Baseline entries that no longer match anything (count = surplus).
+    pub stale: Vec<Entry>,
+}
+
+impl Baseline {
+    /// Builds a baseline that exactly covers `findings`.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut counts: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        for f in findings {
+            *counts
+                .entry((f.rule.to_string(), f.file.clone(), f.snippet.clone()))
+                .or_default() += 1;
+        }
+        Baseline {
+            entries: counts
+                .into_iter()
+                .map(|((rule, file, snippet), count)| Entry {
+                    rule,
+                    file,
+                    snippet,
+                    count,
+                })
+                .collect(),
+        }
+    }
+
+    /// Splits `findings` into new / matched / stale relative to `self`.
+    pub fn diff(&self, findings: &[Finding]) -> Diff {
+        let mut budget: BTreeMap<(&str, &str, &str), usize> = self
+            .entries
+            .iter()
+            .map(|e| {
+                (
+                    (e.rule.as_str(), e.file.as_str(), e.snippet.as_str()),
+                    e.count,
+                )
+            })
+            .collect();
+        let mut out = Diff::default();
+        for f in findings {
+            let key = (f.rule, f.file.as_str(), f.snippet.as_str());
+            match budget.get_mut(&key) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    out.matched += 1;
+                }
+                _ => out.new.push(f.clone()),
+            }
+        }
+        for e in &self.entries {
+            let left = budget[&(e.rule.as_str(), e.file.as_str(), e.snippet.as_str())];
+            if left > 0 {
+                out.stale.push(Entry {
+                    count: left,
+                    ..e.clone()
+                });
+            }
+        }
+        out
+    }
+
+    /// Serializes to the on-disk JSON format (sorted, one entry per line).
+    pub fn to_json(&self) -> String {
+        let mut entries = self.entries.clone();
+        entries.sort();
+        let mut s = String::from("{\n  \"version\": 1,\n  \"entries\": [\n");
+        for (i, e) in entries.iter().enumerate() {
+            s.push_str("    {\"rule\": ");
+            json_string(&mut s, &e.rule);
+            s.push_str(", \"file\": ");
+            json_string(&mut s, &e.file);
+            s.push_str(", \"count\": ");
+            s.push_str(&e.count.to_string());
+            s.push_str(", \"snippet\": ");
+            json_string(&mut s, &e.snippet);
+            s.push('}');
+            if i + 1 < entries.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parses the on-disk format. Field order inside an entry is free; an
+    /// unknown field, wrong type, or malformed JSON is an error (a baseline
+    /// that silently dropped entries would let new debt through).
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let value = Json::parse(text)?;
+        let obj = value.as_object().ok_or("baseline root must be an object")?;
+        match obj.get("version") {
+            Some(Json::Number(v)) if *v == 1.0 => {}
+            _ => return Err("unsupported or missing baseline `version`".to_string()),
+        }
+        let entries = obj
+            .get("entries")
+            .and_then(Json::as_array)
+            .ok_or("baseline must have an `entries` array")?;
+        let mut out = Vec::with_capacity(entries.len());
+        for e in entries {
+            let eo = e.as_object().ok_or("each entry must be an object")?;
+            let get_str = |k: &str| -> Result<String, String> {
+                match eo.get(k) {
+                    Some(Json::String(s)) => Ok(s.clone()),
+                    _ => Err(format!("entry is missing string field `{k}`")),
+                }
+            };
+            let count = match eo.get("count") {
+                Some(Json::Number(n)) if *n >= 1.0 && n.fract() == 0.0 => *n as usize,
+                _ => return Err("entry `count` must be a positive integer".to_string()),
+            };
+            out.push(Entry {
+                rule: get_str("rule")?,
+                file: get_str("file")?,
+                snippet: get_str("snippet")?,
+                count,
+            });
+        }
+        out.sort();
+        Ok(Baseline { entries: out })
+    }
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A minimal JSON value — just what the baseline format needs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (stored as f64; baseline counts are small integers).
+    Number(f64),
+    /// String with standard escapes.
+    String(String),
+    /// Array.
+    Array(Vec<Json>),
+    /// Object with string keys (sorted map: parse order is irrelevant).
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn as_object(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Parses `text` as a single JSON value (trailing whitespace allowed).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            s: text.as_bytes(),
+            i: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.i != p.s.len() {
+            return Err(format!("trailing garbage at byte {}", p.i));
+        }
+        Ok(v)
+    }
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.i).copied()
+    }
+
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{}` at byte {}, found `{}`",
+                b as char,
+                self.i,
+                self.peek().map(|c| c as char).unwrap_or('∅')
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected `{}` at byte {}",
+                other.map(|c| c as char).unwrap_or('∅'),
+                self.i
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.s[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.i))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect_byte(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect_byte(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Object(map));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect_byte(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        while let Some(c) = self.peek() {
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .s
+                                .get(self.i..self.i + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "invalid \\u escape".to_string())?;
+                            self.i += 4;
+                            // Surrogate pairs are not needed for source
+                            // snippets; map unpaired surrogates to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape `\\{}`", other as char)),
+                    }
+                }
+                c => {
+                    // Collect the full UTF-8 sequence.
+                    let start = self.i - 1;
+                    let len = match c {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    self.i = start + len;
+                    let chunk = self
+                        .s
+                        .get(start..self.i)
+                        .and_then(|b| std::str::from_utf8(b).ok())
+                        .ok_or("invalid UTF-8 in string")?;
+                    out.push_str(chunk);
+                }
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.s[start..self.i])
+            .ok()
+            .and_then(|t| t.parse::<f64>().ok())
+            .map(Json::Number)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, snippet: &str, line: u32) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule,
+            snippet: snippet.to_string(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_entries() {
+        let findings = vec![
+            finding("lib-unwrap", "crates/lp/src/a.rs", "x.unwrap()", 10),
+            finding("lib-unwrap", "crates/lp/src/a.rs", "x.unwrap()", 90),
+            finding("float-eq", "crates/core/src/b.rs", "if a == 0.0 {", 4),
+        ];
+        let b = Baseline::from_findings(&findings);
+        assert_eq!(b.entries.len(), 2);
+        let parsed = Baseline::parse(&b.to_json()).unwrap();
+        assert_eq!(parsed, b);
+        // A second serialize is byte-identical (stable, sorted format).
+        assert_eq!(parsed.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn diff_buckets_new_matched_stale() {
+        let old = vec![
+            finding("lib-unwrap", "a.rs", "x.unwrap()", 1),
+            finding("lib-unwrap", "a.rs", "x.unwrap()", 2),
+            finding("float-eq", "b.rs", "a == 0.0", 3),
+        ];
+        let base = Baseline::from_findings(&old);
+        // One unwrap fixed, float-eq untouched, a brand-new wallclock hit.
+        let now = vec![
+            finding("lib-unwrap", "a.rs", "x.unwrap()", 2),
+            finding("float-eq", "b.rs", "a == 0.0", 3),
+            finding("wallclock", "c.rs", "Instant::now()", 9),
+        ];
+        let d = base.diff(&now);
+        assert_eq!(d.matched, 2);
+        assert_eq!(d.new.len(), 1);
+        assert_eq!(d.new[0].rule, "wallclock");
+        assert_eq!(d.stale.len(), 1);
+        assert_eq!(d.stale[0].rule, "lib-unwrap");
+        assert_eq!(d.stale[0].count, 1);
+    }
+
+    #[test]
+    fn snippet_keys_survive_line_churn() {
+        let base = Baseline::from_findings(&[finding("lib-unwrap", "a.rs", "x.unwrap()", 10)]);
+        // Same line content, wildly different line number: still matched.
+        let d = base.diff(&[finding("lib-unwrap", "a.rs", "x.unwrap()", 500)]);
+        assert!(d.new.is_empty());
+        assert_eq!(d.matched, 1);
+        assert!(d.stale.is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(Baseline::parse("not json").is_err());
+        assert!(Baseline::parse("{}").is_err(), "missing version");
+        assert!(Baseline::parse("{\"version\": 2, \"entries\": []}").is_err());
+        assert!(
+            Baseline::parse("{\"version\": 1, \"entries\": [{\"rule\": \"x\", \"file\": \"y\"}]}")
+                .is_err(),
+            "entry missing fields"
+        );
+        let ok = Baseline::parse("{\"version\": 1, \"entries\": []}").unwrap();
+        assert!(ok.entries.is_empty());
+    }
+
+    #[test]
+    fn json_escapes_roundtrip() {
+        let f = finding("float-eq", "a.rs", "s == \"quo\\te\"", 1);
+        let b = Baseline::from_findings(&[f]);
+        let parsed = Baseline::parse(&b.to_json()).unwrap();
+        assert_eq!(parsed.entries[0].snippet, "s == \"quo\\te\"");
+    }
+}

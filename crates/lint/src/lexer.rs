@@ -1,0 +1,515 @@
+//! A hand-rolled, comment/string/char-literal-aware Rust lexer.
+//!
+//! This is *not* a full Rust lexer — it produces just enough token
+//! structure for the rules in [`crate::rules`] to fire only on real code:
+//! comments and every string/char literal form are single opaque tokens, so
+//! a `HashMap` mentioned in a doc comment or an `unwrap()` inside a string
+//! never triggers a finding. Handled literal forms: line and (nested) block
+//! comments, `"…"` / `b"…"` / `c"…"` with escapes, raw strings
+//! `r"…"` / `r#"…"#` / `br#"…"#` with any hash depth, char and byte-char
+//! literals (disambiguated from lifetimes), raw identifiers `r#ident`, and
+//! int/float numeric literals with suffixes, underscores, and exponents.
+
+/// What a token is. Rules mostly care about `Ident`, `Punct`, `Float`, and
+/// the comment kinds (for suppression comments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers).
+    Ident,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// Integer literal (any base, any suffix except `f32`/`f64`).
+    Int,
+    /// Float literal (`1.0`, `1.`, `2e-3`, `1f64`, …).
+    Float,
+    /// String literal of any form (`"…"`, `r#"…"#`, `b"…"`, …).
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Punctuation, possibly multi-character (`==`, `::`, `..=`, …).
+    Punct,
+    /// `// …` comment (text includes the slashes).
+    LineComment,
+    /// `/* … */` comment, nesting-aware.
+    BlockComment,
+}
+
+/// One token: kind plus byte span and the 1-based line it starts on.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based source line of `start`.
+    pub line: u32,
+}
+
+impl Tok {
+    /// The token's text within `src` (the same source passed to [`lex`]).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenizes `src`. Never fails: malformed input degrades to single-byte
+/// punct tokens rather than aborting, so a half-edited file still lints.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let s = src.as_bytes();
+    let n = s.len();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    // Shebang line (scripts / fixtures).
+    if s.starts_with(b"#!") {
+        while i < n && s[i] != b'\n' {
+            i += 1;
+        }
+    }
+
+    while i < n {
+        let start = i;
+        let start_line = line;
+        let c = s[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < n && s[i + 1] == b'/' => {
+                while i < n && s[i] != b'\n' {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::LineComment,
+                    start,
+                    end: i,
+                    line: start_line,
+                });
+            }
+            b'/' if i + 1 < n && s[i + 1] == b'*' => {
+                i += 2;
+                let mut depth = 1usize;
+                while i < n && depth > 0 {
+                    if s[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if s[i] == b'/' && i + 1 < n && s[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if s[i] == b'*' && i + 1 < n && s[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::BlockComment,
+                    start,
+                    end: i,
+                    line: start_line,
+                });
+            }
+            b'"' => {
+                i = scan_string(s, i, &mut line);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    start,
+                    end: i,
+                    line: start_line,
+                });
+            }
+            b'\'' => {
+                let (end, kind) = scan_quote(s, i);
+                i = end;
+                line += count_newlines(&s[start..end]);
+                toks.push(Tok {
+                    kind,
+                    start,
+                    end,
+                    line: start_line,
+                });
+            }
+            b'0'..=b'9' => {
+                let (end, kind) = scan_number(s, i);
+                i = end;
+                toks.push(Tok {
+                    kind,
+                    start,
+                    end,
+                    line: start_line,
+                });
+            }
+            c if is_ident_start(c) => {
+                let mut j = i + 1;
+                while j < n && is_ident_continue(s[j]) {
+                    j += 1;
+                }
+                let word = &s[i..j];
+                // String-literal prefixes: r"", r#""#, b"", br#""#, c"", cr"".
+                let is_prefix = matches!(word, b"r" | b"b" | b"c" | b"br" | b"rb" | b"cr");
+                if is_prefix && j < n && (s[j] == b'"' || s[j] == b'#') {
+                    let raw = word.contains(&b'r');
+                    if s[j] == b'"' {
+                        i = if raw {
+                            scan_raw_string(s, j, 0, &mut line)
+                        } else {
+                            scan_string(s, j, &mut line)
+                        };
+                        toks.push(Tok {
+                            kind: TokKind::Str,
+                            start,
+                            end: i,
+                            line: start_line,
+                        });
+                        continue;
+                    }
+                    // '#': raw string with hashes, or raw identifier r#foo.
+                    let mut hashes = 0usize;
+                    let mut k = j;
+                    while k < n && s[k] == b'#' {
+                        hashes += 1;
+                        k += 1;
+                    }
+                    if raw && k < n && s[k] == b'"' {
+                        i = scan_raw_string(s, k, hashes, &mut line);
+                        toks.push(Tok {
+                            kind: TokKind::Str,
+                            start,
+                            end: i,
+                            line: start_line,
+                        });
+                        continue;
+                    }
+                    if word == b"r" && hashes == 1 && k < n && is_ident_start(s[k]) {
+                        // Raw identifier r#foo.
+                        let mut e = k + 1;
+                        while e < n && is_ident_continue(s[e]) {
+                            e += 1;
+                        }
+                        i = e;
+                        toks.push(Tok {
+                            kind: TokKind::Ident,
+                            start,
+                            end: i,
+                            line: start_line,
+                        });
+                        continue;
+                    }
+                }
+                if word == b"b" && j < n && s[j] == b'\'' {
+                    // Byte-char literal b'x'.
+                    let (end, _) = scan_quote(s, j);
+                    i = end;
+                    toks.push(Tok {
+                        kind: TokKind::Char,
+                        start,
+                        end: i,
+                        line: start_line,
+                    });
+                    continue;
+                }
+                i = j;
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    start,
+                    end: i,
+                    line: start_line,
+                });
+            }
+            _ => {
+                i += punct_len(&s[i..]);
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    start,
+                    end: i,
+                    line: start_line,
+                });
+            }
+        }
+    }
+    toks
+}
+
+fn count_newlines(bytes: &[u8]) -> u32 {
+    bytes.iter().filter(|&&b| b == b'\n').count() as u32
+}
+
+/// Scans a `"…"` string with escapes; `i` points at the opening quote.
+/// Returns the offset one past the closing quote (or end of input).
+fn scan_string(s: &[u8], i: usize, line: &mut u32) -> usize {
+    let n = s.len();
+    let mut j = i + 1;
+    while j < n {
+        match s[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            b'\n' => {
+                *line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    n
+}
+
+/// Scans a raw string whose opening quote is at `i` with `hashes` hash
+/// signs; returns the offset one past the full closing delimiter.
+fn scan_raw_string(s: &[u8], i: usize, hashes: usize, line: &mut u32) -> usize {
+    let n = s.len();
+    let mut j = i + 1;
+    while j < n {
+        if s[j] == b'\n' {
+            *line += 1;
+            j += 1;
+            continue;
+        }
+        if s[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < n && seen < hashes && s[k] == b'#' {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+        }
+        j += 1;
+    }
+    n
+}
+
+/// Disambiguates a `'` at offset `i`: char literal vs lifetime.
+fn scan_quote(s: &[u8], i: usize) -> (usize, TokKind) {
+    let n = s.len();
+    let j = i + 1;
+    if j >= n {
+        return (n, TokKind::Punct);
+    }
+    if s[j] == b'\\' {
+        // Escaped char literal: scan to the closing quote.
+        let mut k = j;
+        while k < n && s[k] != b'\'' {
+            if s[k] == b'\\' {
+                k += 2;
+            } else {
+                k += 1;
+            }
+        }
+        return ((k + 1).min(n), TokKind::Char);
+    }
+    if is_ident_start(s[j]) {
+        // `'a'` is a char, `'a` / `'static` is a lifetime.
+        let mut k = j + 1;
+        while k < n && is_ident_continue(s[k]) {
+            k += 1;
+        }
+        if k < n && s[k] == b'\'' {
+            return (k + 1, TokKind::Char);
+        }
+        return (k, TokKind::Lifetime);
+    }
+    // Non-identifier char literal: '(' , '0' , ' ' …
+    let mut k = j;
+    while k < n && s[k] != b'\'' && s[k] != b'\n' {
+        k += 1;
+    }
+    if k < n && s[k] == b'\'' {
+        (k + 1, TokKind::Char)
+    } else {
+        (j, TokKind::Punct)
+    }
+}
+
+/// Scans a numeric literal starting at `i` (a digit). Returns (end, kind).
+fn scan_number(s: &[u8], i: usize) -> (usize, TokKind) {
+    let n = s.len();
+    let mut j = i;
+    if s[j] == b'0' && j + 1 < n && matches!(s[j + 1], b'x' | b'o' | b'b') {
+        j += 2;
+        while j < n && (s[j].is_ascii_alphanumeric() || s[j] == b'_') {
+            j += 1;
+        }
+        return (j, TokKind::Int);
+    }
+    let mut float = false;
+    while j < n && (s[j].is_ascii_digit() || s[j] == b'_') {
+        j += 1;
+    }
+    if j < n && s[j] == b'.' {
+        let after = s.get(j + 1).copied();
+        match after {
+            // `1..4` (range) or `1.abs()`-style method syntax: the dot is
+            // not part of the number.
+            Some(b'.') => {}
+            Some(b) if is_ident_start(b) => {}
+            // `1.0`, `1.`, `1.,` …
+            _ => {
+                float = true;
+                j += 1;
+                while j < n && (s[j].is_ascii_digit() || s[j] == b'_') {
+                    j += 1;
+                }
+            }
+        }
+    }
+    if j < n && matches!(s[j], b'e' | b'E') {
+        // Exponent only counts with digits (or sign+digits) after it;
+        // otherwise `e` starts an identifier-like suffix handled below.
+        let mut k = j + 1;
+        if k < n && matches!(s[k], b'+' | b'-') {
+            k += 1;
+        }
+        if k < n && s[k].is_ascii_digit() {
+            float = true;
+            j = k;
+            while j < n && (s[j].is_ascii_digit() || s[j] == b'_') {
+                j += 1;
+            }
+        }
+    }
+    // Type suffix (`u32`, `f64`, …): an `f` suffix makes it a float.
+    if j < n && is_ident_start(s[j]) {
+        if s[j] == b'f' {
+            float = true;
+        }
+        while j < n && is_ident_continue(s[j]) {
+            j += 1;
+        }
+    }
+    (j, if float { TokKind::Float } else { TokKind::Int })
+}
+
+/// Length of the punctuation token starting the slice (3, 2, or 1 bytes).
+fn punct_len(s: &[u8]) -> usize {
+    const THREE: [&[u8]; 4] = [b"..=", b"<<=", b">>=", b"..."];
+    const TWO: [&[u8]; 18] = [
+        b"==", b"!=", b"::", b"->", b"=>", b"<=", b">=", b"&&", b"||", b"+=", b"-=", b"*=", b"/=",
+        b"%=", b"^=", b"&=", b"|=", b"..",
+    ];
+    if s.len() >= 3 && THREE.contains(&&s[..3]) {
+        return 3;
+    }
+    if s.len() >= 2 && (TWO.contains(&&s[..2]) || matches!(&s[..2], b"<<" | b">>")) {
+        return 2;
+    }
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let src = r##"// HashMap in a comment
+let s = "unwrap() inside"; /* == 0.0 nested /* deeper */ done */
+let r = r#"panic!("x")"#;"##;
+        let ks = kinds(src);
+        assert!(ks
+            .iter()
+            .all(|(k, t)| !(matches!(k, TokKind::Ident) && t == "HashMap")));
+        assert!(ks
+            .iter()
+            .all(|(k, t)| !(matches!(k, TokKind::Ident) && t == "unwrap")));
+        assert_eq!(
+            ks.iter().filter(|(k, _)| *k == TokKind::Str).count(),
+            2,
+            "{ks:?}"
+        );
+        assert_eq!(
+            ks.iter()
+                .filter(|(k, _)| *k == TokKind::BlockComment)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let ks = kinds(src);
+        assert_eq!(
+            ks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 1);
+        let src2 = r"let c = '\n'; let b = b'\''; let p = '(';";
+        let ks2 = kinds(src2);
+        assert_eq!(ks2.iter().filter(|(k, _)| *k == TokKind::Char).count(), 3);
+    }
+
+    #[test]
+    fn numbers_classify_int_vs_float() {
+        let src = "let a = 1; let b = 1.0; let c = 1.; let d = 2e-3; let e = 1f64; \
+                   let f = 0x1f; let g = 1_000u64; let h = 3.5f32; for i in 0..n {}";
+        let ks = kinds(src);
+        let floats: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Float)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(floats, ["1.0", "1.", "2e-3", "1f64", "3.5f32"]);
+        let ints: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Int)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(ints, ["1", "0x1f", "1_000u64", "0"]);
+    }
+
+    #[test]
+    fn multi_char_punct_is_one_token() {
+        let src = "a == b; c != d; e..=f; g::h; i -> j";
+        let puncts: Vec<String> = lex(src)
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text(src).to_string())
+            .collect();
+        assert!(puncts.contains(&"==".to_string()));
+        assert!(puncts.contains(&"!=".to_string()));
+        assert!(puncts.contains(&"..=".to_string()));
+        assert!(puncts.contains(&"::".to_string()));
+        assert!(puncts.contains(&"->".to_string()));
+    }
+
+    #[test]
+    fn raw_identifiers_and_tuple_access() {
+        let src = "let r#fn = x.0; let y = e.1.abs();";
+        let ks = kinds(src);
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Ident && t == "r#fn"));
+        // Tuple field access stays Int + dot, not a float.
+        assert!(ks.iter().all(|(k, _)| *k != TokKind::Float));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"two\nlines\"\n/* b\n */ c";
+        let toks = lex(src);
+        let c = toks.last().unwrap();
+        assert_eq!(c.text(src), "c");
+        assert_eq!(c.line, 5);
+    }
+}

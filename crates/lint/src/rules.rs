@@ -1,0 +1,632 @@
+//! The rule engine: per-rule scoping, token-pattern matching, test-code
+//! detection, and inline `// lint: allow(...)` suppressions.
+//!
+//! Every rule encodes an invariant this workspace actually depends on (see
+//! DESIGN.md "Static analysis"):
+//!
+//! * `float-eq` — no `==`/`!=` against float expressions in `crates/lp`
+//!   and `crates/core` library code. Exact float comparison at a tolerance
+//!   boundary is how two runs of the same LP diverge; use the tolerance
+//!   helpers or suppress with a reason explaining why exactness is correct.
+//! * `hash-iter-order` — no `HashMap`/`HashSet` in the output- and
+//!   ordering-sensitive crates (`bench`, `sim`, `net`, `core`). Their
+//!   iteration order is randomized per process, which breaks the
+//!   bit-identical-output guarantee the moment one feeds a CSV row, a
+//!   schedule, or a float reduction. Use `BTreeMap`/`BTreeSet` or sort.
+//! * `lib-unwrap` — no `unwrap()` / `expect()` / `panic!` in non-test,
+//!   non-binary library code. Library hot paths return typed errors;
+//!   genuine invariants use `expect("invariant: ...")` plus a suppression
+//!   carrying the reason.
+//! * `wallclock` — no `Instant::now` / `SystemTime` outside `crates/obs`
+//!   and the bench binaries. Wall-clock reads in the decision path break
+//!   replay determinism.
+//! * `env-knob` — no raw `std::env::var` outside the sanctioned helpers
+//!   (`wavesched-par`'s `WS_THREADS` reader, `wavesched-bench`'s
+//!   `try_env_usize`). Ad-hoc env reads are knobs no one can discover, and
+//!   silently-misread knobs mislabel experiments.
+//! * `bad-suppression` — a `// lint: allow(...)` comment that is malformed,
+//!   names an unknown rule, or lacks a non-empty `reason = "..."`. A
+//!   suppression without a reason is just a hidden violation.
+
+use crate::lexer::{lex, Tok, TokKind};
+use std::collections::BTreeMap;
+
+/// Names of all rules, in report order.
+pub const RULE_NAMES: [&str; 6] = [
+    "float-eq",
+    "hash-iter-order",
+    "lib-unwrap",
+    "wallclock",
+    "env-knob",
+    "bad-suppression",
+];
+
+/// One-line description per rule, aligned with [`RULE_NAMES`].
+pub const RULE_DESCRIPTIONS: [&str; 6] = [
+    "no ==/!= against float expressions in crates/lp and crates/core library code",
+    "no HashMap/HashSet in ordering-sensitive crates (bench, sim, net, core)",
+    "no unwrap()/expect()/panic! in non-test, non-binary library code",
+    "no Instant::now/SystemTime outside crates/obs and bench binaries",
+    "no raw std::env::var outside the sanctioned par/bench helpers",
+    "malformed or reason-less `// lint: allow(...)` comment",
+];
+
+/// One violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name (one of [`RULE_NAMES`]).
+    pub rule: &'static str,
+    /// The trimmed source line the finding sits on — also the baseline key.
+    pub snippet: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// The crate a workspace-relative path belongs to, e.g. `Some("lp")` for
+/// `crates/lp/src/revised.rs`; `None` for the root package and other files.
+fn crate_of(path: &str) -> Option<&str> {
+    let rest = path.strip_prefix("crates/")?;
+    rest.split('/').next()
+}
+
+/// Binary / entry-point code: `src/bin/**`, any `src/main.rs`, benches and
+/// examples. The panic-freedom rule does not apply there (a CLI aborting
+/// with a message is fine); the determinism rules mostly still do.
+fn is_bin(path: &str) -> bool {
+    path.contains("/src/bin/") || path.ends_with("src/main.rs") || is_bench_or_example(path)
+}
+
+fn is_bench_or_example(path: &str) -> bool {
+    path.contains("/benches/") || path.starts_with("examples/") || path.contains("/examples/")
+}
+
+/// Integration-test code (a `tests/` directory at any crate root).
+fn is_test_file(path: &str) -> bool {
+    path.starts_with("tests/") || path.contains("/tests/")
+}
+
+/// Library source: a crate's (or the root package's) `src/` tree minus
+/// binary entry points.
+fn is_lib_source(path: &str) -> bool {
+    (path.starts_with("src/") || path.contains("/src/")) && !is_bin(path) && !is_test_file(path)
+}
+
+fn float_eq_applies(path: &str) -> bool {
+    matches!(crate_of(path), Some("lp") | Some("core")) && is_lib_source(path)
+}
+
+fn hash_iter_applies(path: &str) -> bool {
+    // Binaries included on purpose: the bench bins are exactly where CSV
+    // rows get printed. Tests excluded (assertions don't ship output).
+    matches!(
+        crate_of(path),
+        Some("bench") | Some("sim") | Some("net") | Some("core")
+    ) && !is_test_file(path)
+        && !is_bench_or_example(path)
+}
+
+fn lib_unwrap_applies(path: &str) -> bool {
+    is_lib_source(path)
+}
+
+fn wallclock_applies(path: &str) -> bool {
+    !matches!(crate_of(path), Some("obs") | Some("bench"))
+        && !is_bench_or_example(path)
+        && !is_test_file(path)
+}
+
+fn env_knob_applies(path: &str) -> bool {
+    !matches!(path, "crates/par/src/lib.rs" | "crates/bench/src/lib.rs")
+}
+
+/// Byte ranges of `#[cfg(test)]` items and `#[test]` functions: rules do
+/// not fire inside them (unit tests unwrap and compare exactly by design).
+fn test_ranges(src: &str, toks: &[Tok]) -> Vec<(usize, usize)> {
+    let code: Vec<&Tok> = toks
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if code[i].text(src) == "#"
+            && i + 1 < code.len()
+            && code[i + 1].text(src) == "["
+            && attr_mentions_test(src, &code, i + 1)
+        {
+            let attr_start = code[i].start;
+            // Skip this attribute and any further ones, then the item body.
+            let mut j = skip_attr(src, &code, i + 1);
+            while j + 1 < code.len() && code[j].text(src) == "#" && code[j + 1].text(src) == "[" {
+                j = skip_attr(src, &code, j + 1);
+            }
+            // Find the item's opening brace (or a terminating `;`).
+            let mut depth = 0i32;
+            let mut end = None;
+            let mut k = j;
+            while k < code.len() {
+                match code[k].text(src) {
+                    "{" => {
+                        depth += 1;
+                    }
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = Some(code[k].end);
+                            break;
+                        }
+                    }
+                    ";" if depth == 0 => {
+                        end = Some(code[k].end);
+                        break;
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            let end = end.unwrap_or(src.len());
+            ranges.push((attr_start, end));
+            i = k.max(i + 1);
+        } else {
+            i += 1;
+        }
+    }
+    ranges
+}
+
+/// Does the attribute whose `[` is at `open` contain the bare word `test`
+/// (`#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]`)?
+fn attr_mentions_test(src: &str, code: &[&Tok], open: usize) -> bool {
+    let mut depth = 0i32;
+    for t in &code[open..] {
+        match t.text(src) {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return false;
+                }
+            }
+            "test" if t.kind == TokKind::Ident => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Index one past the `]` closing the attribute whose `[` is at `open`.
+fn skip_attr(src: &str, code: &[&Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (k, t) in code.iter().enumerate().skip(open) {
+        match t.text(src) {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return k + 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    code.len()
+}
+
+/// Parsed `// lint: allow(rule, reason = "...")` suppressions, mapped to
+/// the line they silence, plus findings for malformed ones.
+struct Suppressions {
+    /// line -> rules silenced on that line.
+    by_line: BTreeMap<u32, Vec<String>>,
+}
+
+impl Suppressions {
+    fn allows(&self, line: u32, rule: &str) -> bool {
+        self.by_line
+            .get(&line)
+            .is_some_and(|rs| rs.iter().any(|r| r == rule))
+    }
+}
+
+/// Extracts suppressions from comment tokens. A trailing comment silences
+/// its own line; a standalone comment line silences the next line that
+/// carries a non-comment token (stacked comments accumulate).
+fn collect_suppressions(path: &str, src: &str, toks: &[Tok]) -> (Suppressions, Vec<Finding>) {
+    let mut by_line: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+    let mut bad = Vec::new();
+    for (idx, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        let text = t.text(src);
+        let Some(rest) = text
+            .trim_start_matches('/')
+            .trim_start()
+            .strip_prefix("lint:")
+        else {
+            continue;
+        };
+        let target_line = if line_has_code_before(src, t.start) {
+            t.line
+        } else {
+            // Standalone: applies to the next non-comment token's line.
+            toks[idx + 1..]
+                .iter()
+                .find(|n| !matches!(n.kind, TokKind::LineComment | TokKind::BlockComment))
+                .map(|n| n.line)
+                .unwrap_or(t.line)
+        };
+        match parse_allow(rest.trim()) {
+            Ok(rule) => by_line.entry(target_line).or_default().push(rule),
+            Err(msg) => bad.push(Finding {
+                file: path.to_string(),
+                line: t.line,
+                rule: "bad-suppression",
+                snippet: snippet_at(src, t.start),
+                message: msg,
+            }),
+        }
+    }
+    (Suppressions { by_line }, bad)
+}
+
+/// Is there non-whitespace source before byte `pos` on its own line?
+fn line_has_code_before(src: &str, pos: usize) -> bool {
+    src[..pos]
+        .bytes()
+        .rev()
+        .take_while(|&b| b != b'\n')
+        .any(|b| !b.is_ascii_whitespace())
+}
+
+/// Parses `allow(rule, reason = "...")`. Returns the rule name or an error
+/// message describing what is wrong.
+fn parse_allow(s: &str) -> Result<String, String> {
+    let Some(inner) = s
+        .strip_prefix("allow")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('('))
+        .and_then(|r| r.rfind(')').map(|i| &r[..i]))
+    else {
+        return Err(format!(
+            "unparseable lint comment (expected `lint: allow(<rule>, reason = \"...\")`): `{s}`"
+        ));
+    };
+    let Some((rule, reason_part)) = inner.split_once(',') else {
+        return Err("suppression is missing `reason = \"...\"`".to_string());
+    };
+    let rule = rule.trim();
+    if !RULE_NAMES.contains(&rule) {
+        return Err(format!("unknown rule `{rule}` in suppression"));
+    }
+    let reason_part = reason_part.trim();
+    let Some(reason) = reason_part
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('='))
+        .map(str::trim_start)
+    else {
+        return Err("suppression is missing `reason = \"...\"`".to_string());
+    };
+    let reason = reason.trim_matches('"').trim();
+    if reason.is_empty() {
+        return Err("suppression reason must be non-empty".to_string());
+    }
+    Ok(rule.to_string())
+}
+
+/// The trimmed text of the line containing byte `pos` — the baseline key.
+fn snippet_at(src: &str, pos: usize) -> String {
+    let start = src[..pos].rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let end = src[pos..].find('\n').map(|i| pos + i).unwrap_or(src.len());
+    src[start..end].trim().to_string()
+}
+
+/// Lints one file's source. `path` must be workspace-relative with forward
+/// slashes — rule scoping keys off it. Suppressed findings are dropped;
+/// malformed suppressions surface as `bad-suppression` findings.
+pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
+    let toks = lex(src);
+    let tests = test_ranges(src, &toks);
+    let in_test = |pos: usize| tests.iter().any(|&(a, b)| pos >= a && pos < b);
+    let (supp, mut findings) = collect_suppressions(path, src, &toks);
+
+    let code: Vec<Tok> = toks
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .copied()
+        .collect();
+
+    let push = |rule: &'static str, tok: &Tok, message: String, findings: &mut Vec<Finding>| {
+        if !supp.allows(tok.line, rule) {
+            findings.push(Finding {
+                file: path.to_string(),
+                line: tok.line,
+                rule,
+                snippet: snippet_at(src, tok.start),
+                message,
+            });
+        }
+    };
+
+    let float_eq = float_eq_applies(path);
+    let hash_iter = hash_iter_applies(path);
+    let lib_unwrap = lib_unwrap_applies(path);
+    let wallclock = wallclock_applies(path);
+    let env_knob = env_knob_applies(path);
+
+    for (i, t) in code.iter().enumerate() {
+        if in_test(t.start) {
+            continue;
+        }
+        let text = t.text(src);
+        match t.kind {
+            TokKind::Punct
+                if float_eq
+                    && (text == "==" || text == "!=")
+                    && comparison_involves_float(src, &code, i) =>
+            {
+                push(
+                    "float-eq",
+                    t,
+                    format!(
+                        "exact float `{text}` comparison; compare against a tolerance \
+                         (e.g. `(a - b).abs() <= tol`) or suppress with the reason \
+                         exactness is intended"
+                    ),
+                    &mut findings,
+                );
+            }
+            TokKind::Ident if hash_iter && (text == "HashMap" || text == "HashSet") => {
+                push(
+                    "hash-iter-order",
+                    t,
+                    format!(
+                        "`{text}` in an ordering-sensitive crate: iteration order is \
+                         per-process random and breaks bit-identical output; use \
+                         `BTreeMap`/`BTreeSet` or collect-and-sort"
+                    ),
+                    &mut findings,
+                );
+            }
+            TokKind::Ident if lib_unwrap && matches!(text, "unwrap" | "expect" | "panic") => {
+                let next = code.get(i + 1).map(|n| n.text(src));
+                let prev = i.checked_sub(1).map(|p| code[p].text(src));
+                let hit = match text {
+                    "unwrap" | "expect" => prev == Some(".") && next == Some("("),
+                    _ => next == Some("!"), // panic
+                };
+                if hit {
+                    push(
+                        "lib-unwrap",
+                        t,
+                        format!(
+                            "`{text}` in library code: return a typed error, or document \
+                             the invariant with `expect(\"invariant: ...\")` plus a \
+                             suppression carrying the reason"
+                        ),
+                        &mut findings,
+                    );
+                }
+            }
+            TokKind::Ident if wallclock && text == "Instant" => {
+                let is_now = code.get(i + 1).map(|n| n.text(src)) == Some("::")
+                    && code.get(i + 2).map(|n| n.text(src)) == Some("now");
+                if is_now {
+                    push(
+                        "wallclock",
+                        t,
+                        "`Instant::now` outside obs/bench: wall-clock reads in the \
+                         decision path break replay determinism"
+                            .to_string(),
+                        &mut findings,
+                    );
+                }
+            }
+            TokKind::Ident if wallclock && text == "SystemTime" => {
+                push(
+                    "wallclock",
+                    t,
+                    "`SystemTime` outside obs/bench: wall-clock reads in the decision \
+                     path break replay determinism"
+                        .to_string(),
+                    &mut findings,
+                );
+            }
+            TokKind::Ident if env_knob && text == "env" => {
+                let is_var = code.get(i + 1).map(|n| n.text(src)) == Some("::")
+                    && code
+                        .get(i + 2)
+                        .is_some_and(|n| n.text(src).starts_with("var"));
+                // `env!` / `option_env!` are compile-time and fine.
+                if is_var {
+                    push(
+                        "env-knob",
+                        t,
+                        "raw `std::env::var`: route knobs through the sanctioned \
+                         helpers (`wavesched_par::threads`, `wavesched_bench::\
+                         try_env_usize`) so misreads fail loudly"
+                            .to_string(),
+                        &mut findings,
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Suppressed `bad-suppression` findings make no sense; everything else
+    // was filtered at push time. Sort for stable output.
+    findings.sort();
+    findings
+}
+
+/// Does the `==`/`!=` at `code[i]` have a float literal (or a float
+/// constant like `f64::NAN`) as either operand? Purely lexical: it cannot
+/// see types, so `a == b` between two `f64` bindings is out of scope — the
+/// rule catches the dominant pattern (comparison against a literal).
+fn comparison_involves_float(src: &str, code: &[Tok], i: usize) -> bool {
+    // Left operand: the token immediately before the operator.
+    if let Some(p) = i.checked_sub(1) {
+        if operand_is_float(src, code, p, true) {
+            return true;
+        }
+    }
+    // Right operand: skip unary minus / parens.
+    let mut j = i + 1;
+    while j < code.len() && matches!(code[j].text(src), "-" | "(") {
+        j += 1;
+    }
+    if j < code.len() && operand_is_float(src, code, j, false) {
+        return true;
+    }
+    false
+}
+
+const FLOAT_CONSTS: [&str; 5] = ["NAN", "INFINITY", "NEG_INFINITY", "EPSILON", "MAX"];
+
+fn operand_is_float(src: &str, code: &[Tok], j: usize, left: bool) -> bool {
+    let t = &code[j];
+    match t.kind {
+        TokKind::Float => true,
+        TokKind::Ident => {
+            // `f64::NAN`-style constants: ident preceded by `f64`/`f32` + `::`
+            // on the left side, or ident followed by `::` + const on the right.
+            let text = t.text(src);
+            if left {
+                FLOAT_CONSTS.contains(&text)
+                    && j >= 2
+                    && code[j - 1].text(src) == "::"
+                    && matches!(code[j - 2].text(src), "f64" | "f32")
+            } else {
+                matches!(text, "f64" | "f32")
+                    && j + 2 < code.len()
+                    && code[j + 1].text(src) == "::"
+                    && FLOAT_CONSTS.contains(&code[j + 2].text(src))
+            }
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_hit(path: &str, src: &str) -> Vec<&'static str> {
+        lint_source(path, src).into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn float_eq_scoped_to_lp_and_core() {
+        let bad = "fn f(x: f64) -> bool { x == 0.0 }";
+        assert_eq!(rules_hit("crates/lp/src/a.rs", bad), ["float-eq"]);
+        assert_eq!(rules_hit("crates/core/src/a.rs", bad), ["float-eq"]);
+        assert!(rules_hit("crates/net/src/a.rs", bad).is_empty());
+        // Both operand sides and NaN constants.
+        assert_eq!(
+            rules_hit("crates/lp/src/a.rs", "fn f(x: f64) -> bool { 0.5 != x }"),
+            ["float-eq"]
+        );
+        assert_eq!(
+            rules_hit(
+                "crates/lp/src/a.rs",
+                "fn f(x: f64) -> bool { x == f64::NAN }"
+            ),
+            ["float-eq"]
+        );
+        // Integer comparison does not fire.
+        assert!(rules_hit("crates/lp/src/a.rs", "fn f(x: u32) -> bool { x == 0 }").is_empty());
+    }
+
+    #[test]
+    fn hash_iter_scoped_and_caught_in_bins() {
+        let bad = "use std::collections::HashMap;";
+        assert_eq!(rules_hit("crates/sim/src/a.rs", bad), ["hash-iter-order"]);
+        assert_eq!(
+            rules_hit("crates/bench/src/bin/fig9.rs", bad),
+            ["hash-iter-order"]
+        );
+        assert!(rules_hit("crates/lp/src/a.rs", bad).is_empty());
+        assert!(rules_hit("crates/net/tests/t.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn lib_unwrap_spares_tests_and_bins() {
+        let bad = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert_eq!(rules_hit("crates/net/src/a.rs", bad), ["lib-unwrap"]);
+        assert!(rules_hit("crates/bench/src/bin/fig1.rs", bad).is_empty());
+        assert!(rules_hit("crates/net/tests/t.rs", bad).is_empty());
+        let in_test_mod = "#[cfg(test)]\nmod tests { fn g() { None::<u8>.unwrap(); } }";
+        assert!(rules_hit("crates/net/src/a.rs", in_test_mod).is_empty());
+        let test_fn = "#[test]\nfn t() { None::<u8>.unwrap(); }";
+        assert!(rules_hit("crates/net/src/a.rs", test_fn).is_empty());
+        // Code after the test module is linted again.
+        let after = "#[cfg(test)]\nmod tests { }\nfn g(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert_eq!(rules_hit("crates/net/src/a.rs", after), ["lib-unwrap"]);
+        // unwrap_or_else is fine; panic! and expect are not.
+        assert!(rules_hit(
+            "crates/net/src/a.rs",
+            "fn f(x: Option<u8>) -> u8 { x.unwrap_or_else(|| 0) }"
+        )
+        .is_empty());
+        assert_eq!(
+            rules_hit("crates/net/src/a.rs", "fn f() { panic!(\"boom\"); }"),
+            ["lib-unwrap"]
+        );
+    }
+
+    #[test]
+    fn wallclock_and_env_scoping() {
+        let now = "fn f() { let _t = std::time::Instant::now(); }";
+        assert_eq!(rules_hit("crates/core/src/a.rs", now), ["wallclock"]);
+        assert!(rules_hit("crates/obs/src/lib.rs", now).is_empty());
+        assert!(rules_hit("crates/bench/src/bin/fig1.rs", now).is_empty());
+        // `use std::time::Instant;` alone is fine — only `::now` is flagged.
+        assert!(rules_hit("crates/core/src/a.rs", "use std::time::Instant;").is_empty());
+
+        let env = "fn f() { let _ = std::env::var(\"X\"); }";
+        assert_eq!(rules_hit("crates/core/src/a.rs", env), ["env-knob"]);
+        assert!(rules_hit("crates/par/src/lib.rs", env).is_empty());
+        assert!(rules_hit("crates/bench/src/lib.rs", env).is_empty());
+        // Compile-time env! is fine.
+        assert!(rules_hit("crates/core/src/a.rs", "const X: &str = env!(\"PATH\");").is_empty());
+    }
+
+    #[test]
+    fn suppressions_silence_same_and_next_line() {
+        let trailing = "fn f(x: f64) -> bool { x == 0.0 } // lint: allow(float-eq, reason = \"exact zero skip\")";
+        assert!(rules_hit("crates/lp/src/a.rs", trailing).is_empty());
+        let standalone = "// lint: allow(float-eq, reason = \"exact zero skip\")\nfn f(x: f64) -> bool { x == 0.0 }";
+        assert!(rules_hit("crates/lp/src/a.rs", standalone).is_empty());
+        // A suppression for a different rule does not silence.
+        let wrong = "// lint: allow(lib-unwrap, reason = \"x\")\nfn f(x: f64) -> bool { x == 0.0 }";
+        assert_eq!(rules_hit("crates/lp/src/a.rs", wrong), ["float-eq"]);
+    }
+
+    #[test]
+    fn malformed_suppressions_are_findings() {
+        let no_reason = "// lint: allow(float-eq)\nfn f() {}";
+        assert_eq!(
+            rules_hit("crates/lp/src/a.rs", no_reason),
+            ["bad-suppression"]
+        );
+        let unknown = "// lint: allow(no-such-rule, reason = \"x\")\nfn f() {}";
+        assert_eq!(
+            rules_hit("crates/lp/src/a.rs", unknown),
+            ["bad-suppression"]
+        );
+        let empty = "// lint: allow(float-eq, reason = \"\")\nfn f() {}";
+        assert_eq!(rules_hit("crates/lp/src/a.rs", empty), ["bad-suppression"]);
+    }
+
+    #[test]
+    fn comments_and_strings_never_fire() {
+        let src =
+            "// HashMap unwrap() Instant::now\nfn f() -> &'static str { \"panic!(HashMap)\" }";
+        assert!(rules_hit("crates/sim/src/a.rs", src).is_empty());
+    }
+}

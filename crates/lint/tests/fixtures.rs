@@ -1,0 +1,171 @@
+//! Fixture-driven end-to-end tests: every rule has a known-bad snippet that
+//! must fire and a known-good twin that must stay silent, plus baseline
+//! round-trip and staleness coverage.
+
+use std::path::{Path, PathBuf};
+use wavesched_lint::baseline::Baseline;
+use wavesched_lint::rules::{lint_source, Finding, RULE_NAMES};
+
+/// A path on which **all** rules apply: `crates/core/src/` is in scope for
+/// float-eq, hash-iter-order, lib-unwrap, wallclock, and env-knob alike,
+/// which is what makes it the canonical drop target for bad snippets.
+const DROP_PATH: &str = "crates/core/src/fixture_under_test.rs";
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn fixture(rule: &str, which: &str) -> String {
+    let path = fixture_dir().join(rule).join(format!("{which}.rs"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+fn rules_hit(src: &str) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = lint_source(DROP_PATH, src).iter().map(|f| f.rule).collect();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn every_rule_has_fixtures() {
+    for rule in RULE_NAMES {
+        for which in ["good", "bad"] {
+            let path = fixture_dir().join(rule).join(format!("{which}.rs"));
+            assert!(path.is_file(), "missing fixture {}", path.display());
+        }
+    }
+}
+
+#[test]
+fn known_bad_fixtures_fire_their_rule() {
+    for rule in RULE_NAMES {
+        let hits = rules_hit(&fixture(rule, "bad"));
+        assert!(
+            hits.contains(&rule),
+            "bad fixture for {rule} fired {hits:?}, expected it to include {rule}"
+        );
+    }
+}
+
+#[test]
+fn known_good_fixtures_are_clean() {
+    for rule in RULE_NAMES {
+        let findings = lint_source(DROP_PATH, &fixture(rule, "good"));
+        assert!(
+            findings.is_empty(),
+            "good fixture for {rule} produced findings: {findings:?}"
+        );
+    }
+}
+
+/// All findings from every bad fixture, filed under distinct synthetic
+/// paths so baseline keys don't collide between fixtures.
+fn all_bad_findings() -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for rule in RULE_NAMES {
+        let path = format!("crates/core/src/fixture_{}.rs", rule.replace('-', "_"));
+        findings.extend(lint_source(&path, &fixture(rule, "bad")));
+    }
+    findings.sort();
+    findings
+}
+
+#[test]
+fn update_baseline_roundtrip() {
+    let findings = all_bad_findings();
+    assert!(findings.len() >= RULE_NAMES.len());
+
+    // `--update-baseline` writes `from_findings(...).to_json()`; a later run
+    // parses it back and diffs. The cycle must be lossless: nothing new,
+    // nothing stale, and re-serialization byte-identical (stable ordering).
+    let base = Baseline::from_findings(&findings);
+    let json = base.to_json();
+    let reparsed = Baseline::parse(&json).expect("own output must parse");
+    assert_eq!(reparsed.to_json(), json, "serialization must round-trip");
+
+    let diff = reparsed.diff(&findings);
+    assert!(
+        diff.new.is_empty(),
+        "round-trip invented findings: {:?}",
+        diff.new
+    );
+    assert!(
+        diff.stale.is_empty(),
+        "round-trip lost entries: {:?}",
+        diff.stale
+    );
+    assert_eq!(diff.matched, findings.len());
+}
+
+#[test]
+fn stale_baseline_entries_are_reported_not_fatal() {
+    let findings = all_bad_findings();
+    let base = Baseline::from_findings(&findings);
+
+    // The code got fixed (no findings any more): every entry is stale debt
+    // that --update-baseline should shrink away, but nothing is "new" — a
+    // stale baseline must never fail the build.
+    let diff = base.diff(&[]);
+    assert!(diff.new.is_empty());
+    assert_eq!(diff.matched, 0);
+    assert_eq!(
+        diff.stale.iter().map(|e| e.count).sum::<usize>(),
+        findings.len(),
+        "every baselined finding must resurface as stale"
+    );
+
+    // Partially fixed: only the float-eq fixture's findings remain. The
+    // rest are stale; the survivors still match.
+    let survivors: Vec<Finding> = findings
+        .iter()
+        .filter(|f| f.rule == "float-eq")
+        .cloned()
+        .collect();
+    let diff = base.diff(&survivors);
+    assert!(diff.new.is_empty());
+    assert_eq!(diff.matched, survivors.len());
+    assert!(!diff.stale.is_empty());
+}
+
+#[test]
+fn dropped_in_bad_snippet_fails_against_checked_in_baseline() {
+    // The acceptance scenario: copy the repo's sources plus one bad snippet
+    // into a scratch tree, lint it against the real checked-in baseline,
+    // and require NEW findings (non-zero exit in the CLI).
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+
+    let scratch = std::env::temp_dir().join(format!("wavesched-lint-drop-{}", std::process::id()));
+    let dst = scratch.join("crates/core/src");
+    std::fs::create_dir_all(&dst).unwrap();
+    std::fs::write(dst.join("dropped.rs"), fixture("float-eq", "bad")).unwrap();
+
+    let findings = wavesched_lint::lint_workspace(&scratch).unwrap();
+    let baseline_text = std::fs::read_to_string(root.join("lint-baseline.json")).unwrap();
+    let base = Baseline::parse(&baseline_text).unwrap();
+    let diff = base.diff(&findings);
+    assert!(
+        !diff.new.is_empty(),
+        "a dropped-in bad snippet must produce findings the baseline does not cover"
+    );
+
+    std::fs::remove_dir_all(&scratch).ok();
+}
+
+#[test]
+fn checked_in_baseline_covers_the_tree_exactly() {
+    // The repo itself must lint clean against its own baseline: no new
+    // findings (CI gate) and no stale entries (the ratchet is tight).
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let findings = wavesched_lint::lint_workspace(root).unwrap();
+    let base = Baseline::parse(&std::fs::read_to_string(root.join("lint-baseline.json")).unwrap())
+        .unwrap();
+    let diff = base.diff(&findings);
+    assert!(diff.new.is_empty(), "new findings: {:#?}", diff.new);
+    assert!(diff.stale.is_empty(), "stale entries: {:#?}", diff.stale);
+}

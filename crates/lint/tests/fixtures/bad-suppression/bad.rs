@@ -1,0 +1,10 @@
+// Known-bad: malformed suppressions (missing reason, unknown rule, empty
+// reason).
+// lint: allow(float-eq)
+pub fn a() {}
+
+// lint: allow(no-such-rule, reason = "x")
+pub fn b() {}
+
+// lint: allow(lib-unwrap, reason = "")
+pub fn c() {}

@@ -1,0 +1,11 @@
+// Known-good: well-formed suppressions silencing a real finding, with a
+// non-empty reason — standalone (covers the next code line) and trailing
+// (covers its own line).
+pub fn unset(x: f64) -> bool {
+    // lint: allow(float-eq, reason = "exact zero means the field was never set")
+    x == 0.0
+}
+
+pub fn cleared(y: f64) -> bool {
+    y == 0.0 // lint: allow(float-eq, reason = "exact zero means the field was cleared")
+}

@@ -1,0 +1,11 @@
+// Known-bad: ad-hoc environment knobs.
+pub fn threads() -> usize {
+    std::env::var("THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+pub fn flag() -> bool {
+    std::env::var_os("FAST").is_some()
+}

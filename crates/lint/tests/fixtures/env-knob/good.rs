@@ -1,0 +1,11 @@
+// Known-good: knobs arrive through configuration; compile-time env! is
+// fine (resolved before the program runs).
+pub struct Config {
+    pub threads: usize,
+}
+
+pub fn threads(cfg: &Config) -> usize {
+    cfg.threads
+}
+
+pub const MANIFEST: &str = env!("CARGO_MANIFEST_DIR");

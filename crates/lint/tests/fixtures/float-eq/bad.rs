@@ -1,0 +1,12 @@
+// Known-bad: exact float comparisons a tolerance should replace.
+pub fn at_origin(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn not_half(y: f64) -> bool {
+    y != 0.5
+}
+
+pub fn is_nan_wrong(z: f64) -> bool {
+    z == f64::NAN
+}

@@ -1,0 +1,16 @@
+// Known-good: tolerance-based comparisons and non-float equality.
+pub fn at_origin(x: f64) -> bool {
+    x.abs() <= 1e-9
+}
+
+pub fn near_half(y: f64) -> bool {
+    (y - 0.5).abs() <= 1e-9
+}
+
+pub fn is_nan_right(z: f64) -> bool {
+    z.is_nan()
+}
+
+pub fn same_index(a: usize, b: usize) -> bool {
+    a == b
+}

@@ -1,0 +1,15 @@
+// Known-bad: hashed collections in an ordering-sensitive crate.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn tally(xs: &[u32]) -> HashMap<u32, usize> {
+    let mut m = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}
+
+pub fn distinct(xs: &[u32]) -> HashSet<u32> {
+    xs.iter().copied().collect()
+}

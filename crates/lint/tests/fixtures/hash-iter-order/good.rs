@@ -1,0 +1,15 @@
+// Known-good: ordered collections with deterministic iteration.
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+pub fn tally(xs: &[u32]) -> BTreeMap<u32, usize> {
+    let mut m = BTreeMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}
+
+pub fn distinct(xs: &[u32]) -> BTreeSet<u32> {
+    xs.iter().copied().collect()
+}

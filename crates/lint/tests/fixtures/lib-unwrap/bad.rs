@@ -1,0 +1,12 @@
+// Known-bad: panicking escape hatches in library code.
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn parse(s: &str) -> u32 {
+    s.parse().expect("a number")
+}
+
+pub fn explode() {
+    panic!("boom");
+}

@@ -1,0 +1,12 @@
+// Known-good: typed errors instead of panics.
+pub fn first(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+pub fn parse(s: &str) -> Result<u32, String> {
+    s.parse().map_err(|e| format!("bad number: {e}"))
+}
+
+pub fn settle(x: Option<u32>) -> u32 {
+    x.unwrap_or_default()
+}

@@ -1,0 +1,10 @@
+// Known-bad: wall-clock reads in the decision path.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn epoch() -> SystemTime {
+    SystemTime::now()
+}

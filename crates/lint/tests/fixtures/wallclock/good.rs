@@ -1,0 +1,5 @@
+// Known-good: time flows in as simulated slice indices, never read from
+// the host clock.
+pub fn deadline_passed(now_slices: f64, end: f64) -> bool {
+    now_slices > end
+}

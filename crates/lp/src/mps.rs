@@ -471,8 +471,8 @@ ENDATA
 ";
         let m = parse_mps(text).unwrap();
         let p = &m.problem;
-        let y = crate::Col::from_index(0);
-        let x = crate::Col::from_index(1);
+        let y = Col::from_index(0);
+        let x = Col::from_index(1);
         assert!(p.is_integer(y));
         assert!(!p.is_integer(x));
         assert_eq!(p.col_bounds(y), (0.0, 1.0));
@@ -497,9 +497,9 @@ RANGES
 ENDATA
 ";
         let p = parse_mps(text).unwrap().problem;
-        assert_eq!(p.row_bounds(crate::Row::from_index(0)), (6.0, 10.0));
-        assert_eq!(p.row_bounds(crate::Row::from_index(1)), (2.0, 5.0));
-        assert_eq!(p.row_bounds(crate::Row::from_index(2)), (5.0, 6.0));
+        assert_eq!(p.row_bounds(Row::from_index(0)), (6.0, 10.0));
+        assert_eq!(p.row_bounds(Row::from_index(1)), (2.0, 5.0));
+        assert_eq!(p.row_bounds(Row::from_index(2)), (5.0, 6.0));
     }
 
     #[test]
@@ -524,9 +524,9 @@ RANGES
 ENDATA
 ";
         let p = parse_mps(text).unwrap().problem;
-        assert_eq!(p.row_bounds(crate::Row::from_index(0)), (6.0, 10.0));
-        assert_eq!(p.row_bounds(crate::Row::from_index(1)), (2.0, 5.0));
-        assert_eq!(p.row_bounds(crate::Row::from_index(2)), (3.0, 5.0));
+        assert_eq!(p.row_bounds(Row::from_index(0)), (6.0, 10.0));
+        assert_eq!(p.row_bounds(Row::from_index(1)), (2.0, 5.0));
+        assert_eq!(p.row_bounds(Row::from_index(2)), (3.0, 5.0));
     }
 
     proptest::proptest! {
@@ -556,7 +556,7 @@ ENDATA
                 _ if r >= 0.0 => (b, b + r),
                 _ => (b + r, b),
             };
-            let row = crate::Row::from_index(0);
+            let row = Row::from_index(0);
             proptest::prop_assert_eq!(p.row_bounds(row), expect);
             // Round trip: the writer re-encodes the finite interval as an
             // L row plus a positive range; bounds must be preserved.
@@ -593,7 +593,7 @@ ENDATA
             sq.objective
         );
         // Integrality marks survive.
-        assert!(q.is_integer(crate::Col::from_index(1)));
+        assert!(q.is_integer(Col::from_index(1)));
     }
 
     #[test]
@@ -623,12 +623,9 @@ ENDATA
 ";
         let p = parse_mps(text).unwrap().problem;
         assert_eq!(
-            p.col_bounds(crate::Col::from_index(0)),
+            p.col_bounds(Col::from_index(0)),
             (f64::NEG_INFINITY, f64::INFINITY)
         );
-        assert_eq!(
-            p.col_bounds(crate::Col::from_index(1)),
-            (f64::NEG_INFINITY, 2.0)
-        );
+        assert_eq!(p.col_bounds(Col::from_index(1)), (f64::NEG_INFINITY, 2.0));
     }
 }

@@ -277,6 +277,7 @@ impl Engine {
             let mut act = vec![0.0; m];
             for j in 0..self.std.nstruct {
                 let xj = self.xval[j];
+                // lint: allow(float-eq, reason = "exact-zero skip is a sparsity guard: skipping true zeros never changes the arithmetic")
                 if xj != 0.0 {
                     self.std.a.col_axpy(j, xj, &mut act);
                 }
@@ -526,7 +527,7 @@ impl Engine {
         // (their columns are independent; a redundant choice is caught and
         // repaired during factorization).
         while basic.len() > m {
-            let j = basic.pop().unwrap();
+            let Some(j) = basic.pop() else { break };
             self.park_nonbasic(j, BasisStatus::AtLower);
         }
         let mut next_row = 0usize;
@@ -559,6 +560,7 @@ impl Engine {
             if v > up + tol || v < lo - tol {
                 self.relax_column(j, v);
             } else if self.std.kind[j] == ColKind::Artificial
+                // lint: allow(float-eq, reason = "exact zero-bound test picks the cheaper parking bound; either choice is feasible and deterministic")
                 && (self.std.lower[j] != 0.0 || self.std.upper[j] != 0.0)
             {
                 // Feasible (≈0) but reopened: pin it back down.
@@ -679,6 +681,8 @@ impl Engine {
                     }
                     self.update_reduced_and_weights(q, pos, alpha_q);
                     self.apply_pivot(q, dir, pos, step, &w);
+                    #[cfg(debug_assertions)]
+                    self.debug_invariants();
                     if step <= self.cfg.feas_tol * 1e-2 {
                         self.stats.degenerate_pivots += 1;
                         self.degen_run += 1;
@@ -711,7 +715,8 @@ impl Engine {
         }
         self.lu
             .as_ref()
-            .expect("factorized")
+            // lint: allow(lib-unwrap, reason = "invariant: solve() refactorizes before any pricing pass, so an LU is always installed here")
+            .expect("invariant: LU installed before btran")
             .btran(c, &mut self.work_pos);
     }
 
@@ -861,11 +866,13 @@ impl Engine {
         let mut w = vec![0.0; m];
         self.lu
             .as_ref()
-            .expect("factorized")
+            // lint: allow(lib-unwrap, reason = "invariant: solve() refactorizes before any ratio test, so an LU is always installed here")
+            .expect("invariant: LU installed before ftran")
             .ftran(&mut self.work_row, &mut w);
         for eta in &self.etas {
             let r = eta.pos as usize;
             let t = w[r] / eta.pivot;
+            // lint: allow(float-eq, reason = "exact-zero skip is a sparsity guard: skipping true zeros never changes the arithmetic")
             if t != 0.0 {
                 for &(i, wi) in &eta.entries {
                     if i != eta.pos {
@@ -965,6 +972,7 @@ impl Engine {
 
     fn apply_bound_flip(&mut self, q: usize, dir: f64, t: f64, w: &[f64]) {
         for (pos, &wp) in w.iter().enumerate() {
+            // lint: allow(float-eq, reason = "exact-zero skip is a sparsity guard: skipping true zeros never changes the arithmetic")
             if wp != 0.0 {
                 self.xb[pos] -= wp * dir * t;
             }
@@ -980,6 +988,7 @@ impl Engine {
     fn apply_pivot(&mut self, q: usize, dir: f64, pos: usize, step: f64, w: &[f64]) {
         let leaving = self.basis[pos];
         for (p, &wp) in w.iter().enumerate() {
+            // lint: allow(float-eq, reason = "exact-zero skip is a sparsity guard: skipping true zeros never changes the arithmetic")
             if wp != 0.0 {
                 self.xb[p] -= wp * dir * step;
             }
@@ -1029,6 +1038,49 @@ impl Engine {
         });
     }
 
+    /// Debug-build invariant sweep, run after every basis change. Release
+    /// builds compile this to nothing; the `wavesched-lint` rules keep the
+    /// invariants *stated*, this keeps them *checked* where they mutate.
+    #[cfg(debug_assertions)]
+    fn debug_invariants(&self) {
+        // Basis column-count consistency: exactly one column per row, each
+        // marked Basic at its own position.
+        debug_assert_eq!(
+            self.basis.len(),
+            self.std.nrows,
+            "basis must hold exactly nrows columns"
+        );
+        for (pos, &j) in self.basis.iter().enumerate() {
+            debug_assert!(
+                matches!(self.state[j], VarState::Basic(p) if p as usize == pos),
+                "basis position {pos} holds column {j} whose state is {:?}",
+                self.state[j]
+            );
+        }
+        // The eta file never outruns the refactorization threshold:
+        // iterate() refactorizes at the top of the loop once the interval
+        // is reached, so at most `refactor_interval` etas ever accumulate.
+        debug_assert!(
+            self.etas.len() <= self.cfg.refactor_interval,
+            "eta file length {} exceeds refactor_interval {}",
+            self.etas.len(),
+            self.cfg.refactor_interval
+        );
+        // The (phase-dependent) objective stays finite after a pivot; a NaN
+        // or infinity here means a pivot divided by a ~0 element the ratio
+        // test should have rejected.
+        let mut obj = 0.0;
+        for j in 0..self.std.ncols() {
+            if !matches!(self.state[j], VarState::Basic(_)) {
+                obj += self.cost[j] * self.xval[j];
+            }
+        }
+        for (pos, &j) in self.basis.iter().enumerate() {
+            obj += self.cost[j] * self.xb[pos];
+        }
+        debug_assert!(obj.is_finite(), "objective became non-finite after pivot");
+    }
+
     /// Rebuilds the LU factorization of the current basis and recomputes the
     /// basic values from scratch to flush accumulated drift.
     fn refactorize(&mut self) -> Result<(), SolveError> {
@@ -1064,6 +1116,7 @@ impl Engine {
                 continue;
             }
             let xj = self.xval[j];
+            // lint: allow(float-eq, reason = "exact-zero skip is a sparsity guard: skipping true zeros never changes the arithmetic")
             if xj != 0.0 {
                 let (rows, vals) = self.std.a.col(j);
                 for (&r, &v) in rows.iter().zip(vals) {
@@ -1073,7 +1126,12 @@ impl Engine {
         }
         let mut rhs = std::mem::take(&mut self.work_row);
         let mut xb = vec![0.0; m];
-        self.lu.as_ref().unwrap().ftran(&mut rhs, &mut xb);
+        let Some(lu) = self.lu.as_ref() else {
+            return Err(SolveError::Numerical(
+                "refactorize: LU missing after installation".to_string(),
+            ));
+        };
+        lu.ftran(&mut rhs, &mut xb);
         self.work_row = rhs;
         self.xb = xb;
         Ok(())

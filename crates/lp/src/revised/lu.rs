@@ -100,6 +100,7 @@ impl Lu {
             for &p in topo.iter().rev() {
                 let r_piv = row_perm[p as usize] as usize;
                 let v = work[r_piv];
+                // lint: allow(float-eq, reason = "exact-zero skip is a sparsity guard: skipping true zeros never changes the arithmetic")
                 if v != 0.0 {
                     for &(r, lv) in &l_cols[p as usize] {
                         work[r as usize] -= lv * v;
@@ -137,9 +138,11 @@ impl Lu {
                 let v = work[r as usize];
                 let p = row_pos[r as usize];
                 if p != NONE {
+                    // lint: allow(float-eq, reason = "exact-zero skip is a sparsity guard: skipping true zeros never changes the arithmetic")
                     if v != 0.0 {
                         ucol.push((p, v));
                     }
+                // lint: allow(float-eq, reason = "exact-zero skip is a sparsity guard: skipping true zeros never changes the arithmetic")
                 } else if r != piv_row && v != 0.0 {
                     lcol.push((r, v / piv_val));
                 }
@@ -175,6 +178,7 @@ impl Lu {
         // L y = P rhs.
         for p in 0..m {
             let v = rhs_by_row[self.row_perm[p] as usize];
+            // lint: allow(float-eq, reason = "exact-zero skip is a sparsity guard: skipping true zeros never changes the arithmetic")
             if v != 0.0 {
                 for &(r, lv) in &self.l_cols[p] {
                     rhs_by_row[r as usize] -= lv * v;
@@ -186,6 +190,7 @@ impl Lu {
         for j in (0..m).rev() {
             let z = out_by_pos[j] / self.u_diag[j];
             out_by_pos[j] = z;
+            // lint: allow(float-eq, reason = "exact-zero skip is a sparsity guard: skipping true zeros never changes the arithmetic")
             if z != 0.0 {
                 for &(p, uv) in &self.u_cols[j] {
                     out_by_pos[p as usize] -= uv * z;

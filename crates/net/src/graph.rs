@@ -282,7 +282,8 @@ impl Path {
 
     /// Last node of the path.
     pub fn target(&self, g: &Graph) -> NodeId {
-        g.dst(*self.edges.last().unwrap())
+        // lint: allow(lib-unwrap, reason = "invariant: this crate never constructs an empty path (see is_empty docs)")
+        g.dst(*self.edges.last().expect("invariant: non-empty path"))
     }
 
     /// The node sequence, source first.

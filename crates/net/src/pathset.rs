@@ -7,13 +7,17 @@
 
 use crate::graph::{Graph, NodeId, Path};
 use crate::yen::k_shortest_paths;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A lazily-built cache of k-shortest paths per (source, destination).
+///
+/// Backed by a `BTreeMap` so that iterating the cache (debug dumps, future
+/// serialization) visits pairs in a stable order — part of the workspace's
+/// bit-identical-output guarantee (see `wavesched-lint`'s `hash-iter-order`).
 #[derive(Debug, Clone)]
 pub struct PathSet {
     k: usize,
-    cache: HashMap<(NodeId, NodeId), Vec<Path>>,
+    cache: BTreeMap<(NodeId, NodeId), Vec<Path>>,
 }
 
 impl PathSet {
@@ -22,7 +26,7 @@ impl PathSet {
         assert!(k > 0, "k must be positive");
         PathSet {
             k,
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
         }
     }
 

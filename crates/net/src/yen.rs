@@ -6,7 +6,10 @@
 
 use crate::dijkstra::{shortest_path_filtered, Weight};
 use crate::graph::{Graph, NodeId, Path};
-use std::collections::HashSet;
+// BTreeSet rather than HashSet: iteration never feeds output here, but the
+// ordering-sensitive crates ban hashed collections wholesale (hash-iter-order)
+// so determinism reviews never have to reason about which uses are benign.
+use std::collections::BTreeSet;
 
 /// Computes up to `k` shortest simple paths from `src` to `dst`, ordered by
 /// increasing weight (ties broken deterministically). Returns fewer than `k`
@@ -40,11 +43,13 @@ pub fn k_shortest_paths_weighted(
     let mut accepted: Vec<Path> = vec![first];
     // Candidate pool: (weight, path). Deduplicated by edge sequence.
     let mut candidates: Vec<(f64, Path)> = Vec::new();
-    let mut seen: HashSet<Vec<u32>> = HashSet::new();
+    let mut seen: BTreeSet<Vec<u32>> = BTreeSet::new();
     seen.insert(accepted[0].edges().iter().map(|e| e.0).collect());
 
     while accepted.len() < k {
-        let prev = accepted.last().unwrap().clone();
+        let Some(prev) = accepted.last().cloned() else {
+            break; // unreachable: `accepted` starts non-empty and only grows
+        };
         let prev_nodes = prev.nodes(g);
 
         // Spur from every node of the previous path except the destination.
@@ -54,7 +59,7 @@ pub fn k_shortest_paths_weighted(
 
             // Edges banned: the (i+1)-th edge of any accepted path sharing
             // the same root.
-            let mut banned_edges = HashSet::new();
+            let mut banned_edges = BTreeSet::new();
             for p in &accepted {
                 if p.len() > i && p.edges()[..i] == *root_edges {
                     banned_edges.insert(p.edges()[i]);
@@ -62,7 +67,7 @@ pub fn k_shortest_paths_weighted(
             }
             // Nodes banned: everything on the root before the spur node
             // (keeps the total path simple).
-            let banned_nodes: HashSet<NodeId> = prev_nodes[..i].iter().copied().collect();
+            let banned_nodes: BTreeSet<NodeId> = prev_nodes[..i].iter().copied().collect();
 
             let Some(spur) = shortest_path_filtered(
                 g,
@@ -85,18 +90,18 @@ pub fn k_shortest_paths_weighted(
             }
         }
 
-        if candidates.is_empty() {
-            break;
-        }
-        // Pop the lightest candidate (deterministic tie-break on edges).
-        let best = candidates
+        // Pop the lightest candidate (deterministic tie-break on edges);
+        // `min_by` is `None` exactly when the pool is exhausted.
+        let Some(best) = candidates
             .iter()
             .enumerate()
             .min_by(|(_, (wa, pa)), (_, (wb, pb))| {
                 wa.total_cmp(wb).then_with(|| pa.edges().cmp(pb.edges()))
             })
             .map(|(i, _)| i)
-            .unwrap();
+        else {
+            break;
+        };
         let (_, p) = candidates.swap_remove(best);
         accepted.push(p);
     }

@@ -119,7 +119,7 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -140,7 +140,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut s = String::new();
         loop {
             match self.peek() {
@@ -179,14 +179,13 @@ impl<'a> Parser<'a> {
                     // Advance one UTF-8 character (input came from &str, so
                     // boundaries are valid).
                     let rest = &self.bytes[self.pos..];
-                    let ch_len = std::str::from_utf8(rest)
+                    let ch = std::str::from_utf8(rest)
                         .map_err(|e| e.to_string())?
                         .chars()
                         .next()
-                        .map(char::len_utf8)
                         .ok_or("empty continuation")?;
-                    s.push_str(std::str::from_utf8(&rest[..ch_len]).unwrap());
-                    self.pos += ch_len;
+                    s.push(ch);
+                    self.pos += ch.len_utf8();
                 }
             }
         }
@@ -201,13 +200,13 @@ impl<'a> Parser<'a> {
             return Err(format!("expected digits at byte {start}"));
         }
         std::str::from_utf8(&self.bytes[start..self.pos])
-            .unwrap()
+            .map_err(|e| e.to_string())?
             .parse()
             .map_err(|e| format!("bad integer: {e}"))
     }
 
     fn array(&mut self) -> Result<JVal, String> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -229,7 +228,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<JVal, String> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -240,7 +239,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             let val = self.value()?;
             fields.push((key, val));
             self.skip_ws();

@@ -155,7 +155,8 @@ where
     });
     slots
         .into_iter()
-        .map(|s| s.expect("every index mapped"))
+        // lint: allow(lib-unwrap, reason = "invariant: the work pool writes every slot exactly once before join")
+        .map(|s| s.expect("invariant: every index mapped"))
         .collect()
 }
 

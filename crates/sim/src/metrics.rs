@@ -1,6 +1,6 @@
 //! Simulation outcome metrics.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use wavesched_workload::JobId;
 
 /// What happened to one job by the end of the simulation.
@@ -26,7 +26,7 @@ pub enum JobOutcome {
 #[derive(Debug, Clone)]
 pub struct SimReport {
     /// Final outcome per job.
-    pub outcomes: HashMap<JobId, JobOutcome>,
+    pub outcomes: BTreeMap<JobId, JobOutcome>,
     /// Total normalized demand volume actually moved.
     pub volume_moved: f64,
     /// Total normalized demand volume requested (all jobs).
@@ -100,7 +100,7 @@ mod tests {
     use super::*;
 
     fn report() -> SimReport {
-        let mut outcomes = HashMap::new();
+        let mut outcomes = BTreeMap::new();
         outcomes.insert(
             JobId(0),
             JobOutcome::Completed {
@@ -141,7 +141,7 @@ mod tests {
     #[test]
     fn empty_report() {
         let r = SimReport {
-            outcomes: HashMap::new(),
+            outcomes: BTreeMap::new(),
             volume_moved: 0.0,
             volume_requested: 0.0,
             mean_utilization: 0.0,
