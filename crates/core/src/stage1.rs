@@ -39,6 +39,24 @@ pub fn solve_stage1_with(inst: &Instance, cfg: &SimplexConfig) -> Result<Stage1R
     solve_stage1_with_start(inst, cfg, None)
 }
 
+/// Builds the Stage-1 LP without solving it. Exposed for the kernel
+/// benchmarks, which probe the raw pivot loop on the paper-scale model.
+#[doc(hidden)]
+pub fn build_stage1_problem(inst: &Instance) -> Problem {
+    let mut p = Problem::new(Objective::Maximize);
+    let cols = add_assignment_cols(&mut p, inst);
+    let z = p.add_col(0.0, f64::INFINITY, 1.0); // maximize Z
+
+    // Eq. 2: sum_{p,j} x·LEN = Z · D_i for every job.
+    for i in 0..inst.num_jobs() {
+        let mut coeffs = job_volume_coeffs(inst, &cols, i);
+        coeffs.push((z, -inst.demands[i]));
+        p.add_row(0.0, 0.0, &coeffs);
+    }
+    add_capacity_rows(&mut p, inst, &cols);
+    p
+}
+
 /// Solves the Stage-1 MCF, warm-starting from `start` when given.
 ///
 /// The basis is typically the [`Stage1Result::basis`] of a previous,
@@ -60,17 +78,7 @@ pub fn solve_stage1_with_start(
     }
 
     let build_span = obs::span("build");
-    let mut p = Problem::new(Objective::Maximize);
-    let cols = add_assignment_cols(&mut p, inst);
-    let z = p.add_col(0.0, f64::INFINITY, 1.0); // maximize Z
-
-    // Eq. 2: sum_{p,j} x·LEN = Z · D_i for every job.
-    for i in 0..inst.num_jobs() {
-        let mut coeffs = job_volume_coeffs(inst, &cols, i);
-        coeffs.push((z, -inst.demands[i]));
-        p.add_row(0.0, 0.0, &coeffs);
-    }
-    add_capacity_rows(&mut p, inst, &cols);
+    let p = build_stage1_problem(inst);
     drop(build_span);
 
     let sol = solve_with_start(&p, cfg, start)?;

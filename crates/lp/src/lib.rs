@@ -52,6 +52,8 @@ pub use milp::{solve_milp, MilpConfig, MilpSolution, MilpStatus};
 pub use model::{Col, Objective, Problem, Row};
 pub use mps::{parse_mps, write_mps, MpsModel};
 pub use presolve::{presolve, PresolveOutcome, Reduction};
+#[doc(hidden)]
+pub use revised::PivotProbe;
 pub use revised::{solve, solve_with, solve_with_start, SimplexConfig, SolverSession};
 pub use solution::{Basis, BasisStatus, Solution, SolveError, SolveStats, Status};
 

@@ -13,9 +13,16 @@
 //!    bounds and dropped; crossed bounds prove infeasibility.
 //! 5. **Empty columns**: moved to their cost-optimal bound; a nonzero cost
 //!    pushing toward an infinite bound proves unboundedness.
+//! 6. **Free column singletons on equality rows**: a free column appearing
+//!    in exactly one row, that row an equality, can always satisfy the row
+//!    by itself — both are removed, the column's objective contribution is
+//!    substituted into the remaining columns' costs, and its value is
+//!    recovered during postsolve from the row equation. (Implied-free and
+//!    doubleton variants are deliberately out of scope.)
 //!
 //! Rules run to a fixpoint. [`Reduction::postsolve`] maps a reduced-space
-//! point back to the original columns (primal only; duals are not mapped).
+//! point back to the original columns (primal only; duals are not mapped),
+//! replaying deferred eliminations in reverse order.
 
 use crate::model::{Objective, Problem};
 use crate::{is_inf, FEAS_TOL};
@@ -37,10 +44,29 @@ pub struct Reduction {
     /// The reduced problem.
     pub problem: Problem,
     /// For each original column: `Ok(reduced index)` if it survived,
-    /// `Err(fixed value)` if presolve pinned it.
+    /// `Err(fixed value)` if presolve pinned it (`NaN` placeholder for
+    /// columns recovered by an elimination step instead).
     mapping: Vec<Result<usize, f64>>,
+    /// Deferred eliminations, replayed in reverse by
+    /// [`postsolve`](Self::postsolve).
+    steps: Vec<PostStep>,
     /// Number of original columns.
     n_orig: usize,
+}
+
+/// One deferred elimination recorded for postsolve.
+#[derive(Debug)]
+enum PostStep {
+    /// A free column singleton eliminated from the equality row
+    /// `coeff * x_col + Σ aₖ x_k = rhs`: recover
+    /// `x_col = (rhs − Σ aₖ x_k) / coeff`. `others` holds the row's other
+    /// entries as *original-space* column indices.
+    FreeSingleton {
+        col: usize,
+        coeff: f64,
+        rhs: f64,
+        others: Vec<(usize, f64)>,
+    },
 }
 
 impl Reduction {
@@ -53,6 +79,26 @@ impl Reduction {
                 Ok(rj) => x_reduced[rj],
                 Err(v) => v,
             };
+        }
+        // Replay eliminations most-recent-first: a step's inputs were
+        // either never eliminated (resolved by the mapping above) or were
+        // eliminated by a *later* step, which has already run by the time
+        // an earlier step reads them.
+        for step in self.steps.iter().rev() {
+            match step {
+                PostStep::FreeSingleton {
+                    col,
+                    coeff,
+                    rhs,
+                    others,
+                } => {
+                    let mut acc = *rhs;
+                    for &(k, a) in others {
+                        acc -= a * x[k];
+                    }
+                    x[*col] = acc / coeff;
+                }
+            }
         }
         x
     }
@@ -117,6 +163,16 @@ pub fn presolve(p: &Problem) -> PresolveOutcome {
     let mut col_alive = vec![true; n];
     let mut row_alive = vec![true; m];
     let mut fixed_value = vec![f64::NAN; n];
+    // Columns removed by a deferred elimination rather than a fixing; their
+    // values come from the postsolve step stack, not `fixed_value`.
+    let mut eliminated = vec![false; n];
+    // Empty columns whose cost pushes them toward an infinite bound. They
+    // witness unboundedness only if the rest of the problem is feasible,
+    // so rule 5 defers the verdict instead of returning immediately.
+    let mut ray_col = vec![false; n];
+    let mut steps: Vec<PostStep> = Vec::new();
+    // Objective offset accumulated by substituting eliminated columns.
+    let mut elim_offset = 0.0;
 
     // Fix column j at value v: fold into row bounds.
     // Returns false on detected infeasibility (crossed row bounds can't
@@ -224,7 +280,7 @@ pub fn presolve(p: &Problem) -> PresolveOutcome {
 
         // Rule 5: empty columns.
         for j in 0..n {
-            if !col_alive[j] || col_count[j] != 0 {
+            if !col_alive[j] || col_count[j] != 0 || ray_col[j] {
                 continue;
             }
             // Improving direction for the objective.
@@ -244,12 +300,14 @@ pub fn presolve(p: &Problem) -> PresolveOutcome {
                 }
             } else if want_low {
                 if col_lo[j].is_infinite() {
-                    return PresolveOutcome::Unbounded;
+                    ray_col[j] = true;
+                    continue;
                 }
                 col_lo[j]
             } else {
                 if col_hi[j].is_infinite() {
-                    return PresolveOutcome::Unbounded;
+                    ray_col[j] = true;
+                    continue;
                 }
                 col_hi[j]
             };
@@ -265,6 +323,77 @@ pub fn presolve(p: &Problem) -> PresolveOutcome {
             );
             changed = true;
         }
+
+        // Rule 6: free column singletons on equality rows. The free column
+        // can satisfy its only row by itself whatever the other columns
+        // do, so row and column both vanish; the column's objective
+        // contribution is substituted into the surviving columns' costs
+        // and its value is recovered in postsolve from the row equation.
+        for j in 0..n {
+            if !col_alive[j] || col_count[j] != 1 || integer[j] {
+                continue;
+            }
+            if col_lo[j].is_finite() || col_hi[j].is_finite() {
+                continue;
+            }
+            let Some(r) = (0..m).find(|&r| row_alive[r] && rows[r].iter().any(|&(c, _)| c == j))
+            else {
+                continue;
+            };
+            // lint: allow(float-eq, reason = "an equality row is exactly lo == hi; near-equal range rows must stay ranges")
+            if !(row_lo[r].is_finite() && row_lo[r] == row_hi[r]) {
+                continue;
+            }
+            let a_j = rows[r]
+                .iter()
+                .find(|&&(c, _)| c == j)
+                .map(|&(_, a)| a)
+                .unwrap_or(0.0);
+            if a_j.abs() <= 1e-12 {
+                continue;
+            }
+            let b = row_lo[r];
+            let others: Vec<(usize, f64)> = rows[r]
+                .iter()
+                .filter(|&&(c, _)| c != j)
+                .map(|&(c, a)| (c, a))
+                .collect();
+            // Substitute x_j = (b − Σ aₖ xₖ) / a_j into the objective.
+            let cj = cost[j];
+            // lint: allow(float-eq, reason = "exact-zero skip: a literally zero objective coefficient contributes nothing to the substitution")
+            if cj != 0.0 {
+                elim_offset += cj * b / a_j;
+                for &(k, a_k) in &others {
+                    cost[k] -= cj * a_k / a_j;
+                }
+            }
+            steps.push(PostStep::FreeSingleton {
+                col: j,
+                coeff: a_j,
+                rhs: b,
+                others,
+            });
+            for &(c, _) in &rows[r] {
+                col_count[c] -= 1;
+            }
+            rows[r].clear();
+            row_alive[r] = false;
+            col_alive[j] = false;
+            eliminated[j] = true;
+            changed = true;
+        }
+    }
+
+    // Deferred rule-5 verdict: with every row gone, feasibility reduces to
+    // bound consistency, so a surviving ray column proves unboundedness.
+    // With live rows left the ray column stays in the reduced problem and
+    // the solver separates Infeasible from Unbounded.
+    if ray_col.iter().any(|&b| b) {
+        let rows_left = (0..m).any(|r| row_alive[r]);
+        let bounds_ok = (0..n).all(|j| !col_alive[j] || col_lo[j] <= col_hi[j] + FEAS_TOL);
+        if !rows_left && bounds_ok {
+            return PresolveOutcome::Unbounded;
+        }
     }
 
     // Rebuild the reduced problem.
@@ -278,12 +407,16 @@ pub fn presolve(p: &Problem) -> PresolveOutcome {
             reduced.set_integer(c, integer[j]);
             new_index[j] = c.index();
             mapping.push(Ok(c.index()));
+        } else if eliminated[j] {
+            // Placeholder; the postsolve step stack computes the value
+            // (the objective share was folded into `elim_offset`).
+            mapping.push(Err(f64::NAN));
         } else {
             offset += cost[j] * fixed_value[j];
             mapping.push(Err(fixed_value[j]));
         }
     }
-    reduced.add_objective_offset(p.obj_offset + offset);
+    reduced.add_objective_offset(p.obj_offset + offset + elim_offset);
     for r in 0..m {
         if row_alive[r] {
             let coeffs: Vec<_> = rows[r]
@@ -297,6 +430,7 @@ pub fn presolve(p: &Problem) -> PresolveOutcome {
     PresolveOutcome::Reduced(Reduction {
         problem: reduced,
         mapping,
+        steps,
         n_orig: n,
     })
 }
@@ -421,6 +555,121 @@ mod tests {
     }
 
     #[test]
+    fn free_singleton_eliminated_and_recovered() {
+        // min 2x + y, x free appearing only in x + 2y = 10; y in [0, 8]
+        // with a second row keeping y constrained. Eliminating x rewrites
+        // the objective to y's cost 1 - 2*2 = -3 plus offset 2*10 = 20.
+        let mut p = Problem::new(Objective::Minimize);
+        let x = p.add_col(f64::NEG_INFINITY, f64::INFINITY, 2.0);
+        let y = p.add_col(0.0, 8.0, 1.0);
+        p.add_row(10.0, 10.0, &[(x, 1.0), (y, 2.0)]);
+        p.add_row(f64::NEG_INFINITY, 6.0, &[(y, 1.0)]);
+        match presolve(&p) {
+            PresolveOutcome::Reduced(r) => {
+                assert!(
+                    r.problem.num_cols() < 2,
+                    "free singleton x should have been eliminated"
+                );
+                let s = solve(&r.problem).unwrap();
+                assert_eq!(s.status, Status::Optimal);
+                let xs = r.postsolve(&s.x);
+                // Recovered point satisfies the original equality exactly.
+                assert!(p.max_violation(&xs) <= 1e-9);
+                let direct = solve(&p).unwrap();
+                assert!((s.objective - direct.objective).abs() < 1e-6);
+                assert!((p.eval_objective(&xs) - direct.objective).abs() < 1e-6);
+            }
+            other => panic!("expected reduction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_singleton_chain_postsolves_in_order() {
+        // Two nested free singletons: eliminating x1 (row 1) leaves x2 as
+        // a free singleton on row 2. Postsolve must replay the stack in
+        // reverse so x2's value exists before x1's equation reads it.
+        let mut p = Problem::new(Objective::Minimize);
+        let x1 = p.add_col(f64::NEG_INFINITY, f64::INFINITY, 0.0);
+        let x2 = p.add_col(f64::NEG_INFINITY, f64::INFINITY, 0.0);
+        let y = p.add_col(1.0, 4.0, 1.0);
+        p.add_row(7.0, 7.0, &[(x1, 1.0), (x2, 2.0)]);
+        p.add_row(3.0, 3.0, &[(x2, 1.0), (y, 1.0)]);
+        match presolve(&p) {
+            PresolveOutcome::Reduced(r) => {
+                let s = solve(&r.problem).unwrap();
+                assert_eq!(s.status, Status::Optimal);
+                let xs = r.postsolve(&s.x);
+                assert!(p.max_violation(&xs) <= 1e-9);
+                // y = 1 (cheapest), x2 = 3 - y = 2, x1 = 7 - 2*x2 = 3.
+                assert!((xs[2] - 1.0).abs() < 1e-9);
+                assert!((xs[1] - 2.0).abs() < 1e-9);
+                assert!((xs[0] - 3.0).abs() < 1e-9);
+            }
+            other => panic!("expected reduction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_singleton_keeps_infeasibility() {
+        // The free singleton's elimination must not mask the infeasible
+        // remainder: z in [0,1] forced to 5.
+        let mut p = Problem::new(Objective::Minimize);
+        let x = p.add_col(f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        let y = p.add_col(0.0, 10.0, 1.0);
+        let z = p.add_col(0.0, 1.0, 0.0);
+        p.add_row(4.0, 4.0, &[(x, 2.0), (y, 1.0)]);
+        p.add_row(5.0, 5.0, &[(z, 1.0)]);
+        assert!(matches!(presolve(&p), PresolveOutcome::Infeasible));
+    }
+
+    #[test]
+    fn free_singleton_keeps_unboundedness() {
+        // Eliminating x folds its cost onto y (new cost 1 - 2 = -1,
+        // minimize), leaving y an empty column pushed toward +inf.
+        let mut p = Problem::new(Objective::Minimize);
+        let x = p.add_col(f64::NEG_INFINITY, f64::INFINITY, 2.0);
+        let y = p.add_col(0.0, f64::INFINITY, 1.0);
+        p.add_row(3.0, 3.0, &[(x, 2.0), (y, 2.0)]);
+        assert!(matches!(presolve(&p), PresolveOutcome::Unbounded));
+    }
+
+    #[test]
+    fn bounded_singleton_column_not_eliminated() {
+        // Same shape but x has a finite lower bound: the implied-free
+        // analysis is out of scope, so the column must survive.
+        let mut p = Problem::new(Objective::Minimize);
+        let x = p.add_col(0.0, f64::INFINITY, 2.0);
+        let y = p.add_col(0.0, 8.0, 1.0);
+        p.add_row(10.0, 10.0, &[(x, 1.0), (y, 2.0)]);
+        p.add_row(f64::NEG_INFINITY, 6.0, &[(y, 1.0)]);
+        match presolve(&p) {
+            PresolveOutcome::Reduced(r) => {
+                // Rule 4 folds the singleton row into y's bound; both
+                // columns and the equality row must survive.
+                assert_eq!(r.problem.num_cols(), 2);
+                assert_eq!(r.problem.num_rows(), 1);
+            }
+            other => panic!("expected reduction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_singleton_on_range_row_not_eliminated() {
+        // The rule needs an equality row; a range row stays.
+        let mut p = Problem::new(Objective::Minimize);
+        let x = p.add_col(f64::NEG_INFINITY, f64::INFINITY, 2.0);
+        let y = p.add_col(0.0, 8.0, 1.0);
+        p.add_row(4.0, 10.0, &[(x, 1.0), (y, 2.0)]);
+        match presolve(&p) {
+            PresolveOutcome::Reduced(r) => {
+                assert_eq!(r.problem.num_cols(), 2);
+                assert_eq!(r.problem.num_rows(), 1);
+            }
+            other => panic!("expected reduction, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn randomized_presolve_equivalence() {
         use rand::rngs::StdRng;
         use rand::{RngExt, SeedableRng};
@@ -435,9 +684,16 @@ mod tests {
             });
             let cols: Vec<_> = (0..n)
                 .map(|_| {
-                    let lo = rng.random_range(-3i32..=2) as f64;
-                    let width = rng.random_range(0i32..=5) as f64;
-                    p.add_col(lo, lo + width, rng.random_range(-3i32..=3) as f64)
+                    let cost = rng.random_range(-3i32..=3) as f64;
+                    // One column in five is free so the free-singleton rule
+                    // (rule 6) fires against random equality rows too.
+                    if rng.random_range(0..5) == 0 {
+                        p.add_col(f64::NEG_INFINITY, f64::INFINITY, cost)
+                    } else {
+                        let lo = rng.random_range(-3i32..=2) as f64;
+                        let width = rng.random_range(0i32..=5) as f64;
+                        p.add_col(lo, lo + width, cost)
+                    }
                 })
                 .collect();
             for _ in 0..m {

@@ -28,11 +28,12 @@ mod lu;
 
 use crate::model::{Col, Problem, Row};
 use crate::solution::{Basis, BasisStatus, Solution, SolveError, SolveStats, Status};
+use crate::sparse::WorkVec;
 use crate::stdform::{standardize, ColKind, StdForm};
 use crate::{is_inf, FEAS_TOL, OPT_TOL, PIVOT_TOL};
 use wavesched_obs as obs;
 
-use lu::Lu;
+use lu::{Lu, LuScratch};
 
 /// Tunable parameters of the revised simplex.
 #[derive(Debug, Clone)]
@@ -50,6 +51,12 @@ pub struct SimplexConfig {
     pub refactor_interval: usize,
     /// Consecutive degenerate pivots before switching to Bland's rule.
     pub degeneracy_threshold: u64,
+    /// Fraction of the basis dimension above which the sparse FTRAN/BTRAN
+    /// kernels abandon pattern tracking and finish with the dense solves
+    /// (`SolveStats` counts these fallbacks). `0.0` forces the dense
+    /// kernels everywhere, which the differential tests use as an oracle:
+    /// the answer is bit-identical either way, only the work differs.
+    pub kernel_density_threshold: f64,
 }
 
 impl Default for SimplexConfig {
@@ -61,6 +68,7 @@ impl Default for SimplexConfig {
             pivot_tol: PIVOT_TOL,
             refactor_interval: 100,
             degeneracy_threshold: 400,
+            kernel_density_threshold: 0.3,
         }
     }
 }
@@ -99,7 +107,7 @@ pub fn solve_with_start(
 
 /// Folds a finished solve's counters into the process-wide observability
 /// registry (one branch when the layer is disabled, see `wavesched-obs`).
-fn publish_stats(s: &SolveStats) {
+fn publish_stats(s: &SolveStats, nrows: usize) {
     if !obs::enabled() {
         return;
     }
@@ -112,7 +120,24 @@ fn publish_stats(s: &SolveStats) {
     obs::counter_add("lp.bound_flips", s.bound_flips);
     obs::counter_add("lp.warm_starts_accepted", s.warm_starts_accepted);
     obs::counter_add("lp.warm_start_fallbacks", s.warm_start_fallbacks);
+    obs::counter_add("lp.ftran_dense_fallbacks", s.ftran_dense_fallbacks);
+    obs::counter_add("lp.btran_dense_fallbacks", s.btran_dense_fallbacks);
     obs::record("lp.solve_iterations", s.iterations);
+    // Kernel density profile: histograms of the per-solve mean nonzero
+    // counts and densities (percent of the basis dimension), the signal
+    // that says whether hypersparsity is paying off on this workload.
+    if let Some(avg) = s.ftran_nnz.checked_div(s.ftran_ops) {
+        obs::record("lp.ftran_avg_nnz", avg);
+        if let Some(pct) = (s.ftran_nnz * 100).checked_div(s.ftran_ops * nrows as u64) {
+            obs::record("lp.ftran_density_pct", pct);
+        }
+    }
+    if let Some(row_nnz) = s.pivot_row_nnz.checked_div(s.btran_ops) {
+        obs::record("lp.pivot_row_nnz", row_nnz);
+        if let Some(pct) = (s.btran_nnz * 100).checked_div(s.btran_ops * nrows as u64) {
+            obs::record("lp.btran_density_pct", pct);
+        }
+    }
 }
 
 /// Where a nonbasic variable rests.
@@ -143,7 +168,7 @@ struct Engine {
     /// Phase-dependent cost vector.
     cost: Vec<f64>,
     lu: Option<Lu>,
-    etas: Vec<Eta>,
+    etas: EtaFile,
     stats: SolveStats,
     /// Consecutive degenerate pivots; triggers Bland's rule.
     degen_run: u64,
@@ -157,10 +182,35 @@ struct Engine {
     d: Vec<f64>,
     /// Devex reference weights.
     weights: Vec<f64>,
-    /// Row-major copy of the constraint matrix: per row, its `(col, val)`
-    /// entries. Lets the pivotal-row pass touch only columns intersecting
-    /// the (sparse) BTRAN result.
-    csr: Vec<Vec<(u32, f64)>>,
+    /// Row-wise mirror of the constraint matrix in CSR form (column
+    /// indices only; values are re-gathered column-wise). Built once at
+    /// construction — the matrix structure never changes over a session's
+    /// lifetime, only bounds and costs do — it lets the pivotal-row pass
+    /// touch only columns intersecting the (sparse) BTRAN result.
+    csr_ptr: Vec<usize>,
+    csr_cols: Vec<u32>,
+    /// Sparse FTRAN scratch: the entering column (row-indexed RHS).
+    ftran_rhs: WorkVec,
+    /// Sparse FTRAN result `w = B^{-1} a_q` (basis-position indexed),
+    /// borrowed out of the engine for the ratio-test/pivot span via
+    /// `mem::take` and always put back.
+    ftran_w: WorkVec,
+    /// Sparse pivotal-row BTRAN result `rho = B^{-T} e_r` (row-indexed).
+    rho: WorkVec,
+    /// Dense BTRAN scratch for full dual recomputation (row-indexed).
+    dual: Vec<f64>,
+    /// Pricing scratch: nonbasic columns touched by the pivotal row. Sized
+    /// to `nnz(A)` up front (the worst-case number of pushes before
+    /// dedup), so steady-state pivots never grow it.
+    touched: Vec<u32>,
+    /// DFS scratch for the sparse LU triangular solves.
+    lu_scratch: LuScratch,
+    /// Per-eta activation flags for the pruned BTRAN eta pass (scratch,
+    /// rebuilt from the rhs pattern on every sparse BTRAN).
+    eta_active: Vec<bool>,
+    /// Reach size above which the sparse kernels fall back to dense
+    /// (`kernel_density_threshold` × rows, precomputed).
+    kernel_cap: usize,
     /// Columns whose bounds are temporarily shifted during phase 1 so the
     /// starting point is feasible, with their original bounds. Covers the
     /// signed artificials of a cold start and any basic variables a warm
@@ -177,15 +227,109 @@ struct Relaxed {
     up: f64,
 }
 
-/// One product-form update: `B_new = B_old * E` where `E` is the identity
-/// with column `pos` replaced by `w = B_old^{-1} a_q`.
-#[derive(Clone)]
-struct Eta {
-    pos: u32,
-    /// Sparse entries of `w` (basis-position indexed), including `pos`.
+/// The product-form eta file: `B_new = B_old * E_1 … E_k`, each `E` the
+/// identity with column `pos` replaced by `w = B_old^{-1} a_q`.
+///
+/// Stored as a flat arena — every eta's entry list lives back-to-back in
+/// one buffer — so steady-state pivots append without allocating once the
+/// buffers reach their working set, and clearing at refactorization keeps
+/// the capacity.
+#[derive(Debug, Clone, Default)]
+struct EtaFile {
+    heads: Vec<EtaHead>,
+    /// `(basis position, w value)` entries, ascending by position within
+    /// each eta — the BTRAN gather order depends on it.
     entries: Vec<(u32, f64)>,
-    /// `w[pos]`, the pivot element.
+    /// Row-wise index over the arena: `pos_head[i]` is the most recent
+    /// entry slot referencing basis position `i` (`ETA_NONE` if none), and
+    /// `link`/`eta_of` run parallel to `entries`, chaining each slot to
+    /// the previous one for the same position and naming its eta. Lets a
+    /// sparse BTRAN visit only the etas that intersect its pattern.
+    pos_head: Vec<u32>,
+    link: Vec<u32>,
+    eta_of: Vec<u32>,
+}
+
+/// Chain terminator / "no entry" sentinel for the eta row index.
+const ETA_NONE: u32 = u32::MAX;
+
+/// Header of one eta: its pivotal basis position, the offset of its entry
+/// list in the arena, and the pivot element `w[pos]`.
+#[derive(Debug, Clone, Copy)]
+struct EtaHead {
+    pos: u32,
+    start: usize,
     pivot: f64,
+}
+
+impl EtaFile {
+    fn len(&self) -> usize {
+        self.heads.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.heads.is_empty()
+    }
+
+    /// Sizes the per-position chain heads (idempotent; one-time cost at
+    /// engine construction).
+    fn ensure_rows(&mut self, m: usize) {
+        if self.pos_head.len() < m {
+            self.pos_head.resize(m, ETA_NONE);
+        }
+    }
+
+    /// Drops every eta but keeps the allocated buffers. Chain heads are
+    /// reset by walking the entries (cheaper than refilling all `m`).
+    fn clear(&mut self) {
+        for &(i, _) in &self.entries {
+            self.pos_head[i as usize] = ETA_NONE;
+        }
+        self.heads.clear();
+        self.entries.clear();
+        self.link.clear();
+        self.eta_of.clear();
+    }
+
+    /// Pre-grows the arena (used by the allocation-free probe harness).
+    fn reserve(&mut self, heads: usize, entries: usize) {
+        self.heads.reserve(heads);
+        self.entries.reserve(entries);
+        self.link.reserve(entries);
+        self.eta_of.reserve(entries);
+    }
+
+    #[inline]
+    fn head(&self, k: usize) -> EtaHead {
+        self.heads[k]
+    }
+
+    #[inline]
+    fn entries_of(&self, k: usize) -> &[(u32, f64)] {
+        let lo = self.heads[k].start;
+        let hi = self
+            .heads
+            .get(k + 1)
+            .map_or(self.entries.len(), |h| h.start);
+        &self.entries[lo..hi]
+    }
+
+    /// Opens a new eta; its entries follow via [`Self::push_entry`].
+    fn begin(&mut self, pos: u32, pivot: f64) {
+        self.heads.push(EtaHead {
+            pos,
+            start: self.entries.len(),
+            pivot,
+        });
+    }
+
+    fn push_entry(&mut self, i: u32, v: f64) {
+        let slot = self.entries.len() as u32;
+        self.link.push(self.pos_head[i as usize]);
+        self.eta_of.push(self.heads.len() as u32 - 1);
+        self.pos_head[i as usize] = slot;
+        self.entries.push((i, v));
+    }
 }
 
 enum PhaseOutcome {
@@ -201,13 +345,32 @@ impl Engine {
         if cfg.max_iterations == 0 {
             cfg.max_iterations = 50 * (m as u64 + ncols as u64) + 10_000;
         }
-        let mut csr: Vec<Vec<(u32, f64)>> = vec![Vec::new(); m];
+        // Flat CSR mirror (column indices per row). Filling in ascending
+        // column order keeps each row's list sorted, so the pivotal-row
+        // pass visits columns in the same order a dense scan would.
+        let nnz = std.a.nnz();
+        let mut csr_ptr = vec![0usize; m + 1];
         for j in 0..std.a.ncols() {
-            let (rows, vals) = std.a.col(j);
-            for (&r, &v) in rows.iter().zip(vals) {
-                csr[r as usize].push((j as u32, v));
+            let (rows, _) = std.a.col(j);
+            for &r in rows {
+                csr_ptr[r as usize + 1] += 1;
             }
         }
+        for r in 0..m {
+            csr_ptr[r + 1] += csr_ptr[r];
+        }
+        let mut csr_cols = vec![0u32; nnz];
+        let mut fill = csr_ptr.clone();
+        for j in 0..std.a.ncols() {
+            let (rows, _) = std.a.col(j);
+            for &r in rows {
+                csr_cols[fill[r as usize]] = j as u32;
+                fill[r as usize] += 1;
+            }
+        }
+        let kernel_cap = (cfg.kernel_density_threshold.max(0.0) * m as f64) as usize;
+        let mut etas = EtaFile::default();
+        etas.ensure_rows(m);
         Engine {
             cost: vec![0.0; ncols],
             state: vec![VarState::Fixed; ncols],
@@ -215,7 +378,7 @@ impl Engine {
             basis: Vec::with_capacity(m),
             xb: vec![0.0; m],
             lu: None,
-            etas: Vec::new(),
+            etas,
             stats: SolveStats::default(),
             degen_run: 0,
             bland: false,
@@ -223,7 +386,16 @@ impl Engine {
             work_row: vec![0.0; m],
             d: vec![0.0; ncols],
             weights: vec![1.0; ncols],
-            csr,
+            csr_ptr,
+            csr_cols,
+            ftran_rhs: WorkVec::new(m),
+            ftran_w: WorkVec::new(m),
+            rho: WorkVec::new(m),
+            dual: vec![0.0; m],
+            touched: Vec::with_capacity(nnz),
+            lu_scratch: LuScratch::new(m),
+            eta_active: Vec::new(),
+            kernel_cap,
             relaxed: Vec::new(),
             std,
             cfg,
@@ -322,7 +494,7 @@ impl Engine {
     fn solve(&mut self, start: Option<&Basis>) -> Result<Solution, SolveError> {
         let _span = obs::span("lp_solve");
         let sol = self.solve_inner(start)?;
-        publish_stats(&sol.stats);
+        publish_stats(&sol.stats, self.std.nrows);
         Ok(sol)
     }
 
@@ -654,12 +826,16 @@ impl Engine {
             };
             let (q, dir) = entering;
 
-            // FTRAN: w = B^{-1} a_q, basis-position indexed.
-            let w = self.ftran_col(q);
+            // FTRAN: w = B^{-1} a_q, basis-position indexed, sparse. The
+            // result lives in an engine-owned arena, borrowed out for the
+            // ratio-test/pivot span and put back on every path.
+            self.ftran_entering(q);
+            let w = std::mem::take(&mut self.ftran_w);
 
             // Ratio test.
             match self.ratio_test(q, dir, &w) {
                 RatioOutcome::Unbounded => {
+                    self.ftran_w = w;
                     if phase1 {
                         return Err(SolveError::Numerical("unbounded ray in phase 1".into()));
                     }
@@ -668,19 +844,22 @@ impl Engine {
                 RatioOutcome::BoundFlip(t) => {
                     // No basis change: reduced costs stay valid.
                     self.apply_bound_flip(q, dir, t, &w);
+                    self.ftran_w = w;
                     self.stats.bound_flips += 1;
                 }
                 RatioOutcome::Pivot { pos, step } => {
-                    let alpha_q = w[pos];
+                    let alpha_q = w.values[pos];
                     if alpha_q.abs() <= self.cfg.pivot_tol {
                         // Should not happen (ratio test filters); refactor
                         // and retry rather than divide by ~0.
+                        self.ftran_w = w;
                         self.refactorize()?;
                         self.recompute_reduced();
                         continue;
                     }
                     self.update_reduced_and_weights(q, pos, alpha_q);
                     self.apply_pivot(q, dir, pos, step, &w);
+                    self.ftran_w = w;
                     #[cfg(debug_assertions)]
                     self.debug_invariants();
                     if step <= self.cfg.feas_tol * 1e-2 {
@@ -699,19 +878,20 @@ impl Engine {
         }
     }
 
-    /// Solves `B' y = c` for a basis-position-indexed `c`, returning the
-    /// row-indexed result (in place).
-    fn btran_pos(&mut self, c: &mut [f64]) {
+    /// Solves `B' y = c` for a basis-position-indexed dense `c`, leaving
+    /// the row-indexed result in place.
+    fn btran_pos_dense(&mut self, c: &mut [f64]) {
         // Apply eta inverses in reverse order: c' E^{-1} touches one entry.
-        for eta in self.etas.iter().rev() {
-            let r = eta.pos as usize;
+        for k in (0..self.etas.len()).rev() {
+            let head = self.etas.head(k);
+            let r = head.pos as usize;
             let mut acc = c[r];
-            for &(i, wi) in &eta.entries {
-                if i != eta.pos {
+            for &(i, wi) in self.etas.entries_of(k) {
+                if i != head.pos {
                     acc -= c[i as usize] * wi;
                 }
             }
-            c[r] = acc / eta.pivot;
+            c[r] = acc / head.pivot;
         }
         self.lu
             .as_ref()
@@ -720,20 +900,97 @@ impl Engine {
             .btran(c, &mut self.work_pos);
     }
 
-    /// Computes `y` with `B' y = c_B`; returns a dense row-indexed vector.
-    fn btran_costs(&mut self) -> Vec<f64> {
-        let m = self.std.nrows;
-        let mut c = vec![0.0; m];
+    /// Sparse twin of [`Self::btran_pos_dense`]: solves `B' y = c` for a
+    /// pattern-tracked `c`, bit-identical up to the sign of cancelled
+    /// zeros (every consumer guards with magnitude tests).
+    fn btran_pos_sparse(&mut self, c: &mut WorkVec) {
+        // Eta inverses in reverse order. Each is a *gather* over the eta's
+        // full entry list, so unlike the FTRAN scatters a zero result still
+        // costs a full scan — the dominant per-pivot cost on large models.
+        // With a sparse input the row-wise eta index prunes the loop to the
+        // etas that can see a nonzero: an eta none of whose referenced
+        // positions (entries or pivotal head) is marked gathers only exact
+        // zeros, lands on `t == ±0`, and — its head being unmarked — the
+        // full loop would write nothing at all, so skipping it is
+        // bit-exact, zero signs included. Activation cascades: applying an
+        // eta that marks a new position wakes the earlier etas referencing
+        // it. Forced-dense oracle mode (`kernel_cap == 0`) keeps the full
+        // scan so the oracle shares none of the pruning logic.
+        let prune = self.kernel_cap > 0 && !c.is_dense() && !self.etas.is_empty();
+        if prune {
+            self.eta_active.clear();
+            self.eta_active.resize(self.etas.len(), false);
+            for &i in &c.pattern {
+                let mut e = self.etas.pos_head[i as usize];
+                while e != ETA_NONE {
+                    self.eta_active[self.etas.eta_of[e as usize] as usize] = true;
+                    e = self.etas.link[e as usize];
+                }
+            }
+        }
+        for k in (0..self.etas.len()).rev() {
+            if prune && !self.eta_active[k] {
+                continue;
+            }
+            let head = self.etas.head(k);
+            let r = head.pos;
+            let mut acc = c.values[r as usize];
+            for &(i, wi) in self.etas.entries_of(k) {
+                if i != r {
+                    acc -= c.values[i as usize] * wi;
+                }
+            }
+            let t = acc / head.pivot;
+            // lint: allow(float-eq, reason = "exact-zero skip is a sparsity guard: skipping true zeros never changes the arithmetic")
+            if t != 0.0 {
+                let newly = !c.is_dense() && !c.marked(r);
+                c.set(r, t);
+                if prune && newly {
+                    // A freshly nonzero position wakes the earlier etas
+                    // referencing it (later ones already ran).
+                    let mut e = self.etas.pos_head[r as usize];
+                    while e != ETA_NONE {
+                        let k2 = self.etas.eta_of[e as usize] as usize;
+                        if k2 < k {
+                            self.eta_active[k2] = true;
+                        }
+                        e = self.etas.link[e as usize];
+                    }
+                }
+            } else if c.marked(r) || c.is_dense() {
+                c.values[r as usize] = t;
+            }
+        }
+        let mut s = std::mem::take(&mut self.lu_scratch);
+        self.lu
+            .as_ref()
+            // lint: allow(lib-unwrap, reason = "invariant: solve() refactorizes before any pricing pass, so an LU is always installed here")
+            .expect("invariant: LU installed before btran")
+            .btran_sparse(c, &mut s, self.kernel_cap);
+        self.lu_scratch = s;
+    }
+
+    /// Computes `y` with `B' y = c_B` into the engine-owned dual scratch.
+    /// The caller borrows the buffer and must return it via
+    /// [`Self::put_duals`] — the take/put dance keeps the hot path free of
+    /// per-call allocations.
+    fn take_duals(&mut self) -> Vec<f64> {
+        let mut c = std::mem::take(&mut self.dual);
+        c.fill(0.0);
         for (pos, &j) in self.basis.iter().enumerate() {
             c[pos] = self.cost[j];
         }
-        self.btran_pos(&mut c);
+        self.btran_pos_dense(&mut c);
         c
+    }
+
+    fn put_duals(&mut self, y: Vec<f64>) {
+        self.dual = y;
     }
 
     /// Recomputes every reduced cost exactly from the current basis.
     fn recompute_reduced(&mut self) {
-        let y = self.btran_costs();
+        let y = self.take_duals();
         for j in 0..self.std.ncols() {
             self.d[j] = match self.state[j] {
                 VarState::Basic(_) => 0.0,
@@ -741,6 +998,7 @@ impl Engine {
                 _ => self.cost[j] - self.std.a.col_dot(j, &y),
             };
         }
+        self.put_duals(y);
     }
 
     /// Devex pricing over the maintained reduced costs. Returns the
@@ -792,44 +1050,55 @@ impl Engine {
     /// the reduced costs and Devex weights using the pivotal row
     /// `alpha = e_pos' B^{-1} A`.
     fn update_reduced_and_weights(&mut self, q: usize, pos: usize, alpha_q: f64) {
-        let m = self.std.nrows;
-        // rho = B^{-T} e_pos (row-indexed).
-        let mut rho = vec![0.0; m];
-        rho[pos] = 1.0;
-        self.btran_pos(&mut rho);
+        // rho = B^{-T} e_pos (row-indexed), computed sparsely into the
+        // engine-owned arena.
+        let mut rho = std::mem::take(&mut self.rho);
+        rho.clear();
+        rho.set(pos as u32, 1.0);
+        self.btran_pos_sparse(&mut rho);
+        self.stats.btran_ops += 1;
+        self.stats.btran_nnz += rho.nnz() as u64;
+        if rho.is_dense() {
+            self.stats.btran_dense_fallbacks += 1;
+        }
 
         let dq = self.d[q];
         let ratio = dq / alpha_q;
         let wq = self.weights[q].max(1.0);
         let leaving = self.basis[pos];
 
-        // Touch only columns that intersect rho's nonzero rows. A column may
-        // be visited once per nonzero row, so stamp visited columns.
-        // (Reuse d[q] slot as stamp-free approach: track via small Vec.)
-        let mut touched: Vec<u32> = Vec::with_capacity(256);
-        for (r, row) in self.csr.iter().enumerate() {
-            let rv = rho[r];
-            if rv.abs() <= 1e-12 {
-                continue;
-            }
-            for &(jc, _) in row {
-                let j = jc as usize;
-                match self.state[j] {
-                    VarState::Basic(_) | VarState::Fixed => continue,
-                    _ => {}
-                }
-                if j == q {
+        // Touch only nonbasic columns that intersect rho's nonzero rows. A
+        // column may be visited once per such row, so the list is sorted
+        // and deduped afterwards — which also normalizes the visit order
+        // to the ascending order a dense row scan would produce.
+        let mut touched = std::mem::take(&mut self.touched);
+        touched.clear();
+        if rho.is_dense() {
+            for (r, &rv) in rho.values.iter().enumerate() {
+                if rv.abs() <= 1e-12 {
                     continue;
                 }
-                touched.push(jc);
+                self.push_row_cols(r, q, &mut touched);
+            }
+        } else {
+            rho.sort_pattern();
+            for &r in &rho.pattern {
+                let r = r as usize;
+                if rho.values[r].abs() <= 1e-12 {
+                    continue;
+                }
+                self.push_row_cols(r, q, &mut touched);
             }
         }
         touched.sort_unstable();
         touched.dedup();
+        self.stats.pivot_row_nnz += touched.len() as u64;
         let mut max_weight: f64 = 1.0;
         for &jc in &touched {
             let j = jc as usize;
-            let alpha_j = self.std.a.col_dot(j, &rho);
+            // Column-wise gather: the same FP summation order as the dense
+            // pricing pass (a row-wise scatter would reorder it).
+            let alpha_j = self.std.a.col_dot(j, &rho.values);
             if alpha_j.abs() <= 1e-12 {
                 continue;
             }
@@ -840,6 +1109,8 @@ impl Engine {
             }
             max_weight = max_weight.max(self.weights[j]);
         }
+        self.touched = touched;
+        self.rho = rho;
         // Entering column becomes basic; leaving column becomes nonbasic
         // with reduced cost -d_q / alpha_q and a fresh reference weight.
         self.d[q] = 0.0;
@@ -854,38 +1125,72 @@ impl Engine {
         }
     }
 
-    /// FTRAN of column `q` through LU and the eta file; returns the dense
-    /// basis-position-indexed representation of `w = B^{-1} a_q`.
-    fn ftran_col(&mut self, q: usize) -> Vec<f64> {
-        let m = self.std.nrows;
-        self.work_row[..m].fill(0.0);
-        let (rows, vals) = self.std.a.col(q);
-        for (&r, &v) in rows.iter().zip(vals) {
-            self.work_row[r as usize] = v;
+    /// Appends to `out` the nonbasic, non-`q` columns with an entry in row
+    /// `r` (one pivotal-row pricing probe, via the CSR mirror).
+    #[inline]
+    fn push_row_cols(&self, r: usize, q: usize, out: &mut Vec<u32>) {
+        for &jc in &self.csr_cols[self.csr_ptr[r]..self.csr_ptr[r + 1]] {
+            let j = jc as usize;
+            match self.state[j] {
+                VarState::Basic(_) | VarState::Fixed => continue,
+                _ => {}
+            }
+            if j == q {
+                continue;
+            }
+            out.push(jc);
         }
-        let mut w = vec![0.0; m];
+    }
+
+    /// FTRAN of column `q` through LU and the eta file into the
+    /// engine-owned `ftran_w` arena: `w = B^{-1} a_q`, basis-position
+    /// indexed, pattern sorted ascending (or flagged dense past the
+    /// density threshold). Bit-identical to the former dense pass up to
+    /// the sign of cancelled zeros, which every consumer guards away.
+    fn ftran_entering(&mut self, q: usize) {
+        let mut rhs = std::mem::take(&mut self.ftran_rhs);
+        let mut w = std::mem::take(&mut self.ftran_w);
+        let mut s = std::mem::take(&mut self.lu_scratch);
+        let (rows, vals) = self.std.a.col(q);
+        rhs.load(rows, vals);
         self.lu
             .as_ref()
             // lint: allow(lib-unwrap, reason = "invariant: solve() refactorizes before any ratio test, so an LU is always installed here")
             .expect("invariant: LU installed before ftran")
-            .ftran(&mut self.work_row, &mut w);
-        for eta in &self.etas {
-            let r = eta.pos as usize;
-            let t = w[r] / eta.pivot;
+            .ftran_sparse(&mut rhs, &mut w, &mut s, self.kernel_cap);
+        // Eta passes: each is a scatter from the pivotal position, applied
+        // whether or not the pattern is still tracked.
+        for k in 0..self.etas.len() {
+            let head = self.etas.head(k);
+            let r = head.pos;
+            let t = w.values[r as usize] / head.pivot;
             // lint: allow(float-eq, reason = "exact-zero skip is a sparsity guard: skipping true zeros never changes the arithmetic")
             if t != 0.0 {
-                for &(i, wi) in &eta.entries {
-                    if i != eta.pos {
-                        w[i as usize] -= wi * t;
+                for &(i, wi) in self.etas.entries_of(k) {
+                    if i != r {
+                        // `a += -(b)` is bitwise `a -= b`.
+                        w.add(i, -(wi * t));
                     }
                 }
+                w.set(r, t);
+            } else if w.marked(r) || w.is_dense() {
+                w.values[r as usize] = t;
             }
-            w[r] = t;
         }
-        w
+        if !w.is_dense() {
+            w.sort_pattern();
+        }
+        self.stats.ftran_ops += 1;
+        self.stats.ftran_nnz += w.nnz() as u64;
+        if w.is_dense() {
+            self.stats.ftran_dense_fallbacks += 1;
+        }
+        self.ftran_rhs = rhs;
+        self.lu_scratch = s;
+        self.ftran_w = w;
     }
 
-    fn ratio_test(&self, q: usize, dir: f64, w: &[f64]) -> RatioOutcome {
+    fn ratio_test(&self, q: usize, dir: f64, w: &WorkVec) -> RatioOutcome {
         let ptol = self.cfg.pivot_tol;
         let ftol = self.cfg.feas_tol;
         // Step limit from the entering variable's own bound range.
@@ -896,29 +1201,27 @@ impl Engine {
 
         // Pass 1: minimum blocking step with tolerance-relaxed bounds.
         let mut t_relaxed = own_range;
-        for (pos, &wp) in w.iter().enumerate() {
+        for_each_entry(w, |pos, wp| {
             if wp.abs() <= ptol {
-                continue;
+                return;
             }
             let rate = -wp * dir; // d(xb[pos]) / dt
             let j = self.basis[pos];
             let limit = if rate > 0.0 {
                 let ub = self.std.upper[j];
-                if ub.is_finite() {
-                    (ub - self.xb[pos] + ftol) / rate
-                } else {
-                    continue;
+                if !ub.is_finite() {
+                    return;
                 }
+                (ub - self.xb[pos] + ftol) / rate
             } else {
                 let lb = self.std.lower[j];
-                if lb.is_finite() {
-                    (self.xb[pos] - lb + ftol) / -rate
-                } else {
-                    continue;
+                if !lb.is_finite() {
+                    return;
                 }
+                (self.xb[pos] - lb + ftol) / -rate
             };
             t_relaxed = t_relaxed.min(limit.max(0.0));
-        }
+        });
         if t_relaxed.is_infinite() {
             return RatioOutcome::Unbounded;
         }
@@ -927,26 +1230,24 @@ impl Engine {
         // with the largest pivot magnitude (Harris-style selection), breaking
         // remaining ties toward retiring artificials.
         let mut best: Option<(usize, f64, f64, bool)> = None; // pos, step, |pivot|, is_artificial
-        for (pos, &wp) in w.iter().enumerate() {
+        for_each_entry(w, |pos, wp| {
             if wp.abs() <= ptol {
-                continue;
+                return;
             }
             let rate = -wp * dir;
             let j = self.basis[pos];
             let limit = if rate > 0.0 {
                 let ub = self.std.upper[j];
-                if ub.is_finite() {
-                    (ub - self.xb[pos]) / rate
-                } else {
-                    continue;
+                if !ub.is_finite() {
+                    return;
                 }
+                (ub - self.xb[pos]) / rate
             } else {
                 let lb = self.std.lower[j];
-                if lb.is_finite() {
-                    (self.xb[pos] - lb) / -rate
-                } else {
-                    continue;
+                if !lb.is_finite() {
+                    return;
                 }
+                (self.xb[pos] - lb) / -rate
             };
             let limit = limit.max(0.0);
             if limit <= t_relaxed {
@@ -959,7 +1260,7 @@ impl Engine {
                     best = Some((pos, limit, wp.abs(), art));
                 }
             }
-        }
+        });
         match best {
             None => {
                 // Nothing blocks before the entering variable's own range:
@@ -970,13 +1271,14 @@ impl Engine {
         }
     }
 
-    fn apply_bound_flip(&mut self, q: usize, dir: f64, t: f64, w: &[f64]) {
-        for (pos, &wp) in w.iter().enumerate() {
+    fn apply_bound_flip(&mut self, q: usize, dir: f64, t: f64, w: &WorkVec) {
+        let xb = &mut self.xb;
+        for_each_entry(w, |pos, wp| {
             // lint: allow(float-eq, reason = "exact-zero skip is a sparsity guard: skipping true zeros never changes the arithmetic")
             if wp != 0.0 {
-                self.xb[pos] -= wp * dir * t;
+                xb[pos] -= wp * dir * t;
             }
-        }
+        });
         self.xval[q] += dir * t;
         self.state[q] = match self.state[q] {
             VarState::AtLower => VarState::AtUpper,
@@ -985,14 +1287,15 @@ impl Engine {
         };
     }
 
-    fn apply_pivot(&mut self, q: usize, dir: f64, pos: usize, step: f64, w: &[f64]) {
+    fn apply_pivot(&mut self, q: usize, dir: f64, pos: usize, step: f64, w: &WorkVec) {
         let leaving = self.basis[pos];
-        for (p, &wp) in w.iter().enumerate() {
+        let xb = &mut self.xb;
+        for_each_entry(w, |p, wp| {
             // lint: allow(float-eq, reason = "exact-zero skip is a sparsity guard: skipping true zeros never changes the arithmetic")
             if wp != 0.0 {
-                self.xb[p] -= wp * dir * step;
+                xb[p] -= wp * dir * step;
             }
-        }
+        });
         let entering_value = self.xval[q] + dir * step;
 
         // Park the leaving variable at the bound it hit.
@@ -1023,18 +1326,16 @@ impl Engine {
         self.state[q] = VarState::Basic(pos as u32);
         self.xb[pos] = entering_value;
 
-        // Record the eta for B_new = B_old E. Entries below the drop
-        // tolerance are omitted; the drift is flushed at refactorization.
-        let mut entries = Vec::with_capacity(8);
-        for (p, &wp) in w.iter().enumerate() {
+        // Record the eta for B_new = B_old E, entries ascending by basis
+        // position (sorted pattern / dense scan order — the BTRAN gather
+        // relies on it). Entries below the drop tolerance are omitted; the
+        // drift is flushed at refactorization.
+        self.etas.begin(pos as u32, w.values[pos]);
+        let etas = &mut self.etas;
+        for_each_entry(w, |p, wp| {
             if wp.abs() > 1e-12 || p == pos {
-                entries.push((p as u32, wp));
+                etas.push_entry(p as u32, wp);
             }
-        }
-        self.etas.push(Eta {
-            pos: pos as u32,
-            pivot: w[pos],
-            entries,
         });
     }
 
@@ -1086,12 +1387,9 @@ impl Engine {
     fn refactorize(&mut self) -> Result<(), SolveError> {
         let m = self.std.nrows;
         let mut attempt = 0usize;
-        loop {
+        let lu = loop {
             match Lu::factor(&self.std.a, &self.basis, self.cfg.pivot_tol) {
-                Ok(f) => {
-                    self.lu = Some(f);
-                    break;
-                }
+                Ok(f) => break f,
                 Err(unpivoted_row) => {
                     // Singular basis: swap the structurally dependent column
                     // out for the row's artificial and retry.
@@ -1104,12 +1402,13 @@ impl Engine {
                     self.repair_basis(unpivoted_row)?;
                 }
             }
-        }
+        };
         obs::record("lp.eta_len_at_refactor", self.etas.len() as u64);
         self.etas.clear();
         self.stats.refactorizations += 1;
 
-        // Recompute xb = B^{-1} (-N x_N).
+        // Recompute xb = B^{-1} (-N x_N), reusing the engine-owned buffers
+        // (ftran fully overwrites its output).
         self.work_row[..m].fill(0.0);
         for j in 0..self.std.ncols() {
             if matches!(self.state[j], VarState::Basic(_)) {
@@ -1124,16 +1423,8 @@ impl Engine {
                 }
             }
         }
-        let mut rhs = std::mem::take(&mut self.work_row);
-        let mut xb = vec![0.0; m];
-        let Some(lu) = self.lu.as_ref() else {
-            return Err(SolveError::Numerical(
-                "refactorize: LU missing after installation".to_string(),
-            ));
-        };
-        lu.ftran(&mut rhs, &mut xb);
-        self.work_row = rhs;
-        self.xb = xb;
+        lu.ftran(&mut self.work_row, &mut self.xb);
+        self.lu = Some(lu);
         Ok(())
     }
 
@@ -1190,8 +1481,9 @@ impl Engine {
                 self.cost[j] = self.std.cost[j];
             }
         }
-        let y = self.btran_costs();
+        let y = self.take_duals();
         let duals: Vec<f64> = y.iter().map(|&v| self.std.obj_sign * v).collect();
+        self.put_duals(y);
         let snap = |state: VarState| match state {
             VarState::Basic(_) => BasisStatus::Basic,
             VarState::AtLower | VarState::Fixed => BasisStatus::AtLower,
@@ -1219,6 +1511,155 @@ enum RatioOutcome {
     Unbounded,
     BoundFlip(f64),
     Pivot { pos: usize, step: f64 },
+}
+
+/// Visits the entries of `w` in ascending index order: the sorted pattern
+/// when tracked, every slot after a dense fallback. Pattern order equals
+/// the dense scan order restricted to (potential) nonzeros, so consumers
+/// behave identically in both modes.
+#[inline]
+fn for_each_entry(w: &WorkVec, mut f: impl FnMut(usize, f64)) {
+    if w.is_dense() {
+        for (pos, &wp) in w.values.iter().enumerate() {
+            f(pos, wp);
+        }
+    } else {
+        for &p in &w.pattern {
+            f(p as usize, w.values[p as usize]);
+        }
+    }
+}
+
+/// Test-and-bench harness that drives the engine one pivot batch at a time.
+///
+/// Hidden from the public API: the supported consumers are the crate's
+/// allocation test and the per-pivot kernel benchmark, which need to put
+/// the engine into a steady state (factorized basis, warmed scratch
+/// arenas) and then run an exact number of pivots under observation.
+///
+/// The problem must be feasible at its crash basis (phase-2-only): the
+/// probe advances by re-entering the phase-2 loop, which is only sound when
+/// no phase-1 bookkeeping is pending. `refactor_interval` is disabled so
+/// the measured window exercises the eta-file path, not `Lu::factor`.
+#[doc(hidden)]
+#[derive(Clone)]
+pub struct PivotProbe {
+    engine: Engine,
+}
+
+impl PivotProbe {
+    /// Standardizes `p`, runs `warmup` simplex iterations, and parks the
+    /// engine at its iteration limit, ready to step.
+    ///
+    /// # Panics
+    /// Panics if `p` does not standardize, if the warmup terminates before
+    /// exhausting its iteration budget (the probe needs a problem big
+    /// enough to keep pivoting), or if the crash basis needed a phase 1.
+    pub fn new(p: &Problem, warmup: u64) -> Self {
+        Self::new_with(
+            p,
+            warmup,
+            &SimplexConfig {
+                // Refactorize only on demand: the zero-allocation test
+                // must not cross a periodic `Lu::factor` (which allocates)
+                // inside its measured window.
+                refactor_interval: usize::MAX,
+                ..SimplexConfig::default()
+            },
+        )
+    }
+
+    /// Like [`new`](Self::new), but with explicit simplex settings — the
+    /// kernel benchmarks use this to probe with the dense kernels forced
+    /// (`kernel_density_threshold: 0.0`) as the comparison baseline.
+    ///
+    /// Only the warmup budget of `base` is overridden; in particular the
+    /// refactorization cadence is honored, so probed windows measure the
+    /// realistic steady state (periodic refactorization included) rather
+    /// than an ever-growing eta file.
+    pub fn new_with(p: &Problem, warmup: u64, base: &SimplexConfig) -> Self {
+        // lint: allow(lib-unwrap, reason = "bench-only probe constructor: a malformed probe problem is a programming error in the benchmark, not a runtime condition")
+        let std = standardize(p).expect("probe problem must standardize");
+        let cfg = SimplexConfig {
+            max_iterations: warmup.max(1),
+            ..*base
+        };
+        let mut engine = Engine::new(std, cfg);
+        // lint: allow(lib-unwrap, reason = "bench-only probe constructor: warmup failure means the benchmark fixture is broken and should abort loudly")
+        let sol = engine.solve(None).expect("probe warmup failed");
+        assert_eq!(
+            sol.status,
+            Status::IterationLimit,
+            "probe exhausted the problem during warmup"
+        );
+        assert_eq!(
+            engine.stats.phase1_iterations, 0,
+            "probe problems must be feasible at the crash basis"
+        );
+        PivotProbe { engine }
+    }
+
+    /// Pre-grows the eta arena for `n` further pivots, so the measured
+    /// window appends etas without allocating.
+    pub fn reserve(&mut self, n: usize) {
+        let m = self.engine.std.nrows;
+        self.engine.etas.reserve(n + 1, (n + 1) * (m + 1));
+        let total = self.engine.etas.len() + n + 1;
+        self.engine.eta_active.reserve(total);
+    }
+
+    /// Runs up to `n` further pivots (phase-2 iterations) and returns how
+    /// many actually ran — fewer only if the problem terminated first.
+    pub fn pivots(&mut self, n: u64) -> u64 {
+        let before = self.engine.stats.iterations;
+        self.engine.cfg.max_iterations = before + n;
+        let _ = self
+            .engine
+            .iterate(false)
+            // lint: allow(lib-unwrap, reason = "bench-only probe: a numerical failure mid-window invalidates the measurement, so abort loudly")
+            .expect("probe pivot batch hit a numerical failure");
+        self.engine.stats.iterations - before
+    }
+
+    /// Runs the FTRAN kernel (`w = B⁻¹ a_q`, triangular solves plus eta
+    /// passes) once for every nonbasic column at the parked basis, and
+    /// returns how many ran. Engine state other than scratch and counters
+    /// is untouched, so repeated sweeps time the identical computation —
+    /// the kernel benchmarks divide wall-clock by the return value.
+    pub fn ftran_sweep(&mut self) -> u64 {
+        let mut ran = 0;
+        for q in 0..self.engine.state.len() {
+            if matches!(self.engine.state[q], VarState::Basic(_) | VarState::Fixed) {
+                continue;
+            }
+            self.engine.ftran_entering(q);
+            let w = std::mem::take(&mut self.engine.ftran_w);
+            std::hint::black_box(&w.values);
+            self.engine.ftran_w = w;
+            ran += 1;
+        }
+        ran
+    }
+
+    /// Runs the pivotal-row BTRAN kernel (`ρ = B⁻ᵀ e_r`) once for every
+    /// basis position at the parked basis, and returns how many ran.
+    pub fn btran_sweep(&mut self) -> u64 {
+        let m = self.engine.std.nrows;
+        for pos in 0..m {
+            let mut rho = std::mem::take(&mut self.engine.rho);
+            rho.clear();
+            rho.set(pos as u32, 1.0);
+            self.engine.btran_pos_sparse(&mut rho);
+            std::hint::black_box(&rho.values);
+            self.engine.rho = rho;
+        }
+        m as u64
+    }
+
+    /// Work counters accumulated so far (warmup included).
+    pub fn stats(&self) -> SolveStats {
+        self.engine.stats
+    }
 }
 
 /// A stateful solver holding one standardized problem across a *sequence*

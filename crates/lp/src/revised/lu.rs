@@ -6,7 +6,7 @@
 //! triangular and `U` upper triangular (both in pivot-position space; `L`'s
 //! entries are stored under original row indices for cheap FTRAN).
 
-use crate::sparse::CscMatrix;
+use crate::sparse::{CscMatrix, WorkVec};
 
 const NONE: u32 = u32::MAX;
 
@@ -20,12 +20,104 @@ pub(crate) struct Lu {
     row_pos: Vec<u32>,
     /// `col_order[step] = basis position processed at that step`.
     col_order: Vec<u32>,
+    /// Inverse of `col_order`: basis position → step.
+    col_pos: Vec<u32>,
     /// L columns by step: `(original_row, value)`, unit diagonal implicit.
     l_cols: Vec<Vec<(u32, f64)>>,
     /// U off-diagonal columns by step: `(earlier_step, value)`.
     u_cols: Vec<Vec<(u32, f64)>>,
     /// U diagonal (the pivots) by step.
     u_diag: Vec<f64>,
+    /// Transposed U structure: for step `p`, the later steps `j` whose U
+    /// column hits it (`ut_idx[ut_ptr[p]..ut_ptr[p+1]]`). Drives the
+    /// symbolic reach of the BTRAN U'-solve.
+    ut_ptr: Vec<usize>,
+    ut_idx: Vec<u32>,
+    /// Transposed L structure in step space: for step `q`, the earlier
+    /// steps `p` whose L column contains a row pivoted at `q`. Drives the
+    /// symbolic reach of the BTRAN L'-solve.
+    lt_ptr: Vec<usize>,
+    lt_idx: Vec<u32>,
+}
+
+/// Reusable scratch for the sparse triangular solves, owned by the caller so
+/// steady-state pivots allocate nothing. All buffers are step-indexed;
+/// `vals` is kept all-zero between calls.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LuScratch {
+    visited: Vec<bool>,
+    stack: Vec<u32>,
+    reach: Vec<u32>,
+    reach2: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl LuScratch {
+    /// Scratch for an `m`-row basis, pre-sized so no later call grows it.
+    pub fn new(m: usize) -> Self {
+        LuScratch {
+            visited: vec![false; m],
+            stack: Vec::with_capacity(m),
+            reach: Vec::with_capacity(m),
+            reach2: Vec::with_capacity(m),
+            vals: vec![0.0; m],
+        }
+    }
+}
+
+/// Depth-first reach of `starts` under `succ`, collected into `reach`.
+///
+/// Returns `false` (with `reach` emptied and `visited` reset) once the
+/// reach would exceed `cap` — the caller then falls back to a dense solve.
+/// On success the caller owns resetting `visited` via the reach list.
+fn reach_from<I>(
+    visited: &mut [bool],
+    stack: &mut Vec<u32>,
+    reach: &mut Vec<u32>,
+    cap: usize,
+    starts: impl Iterator<Item = u32>,
+    mut succ: impl FnMut(u32) -> I,
+) -> bool
+where
+    I: Iterator<Item = u32>,
+{
+    reach.clear();
+    stack.clear();
+    let mut overflow = false;
+    'outer: for s0 in starts {
+        if visited[s0 as usize] {
+            continue;
+        }
+        visited[s0 as usize] = true;
+        reach.push(s0);
+        if reach.len() > cap {
+            overflow = true;
+            break;
+        }
+        stack.push(s0);
+        while let Some(n) = stack.pop() {
+            for t in succ(n) {
+                if !visited[t as usize] {
+                    visited[t as usize] = true;
+                    reach.push(t);
+                    if reach.len() > cap {
+                        overflow = true;
+                        break 'outer;
+                    }
+                    stack.push(t);
+                }
+            }
+        }
+    }
+    if overflow {
+        for &n in reach.iter() {
+            visited[n as usize] = false;
+        }
+        reach.clear();
+        stack.clear();
+        return false;
+    }
+    true
 }
 
 impl Lu {
@@ -156,14 +248,61 @@ impl Lu {
             row_pos[piv_row as usize] = step as u32;
         }
 
+        // Inverse column permutation and the two transposed adjacency
+        // structures the sparse BTRAN reaches walk. Built once per
+        // factorization; the L transpose needs the *final* `row_pos`, so
+        // this cannot happen inside the elimination loop.
+        let mut col_pos = vec![0u32; m];
+        for (step, &p) in col_order.iter().enumerate() {
+            col_pos[p as usize] = step as u32;
+        }
+        let mut ut_ptr = vec![0usize; m + 1];
+        for ucol in &u_cols {
+            for &(p, _) in ucol {
+                ut_ptr[p as usize + 1] += 1;
+            }
+        }
+        let mut lt_ptr = vec![0usize; m + 1];
+        for lcol in &l_cols {
+            for &(r, _) in lcol {
+                lt_ptr[row_pos[r as usize] as usize + 1] += 1;
+            }
+        }
+        for i in 0..m {
+            ut_ptr[i + 1] += ut_ptr[i];
+            lt_ptr[i + 1] += lt_ptr[i];
+        }
+        let mut ut_fill = ut_ptr.clone();
+        let mut ut_idx = vec![0u32; ut_ptr[m]];
+        for (j, ucol) in u_cols.iter().enumerate() {
+            for &(p, _) in ucol {
+                ut_idx[ut_fill[p as usize]] = j as u32;
+                ut_fill[p as usize] += 1;
+            }
+        }
+        let mut lt_fill = lt_ptr.clone();
+        let mut lt_idx = vec![0u32; lt_ptr[m]];
+        for (p, lcol) in l_cols.iter().enumerate() {
+            for &(r, _) in lcol {
+                let q = row_pos[r as usize] as usize;
+                lt_idx[lt_fill[q]] = p as u32;
+                lt_fill[q] += 1;
+            }
+        }
+
         Ok(Lu {
             m,
             row_perm,
             row_pos,
             col_order,
+            col_pos,
             l_cols,
             u_cols,
             u_diag,
+            ut_ptr,
+            ut_idx,
+            lt_ptr,
+            lt_idx,
         })
     }
 
@@ -237,6 +376,237 @@ impl Lu {
         // y[row_perm[p]] = v_p.
         for p in 0..m {
             c[self.row_perm[p] as usize] = scratch[p];
+        }
+    }
+
+    /// Sparse FTRAN: solves `B x = rhs`, tracking nonzeros through both
+    /// triangular solves via symbolic reach over the L/U dependency graphs.
+    ///
+    /// `rhs` is row-indexed and consumed (left cleared); `out` receives `x`
+    /// by basis position. Once the reach of either solve exceeds
+    /// `max_reach`, the remainder runs the dense kernel and `out` is
+    /// flagged dense. Either way the result is bit-identical to
+    /// [`Self::ftran`]: positions outside the reach hold exact zeros, the
+    /// reach is processed in the same step order as the dense loop, and the
+    /// only divergence is the sign of cancelled zeros, which no consumer
+    /// observes (every use is guarded by `!= 0` or magnitude tests).
+    pub fn ftran_sparse(
+        &self,
+        rhs: &mut WorkVec,
+        out: &mut WorkVec,
+        s: &mut LuScratch,
+        max_reach: usize,
+    ) {
+        let m = self.m;
+        debug_assert_eq!(rhs.len(), m);
+        debug_assert_eq!(out.len(), m);
+        debug_assert_eq!(s.vals.len(), m);
+        out.clear();
+        // Symbolic: reach of the rhs pattern through L, in step space.
+        let sparse_l = !rhs.is_dense()
+            && reach_from(
+                &mut s.visited,
+                &mut s.stack,
+                &mut s.reach,
+                max_reach,
+                rhs.pattern.iter().map(|&r| self.row_pos[r as usize]),
+                |p| {
+                    self.l_cols[p as usize]
+                        .iter()
+                        .map(|&(r, _)| self.row_pos[r as usize])
+                },
+            );
+        if !sparse_l {
+            self.ftran(&mut rhs.values, &mut out.values);
+            rhs.clear();
+            out.make_dense();
+            return;
+        }
+        s.reach.sort_unstable();
+        for &p in &s.reach {
+            s.visited[p as usize] = false;
+        }
+        // Numeric L-solve: the dense loop restricted to the reach, in the
+        // same ascending step order (skipped steps hold exact zeros).
+        for &p in &s.reach {
+            let p = p as usize;
+            let v = rhs.values[self.row_perm[p] as usize];
+            // lint: allow(float-eq, reason = "exact-zero skip is a sparsity guard: skipping true zeros never changes the arithmetic")
+            if v != 0.0 {
+                for &(r, lv) in &self.l_cols[p] {
+                    rhs.values[r as usize] -= lv * v;
+                }
+            }
+            s.vals[p] = v;
+        }
+        // rhs is spent: zero the rows the solve touched (a superset of its
+        // pattern) and reset its bookkeeping.
+        for &p in &s.reach {
+            rhs.values[self.row_perm[p as usize] as usize] = 0.0;
+        }
+        rhs.clear();
+
+        // Symbolic: extend the reach through U's back-substitution edges.
+        let sparse_u = reach_from(
+            &mut s.visited,
+            &mut s.stack,
+            &mut s.reach2,
+            max_reach,
+            s.reach.iter().copied(),
+            |j| self.u_cols[j as usize].iter().map(|&(p, _)| p),
+        );
+        if !sparse_u {
+            // Finish densely from the step-indexed accumulator: skipped
+            // steps hold exact zeros, so this is the dense
+            // back-substitution verbatim.
+            for j in (0..m).rev() {
+                let z = s.vals[j] / self.u_diag[j];
+                s.vals[j] = z;
+                // lint: allow(float-eq, reason = "exact-zero skip is a sparsity guard: skipping true zeros never changes the arithmetic")
+                if z != 0.0 {
+                    for &(p, uv) in &self.u_cols[j] {
+                        s.vals[p as usize] -= uv * z;
+                    }
+                }
+            }
+            for j in 0..m {
+                out.values[self.col_order[j] as usize] = s.vals[j];
+                s.vals[j] = 0.0;
+            }
+            out.make_dense();
+            return;
+        }
+        s.reach2.sort_unstable();
+        for &j in &s.reach2 {
+            s.visited[j as usize] = false;
+        }
+        // Numeric U back-substitution over the reach, descending.
+        for &j in s.reach2.iter().rev() {
+            let j = j as usize;
+            let z = s.vals[j] / self.u_diag[j];
+            s.vals[j] = z;
+            // lint: allow(float-eq, reason = "exact-zero skip is a sparsity guard: skipping true zeros never changes the arithmetic")
+            if z != 0.0 {
+                for &(p, uv) in &self.u_cols[j] {
+                    s.vals[p as usize] -= uv * z;
+                }
+            }
+        }
+        // Permute step → basis position, harvesting actual nonzeros and
+        // re-zeroing the scratch.
+        for &j in &s.reach2 {
+            let v = s.vals[j as usize];
+            s.vals[j as usize] = 0.0;
+            // lint: allow(float-eq, reason = "exact-zero skip is a sparsity guard: skipping true zeros never changes the arithmetic")
+            if v != 0.0 {
+                out.set(self.col_order[j as usize], v);
+            }
+        }
+    }
+
+    /// Sparse BTRAN: solves `B' y = c`, tracking nonzeros via the
+    /// transposed U/L structures.
+    ///
+    /// `c` comes in indexed by basis position and leaves indexed by
+    /// original row. Unlike FTRAN these solves are *gathers*, so each
+    /// reached step accumulates over its full stored adjacency in original
+    /// order — term-for-term the dense arithmetic (absent terms are exact
+    /// zeros) — which keeps the result bit-identical to [`Self::btran`] up
+    /// to the sign of cancelled zeros.
+    pub fn btran_sparse(&self, c: &mut WorkVec, s: &mut LuScratch, max_reach: usize) {
+        let m = self.m;
+        debug_assert_eq!(c.len(), m);
+        debug_assert_eq!(s.vals.len(), m);
+        // Symbolic U'-reach from the input pattern, mapped into step space.
+        let sparse_u = !c.is_dense()
+            && reach_from(
+                &mut s.visited,
+                &mut s.stack,
+                &mut s.reach,
+                max_reach,
+                c.pattern.iter().map(|&pos| self.col_pos[pos as usize]),
+                |p| {
+                    self.ut_idx[self.ut_ptr[p as usize]..self.ut_ptr[p as usize + 1]]
+                        .iter()
+                        .copied()
+                },
+            );
+        if !sparse_u {
+            self.btran(&mut c.values, &mut s.vals);
+            s.vals.fill(0.0);
+            c.make_dense();
+            return;
+        }
+        s.reach.sort_unstable();
+        for &p in &s.reach {
+            s.visited[p as usize] = false;
+        }
+        // Permute inputs into step space (unreached inputs are exact
+        // zeros) and clear `c` for reuse as the row-indexed output.
+        for &j in &s.reach {
+            s.vals[j as usize] = c.values[self.col_order[j as usize] as usize];
+        }
+        c.clear();
+        // Forward U'-solve: full gather per reached step, ascending.
+        for &j in &s.reach {
+            let j = j as usize;
+            let mut acc = s.vals[j];
+            for &(p, uv) in &self.u_cols[j] {
+                acc -= uv * s.vals[p as usize];
+            }
+            s.vals[j] = acc / self.u_diag[j];
+        }
+        // Symbolic L'-reach extends the U' reach.
+        let sparse_l = reach_from(
+            &mut s.visited,
+            &mut s.stack,
+            &mut s.reach2,
+            max_reach,
+            s.reach.iter().copied(),
+            |q| {
+                self.lt_idx[self.lt_ptr[q as usize]..self.lt_ptr[q as usize + 1]]
+                    .iter()
+                    .copied()
+            },
+        );
+        if !sparse_l {
+            // Finish densely: backward L'-solve over every step, then
+            // scatter to row space.
+            for p in (0..m).rev() {
+                let mut acc = s.vals[p];
+                for &(r, lv) in &self.l_cols[p] {
+                    acc -= lv * s.vals[self.row_pos[r as usize] as usize];
+                }
+                s.vals[p] = acc;
+            }
+            for p in 0..m {
+                c.values[self.row_perm[p] as usize] = s.vals[p];
+                s.vals[p] = 0.0;
+            }
+            c.make_dense();
+            return;
+        }
+        s.reach2.sort_unstable();
+        for &p in &s.reach2 {
+            s.visited[p as usize] = false;
+        }
+        // Backward L'-solve over the reach, descending, full gathers.
+        for &p in s.reach2.iter().rev() {
+            let p = p as usize;
+            let mut acc = s.vals[p];
+            for &(r, lv) in &self.l_cols[p] {
+                acc -= lv * s.vals[self.row_pos[r as usize] as usize];
+            }
+            s.vals[p] = acc;
+        }
+        // Scatter to row space, harvesting actual nonzeros.
+        for &p in &s.reach2 {
+            let v = s.vals[p as usize];
+            s.vals[p as usize] = 0.0;
+            // lint: allow(float-eq, reason = "exact-zero skip is a sparsity guard: skipping true zeros never changes the arithmetic")
+            if v != 0.0 {
+                c.set(self.row_perm[p as usize], v);
+            }
         }
     }
 }
@@ -331,6 +701,89 @@ mod tests {
         let cols = vec![vec![(0, 1.0), (1, 1.0)], vec![(0, 1.0), (1, 1.0)]];
         let (a, basis) = mat(&cols, 2);
         assert!(Lu::factor(&a, &basis, 1e-12).is_err());
+    }
+
+    /// Sparse FTRAN/BTRAN must be bit-identical to the dense kernels on
+    /// every nonzero (zeros may differ in sign only), at generous and at
+    /// zero reach caps (the latter forces the dense fallback).
+    #[test]
+    fn sparse_kernels_match_dense_bitwise() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..40 {
+            let m = 2 + (trial % 14);
+            let mut cols: Vec<Vec<(u32, f64)>> = Vec::new();
+            for j in 0..m {
+                let mut col = vec![(j as u32, 1.0 + rng.random_range(0.0..4.0))];
+                for r in 0..m {
+                    if r != j && rng.random_range(0.0..1.0) < 0.25 {
+                        col.push((r as u32, rng.random_range(-1.0..1.0)));
+                    }
+                }
+                col.sort_unstable_by_key(|e| e.0);
+                cols.push(col);
+            }
+            let (a, basis) = mat(&cols, m);
+            let lu = match Lu::factor(&a, &basis, 1e-10) {
+                Ok(l) => l,
+                Err(_) => continue,
+            };
+            let mut scratch = LuScratch::new(m);
+            for cap in [m, 0] {
+                // FTRAN on a sparse rhs (a couple of entries).
+                let mut dense_rhs = vec![0.0; m];
+                dense_rhs[0] = 1.25;
+                dense_rhs[m / 2] = -0.5;
+                let mut dense_out = vec![0.0; m];
+                lu.ftran(&mut dense_rhs, &mut dense_out);
+
+                let mut rhs = WorkVec::new(m);
+                rhs.set(0, 1.25);
+                rhs.set(m as u32 / 2, -0.5);
+                let mut out = WorkVec::new(m);
+                lu.ftran_sparse(&mut rhs, &mut out, &mut scratch, cap);
+                assert_eq!(out.is_dense(), cap == 0);
+                for (p, &dv) in dense_out.iter().enumerate() {
+                    let sv = out.values[p];
+                    if dv == 0.0 {
+                        assert_eq!(sv, 0.0, "trial {trial} cap {cap} pos {p}");
+                    } else {
+                        assert_eq!(
+                            sv.to_bits(),
+                            dv.to_bits(),
+                            "trial {trial} cap {cap} pos {p}: {sv} vs {dv}"
+                        );
+                    }
+                }
+                // rhs left clean for reuse.
+                assert!(rhs.pattern.is_empty() && !rhs.is_dense());
+                assert!(rhs.values.iter().all(|&v| v == 0.0));
+
+                // BTRAN on a unit vector (the pivotal-row case).
+                let mut dense_c = vec![0.0; m];
+                dense_c[m - 1] = 1.0;
+                let mut ds = vec![0.0; m];
+                lu.btran(&mut dense_c, &mut ds);
+                let mut c = WorkVec::new(m);
+                c.set(m as u32 - 1, 1.0);
+                lu.btran_sparse(&mut c, &mut scratch, cap);
+                for (r, &dv) in dense_c.iter().enumerate() {
+                    let sv = c.values[r];
+                    if dv == 0.0 {
+                        assert_eq!(sv, 0.0, "btran trial {trial} cap {cap} row {r}");
+                    } else {
+                        assert_eq!(
+                            sv.to_bits(),
+                            dv.to_bits(),
+                            "btran trial {trial} cap {cap} row {r}"
+                        );
+                    }
+                }
+                // Scratch values buffer must be left all-zero.
+                assert!(scratch.vals.iter().all(|&v| v == 0.0));
+            }
+        }
     }
 
     #[test]

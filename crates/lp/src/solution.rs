@@ -85,6 +85,26 @@ pub struct SolveStats {
     /// Solves that were offered a basis but fell back to a cold start
     /// (shape mismatch or numerical failure during installation).
     pub warm_start_fallbacks: u64,
+    /// FTRAN kernel runs (one per simplex iteration that reached the ratio
+    /// test).
+    pub ftran_ops: u64,
+    /// Summed nonzero count of FTRAN results; the full dimension is charged
+    /// when a run fell back to dense. `ftran_nnz / ftran_ops` is the mean
+    /// pivot-column density.
+    pub ftran_nnz: u64,
+    /// FTRAN runs that abandoned sparse pattern tracking because the
+    /// symbolic reach crossed the density threshold.
+    pub ftran_dense_fallbacks: u64,
+    /// Pivotal-row BTRAN kernel runs (one per basis-changing pivot).
+    pub btran_ops: u64,
+    /// Summed nonzero count of pivotal-row BTRAN results (the density of
+    /// ρ = B⁻ᵀ e_r).
+    pub btran_nnz: u64,
+    /// Pivotal-row BTRAN runs that abandoned sparse pattern tracking.
+    pub btran_dense_fallbacks: u64,
+    /// Summed count of nonbasic columns touched by pivotal-row pricing
+    /// updates (the support of α_r = ρᵀA net of basic/fixed columns).
+    pub pivot_row_nnz: u64,
 }
 
 impl SolveStats {
@@ -104,6 +124,13 @@ impl SolveStats {
         self.solves += other.solves;
         self.warm_starts_accepted += other.warm_starts_accepted;
         self.warm_start_fallbacks += other.warm_start_fallbacks;
+        self.ftran_ops += other.ftran_ops;
+        self.ftran_nnz += other.ftran_nnz;
+        self.ftran_dense_fallbacks += other.ftran_dense_fallbacks;
+        self.btran_ops += other.btran_ops;
+        self.btran_nnz += other.btran_nnz;
+        self.btran_dense_fallbacks += other.btran_dense_fallbacks;
+        self.pivot_row_nnz += other.pivot_row_nnz;
     }
 }
 
@@ -184,6 +211,13 @@ mod tests {
             solves: 1,
             warm_starts_accepted: 1,
             warm_start_fallbacks: 0,
+            ftran_ops: 10,
+            ftran_nnz: 55,
+            ftran_dense_fallbacks: 1,
+            btran_ops: 7,
+            btran_nnz: 21,
+            btran_dense_fallbacks: 2,
+            pivot_row_nnz: 70,
         };
         let b = SolveStats {
             iterations: 5,
@@ -195,6 +229,13 @@ mod tests {
             solves: 1,
             warm_starts_accepted: 0,
             warm_start_fallbacks: 1,
+            ftran_ops: 5,
+            ftran_nnz: 12,
+            ftran_dense_fallbacks: 0,
+            btran_ops: 5,
+            btran_nnz: 9,
+            btran_dense_fallbacks: 0,
+            pivot_row_nnz: 30,
         };
         a.merge(&b);
         assert_eq!(a.iterations, 15);
@@ -204,6 +245,13 @@ mod tests {
         assert_eq!(a.solves, 2);
         assert_eq!(a.warm_starts_accepted, 1);
         assert_eq!(a.warm_start_fallbacks, 1);
+        assert_eq!(a.ftran_ops, 15);
+        assert_eq!(a.ftran_nnz, 67);
+        assert_eq!(a.ftran_dense_fallbacks, 1);
+        assert_eq!(a.btran_ops, 12);
+        assert_eq!(a.btran_nnz, 30);
+        assert_eq!(a.btran_dense_fallbacks, 2);
+        assert_eq!(a.pivot_row_nnz, 100);
     }
 
     #[test]

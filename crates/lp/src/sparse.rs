@@ -178,28 +178,40 @@ impl CscMatrix {
     }
 }
 
-/// A sparse work vector: dense values plus an explicit nonzero pattern.
+/// A sparse work vector: dense values plus an explicit nonzero pattern, with
+/// a density-based dense fallback.
 ///
-/// Used by FTRAN/BTRAN results where the vector is often sparse but must be
-/// randomly addressable. `pattern` may over-approximate (contain indices
-/// whose value has cancelled to ~0); consumers filter by magnitude.
-#[derive(Debug, Clone)]
+/// Used by FTRAN/BTRAN results where the vector is usually sparse but must
+/// be randomly addressable. `pattern` may over-approximate (contain indices
+/// whose value has cancelled to ~0); consumers filter by magnitude. When a
+/// kernel decides the result is too dense for pattern tracking to pay off it
+/// calls [`make_dense`](Self::make_dense): the pattern is abandoned and
+/// consumers iterate over all of `values` instead (checked via
+/// [`is_dense`](Self::is_dense)). [`clear`](Self::clear) handles both modes
+/// and returns the vector to sparse tracking.
+#[derive(Debug, Clone, Default)]
 pub struct WorkVec {
     /// Dense storage of values.
     pub values: Vec<f64>,
-    /// Indices with (potentially) nonzero values.
+    /// Indices with (potentially) nonzero values. Meaningless while
+    /// [`is_dense`](Self::is_dense).
     pub pattern: Vec<u32>,
     /// Scratch flags marking membership of `pattern`.
     marked: Vec<bool>,
+    /// When set, `pattern` is not maintained; any entry of `values` may be
+    /// nonzero.
+    dense: bool,
 }
 
 impl WorkVec {
-    /// Creates a zeroed work vector of dimension `n`.
+    /// Creates a zeroed work vector of dimension `n`. The pattern buffer is
+    /// pre-sized to `n` so steady-state use never reallocates.
     pub fn new(n: usize) -> Self {
         WorkVec {
             values: vec![0.0; n],
-            pattern: Vec::new(),
+            pattern: Vec::with_capacity(n),
             marked: vec![false; n],
+            dense: false,
         }
     }
 
@@ -213,19 +225,43 @@ impl WorkVec {
         self.values.is_empty()
     }
 
-    /// Resets all tracked entries to zero in O(nnz).
-    pub fn clear(&mut self) {
+    /// True when the pattern has been abandoned and every entry of `values`
+    /// must be assumed nonzero.
+    #[inline]
+    pub fn is_dense(&self) -> bool {
+        self.dense
+    }
+
+    /// Abandons pattern tracking: drops the collected pattern (and its
+    /// marks) but keeps `values` intact. Consumers must switch to dense
+    /// iteration until the next [`clear`](Self::clear).
+    pub fn make_dense(&mut self) {
         for &i in &self.pattern {
-            self.values[i as usize] = 0.0;
             self.marked[i as usize] = false;
         }
         self.pattern.clear();
+        self.dense = true;
+    }
+
+    /// Resets the vector to all-zero sparse state: O(nnz) when the pattern
+    /// is live, O(n) after a dense fallback.
+    pub fn clear(&mut self) {
+        if self.dense {
+            self.values.fill(0.0);
+            self.dense = false;
+        } else {
+            for &i in &self.pattern {
+                self.values[i as usize] = 0.0;
+                self.marked[i as usize] = false;
+            }
+            self.pattern.clear();
+        }
     }
 
     /// Adds `v` at index `i`, tracking the pattern.
     #[inline]
     pub fn add(&mut self, i: u32, v: f64) {
-        if !self.marked[i as usize] {
+        if !self.dense && !self.marked[i as usize] {
             self.marked[i as usize] = true;
             self.pattern.push(i);
         }
@@ -235,17 +271,39 @@ impl WorkVec {
     /// Sets index `i` to `v`, tracking the pattern.
     #[inline]
     pub fn set(&mut self, i: u32, v: f64) {
-        if !self.marked[i as usize] {
+        if !self.dense && !self.marked[i as usize] {
             self.marked[i as usize] = true;
             self.pattern.push(i);
         }
         self.values[i as usize] = v;
     }
 
+    /// True when index `i` is in the tracked pattern.
+    #[inline]
+    pub fn marked(&self, i: u32) -> bool {
+        self.marked[i as usize]
+    }
+
     /// Current value at index `i`.
     #[inline]
     pub fn get(&self, i: u32) -> f64 {
         self.values[i as usize]
+    }
+
+    /// Sorts the pattern ascending, so pattern iteration visits entries in
+    /// the same order a dense `0..n` scan would.
+    pub fn sort_pattern(&mut self) {
+        self.pattern.sort_unstable();
+    }
+
+    /// Number of tracked nonzeros — the full dimension after a dense
+    /// fallback.
+    pub fn nnz(&self) -> usize {
+        if self.dense {
+            self.values.len()
+        } else {
+            self.pattern.len()
+        }
     }
 
     /// Loads a sparse column into this (cleared) vector.
@@ -316,6 +374,42 @@ mod tests {
         w.clear();
         assert_eq!(w.get(3), 0.0);
         assert!(w.pattern.is_empty());
+    }
+
+    #[test]
+    fn workvec_dense_fallback_roundtrip() {
+        let mut w = WorkVec::new(4);
+        w.set(1, 2.0);
+        w.set(2, 3.0);
+        assert!(!w.is_dense());
+        assert_eq!(w.nnz(), 2);
+        w.make_dense();
+        assert!(w.is_dense());
+        assert_eq!(w.nnz(), 4);
+        // Values survive the fallback; writes keep working without pattern
+        // maintenance.
+        assert_eq!(w.get(1), 2.0);
+        w.set(0, 5.0);
+        w.add(3, 1.0);
+        assert!(w.pattern.is_empty());
+        // clear() recovers full sparse tracking.
+        w.clear();
+        assert!(!w.is_dense());
+        for i in 0..4 {
+            assert_eq!(w.get(i), 0.0);
+        }
+        w.set(3, 7.0);
+        assert_eq!(w.pattern, vec![3]);
+    }
+
+    #[test]
+    fn workvec_sort_pattern() {
+        let mut w = WorkVec::new(5);
+        w.set(4, 1.0);
+        w.set(0, 2.0);
+        w.set(2, 3.0);
+        w.sort_pattern();
+        assert_eq!(w.pattern, vec![0, 2, 4]);
     }
 
     #[test]

@@ -33,6 +33,11 @@ commands:
   simulate    run the periodic controller simulation on a trace
   dot         print the network as Graphviz DOT
   check-report <file>    validate a JSON-lines metrics report (--report output)
+  check-counters <actual> <expected>
+              compare counters in two metrics reports; fails when any
+              counter listed in <expected> grew (a solver-work regression)
+              or disappeared. Counters below the expectation are reported
+              as improvements — refresh <expected> when they stick.
 
 common options:
   --network <abilene14|abilene20|esnet|waxman:<nodes>:<pairs>:<seed>>
@@ -175,6 +180,54 @@ fn run() -> Result<(), String> {
         println!(
             "{path}: valid report, {} metrics ({counters} counters, {hists} histograms, {spans} spans)",
             metrics.len()
+        );
+        return Ok(());
+    }
+
+    if args.command == "check-counters" {
+        let (actual_path, expected_path) = match args.positional.as_slice() {
+            [a, e] => (a.as_str(), e.as_str()),
+            _ => return Err("check-counters needs <actual> <expected> file paths".to_string()),
+        };
+        let counters_of = |path: &str| -> Result<Vec<(String, u64)>, String> {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+            let metrics =
+                obs::parse_json_lines(&text).map_err(|e| format!("{path}: invalid report: {e}"))?;
+            Ok(metrics
+                .into_iter()
+                .filter_map(|m| match m {
+                    obs::Metric::Counter { name, value } => Some((name, value)),
+                    _ => None,
+                })
+                .collect())
+        };
+        let actual = counters_of(actual_path)?;
+        let expected = counters_of(expected_path)?;
+        let mut regressions = Vec::new();
+        let mut improvements = 0usize;
+        for (name, want) in &expected {
+            match actual.iter().find(|(n, _)| n == name) {
+                None => regressions.push(format!("{name}: missing (expected {want})")),
+                Some((_, got)) if got > want => {
+                    regressions.push(format!("{name}: {got} > expected {want}"));
+                }
+                Some((_, got)) if got < want => {
+                    println!("{name}: improved ({got} < expected {want})");
+                    improvements += 1;
+                }
+                Some(_) => {}
+            }
+        }
+        if !regressions.is_empty() {
+            return Err(format!(
+                "{actual_path}: {} counter regression(s) vs {expected_path}:\n  {}",
+                regressions.len(),
+                regressions.join("\n  ")
+            ));
+        }
+        println!(
+            "{actual_path}: {} counters within expectations ({improvements} improved)",
+            expected.len()
         );
         return Ok(());
     }
