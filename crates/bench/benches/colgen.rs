@@ -1,0 +1,89 @@
+//! Criterion benchmarks for delayed column generation: the restricted
+//! master (seed + price–resolve) against the monolithic build-then-solve
+//! on the same instances, at the path budgets where the difference shows.
+//! With the paper's `k = 4` the two are close; at `k = 16` the monolithic
+//! side materializes 4x the columns while the pool barely grows — the
+//! scaling argument of the colgen refactor at micro scale (the full-size
+//! version is `fig4 --colgen`, recorded in BENCH_6.json).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wavesched_core::colgen::{CgMaster, ColGenConfig, PricerChoice};
+use wavesched_core::instance::{Instance, InstanceConfig};
+use wavesched_core::stage1::{solve_stage1, solve_stage1_colgen};
+use wavesched_net::{abilene20, Graph, PathSet};
+use wavesched_workload::{Job, WorkloadConfig, WorkloadGenerator};
+
+fn setup(n_jobs: usize, paths_per_job: usize) -> (Graph, Vec<Job>, InstanceConfig) {
+    let w = 4;
+    let (g, _) = abilene20(w);
+    let jobs = WorkloadGenerator::new(WorkloadConfig {
+        num_jobs: n_jobs,
+        seed: 9,
+        window: (4.0, 10.0),
+        ..Default::default()
+    })
+    .generate(&g);
+    let cfg = InstanceConfig {
+        paths_per_job,
+        ..InstanceConfig::paper(w)
+    };
+    (g, jobs, cfg)
+}
+
+fn solve_monolithic(g: &Graph, jobs: &[Job], cfg: &InstanceConfig) -> f64 {
+    let mut ps = PathSet::new(cfg.paths_per_job);
+    let inst = Instance::build(g, jobs, cfg, &mut ps);
+    solve_stage1(&inst).unwrap().z_star
+}
+
+fn solve_colgen(g: &Graph, jobs: &[Job], cfg: &InstanceConfig, pricer: PricerChoice) -> f64 {
+    let demands: Vec<f64> = jobs.iter().map(|j| cfg.demand_units(j.size_gb)).collect();
+    let cg = ColGenConfig {
+        pricer,
+        ..ColGenConfig::default()
+    };
+    let mut master = CgMaster::build(g, jobs, demands, cfg, &cg).unwrap();
+    let mut p = pricer.build(cfg.paths_per_job);
+    solve_stage1_colgen(&mut master, p.as_mut()).unwrap()
+}
+
+fn bench_stage1(c: &mut Criterion) {
+    for &k in &[4usize, 16] {
+        let (g, jobs, cfg) = setup(30, k);
+        let mut group = c.benchmark_group(format!("colgen_stage1_abilene_30jobs_k{k}"));
+        group.sample_size(10);
+        group.bench_function("monolithic", |b| {
+            b.iter(|| black_box(solve_monolithic(&g, &jobs, &cfg)))
+        });
+        group.bench_function("cg_exhaustive", |b| {
+            b.iter(|| black_box(solve_colgen(&g, &jobs, &cfg, PricerChoice::Exhaustive)))
+        });
+        group.bench_function("cg_reduced_cost", |b| {
+            b.iter(|| black_box(solve_colgen(&g, &jobs, &cfg, PricerChoice::ReducedCost)))
+        });
+        group.finish();
+    }
+}
+
+fn bench_master_build(c: &mut Criterion) {
+    // Model construction alone: the restricted master seeds one shortest
+    // path per job; the monolithic build enumerates the whole Yen grid.
+    let (g, jobs, cfg) = setup(30, 16);
+    let demands: Vec<f64> = jobs.iter().map(|j| cfg.demand_units(j.size_gb)).collect();
+    let cg = ColGenConfig::default();
+    let mut group = c.benchmark_group("colgen_build_abilene_30jobs_k16");
+    group.bench_function("monolithic_instance", |b| {
+        b.iter(|| {
+            let mut ps = PathSet::new(cfg.paths_per_job);
+            black_box(Instance::build(&g, &jobs, &cfg, &mut ps))
+        })
+    });
+    group.bench_function("cg_master_seed", |b| {
+        b.iter(|| black_box(CgMaster::build(&g, &jobs, demands.clone(), &cfg, &cg).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stage1, bench_master_build);
+criterion_main!(benches);

@@ -92,18 +92,24 @@ pub fn quick() -> bool {
 pub struct BenchOpts {
     /// Where to write the JSON-lines metrics report, if requested.
     pub report: Option<String>,
+    /// Solve through the delayed column-generation pipeline instead of the
+    /// monolithic builds (binaries that support it document what changes;
+    /// the default-config outputs stay byte-identical because the flag is
+    /// strictly opt-in).
+    pub colgen: bool,
 }
 
-/// Parses the common bench CLI (`--smoke`, `--report <path>`), turning on
-/// the observability layer when a report is requested. Exits with a usage
-/// message on unknown arguments, so typos fail loudly instead of silently
-/// running the full-scale experiment.
+/// Parses the common bench CLI (`--smoke`, `--report <path>`, `--colgen`),
+/// turning on the observability layer when a report is requested. Exits
+/// with a usage message on unknown arguments, so typos fail loudly instead
+/// of silently running the full-scale experiment.
 pub fn bench_opts() -> BenchOpts {
     let mut opts = BenchOpts::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => SMOKE.store(true, Relaxed),
+            "--colgen" => opts.colgen = true,
             "--report" => match args.next() {
                 Some(path) => opts.report = Some(path),
                 None => {
@@ -112,7 +118,9 @@ pub fn bench_opts() -> BenchOpts {
                 }
             },
             other => {
-                eprintln!("unknown argument {other:?}; supported: --smoke, --report <path>");
+                eprintln!(
+                    "unknown argument {other:?}; supported: --smoke, --colgen, --report <path>"
+                );
                 std::process::exit(2);
             }
         }

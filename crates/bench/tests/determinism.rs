@@ -23,8 +23,14 @@ use wavesched_workload::{WorkloadConfig, WorkloadGenerator};
 /// Runs a bench binary with `--smoke` under a given `WS_THREADS`, returning
 /// its stdout.
 fn run_smoke(bin: &str, threads: &str) -> String {
+    run_smoke_args(bin, threads, &[])
+}
+
+/// [`run_smoke`] with extra CLI arguments (e.g. `--colgen`).
+fn run_smoke_args(bin: &str, threads: &str, extra_args: &[&str]) -> String {
     let out = Command::new(bin)
         .arg("--smoke")
+        .args(extra_args)
         .env("WS_THREADS", threads)
         .output()
         .expect("bench binary runs");
@@ -46,6 +52,37 @@ fn fig4_smoke_csv_is_bit_identical_across_thread_counts() {
     // and RET's speculative probes unchanged.
     assert_eq!(serial, pooled, "fig4 CSV must not depend on WS_THREADS");
     assert!(serial.lines().count() > 4, "fig4 produced no data rows");
+}
+
+#[test]
+fn fig4_colgen_smoke_csv_is_bit_identical_across_thread_counts() {
+    // Column generation is serial by construction (one evolving master
+    // session, BTreeMap duals, tie-broken Dijkstra), so every results
+    // column — pool size, census, ratio, CG round/column counters, the
+    // monolithic cross-check gap — must be identical at any WS_THREADS.
+    // Only the two trailing wall-clock columns (solve_secs, census_secs)
+    // may differ; mask them before comparing.
+    let strip_wallclock = |csv: &str| -> String {
+        csv.lines()
+            .map(|line| {
+                if line.starts_with('#') || line.starts_with("jobs,") {
+                    line.to_string()
+                } else {
+                    let fields: Vec<&str> = line.split(',').collect();
+                    fields[..fields.len().saturating_sub(2)].join(",")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let bin = env!("CARGO_BIN_EXE_fig4");
+    let serial = strip_wallclock(&run_smoke_args(bin, "1", &["--colgen"]));
+    let pooled = strip_wallclock(&run_smoke_args(bin, "4", &["--colgen"]));
+    assert_eq!(
+        serial, pooled,
+        "fig4 --colgen CSV must not depend on WS_THREADS"
+    );
+    assert!(serial.lines().count() > 4, "fig4 --colgen produced no rows");
 }
 
 #[test]

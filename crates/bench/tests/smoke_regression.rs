@@ -1,0 +1,85 @@
+//! Default-config smoke CSV regression: the fig3/fig4 binaries' `--smoke`
+//! output is pinned byte-for-byte against recorded fixtures in
+//! `results/`, so structural refactors (like the column-generation
+//! restructure of the solve layers) cannot silently change the default
+//! pipeline's results. Wall-clock columns are masked before comparison —
+//! they are the only columns allowed to differ run to run.
+//!
+//! Refresh a fixture after an *intentional* result change with:
+//!
+//! ```text
+//! WS_THREADS=1 cargo run --release -p wavesched-bench --bin fig3 -- --smoke \
+//!   > results/fig3_smoke.csv     # likewise fig4
+//! ```
+
+use std::process::Command;
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/../../results/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read fixture {path}: {e}"))
+}
+
+/// Runs a bench binary with `--smoke` (plus extras) at `WS_THREADS=1` —
+/// the canonical serial configuration the fixtures were recorded under.
+fn run_smoke(bin: &str, extra_args: &[&str]) -> String {
+    let out = Command::new(bin)
+        .arg("--smoke")
+        .args(extra_args)
+        .env("WS_THREADS", "1")
+        .output()
+        .expect("bench binary runs");
+    assert!(
+        out.status.success(),
+        "{bin} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 csv")
+}
+
+/// Keeps only the comma-separated fields at `keep` on data rows (comment
+/// and header lines pass through untouched) — used to strip wall-clock
+/// columns, which legitimately vary run to run.
+fn project_columns(csv: &str, keep: &[usize]) -> String {
+    csv.lines()
+        .map(|line| {
+            if line.starts_with('#') || line.chars().next().is_none_or(|c| !c.is_ascii_digit()) {
+                line.to_string()
+            } else {
+                let fields: Vec<&str> = line.split(',').collect();
+                keep.iter()
+                    .map(|&i| fields[i])
+                    .collect::<Vec<_>>()
+                    .join(",")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn fig4_smoke_csv_matches_recorded_fixture() {
+    // Every fig4 column (b̂, end times, solver-work counters) is
+    // deterministic: full byte comparison.
+    let actual = run_smoke(env!("CARGO_BIN_EXE_fig4"), &[]);
+    assert_eq!(
+        actual,
+        fixture("fig4_smoke.csv"),
+        "fig4 --smoke output drifted from results/fig4_smoke.csv; if the \
+         change is intentional, refresh the fixture"
+    );
+}
+
+#[test]
+fn fig3_smoke_deterministic_columns_match_recorded_fixture() {
+    // fig3 reports stage timings — wall-clock — so only the jobs column
+    // and the solver-work counters (iters, phase1_iters, warm_accepted)
+    // are pinned.
+    const KEEP: &[usize] = &[0, 7, 8, 9];
+    let actual = project_columns(&run_smoke(env!("CARGO_BIN_EXE_fig3"), &[]), KEEP);
+    let expected = project_columns(&fixture("fig3_smoke.csv"), KEEP);
+    assert_eq!(
+        actual, expected,
+        "fig3 --smoke solver-work columns drifted from results/fig3_smoke.csv; \
+         if the change is intentional, refresh the fixture"
+    );
+}

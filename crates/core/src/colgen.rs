@@ -1,0 +1,1000 @@
+//! Delayed column generation over paths: the restricted master problem
+//! and its pricers.
+//!
+//! The paper's formulations are time-expanded path-flow LPs whose column
+//! count is (jobs × paths × slices); materializing every Yen path column up
+//! front is what caps the solvable scale. Following the column-generation
+//! structure documented by Ahani–Wiatr–Yuan for the same model family
+//! ("Routing and Scheduling of Network Flows with Deadlines and Discrete
+//! Capacity Allocation"), this module keeps only an *active* column pool:
+//!
+//! 1. seed the pool with each job's hop-shortest path,
+//! 2. solve the restricted master over the pool ([`CgMaster::solve`]),
+//! 3. price new paths against the optimal duals
+//!    ([`CgMaster::price_and_augment`]): a path column for `(job i,
+//!    slice j)` improves the master iff its reduced cost is positive,
+//!    i.e. iff its dual load `Σ_{e∈p} μ_{e,j}` is below the budget
+//!    `c_ij − λ_i·LEN(j) − tol`,
+//! 4. repeat until no pricer proposal survives verification.
+//!
+//! When the loop terminates, the restricted optimum is optimal for the
+//! *full* LP over the pricer's path universe: the master duals extended
+//! with zeros on the unmaterialized capacity rows are dual-feasible within
+//! tolerance for every priced-out column.
+//!
+//! Two pricers implement [`Pricer`]:
+//!
+//! * [`ExhaustivePricer`] prices over the Yen k-shortest universe: each
+//!   round it proposes the best improving out-of-pool Yen path per job, so
+//!   at convergence the whole Yen set is priced out and column generation
+//!   with this pricer must match the monolithic [`Instance`]-based solve
+//!   to tolerance — the differential oracle.
+//! * [`ReducedCostPricer`] runs Dijkstra on the clamped capacity duals
+//!   (`max(μ_{e,j}, 0)` per link) and can propose negative-reduced-cost
+//!   paths *outside* the Yen set. Clamping only under-estimates the dual
+//!   load, so every proposal is re-verified against the exact reduced cost
+//!   before columns are added.
+//!
+//! Everything here is serial and deterministically ordered (`BTreeMap`
+//! duals, sorted row keys, the tie-broken Dijkstra of `wavesched-net`), so
+//! runs are byte-reproducible at any `WS_THREADS`.
+
+use crate::instance::{Instance, InstanceConfig};
+use crate::timegrid::TimeGrid;
+use std::collections::BTreeMap;
+use std::ops::Range;
+use wavesched_lp::{
+    Col, NewColumn, NewRow, Objective, Problem, Row, SimplexConfig, Solution, SolveError,
+    SolveStats, SolverSession, Status,
+};
+use wavesched_net::{dijkstra, EdgeId, Graph, Path, PathSet};
+use wavesched_obs as obs;
+use wavesched_workload::Job;
+
+/// Which pricing oracle generates candidate columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PricerChoice {
+    /// Reduced-cost Dijkstra over clamped capacity duals (the default):
+    /// prices the universe of *all* simple paths, proposing improving
+    /// paths the Yen set may not contain.
+    #[default]
+    ReducedCost,
+    /// Propose every Yen k-shortest path — full materialization as a
+    /// pricer, the differential oracle for the reduced-cost path.
+    Exhaustive,
+}
+
+impl PricerChoice {
+    /// Instantiates the pricer. `paths_per_job` is the Yen `k` used by the
+    /// exhaustive oracle (ignored by the reduced-cost pricer).
+    pub fn build(&self, paths_per_job: usize) -> Box<dyn Pricer> {
+        match self {
+            PricerChoice::ReducedCost => Box::new(ReducedCostPricer::new()),
+            PricerChoice::Exhaustive => Box::new(ExhaustivePricer::new(paths_per_job)),
+        }
+    }
+}
+
+/// Column-generation knobs.
+#[derive(Debug, Clone)]
+pub struct ColGenConfig {
+    /// Pricing oracle.
+    pub pricer: PricerChoice,
+    /// Hard cap on price–resolve rounds per master form (stage 1, stage 2,
+    /// each RET probe, each growth step). Hitting the cap returns the best
+    /// restricted optimum found so far.
+    pub max_rounds: usize,
+    /// Reduced-cost tolerance: a column must beat the duals by more than
+    /// this to enter the pool.
+    pub tolerance: f64,
+    /// Simplex settings for the restricted master.
+    pub lp: SimplexConfig,
+}
+
+impl Default for ColGenConfig {
+    fn default() -> Self {
+        ColGenConfig {
+            pricer: PricerChoice::default(),
+            max_rounds: 50,
+            tolerance: 1e-7,
+            lp: SimplexConfig::default(),
+        }
+    }
+}
+
+/// Column-generation work counters (also mirrored into the `cg.*` obs
+/// counters: `cg.rounds`, `cg.columns_added`, `cg.pricer_calls`,
+/// `cg.pricing_ns`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CgStats {
+    /// Price–resolve rounds run (one per [`CgMaster::price_and_augment`]).
+    pub rounds: u64,
+    /// Master columns added after the seed.
+    pub columns_added: u64,
+    /// Pricer invocations.
+    pub pricer_calls: u64,
+    /// Wall-clock nanoseconds spent inside pricers (reporting only).
+    pub pricing_ns: u64,
+}
+
+/// One pool column: `(job, path index within the job's pool, slice)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolCol {
+    /// Job index.
+    pub job: u32,
+    /// Index into [`ColumnPool::paths_of`] for the job.
+    pub path: u32,
+    /// Time slice.
+    pub slice: u32,
+}
+
+/// The restricted master's active `(job, path, slice)` columns.
+///
+/// Paths are append-only per job and columns are append-only globally, so
+/// variable indices are **stable across rounds**: a basis extracted after
+/// round `r` still addresses the same columns in round `r + 1` (with new
+/// columns appended at the end), which is what keeps Stage-2 / RET /
+/// controller warm starts working under column generation.
+#[derive(Debug, Clone)]
+pub struct ColumnPool {
+    paths: Vec<Vec<Path>>,
+    cols: Vec<PoolCol>,
+}
+
+impl ColumnPool {
+    fn new(num_jobs: usize) -> Self {
+        ColumnPool {
+            paths: vec![Vec::new(); num_jobs],
+            cols: Vec::new(),
+        }
+    }
+
+    /// Number of jobs covered.
+    pub fn num_jobs(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// The active paths of one job, in pool order.
+    pub fn paths_of(&self, job: usize) -> &[Path] {
+        &self.paths[job]
+    }
+
+    /// Total number of active paths across all jobs.
+    pub fn num_paths(&self) -> usize {
+        self.paths.iter().map(|p| p.len()).sum()
+    }
+
+    /// Total number of `(job, path, slice)` columns.
+    pub fn num_cols(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The pool columns in master order.
+    pub fn cols(&self) -> &[PoolCol] {
+        &self.cols
+    }
+
+    /// True when `path` is already in `job`'s pool.
+    pub fn contains(&self, job: usize, path: &Path) -> bool {
+        self.paths[job].iter().any(|p| p == path)
+    }
+}
+
+/// Everything a [`Pricer`] may consult when proposing columns.
+pub struct PricingContext<'a> {
+    /// The network.
+    pub graph: &'a Graph,
+    /// The jobs (RET callers pass the deadline-extended jobs).
+    pub jobs: &'a [Job],
+    /// The *active* slice window per job at the current trial deadline.
+    pub windows: &'a [Range<usize>],
+    /// Dual value of every materialized capacity row, keyed by
+    /// `(edge index, slice)`. Rows not in the map have dual zero (their
+    /// constraint is slack by construction).
+    pub cap_duals: &'a BTreeMap<(u32, u32), f64>,
+    /// `budgets[i][j - windows[i].start]`: a new path for job `i` usable
+    /// in slice `j` improves the master iff its dual load
+    /// `Σ_{e∈p} μ_{e,j}` is strictly below this (the reduced-cost
+    /// tolerance is already subtracted).
+    pub budgets: &'a [Vec<f64>],
+    /// The current pool, for deduplication.
+    pub pool: &'a ColumnPool,
+}
+
+/// A column-generation pricing oracle: proposes `(job, path)` candidates
+/// whose columns may improve the restricted master. Proposals are
+/// re-verified against exact reduced costs by the master, so a pricer may
+/// over-propose, but must be deterministic: same context, same proposals,
+/// same order. Both built-in pricers propose at most one path per job per
+/// round — the best exact margin — which keeps the pool lean (textbook
+/// column-generation discipline; entering every improving column floods
+/// the restricted master back to the monolithic size).
+pub trait Pricer {
+    /// Short name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Proposes candidate paths under the given duals.
+    fn price(&mut self, ctx: &PricingContext<'_>) -> Vec<(usize, Path)>;
+}
+
+/// Yen-universe pricing: each round, scan every Yen k-shortest path not
+/// yet in the pool and propose the one with the best exact reduced-cost
+/// margin per job. At convergence no out-of-pool Yen path improves, so
+/// column generation with this pricer reaches exactly the monolithic
+/// [`Instance`]-based optimum — the differential oracle.
+pub struct ExhaustivePricer {
+    pathset: PathSet,
+}
+
+impl ExhaustivePricer {
+    /// Creates the oracle with the Yen `k` (the instance's
+    /// `paths_per_job`).
+    pub fn new(paths_per_job: usize) -> Self {
+        ExhaustivePricer {
+            pathset: PathSet::new(paths_per_job),
+        }
+    }
+}
+
+/// Exact reduced-cost margin of `path` for `job`: the maximum over the
+/// job's active slices of `budget − Σ_{e∈p} μ_{e,j}` under the raw
+/// (unclamped) duals. Positive iff some slice's column passes the
+/// master's entry verification.
+fn exact_margin(ctx: &PricingContext<'_>, job: usize, path: &Path) -> f64 {
+    let w = &ctx.windows[job];
+    let mut best = f64::NEG_INFINITY;
+    for j in w.clone() {
+        let load: f64 = path
+            .edges()
+            .iter()
+            .map(|e| ctx.cap_duals.get(&(e.0, j as u32)).copied().unwrap_or(0.0))
+            .sum();
+        let m = ctx.budgets[job][j - w.start] - load;
+        if m > best {
+            best = m;
+        }
+    }
+    best
+}
+
+impl Pricer for ExhaustivePricer {
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+
+    fn price(&mut self, ctx: &PricingContext<'_>) -> Vec<(usize, Path)> {
+        let mut out = Vec::new();
+        for (i, job) in ctx.jobs.iter().enumerate() {
+            if ctx.windows[i].is_empty() {
+                continue;
+            }
+            // Best strictly-improving out-of-pool Yen path; ties keep the
+            // first in Yen order (deterministic).
+            let mut best: Option<(f64, &Path)> = None;
+            let paths = self.pathset.paths(ctx.graph, job.src, job.dst);
+            for p in paths {
+                if ctx.pool.contains(i, p) {
+                    continue;
+                }
+                let m = exact_margin(ctx, i, p);
+                if m > 0.0 && best.as_ref().is_none_or(|(bm, _)| m > *bm) {
+                    best = Some((m, p));
+                }
+            }
+            if let Some((_, p)) = best {
+                out.push((i, p.clone()));
+            }
+        }
+        out
+    }
+}
+
+/// Reduced-cost Dijkstra pricing: for every `(job, slice)` with a positive
+/// budget, find the minimum-dual-load path under link weights
+/// `max(μ_{e,slice}, 0)`; a path whose (under-estimated) load beats the
+/// budget is a candidate, and the candidate with the best exact margin is
+/// proposed for the job. Searches are cached per `(slice, src, dst)`
+/// within one call; candidate order is slice-major with first-wins ties —
+/// fully deterministic.
+#[derive(Default)]
+pub struct ReducedCostPricer {}
+
+impl ReducedCostPricer {
+    /// Creates the pricer.
+    pub fn new() -> Self {
+        ReducedCostPricer {}
+    }
+}
+
+impl Pricer for ReducedCostPricer {
+    fn name(&self) -> &'static str {
+        "reduced-cost"
+    }
+
+    fn price(&mut self, ctx: &PricingContext<'_>) -> Vec<(usize, Path)> {
+        let mut out = Vec::new();
+        // (slice, src, dst) -> cheapest-dual-load path this round.
+        let mut cache: BTreeMap<(u32, u32, u32), Option<(f64, Path)>> = BTreeMap::new();
+        for (i, job) in ctx.jobs.iter().enumerate() {
+            let w = ctx.windows[i].clone();
+            // Candidate paths for this job (deduplicated by edge list);
+            // the one with the best exact margin is proposed.
+            let mut seen: std::collections::BTreeSet<Vec<u32>> = Default::default();
+            let mut best: Option<(f64, Path)> = None;
+            for j in w.clone() {
+                let budget = ctx.budgets[i][j - w.start];
+                // Dual loads are >= 0, so a non-positive budget can never
+                // be beaten; skip the search.
+                if budget <= 0.0 {
+                    continue;
+                }
+                let key = (j as u32, job.src.0, job.dst.0);
+                let entry = cache.entry(key).or_insert_with(|| {
+                    dijkstra::shortest_path_weighted(
+                        ctx.graph,
+                        job.src,
+                        job.dst,
+                        |e| {
+                            ctx.cap_duals
+                                .get(&(e.0, j as u32))
+                                .copied()
+                                .unwrap_or(0.0)
+                                .max(0.0)
+                        },
+                        |_| true,
+                        |_| true,
+                    )
+                });
+                let Some((dist, path)) = entry else { continue };
+                if *dist >= budget || ctx.pool.contains(i, path) {
+                    continue;
+                }
+                let edges: Vec<u32> = path.edges().iter().map(|e| e.0).collect();
+                if !seen.insert(edges) {
+                    continue;
+                }
+                let m = exact_margin(ctx, i, path);
+                if m > 0.0 && best.as_ref().is_none_or(|(bm, _)| m > *bm) {
+                    best = Some((m, path.clone()));
+                }
+            }
+            if let Some((_, p)) = best {
+                out.push((i, p));
+            }
+        }
+        out
+    }
+}
+
+/// Which of the paper's formulations the master currently encodes. All
+/// four share one variable space — the pool columns plus a single `Z`
+/// column — and one row space (a row per job, then on-demand capacity
+/// rows), so switching forms only rewrites costs and bounds and every
+/// warm start transfers.
+#[derive(Debug, Clone)]
+enum MasterForm {
+    /// Maximize `Z` s.t. per-job volume `= Z·D_i` (paper eqs. 1–5).
+    Stage1,
+    /// Maximize weighted throughput with fairness floor `Z >= floor`
+    /// (eqs. 7–10 relaxed); `scale[i] = (w_i / D_i) / Σw`.
+    Stage2 { scale: Vec<f64> },
+    /// RET feasibility probe: maximize `Z ∈ [0,1]` s.t. volume `>= Z·D_i`;
+    /// feasible at the trial deadline iff `Z* >= 1`.
+    Probe,
+    /// SUB-RET Quick-Finish: minimize `Σ (j+1)·x` (encoded as maximize
+    /// the negation) s.t. volume `>= D_i` (`Z` pinned to 1).
+    QuickFinish,
+}
+
+/// The restricted master problem of the column-generation loop.
+///
+/// Owns one incremental [`SolverSession`] for the whole loop — and, via
+/// form switching, for the whole Stage-1 → Stage-2 pipeline or the whole
+/// RET bisection + δ-growth — so the simplex basis is reused across every
+/// resolve, augmentation, and bound change.
+pub struct CgMaster {
+    graph: Graph,
+    jobs: Vec<Job>,
+    demands: Vec<f64>,
+    grid: TimeGrid,
+    /// Envelope slice window per job (from the jobs the master was built
+    /// with — RET callers build at the deadline envelope `b_max`).
+    windows: Vec<Range<usize>>,
+    /// Currently active window per job (`⊆` envelope); columns outside are
+    /// fixed to zero.
+    active: Vec<Range<usize>>,
+    config: InstanceConfig,
+    cg: ColGenConfig,
+    session: SolverSession,
+    z: Col,
+    job_rows: Vec<Row>,
+    cap_rows: BTreeMap<(u32, u32), Row>,
+    pool: ColumnPool,
+    /// LP column of each pool column, in pool order.
+    lp_cols: Vec<Col>,
+    form: MasterForm,
+    stats: CgStats,
+}
+
+impl CgMaster {
+    /// Builds the restricted master seeded with each job's hop-shortest
+    /// path, in Stage-1 form. `demands` are normalized demand units (use
+    /// [`InstanceConfig::demand_units`]); jobs with no route simply get an
+    /// empty pool (their job row then forces `Z = 0`, exactly like the
+    /// monolithic build).
+    pub fn build(
+        graph: &Graph,
+        jobs: &[Job],
+        demands: Vec<f64>,
+        config: &InstanceConfig,
+        cg: &ColGenConfig,
+    ) -> Result<Self, SolveError> {
+        assert_eq!(jobs.len(), demands.len());
+        let horizon = jobs
+            .iter()
+            .map(|j| j.end)
+            .fold(1.0_f64, f64::max)
+            .ceil()
+            .max(1.0) as usize;
+        let grid = TimeGrid::uniform(horizon);
+        let windows: Vec<Range<usize>> = jobs
+            .iter()
+            .map(|j| grid.window_slices(j.start, j.end))
+            .collect();
+
+        let mut pool = ColumnPool::new(jobs.len());
+        for (i, job) in jobs.iter().enumerate() {
+            if let Some(p) = dijkstra::shortest_path(graph, job.src, job.dst) {
+                pool.paths[i].push(p);
+            }
+        }
+
+        // Master LP: Z first (stable index 0), then the seed columns in
+        // pool order, then a row per job, then the capacity rows the seed
+        // columns cross, in sorted (edge, slice) order.
+        let mut p = Problem::new(Objective::Maximize);
+        let z = p.add_col(0.0, f64::INFINITY, 1.0);
+        let mut lp_cols = Vec::new();
+        for (i, paths) in pool.paths.iter().enumerate() {
+            for (pi, _) in paths.iter().enumerate() {
+                for slice in windows[i].clone() {
+                    let col = p.add_col(0.0, f64::INFINITY, 0.0);
+                    lp_cols.push(col);
+                    pool.cols.push(PoolCol {
+                        job: i as u32,
+                        path: pi as u32,
+                        slice: slice as u32,
+                    });
+                }
+            }
+        }
+        let mut job_rows = Vec::with_capacity(jobs.len());
+        for (i, _) in jobs.iter().enumerate() {
+            let mut coeffs: Vec<(Col, f64)> = Vec::new();
+            for (k, pc) in pool.cols.iter().enumerate() {
+                if pc.job as usize == i {
+                    coeffs.push((lp_cols[k], grid.len_of(pc.slice as usize)));
+                }
+            }
+            coeffs.push((z, -demands[i]));
+            job_rows.push(p.add_row(0.0, 0.0, &coeffs));
+        }
+        let mut crossings: BTreeMap<(u32, u32), Vec<(Col, f64)>> = BTreeMap::new();
+        for (k, pc) in pool.cols.iter().enumerate() {
+            for &e in pool.paths[pc.job as usize][pc.path as usize].edges() {
+                crossings
+                    .entry((e.0, pc.slice))
+                    .or_default()
+                    .push((lp_cols[k], 1.0));
+            }
+        }
+        let mut cap_rows = BTreeMap::new();
+        for (key, coeffs) in &crossings {
+            let cap = graph.wavelengths(EdgeId(key.0)) as f64;
+            cap_rows.insert(*key, p.add_row(f64::NEG_INFINITY, cap, coeffs));
+        }
+
+        let session = SolverSession::with_config(&p, &cg.lp)?;
+        Ok(CgMaster {
+            graph: graph.clone(),
+            jobs: jobs.to_vec(),
+            demands,
+            grid,
+            active: windows.clone(),
+            windows,
+            config: config.clone(),
+            cg: cg.clone(),
+            session,
+            z,
+            job_rows,
+            cap_rows,
+            pool,
+            lp_cols,
+            form: MasterForm::Stage1,
+            stats: CgStats::default(),
+        })
+    }
+
+    /// Number of jobs.
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// The normalized demands the master was built with.
+    pub fn demands(&self) -> &[f64] {
+        &self.demands
+    }
+
+    /// The master's time grid.
+    pub fn grid(&self) -> &TimeGrid {
+        &self.grid
+    }
+
+    /// The envelope slice windows the master was built with.
+    pub fn windows(&self) -> &[Range<usize>] {
+        &self.windows
+    }
+
+    /// The active column pool.
+    pub fn pool(&self) -> &ColumnPool {
+        &self.pool
+    }
+
+    /// Column-generation work counters so far.
+    pub fn stats(&self) -> CgStats {
+        self.stats
+    }
+
+    /// Aggregated simplex counters over every master solve.
+    pub fn session_stats(&self) -> SolveStats {
+        self.session.stats()
+    }
+
+    /// The column-generation configuration.
+    pub fn cg_config(&self) -> &ColGenConfig {
+        &self.cg
+    }
+
+    /// True when this master's price–resolve loop may run another round.
+    pub fn may_round(&self, rounds_done: usize) -> bool {
+        rounds_done < self.cg.max_rounds
+    }
+
+    /// Switches the master to Stage-1 form (maximize `Z`, volume `= Z·D`).
+    pub fn set_stage1(&mut self) {
+        self.install_form(MasterForm::Stage1);
+    }
+
+    /// Switches the master to Stage-2 form: fairness floor
+    /// `Z >= (1-alpha)·Z*` and per-column costs
+    /// `scale[i] · LEN(j)` with `scale[i] = (w_i/D_i)/Σw`.
+    pub fn set_stage2(&mut self, floor: f64, scale: Vec<f64>) {
+        assert_eq!(scale.len(), self.jobs.len());
+        self.install_form(MasterForm::Stage2 { scale });
+        self.session.set_col_bounds(self.z, floor, f64::INFINITY);
+    }
+
+    /// Switches the master to the RET feasibility-probe form.
+    pub fn set_probe(&mut self) {
+        self.install_form(MasterForm::Probe);
+    }
+
+    /// Switches the master to the SUB-RET Quick-Finish form.
+    pub fn set_quick_finish(&mut self) {
+        self.install_form(MasterForm::QuickFinish);
+    }
+
+    fn install_form(&mut self, form: MasterForm) {
+        self.form = form;
+        let (z_cost, z_lo, z_hi, row_hi) = match &self.form {
+            MasterForm::Stage1 => (1.0, 0.0, f64::INFINITY, 0.0),
+            MasterForm::Stage2 { .. } => (0.0, 0.0, f64::INFINITY, f64::INFINITY),
+            MasterForm::Probe => (1.0, 0.0, 1.0, f64::INFINITY),
+            MasterForm::QuickFinish => (0.0, 1.0, 1.0, f64::INFINITY),
+        };
+        self.session.set_cost(self.z, z_cost);
+        self.session.set_col_bounds(self.z, z_lo, z_hi);
+        for i in 0..self.job_rows.len() {
+            self.session.set_row_bounds(self.job_rows[i], 0.0, row_hi);
+        }
+        for k in 0..self.pool.cols.len() {
+            let pc = self.pool.cols[k];
+            let c = self.cost_of(pc.job as usize, pc.slice as usize);
+            self.session.set_cost(self.lp_cols[k], c);
+        }
+    }
+
+    /// The current form's objective coefficient of a `(job, slice)`
+    /// column.
+    fn cost_of(&self, job: usize, slice: usize) -> f64 {
+        match &self.form {
+            MasterForm::Stage1 | MasterForm::Probe => 0.0,
+            MasterForm::Stage2 { scale } => scale[job] * self.grid.len_of(slice),
+            // Minimize Σ (slice+1)·x as a maximization.
+            MasterForm::QuickFinish => -((slice + 1) as f64),
+        }
+    }
+
+    /// Restricts each job to `windows[i]` (clipped to the envelope):
+    /// columns outside are fixed to zero, columns inside reopened. RET
+    /// drives this per bisection probe and per δ-growth step, re-pricing
+    /// after every change.
+    pub fn set_active_windows(&mut self, windows: &[Range<usize>]) {
+        assert_eq!(windows.len(), self.jobs.len());
+        for (i, w) in windows.iter().enumerate() {
+            let env = &self.windows[i];
+            self.active[i] = w.start.max(env.start)..w.end.min(env.end);
+        }
+        for k in 0..self.pool.cols.len() {
+            let pc = self.pool.cols[k];
+            let hi = if self.active[pc.job as usize].contains(&(pc.slice as usize)) {
+                f64::INFINITY
+            } else {
+                0.0
+            };
+            self.session.set_col_bounds(self.lp_cols[k], 0.0, hi);
+        }
+    }
+
+    /// Reopens every job's full envelope window.
+    pub fn reset_active_windows(&mut self) {
+        let all = self.windows.clone();
+        self.set_active_windows(&all);
+    }
+
+    /// Solves the restricted master (warm from the previous optimum).
+    pub fn solve(&mut self) -> Result<Solution, SolveError> {
+        self.session.solve()
+    }
+
+    /// One pricing round: extracts the duals of `sol`, calls the pricer,
+    /// verifies each proposal against exact reduced costs, and adds the
+    /// surviving paths' columns (and any newly crossed capacity rows) to
+    /// the master. Returns the number of columns added — zero means the
+    /// restricted optimum is optimal over the pricer's universe and the
+    /// loop is done. Returns zero without pricing once `rounds_done`
+    /// reaches the configured round cap.
+    pub fn price_and_augment(
+        &mut self,
+        sol: &Solution,
+        pricer: &mut dyn Pricer,
+        rounds_done: usize,
+    ) -> usize {
+        debug_assert_eq!(sol.status, Status::Optimal, "pricing needs optimal duals");
+        if !self.may_round(rounds_done) {
+            return 0;
+        }
+        self.stats.rounds += 1;
+        obs::counter_add("cg.rounds", 1);
+
+        let cap_duals: BTreeMap<(u32, u32), f64> = self
+            .cap_rows
+            .iter()
+            .map(|(k, r)| (*k, sol.duals[r.index()]))
+            .collect();
+        let mut budgets: Vec<Vec<f64>> = Vec::with_capacity(self.jobs.len());
+        for i in 0..self.jobs.len() {
+            let lambda = sol.duals[self.job_rows[i].index()];
+            let w = self.active[i].clone();
+            let mut b = Vec::with_capacity(w.len());
+            for j in w {
+                b.push(self.cost_of(i, j) - lambda * self.grid.len_of(j) - self.cg.tolerance);
+            }
+            budgets.push(b);
+        }
+
+        let _pricing = obs::span("cg_pricing");
+        // lint: allow(wallclock, reason = "cg.pricing_ns is a reporting-only counter; no scheduling decision reads it")
+        let t0 = std::time::Instant::now();
+        let proposals = {
+            let ctx = PricingContext {
+                graph: &self.graph,
+                jobs: &self.jobs,
+                windows: &self.active,
+                cap_duals: &cap_duals,
+                budgets: &budgets,
+                pool: &self.pool,
+            };
+            pricer.price(&ctx)
+        };
+        self.stats.pricer_calls += 1;
+        let spent = t0.elapsed().as_nanos() as u64;
+        self.stats.pricing_ns += spent;
+        obs::counter_add("cg.pricer_calls", 1);
+        obs::counter_add("cg.pricing_ns", spent);
+        drop(_pricing);
+
+        let mut added = 0usize;
+        for (job, path) in proposals {
+            if self.pool.contains(job, &path) {
+                continue;
+            }
+            // Exact reduced-cost verification with unclamped duals: the
+            // path must improve in at least one active slice.
+            let w = self.active[job].clone();
+            let improving = w.clone().any(|j| {
+                let load: f64 = path
+                    .edges()
+                    .iter()
+                    .map(|e| cap_duals.get(&(e.0, j as u32)).copied().unwrap_or(0.0))
+                    .sum();
+                load < budgets[job][j - w.start]
+            });
+            if !improving {
+                continue;
+            }
+            added += self.add_path(job, path);
+        }
+        self.stats.columns_added += added as u64;
+        obs::counter_add("cg.columns_added", added as u64);
+        added
+    }
+
+    /// Materializes `path` for `job` over its full envelope window:
+    /// missing capacity rows first (empty — by the coverage invariant no
+    /// existing column crosses an unmaterialized `(edge, slice)`), then
+    /// the columns, bounded by the active window. Returns the number of
+    /// columns added.
+    fn add_path(&mut self, job: usize, path: Path) -> usize {
+        let env = self.windows[job].clone();
+        // Rows before columns, in sorted key order.
+        let mut missing: Vec<(u32, u32)> = Vec::new();
+        for &e in path.edges() {
+            for j in env.clone() {
+                let key = (e.0, j as u32);
+                if !self.cap_rows.contains_key(&key) && !missing.contains(&key) {
+                    missing.push(key);
+                }
+            }
+        }
+        missing.sort_unstable();
+        if !missing.is_empty() {
+            let new_rows: Vec<NewRow> = missing
+                .iter()
+                .map(|&(e, _)| NewRow {
+                    lower: f64::NEG_INFINITY,
+                    upper: self.graph.wavelengths(EdgeId(e)) as f64,
+                    entries: Vec::new(),
+                })
+                .collect();
+            let rows = self.session.add_rows(&new_rows);
+            for (key, row) in missing.iter().zip(rows) {
+                self.cap_rows.insert(*key, row);
+            }
+        }
+
+        let path_idx = self.pool.paths[job].len();
+        let mut new_cols = Vec::with_capacity(env.len());
+        for j in env.clone() {
+            let mut entries: Vec<(Row, f64)> = vec![(self.job_rows[job], self.grid.len_of(j))];
+            for &e in path.edges() {
+                entries.push((self.cap_rows[&(e.0, j as u32)], 1.0));
+            }
+            let upper = if self.active[job].contains(&j) {
+                f64::INFINITY
+            } else {
+                0.0
+            };
+            new_cols.push(NewColumn {
+                lower: 0.0,
+                upper,
+                cost: self.cost_of(job, j),
+                entries,
+            });
+        }
+        let cols = self.session.add_columns(&new_cols);
+        for (j, col) in env.clone().zip(cols) {
+            self.lp_cols.push(col);
+            self.pool.cols.push(PoolCol {
+                job: job as u32,
+                path: path_idx as u32,
+                slice: j as u32,
+            });
+        }
+        self.pool.paths[job].push(path);
+        env.len()
+    }
+
+    /// Materializes the converged pool as a standard [`Instance`] (the
+    /// pool paths become the allowed paths), so schedules, LPD/LPDAR and
+    /// all metrics work downstream exactly as after a monolithic build.
+    pub fn materialize(&self) -> Instance {
+        self.materialize_for(&self.jobs)
+    }
+
+    /// Like [`materialize`](Self::materialize) but over substitute jobs
+    /// (same count, sources and destinations — RET passes the jobs
+    /// extended to the current trial deadline).
+    pub fn materialize_for(&self, jobs: &[Job]) -> Instance {
+        assert_eq!(jobs.len(), self.jobs.len());
+        Instance::build_with_paths(
+            &self.graph,
+            jobs,
+            self.demands.clone(),
+            &self.config,
+            self.pool.paths.clone(),
+        )
+    }
+
+    /// Maps a master solution's column values onto `inst`'s variable
+    /// space (an instance from [`materialize`](Self::materialize) /
+    /// [`materialize_for`](Self::materialize_for)). Pool columns whose
+    /// slice falls outside the instance window are dropped — they are
+    /// bound to zero whenever the active windows match the instance.
+    pub fn values_on(&self, inst: &Instance, x: &[f64]) -> Vec<f64> {
+        let mut v = vec![0.0; inst.vars.len()];
+        for (k, pc) in self.pool.cols.iter().enumerate() {
+            let (job, pi, slice) = (pc.job as usize, pc.path as usize, pc.slice as usize);
+            if inst.vars.window(job).contains(&slice) {
+                v[inst.vars.var(job, pi, slice)] = x[self.lp_cols[k].index()];
+            }
+        }
+        v
+    }
+}
+
+/// Runs the price–resolve loop on `master`'s **current** form: solve,
+/// price, augment, repeat until the pricer prices out (or the round cap is
+/// hit, or a non-optimal status stops the loop — RET's Quick-Finish form
+/// can legitimately be infeasible). Returns the final restricted solution.
+pub fn price_resolve(
+    master: &mut CgMaster,
+    pricer: &mut dyn Pricer,
+) -> Result<Solution, SolveError> {
+    price_resolve_until(master, pricer, |_| false)
+}
+
+/// [`price_resolve`] with an early-stop predicate, checked on each
+/// restricted optimum *before* pricing. Stopping early is only sound when
+/// the caller needs a one-sided answer: the restricted objective is a
+/// lower bound on the universe optimum (Maximize), so once a feasibility
+/// threshold is reached, more columns cannot un-reach it. RET's bisection
+/// probes use this — a probe only needs pricing to optimality to certify
+/// *in*feasibility, and stopping at the threshold keeps the pool lean.
+pub fn price_resolve_until(
+    master: &mut CgMaster,
+    pricer: &mut dyn Pricer,
+    stop: impl Fn(&Solution) -> bool,
+) -> Result<Solution, SolveError> {
+    let mut rounds = 0usize;
+    loop {
+        let sol = master.solve()?;
+        if sol.status != Status::Optimal || stop(&sol) {
+            return Ok(sol);
+        }
+        if master.price_and_augment(&sol, pricer, rounds) == 0 {
+            return Ok(sol);
+        }
+        rounds += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceConfig;
+    use crate::stage1::{solve_stage1, solve_stage1_colgen};
+    use wavesched_net::abilene14;
+    use wavesched_workload::{WorkloadConfig, WorkloadGenerator};
+
+    fn setup(n_jobs: usize, seed: u64) -> (Graph, Vec<Job>, Vec<f64>, InstanceConfig) {
+        let (g, _) = abilene14(4);
+        let jobs = WorkloadGenerator::new(WorkloadConfig {
+            num_jobs: n_jobs,
+            seed,
+            ..Default::default()
+        })
+        .generate(&g);
+        let cfg = InstanceConfig::paper(4);
+        let demands: Vec<f64> = jobs.iter().map(|j| cfg.demand_units(j.size_gb)).collect();
+        (g, jobs, demands, cfg)
+    }
+
+    #[test]
+    fn exhaustive_pricer_matches_monolithic_stage1() {
+        let (g, jobs, demands, cfg) = setup(10, 42);
+        let mut ps = PathSet::new(cfg.paths_per_job);
+        let inst = Instance::build(&g, &jobs, &cfg, &mut ps);
+        let mono = solve_stage1(&inst).unwrap();
+
+        let cg = ColGenConfig {
+            pricer: PricerChoice::Exhaustive,
+            ..Default::default()
+        };
+        let mut master = CgMaster::build(&g, &jobs, demands, &cfg, &cg).unwrap();
+        let mut pricer = cg.pricer.build(cfg.paths_per_job);
+        let z = solve_stage1_colgen(&mut master, pricer.as_mut()).unwrap();
+        assert!(
+            (z - mono.z_star).abs() < 1e-6,
+            "colgen z* {z} vs monolithic {}",
+            mono.z_star
+        );
+    }
+
+    #[test]
+    fn reduced_cost_pricer_at_least_exhaustive() {
+        let (g, jobs, demands, cfg) = setup(12, 7);
+        let mut ps = PathSet::new(cfg.paths_per_job);
+        let inst = Instance::build(&g, &jobs, &cfg, &mut ps);
+        let mono = solve_stage1(&inst).unwrap();
+
+        let cg = ColGenConfig::default(); // reduced-cost
+        let mut master = CgMaster::build(&g, &jobs, demands, &cfg, &cg).unwrap();
+        let mut pricer = cg.pricer.build(cfg.paths_per_job);
+        let z = solve_stage1_colgen(&mut master, pricer.as_mut()).unwrap();
+        // The reduced-cost pricer optimizes over ALL simple paths, a
+        // superset of the Yen set: its optimum can only be >= (up to tol).
+        assert!(
+            z >= mono.z_star - 1e-6,
+            "colgen z* {z} below Yen optimum {}",
+            mono.z_star
+        );
+        let st = master.stats();
+        assert!(st.rounds >= 1);
+        assert!(st.pricer_calls >= 1);
+    }
+
+    #[test]
+    fn pool_stays_restricted() {
+        let (g, jobs, demands, cfg) = setup(10, 42);
+        let cg = ColGenConfig::default();
+        let mut master = CgMaster::build(&g, &jobs, demands, &cfg, &cg).unwrap();
+        let mut pricer = cg.pricer.build(cfg.paths_per_job);
+        solve_stage1_colgen(&mut master, pricer.as_mut()).unwrap();
+        // Exhaustive column count over the same jobs.
+        let mut ps = PathSet::new(cfg.paths_per_job);
+        let inst = Instance::build(&g, &jobs, &cfg, &mut ps);
+        assert!(
+            master.pool().num_cols() <= inst.vars.len(),
+            "pool {} vs exhaustive {}",
+            master.pool().num_cols(),
+            inst.vars.len()
+        );
+    }
+
+    #[test]
+    fn seed_paths_are_shortest() {
+        let (g, jobs, demands, cfg) = setup(5, 3);
+        let cg = ColGenConfig::default();
+        let master = CgMaster::build(&g, &jobs, demands, &cfg, &cg).unwrap();
+        for (i, job) in jobs.iter().enumerate() {
+            let want = dijkstra::shortest_path(&g, job.src, job.dst).unwrap();
+            assert_eq!(master.pool().paths_of(i)[0], want);
+        }
+    }
+
+    #[test]
+    fn round_cap_stops_pricing() {
+        let (g, jobs, demands, cfg) = setup(6, 9);
+        let cg = ColGenConfig {
+            max_rounds: 0,
+            ..Default::default()
+        };
+        let mut master = CgMaster::build(&g, &jobs, demands, &cfg, &cg).unwrap();
+        let mut pricer = cg.pricer.build(cfg.paths_per_job);
+        master.set_stage1();
+        let sol = master.solve().unwrap();
+        assert_eq!(master.price_and_augment(&sol, pricer.as_mut(), 0), 0);
+        assert_eq!(master.stats().rounds, 0);
+    }
+
+    #[test]
+    fn values_map_onto_materialized_instance() {
+        let (g, jobs, demands, cfg) = setup(8, 5);
+        let cg = ColGenConfig::default();
+        let mut master = CgMaster::build(&g, &jobs, demands, &cfg, &cg).unwrap();
+        let mut pricer = cg.pricer.build(cfg.paths_per_job);
+        let z = solve_stage1_colgen(&mut master, pricer.as_mut()).unwrap();
+        let sol = master.solve().unwrap();
+        let inst = master.materialize();
+        let x = master.values_on(&inst, &sol.x);
+        let sched = crate::schedule::Schedule::from_values(&inst, x);
+        assert!(sched.max_capacity_violation(&inst) < 1e-6);
+        for i in 0..inst.num_jobs() {
+            assert!(
+                sched.throughput(&inst, i) >= z - 1e-5,
+                "job {i} moved less than Z*"
+            );
+        }
+    }
+}

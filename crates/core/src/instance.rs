@@ -212,7 +212,28 @@ impl Instance {
         cfg: &InstanceConfig,
         pathset: &mut PathSet,
     ) -> Self {
+        let paths: Vec<Vec<Path>> = jobs
+            .iter()
+            .map(|j| pathset.paths(graph, j.src, j.dst).to_vec())
+            .collect();
+        Self::build_with_paths(graph, jobs, demands, cfg, paths)
+    }
+
+    /// Builds an instance with explicit per-job path lists instead of the
+    /// Yen `PathSet` policy. This is how a converged column-generation
+    /// pool materializes into a standard instance: the restricted master's
+    /// active paths become the allowed paths, and every downstream
+    /// consumer (schedules, LPD/LPDAR discretization, metrics) works
+    /// unchanged.
+    pub fn build_with_paths(
+        graph: &Graph,
+        jobs: &[Job],
+        demands: Vec<f64>,
+        cfg: &InstanceConfig,
+        paths: Vec<Vec<Path>>,
+    ) -> Self {
         assert_eq!(jobs.len(), demands.len());
+        assert_eq!(jobs.len(), paths.len());
         let horizon = jobs
             .iter()
             .map(|j| j.end)
@@ -221,10 +242,6 @@ impl Instance {
             .max(1.0) as usize;
         let grid = TimeGrid::uniform(horizon);
 
-        let paths: Vec<Vec<Path>> = jobs
-            .iter()
-            .map(|j| pathset.paths(graph, j.src, j.dst).to_vec())
-            .collect();
         let windows: Vec<Range<usize>> = jobs
             .iter()
             .map(|j| grid.window_slices(j.start, j.end))

@@ -32,6 +32,7 @@
 
 pub mod admission;
 pub(crate) mod builders;
+pub mod colgen;
 pub mod controller;
 pub mod gkflow;
 pub mod instance;
@@ -45,13 +46,17 @@ pub mod stage2;
 pub mod timegrid;
 
 pub use admission::{admit_by_priority, AdmissionOutcome};
+pub use colgen::{
+    CgMaster, CgStats, ColGenConfig, ColumnPool, ExhaustivePricer, Pricer, PricerChoice,
+    PricingContext, ReducedCostPricer,
+};
 pub use controller::{Controller, ControllerConfig, OverloadPolicy};
 pub use gkflow::{approx_stage1, GkConfig, GkResult};
 pub use instance::{Instance, InstanceConfig, VarMap};
 pub use lpdar::{adjust_rates, adjust_rates_capped, lpdar, lpdar_capped, truncate, AdjustOrder};
-pub use pipeline::{max_throughput_pipeline, PipelineResult};
-pub use ret::{solve_ret, solve_ret_with_demands, RetConfig, RetMode, RetResult};
+pub use pipeline::{max_throughput_pipeline, max_throughput_pipeline_colgen, PipelineResult};
+pub use ret::{solve_ret, solve_ret_colgen, solve_ret_with_demands, RetConfig, RetMode, RetResult};
 pub use schedule::Schedule;
-pub use stage1::solve_stage1;
-pub use stage2::{solve_stage2, solve_stage2_weighted, WeightPolicy};
+pub use stage1::{solve_stage1, solve_stage1_colgen};
+pub use stage2::{solve_stage2, solve_stage2_colgen, solve_stage2_weighted, WeightPolicy};
 pub use timegrid::TimeGrid;

@@ -6,14 +6,19 @@
 //! timing convention is followed: the reported LPD time includes the LP
 //! solve it discretizes, and the LPDAR time includes both.
 
-use crate::instance::Instance;
+use crate::colgen::{CgMaster, CgStats, ColGenConfig};
+use crate::instance::{Instance, InstanceConfig};
 use crate::lpdar::{adjust_rates, truncate, AdjustOrder};
 use crate::schedule::Schedule;
-use crate::stage1::solve_stage1_with_start;
-use crate::stage2::{solve_stage2_weighted_with_start, stage2_basis_from_stage1, WeightPolicy};
+use crate::stage1::{solve_stage1_colgen, solve_stage1_with_start};
+use crate::stage2::{
+    solve_stage2_colgen, solve_stage2_weighted_with_start, stage2_basis_from_stage1, WeightPolicy,
+};
 use std::time::{Duration, Instant};
 use wavesched_lp::{Basis, SimplexConfig, SolveError, SolveStats};
+use wavesched_net::Graph;
 use wavesched_obs as obs;
+use wavesched_workload::Job;
 
 /// Everything the Fig. 1–3 experiments need from one pipeline run.
 #[derive(Debug, Clone)]
@@ -162,6 +167,105 @@ pub fn max_throughput_pipeline_warmed(
         stage1_basis: s1.basis,
         stats,
     })
+}
+
+/// Runs the two-stage pipeline under delayed column generation.
+///
+/// Instead of materializing every Yen column up front, a single restricted
+/// master ([`CgMaster`]) is seeded with each job's shortest path, driven to
+/// the Stage-1 optimum by the price–resolve loop, switched to Stage-2 form
+/// in place (pool, capacity rows and basis all carry over), and priced out
+/// again. The converged pool then materializes into a standard
+/// [`Instance`] — typically a small fraction of the exhaustive column
+/// count — on which LPD/LPDAR run unchanged.
+///
+/// Returns the pipeline result, the materialized instance (callers need it
+/// for schedule metrics), and the column-generation work counters.
+/// `stage1_basis` is `None`: the basis lives inside the master's solver
+/// session, which this function consumes.
+pub fn max_throughput_pipeline_colgen(
+    graph: &Graph,
+    jobs: &[Job],
+    icfg: &InstanceConfig,
+    alpha: f64,
+    order: AdjustOrder,
+    cg: &ColGenConfig,
+) -> Result<(PipelineResult, Instance, CgStats), SolveError> {
+    let _pipeline_span = obs::span("pipeline");
+    // lint: allow(wallclock, reason = "stage timings are reporting-only fields of PipelineResult; no scheduling decision reads them")
+    let t0 = Instant::now();
+
+    if jobs.is_empty() {
+        let inst = Instance::build_with_paths(graph, &[], Vec::new(), icfg, Vec::new());
+        let zero = Schedule::zero(&inst);
+        let r = PipelineResult {
+            z_star: f64::INFINITY,
+            lp: zero.clone(),
+            lpd: zero.clone(),
+            lpdar: zero,
+            lp_throughput: 0.0,
+            lpd_throughput: 0.0,
+            lpdar_throughput: 0.0,
+            stage1_time: t0.elapsed(),
+            lp_time: t0.elapsed(),
+            lpd_time: t0.elapsed(),
+            lpdar_time: t0.elapsed(),
+            stage1_basis: None,
+            stats: SolveStats::default(),
+        };
+        return Ok((r, inst, CgStats::default()));
+    }
+
+    let demands: Vec<f64> = jobs.iter().map(|j| icfg.demand_units(j.size_gb)).collect();
+    let mut master = CgMaster::build(graph, jobs, demands, icfg, cg)?;
+    let mut pricer = cg.pricer.build(icfg.paths_per_job);
+
+    let z_star = solve_stage1_colgen(&mut master, pricer.as_mut())?;
+    let stage1_time = t0.elapsed();
+
+    let sol = {
+        let _s = obs::span("stage2");
+        solve_stage2_colgen(
+            &mut master,
+            pricer.as_mut(),
+            z_star,
+            alpha,
+            &WeightPolicy::DemandProportional,
+        )?
+    };
+    let lp_time = t0.elapsed();
+
+    let inst = master.materialize();
+    let lp = Schedule::from_values(&inst, master.values_on(&inst, &sol.x));
+
+    let lpd = {
+        let _s = obs::span("lpd");
+        truncate(&inst, &lp)
+    };
+    let lpd_time = t0.elapsed();
+
+    let adj = {
+        let _s = obs::span("lpdar");
+        adjust_rates(&inst, &lpd, order)
+    };
+    let lpdar_time = t0.elapsed();
+
+    let r = PipelineResult {
+        z_star,
+        lp_throughput: lp.weighted_throughput(&inst),
+        lpd_throughput: lpd.weighted_throughput(&inst),
+        lpdar_throughput: adj.weighted_throughput(&inst),
+        lp,
+        lpd,
+        lpdar: adj,
+        stage1_time,
+        lp_time,
+        lpd_time,
+        lpdar_time,
+        stage1_basis: None,
+        stats: master.session_stats(),
+    };
+    Ok((r, inst, master.stats()))
 }
 
 #[cfg(test)]

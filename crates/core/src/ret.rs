@@ -13,6 +13,7 @@
 //!    `b` by `delta` until the integral schedule also completes every job.
 
 use crate::builders::{add_assignment_cols, add_capacity_rows, job_volume_coeffs};
+use crate::colgen::{price_resolve, price_resolve_until, CgMaster, CgStats, ColGenConfig, Pricer};
 use crate::instance::{Instance, InstanceConfig};
 use crate::lpdar::{lpdar_capped, AdjustOrder};
 use crate::schedule::Schedule;
@@ -765,6 +766,152 @@ pub fn solve_ret_with_demands(
         }
         b += cfg.delta;
         if b > cfg.b_max + cfg.delta {
+            break;
+        }
+    }
+    Ok(None)
+}
+
+/// Active windows at trial extension `b` on the column-generation master's
+/// (envelope) grid; `None` when some job's window is empty — the probe then
+/// answers `false` without a solve, mirroring the monolithic path's
+/// `has_unschedulable_job` check. The grid is uniform, so these are the
+/// same slice indices an instance built directly at `b` would produce.
+fn cg_windows_at(
+    master: &CgMaster,
+    jobs: &[Job],
+    mode: RetMode,
+    b: f64,
+) -> Option<Vec<Range<usize>>> {
+    let mut windows = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let ext = mode.apply(job, b);
+        let w = master.grid().window_slices(ext.start, ext.end);
+        if w.is_empty() {
+            return None;
+        }
+        windows.push(w);
+    }
+    Some(windows)
+}
+
+/// One column-generation feasibility probe at extension `b`: tighten the
+/// master's active windows, switch to the probe form, and run the
+/// price–resolve loop. **Re-pricing after the bound change matters** — a
+/// path that was worthless under wide windows can become the completing
+/// path under tight ones, and a restricted master that skipped pricing
+/// here could wrongly answer "infeasible".
+fn cg_probe(
+    master: &mut CgMaster,
+    pricer: &mut dyn Pricer,
+    jobs: &[Job],
+    mode: RetMode,
+    b: f64,
+) -> Result<bool, SolveError> {
+    obs::counter_add("ret.probes", 1);
+    let _span = obs::span("ret_probe");
+    let Some(windows) = cg_windows_at(master, jobs, mode, b) else {
+        return Ok(false);
+    };
+    master.set_active_windows(&windows);
+    master.set_probe();
+    // Early-stop at the feasibility threshold: the restricted optimum
+    // only underestimates the universe optimum, so reaching `Z >= 1`
+    // already answers the probe — pricing to optimality is needed only
+    // to certify infeasibility.
+    let sol = price_resolve_until(master, pricer, |s| s.objective >= 1.0 - RET_PROBE_TOL)?;
+    Ok(sol.status == Status::Optimal && sol.objective >= 1.0 - RET_PROBE_TOL)
+}
+
+/// Solves the RET problem (Algorithm 2) by delayed column generation.
+///
+/// One restricted master, built at the `b_max` envelope and seeded with
+/// shortest paths, answers **every** bisection probe and δ-growth step:
+/// per trial `b` the active windows tighten or reopen, the form switches
+/// (probe / Quick-Finish), and the price–resolve loop re-prices — columns
+/// accumulate monotonically across the whole search and the simplex basis
+/// chains warm throughout. Matches [`solve_ret`]'s trajectory semantics
+/// with one documented difference: growth is capped at the `b_max`
+/// envelope (the pool's windows cannot extend past it), where the
+/// monolithic path may take one final cold step beyond `b_max`. Returns
+/// the result together with the column-generation work counters, or
+/// `Ok(None)` when no extension within `b_max` completes all jobs.
+pub fn solve_ret_colgen(
+    graph: &Graph,
+    jobs: &[Job],
+    inst_cfg: &InstanceConfig,
+    cfg: &RetConfig,
+    cg: &ColGenConfig,
+) -> Result<Option<(RetResult, CgStats)>, SolveError> {
+    assert!(!jobs.is_empty(), "RET needs at least one job");
+    let _span = obs::span("ret");
+    let demands: Vec<f64> = jobs
+        .iter()
+        .map(|j| inst_cfg.demand_units(j.size_gb))
+        .collect();
+
+    let env_jobs: Vec<Job> = jobs.iter().map(|j| cfg.mode.apply(j, cfg.b_max)).collect();
+    let mut master = CgMaster::build(graph, &env_jobs, demands, inst_cfg, cg)?;
+    let mut pricer = cg.pricer.build(inst_cfg.paths_per_job);
+
+    // Step 1: serial binary search for the smallest feasible b. (The
+    // monolithic path speculates probes in parallel on session clones; the
+    // incremental master is a single evolving session, so probing stays
+    // serial — and therefore trivially byte-reproducible at any
+    // WS_THREADS.)
+    let b_lp = if cg_probe(&mut master, pricer.as_mut(), jobs, cfg.mode, 0.0)? {
+        0.0
+    } else if !cg_probe(&mut master, pricer.as_mut(), jobs, cfg.mode, cfg.b_max)? {
+        return Ok(None);
+    } else {
+        let (mut lo, mut hi) = (0.0, cfg.b_max);
+        while hi - lo > cfg.bsearch_tol {
+            let mid = 0.5 * (lo + hi);
+            if cg_probe(&mut master, pricer.as_mut(), jobs, cfg.mode, mid)? {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        hi
+    };
+
+    // Steps 2–5: Quick-Finish + LPDAR, growing b by delta until the
+    // integral schedule completes every job.
+    let mut b = b_lp;
+    for _ in 0..cfg.max_delta_steps {
+        let _step_span = obs::span("ret_growth_step");
+        obs::counter_add("ret.growth_rounds", 1);
+        if let Some(windows) = cg_windows_at(&master, jobs, cfg.mode, b) {
+            master.set_active_windows(&windows);
+            master.set_quick_finish();
+            let sol = price_resolve(&mut master, pricer.as_mut())?;
+            if sol.status == Status::Optimal {
+                let ext: Vec<Job> = jobs.iter().map(|j| cfg.mode.apply(j, b)).collect();
+                let inst = master.materialize_for(&ext);
+                let lp_sched = Schedule::from_values(&inst, master.values_on(&inst, &sol.x));
+                let lpd = crate::lpdar::truncate(&inst, &lp_sched);
+                let adj = lpdar_capped(&inst, &lp_sched, cfg.order);
+                let all_done =
+                    (0..inst.num_jobs()).all(|i| adj.completes(&inst, i, COMPLETION_TOL));
+                if all_done {
+                    return Ok(Some((
+                        RetResult {
+                            b_lp,
+                            b_final: b,
+                            lp: lp_sched,
+                            lpd,
+                            lpdar: adj,
+                            instance: inst,
+                            stats: master.session_stats(),
+                        },
+                        master.stats(),
+                    )));
+                }
+            }
+        }
+        b += cfg.delta;
+        if b > cfg.b_max {
             break;
         }
     }

@@ -6,6 +6,7 @@
 //! every deadline can be met (and demands could even be scaled up by `Z*`).
 
 use crate::builders::{add_assignment_cols, add_capacity_rows, job_volume_coeffs};
+use crate::colgen::{CgMaster, Pricer};
 use crate::instance::Instance;
 use crate::schedule::Schedule;
 use wavesched_lp::{
@@ -94,6 +95,37 @@ pub fn solve_stage1_with_start(
         other => Err(SolveError::Numerical(format!(
             "stage 1 terminated with status {other}"
         ))),
+    }
+}
+
+/// Solves Stage 1 by delayed column generation: switches `master` to
+/// Stage-1 form and runs the price–resolve loop until the pricer finds no
+/// improving path (or the round cap is hit). Returns `Z*`, optimal over
+/// the pricer's path universe — for the exhaustive pricer this matches
+/// [`solve_stage1`] over the same Yen paths to tolerance.
+pub fn solve_stage1_colgen(
+    master: &mut CgMaster,
+    pricer: &mut dyn Pricer,
+) -> Result<f64, SolveError> {
+    if master.num_jobs() == 0 {
+        return Ok(f64::INFINITY);
+    }
+    let _span = obs::span("stage1");
+    master.set_stage1();
+    let mut rounds = 0usize;
+    loop {
+        let sol = master.solve()?;
+        if sol.status != Status::Optimal {
+            // Z = 0, x = 0 is always feasible, as in the monolithic build.
+            return Err(SolveError::Numerical(format!(
+                "stage 1 (colgen) terminated with status {}",
+                sol.status
+            )));
+        }
+        if master.price_and_augment(&sol, pricer, rounds) == 0 {
+            return Ok(sol.objective);
+        }
+        rounds += 1;
     }
 }
 

@@ -10,10 +10,12 @@
 //! per-job lower bound on transferred volume.
 
 use crate::builders::{add_assignment_cols, add_capacity_rows, job_volume_coeffs};
+use crate::colgen::{CgMaster, Pricer};
 use crate::instance::Instance;
 use crate::schedule::Schedule;
 use wavesched_lp::{
-    solve_with_start, Basis, Objective, Problem, SimplexConfig, SolveError, SolveStats, Status,
+    solve_with_start, Basis, Objective, Problem, SimplexConfig, Solution, SolveError, SolveStats,
+    Status,
 };
 
 /// The job weights `w_i` in the Stage-2 objective `sum_i w_i Z_i / sum_i w_i`.
@@ -37,12 +39,19 @@ pub enum WeightPolicy {
 impl WeightPolicy {
     /// Resolves the weight of job `i`.
     pub fn weight(&self, inst: &Instance, i: usize) -> f64 {
+        self.weight_of(&inst.demands, i)
+    }
+
+    /// Resolves the weight of job `i` from raw normalized demands — for
+    /// callers without a materialized [`Instance`], like the
+    /// column-generation restricted master.
+    pub fn weight_of(&self, demands: &[f64], i: usize) -> f64 {
         match self {
-            WeightPolicy::DemandProportional => inst.demands[i],
+            WeightPolicy::DemandProportional => demands[i],
             WeightPolicy::Uniform => 1.0,
-            WeightPolicy::InverseDemand => 1.0 / inst.demands[i],
+            WeightPolicy::InverseDemand => 1.0 / demands[i],
             WeightPolicy::Importance(w) => {
-                assert_eq!(w.len(), inst.num_jobs(), "one weight per job");
+                assert_eq!(w.len(), demands.len(), "one weight per job");
                 assert!(w[i] > 0.0, "weights must be positive");
                 w[i]
             }
@@ -178,6 +187,47 @@ pub fn solve_stage2_weighted_with_start(
         other => Err(SolveError::Numerical(format!(
             "stage 2 terminated with status {other}"
         ))),
+    }
+}
+
+/// Solves Stage 2 by delayed column generation **on the same master Stage 1
+/// converged on**: only costs and bounds change (the fairness floor on `Z`,
+/// the per-column volume costs), so the converged pool, the capacity rows
+/// and the optimal basis all carry over, and the price–resolve loop only
+/// has to generate whatever additional paths the weighted objective makes
+/// attractive. Returns the final restricted-master solution; map it onto a
+/// materialized instance with [`CgMaster::values_on`].
+pub fn solve_stage2_colgen(
+    master: &mut CgMaster,
+    pricer: &mut dyn Pricer,
+    z_star: f64,
+    alpha: f64,
+    weights: &WeightPolicy,
+) -> Result<Solution, SolveError> {
+    assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+    let demands = master.demands().to_vec();
+    let total_weight: f64 = (0..demands.len())
+        .map(|i| weights.weight_of(&demands, i))
+        .sum();
+    let scale: Vec<f64> = (0..demands.len())
+        .map(|i| weights.weight_of(&demands, i) / demands[i] / total_weight)
+        .collect();
+    master.set_stage2((1.0 - alpha) * z_star, scale);
+    let mut rounds = 0usize;
+    loop {
+        let sol = master.solve()?;
+        if sol.status != Status::Optimal {
+            // With z_star from Stage 1 the floors are feasible by
+            // construction; anything else is a solver breakdown.
+            return Err(SolveError::Numerical(format!(
+                "stage 2 (colgen) terminated with status {}",
+                sol.status
+            )));
+        }
+        if master.price_and_augment(&sol, pricer, rounds) == 0 {
+            return Ok(sol);
+        }
+        rounds += 1;
     }
 }
 

@@ -54,7 +54,9 @@ pub use mps::{parse_mps, write_mps, MpsModel};
 pub use presolve::{presolve, PresolveOutcome, Reduction};
 #[doc(hidden)]
 pub use revised::PivotProbe;
-pub use revised::{solve, solve_with, solve_with_start, SimplexConfig, SolverSession};
+pub use revised::{
+    solve, solve_with, solve_with_start, NewColumn, NewRow, SimplexConfig, SolverSession,
+};
 pub use solution::{Basis, BasisStatus, Solution, SolveError, SolveStats, Status};
 
 /// Default feasibility tolerance: a bound or row is considered satisfied if

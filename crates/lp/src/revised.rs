@@ -28,7 +28,7 @@ mod lu;
 
 use crate::model::{Col, Problem, Row};
 use crate::solution::{Basis, BasisStatus, Solution, SolveError, SolveStats, Status};
-use crate::sparse::WorkVec;
+use crate::sparse::{CscMatrix, WorkVec};
 use crate::stdform::{standardize, ColKind, StdForm};
 use crate::{is_inf, FEAS_TOL, OPT_TOL, PIVOT_TOL};
 use wavesched_obs as obs;
@@ -71,6 +71,35 @@ impl Default for SimplexConfig {
             kernel_density_threshold: 0.3,
         }
     }
+}
+
+/// A structural column to append to a [`SolverSession`]'s held problem via
+/// [`SolverSession::add_columns`]. Costs and bounds are in the original
+/// objective direction, exactly as [`Problem::add_col`] takes them.
+#[derive(Debug, Clone)]
+pub struct NewColumn {
+    /// Lower bound.
+    pub lower: f64,
+    /// Upper bound.
+    pub upper: f64,
+    /// Objective coefficient.
+    pub cost: f64,
+    /// Sparse constraint entries `(row, coefficient)`, in any order;
+    /// duplicate rows are rejected.
+    pub entries: Vec<(Row, f64)>,
+}
+
+/// A constraint row to append to a [`SolverSession`]'s held problem via
+/// [`SolverSession::add_rows`], exactly as [`Problem::add_row`] takes it.
+#[derive(Debug, Clone)]
+pub struct NewRow {
+    /// Row lower bound.
+    pub lower: f64,
+    /// Row upper bound.
+    pub upper: f64,
+    /// Sparse entries `(column, coefficient)` over the *structural*
+    /// columns, in any order.
+    pub entries: Vec<(Col, f64)>,
 }
 
 /// Solves `p` with the sparse revised simplex under default settings.
@@ -183,10 +212,12 @@ struct Engine {
     /// Devex reference weights.
     weights: Vec<f64>,
     /// Row-wise mirror of the constraint matrix in CSR form (column
-    /// indices only; values are re-gathered column-wise). Built once at
-    /// construction — the matrix structure never changes over a session's
-    /// lifetime, only bounds and costs do — it lets the pivotal-row pass
-    /// touch only columns intersecting the (sparse) BTRAN result.
+    /// indices only; values are re-gathered column-wise). Built at
+    /// construction and rebuilt wholesale whenever the structure grows
+    /// (`append_columns` / `append_rows`); between growth events the
+    /// matrix structure is immutable, only bounds and costs change. It
+    /// lets the pivotal-row pass touch only columns intersecting the
+    /// (sparse) BTRAN result.
     csr_ptr: Vec<usize>,
     csr_cols: Vec<u32>,
     /// Sparse FTRAN scratch: the entering column (row-indexed RHS).
@@ -338,6 +369,33 @@ enum PhaseOutcome {
     IterationLimit,
 }
 
+/// Builds the flat CSR row mirror (column indices per row) of `a`. Filling
+/// in ascending column order keeps each row's list sorted, so the
+/// pivotal-row pass visits columns in the same order a dense scan would.
+fn build_row_mirror(a: &CscMatrix) -> (Vec<usize>, Vec<u32>) {
+    let m = a.nrows();
+    let mut csr_ptr = vec![0usize; m + 1];
+    for j in 0..a.ncols() {
+        let (rows, _) = a.col(j);
+        for &r in rows {
+            csr_ptr[r as usize + 1] += 1;
+        }
+    }
+    for r in 0..m {
+        csr_ptr[r + 1] += csr_ptr[r];
+    }
+    let mut csr_cols = vec![0u32; a.nnz()];
+    let mut fill = csr_ptr.clone();
+    for j in 0..a.ncols() {
+        let (rows, _) = a.col(j);
+        for &r in rows {
+            csr_cols[fill[r as usize]] = j as u32;
+            fill[r as usize] += 1;
+        }
+    }
+    (csr_ptr, csr_cols)
+}
+
 impl Engine {
     fn new(std: StdForm, mut cfg: SimplexConfig) -> Self {
         let m = std.nrows;
@@ -345,29 +403,8 @@ impl Engine {
         if cfg.max_iterations == 0 {
             cfg.max_iterations = 50 * (m as u64 + ncols as u64) + 10_000;
         }
-        // Flat CSR mirror (column indices per row). Filling in ascending
-        // column order keeps each row's list sorted, so the pivotal-row
-        // pass visits columns in the same order a dense scan would.
         let nnz = std.a.nnz();
-        let mut csr_ptr = vec![0usize; m + 1];
-        for j in 0..std.a.ncols() {
-            let (rows, _) = std.a.col(j);
-            for &r in rows {
-                csr_ptr[r as usize + 1] += 1;
-            }
-        }
-        for r in 0..m {
-            csr_ptr[r + 1] += csr_ptr[r];
-        }
-        let mut csr_cols = vec![0u32; nnz];
-        let mut fill = csr_ptr.clone();
-        for j in 0..std.a.ncols() {
-            let (rows, _) = std.a.col(j);
-            for &r in rows {
-                csr_cols[fill[r as usize]] = j as u32;
-                fill[r as usize] += 1;
-            }
-        }
+        let (csr_ptr, csr_cols) = build_row_mirror(&std.a);
         let kernel_cap = (cfg.kernel_density_threshold.max(0.0) * m as f64) as usize;
         let mut etas = EtaFile::default();
         etas.ensure_rows(m);
@@ -400,6 +437,183 @@ impl Engine {
             std,
             cfg,
         }
+    }
+
+    /// Rebuilds every structure-derived piece of engine state after the
+    /// standardized form grew columns and/or rows: the CSR row mirror, the
+    /// row-dimensioned scratch buffers, the kernel density cap, and the
+    /// auto-derived iteration budget. Any cached factorization refers to
+    /// the old shape and is dropped — the next solve refactorizes from
+    /// scratch (cold, or through `attempt_warm`, both of which rewrite all
+    /// per-column state before iterating).
+    fn after_structure_change(&mut self) {
+        let m = self.std.nrows;
+        let ncols = self.std.ncols();
+        let (csr_ptr, csr_cols) = build_row_mirror(&self.std.a);
+        self.csr_ptr = csr_ptr;
+        self.csr_cols = csr_cols;
+        if self.xb.len() != m {
+            self.xb.resize(m, 0.0);
+            self.work_pos.resize(m, 0.0);
+            self.work_row.resize(m, 0.0);
+            self.dual.resize(m, 0.0);
+            self.ftran_rhs = WorkVec::new(m);
+            self.ftran_w = WorkVec::new(m);
+            self.rho = WorkVec::new(m);
+            self.lu_scratch = LuScratch::new(m);
+            self.etas.clear();
+            self.etas.ensure_rows(m);
+        }
+        self.kernel_cap = (self.cfg.kernel_density_threshold.max(0.0) * m as f64) as usize;
+        self.touched = Vec::with_capacity(self.std.a.nnz());
+        self.lu = None;
+        // The default iteration cap scales with the problem size; growth
+        // may only raise it (an explicit user cap is never lowered).
+        self.cfg.max_iterations = self
+            .cfg
+            .max_iterations
+            .max(50 * (m as u64 + ncols as u64) + 10_000);
+    }
+
+    /// Appends structural columns to the held standardized form, shifting
+    /// the activity and artificial blocks right. The per-column engine
+    /// buffers get placeholder entries (every solve path rewrites all
+    /// per-column state before use) and basic column indices are re-pointed
+    /// past the insertion, so a basis held across the append stays valid.
+    fn append_columns(&mut self, cols: &[NewColumn]) {
+        if cols.is_empty() {
+            return;
+        }
+        let n0 = self.std.nstruct;
+        let k = cols.len();
+        let mut packed: Vec<Vec<(u32, f64)>> = Vec::with_capacity(k);
+        let mut lows = Vec::with_capacity(k);
+        let mut ups = Vec::with_capacity(k);
+        let mut costs = Vec::with_capacity(k);
+        for c in cols {
+            assert!(!c.lower.is_nan() && !c.upper.is_nan(), "NaN bound");
+            assert!(c.cost.is_finite(), "non-finite cost");
+            let l = if is_inf(c.lower) && c.lower < 0.0 {
+                f64::NEG_INFINITY
+            } else {
+                c.lower
+            };
+            let u = if is_inf(c.upper) && c.upper > 0.0 {
+                f64::INFINITY
+            } else {
+                c.upper
+            };
+            assert!(l <= u, "bounds crossed: [{l}, {u}]");
+            lows.push(l);
+            ups.push(u);
+            costs.push(self.std.obj_sign * c.cost);
+            let mut es: Vec<(u32, f64)> = c
+                .entries
+                .iter()
+                .map(|&(r, v)| {
+                    assert!(r.index() < self.std.nrows, "row out of range");
+                    assert!(v.is_finite(), "non-finite coefficient");
+                    (r.index() as u32, v)
+                })
+                .collect();
+            es.sort_unstable_by_key(|&(r, _)| r);
+            for w in es.windows(2) {
+                assert!(w[0].0 != w[1].0, "duplicate row entry in new column");
+            }
+            packed.push(es);
+        }
+        self.std.a.insert_cols(n0, &packed);
+        self.std.lower.splice(n0..n0, lows);
+        self.std.upper.splice(n0..n0, ups);
+        self.std.cost.splice(n0..n0, costs);
+        self.std.kind.splice(n0..n0, vec![ColKind::Structural; k]);
+        self.std.nstruct = n0 + k;
+        self.cost.splice(n0..n0, vec![0.0; k]);
+        self.state.splice(n0..n0, vec![VarState::Fixed; k]);
+        self.xval.splice(n0..n0, vec![0.0; k]);
+        self.d.splice(n0..n0, vec![0.0; k]);
+        self.weights.splice(n0..n0, vec![1.0; k]);
+        for b in &mut self.basis {
+            if *b >= n0 {
+                *b += k;
+            }
+        }
+        self.after_structure_change();
+    }
+
+    /// Appends constraint rows to the held standardized form: the matrix
+    /// grows `k` rows, each new row gets an activity column (single `-1`,
+    /// bounded by the row bounds) spliced at the end of the activity block
+    /// and an artificial column (single `+1`, fixed at zero) at the end of
+    /// the artificial block. Basic column indices in the shifted region are
+    /// re-pointed, so a basis held across the append stays valid.
+    fn append_rows(&mut self, rows: &[NewRow]) {
+        if rows.is_empty() {
+            return;
+        }
+        let m0 = self.std.nrows;
+        let n = self.std.nstruct;
+        let k = rows.len();
+        let mut trips: Vec<(u32, u32, f64)> = Vec::new();
+        let mut lows = Vec::with_capacity(k);
+        let mut ups = Vec::with_capacity(k);
+        for (i, r) in rows.iter().enumerate() {
+            assert!(!r.lower.is_nan() && !r.upper.is_nan(), "NaN bound");
+            let l = if is_inf(r.lower) && r.lower < 0.0 {
+                f64::NEG_INFINITY
+            } else {
+                r.lower
+            };
+            let u = if is_inf(r.upper) && r.upper > 0.0 {
+                f64::INFINITY
+            } else {
+                r.upper
+            };
+            assert!(l <= u, "bounds crossed: [{l}, {u}]");
+            lows.push(l);
+            ups.push(u);
+            for &(c, v) in &r.entries {
+                assert!(c.index() < n, "col out of range");
+                assert!(v.is_finite(), "non-finite coefficient");
+                trips.push(((m0 + i) as u32, c.index() as u32, v));
+            }
+        }
+        self.std.a.append_rows(k, &trips);
+        let acts: Vec<Vec<(u32, f64)>> = (0..k).map(|i| vec![((m0 + i) as u32, -1.0)]).collect();
+        self.std.a.insert_cols(n + m0, &acts);
+        for i in 0..k {
+            self.std.a.push_col(&[((m0 + i) as u32, 1.0)]);
+        }
+        let at = n + m0;
+        self.std.lower.splice(at..at, lows);
+        self.std.upper.splice(at..at, ups);
+        self.std.cost.splice(at..at, vec![0.0; k]);
+        self.std.kind.splice(at..at, vec![ColKind::Activity; k]);
+        self.std.lower.resize(self.std.lower.len() + k, 0.0);
+        self.std.upper.resize(self.std.upper.len() + k, 0.0);
+        self.std.cost.resize(self.std.cost.len() + k, 0.0);
+        self.std
+            .kind
+            .resize(self.std.kind.len() + k, ColKind::Artificial);
+        self.std.nrows = m0 + k;
+        // Placeholder per-column engine state for the new activity columns
+        // (spliced) and artificial columns (appended).
+        self.cost.splice(at..at, vec![0.0; k]);
+        self.state.splice(at..at, vec![VarState::Fixed; k]);
+        self.xval.splice(at..at, vec![0.0; k]);
+        self.d.splice(at..at, vec![0.0; k]);
+        self.weights.splice(at..at, vec![1.0; k]);
+        self.cost.resize(self.cost.len() + k, 0.0);
+        self.state.resize(self.state.len() + k, VarState::Fixed);
+        self.xval.resize(self.xval.len() + k, 0.0);
+        self.d.resize(self.d.len() + k, 0.0);
+        self.weights.resize(self.weights.len() + k, 1.0);
+        for b in &mut self.basis {
+            if *b >= at {
+                *b += k;
+            }
+        }
+        self.after_structure_change();
     }
 
     /// Clears all per-solve state so the engine can run again on its held
@@ -1786,6 +2000,73 @@ impl SolverSession {
         self.engine.std.cost[j] = self.engine.std.obj_sign * cost;
     }
 
+    /// Appends structural columns to the held problem in place, returning
+    /// their handles (contiguous, starting at the previous
+    /// [`num_cols`](Self::num_cols)).
+    ///
+    /// The carried warm basis is extended so the new columns enter
+    /// **nonbasic at a bound** (the finite bound nearest zero, or free at
+    /// zero): the next [`solve`](Self::solve) warm-starts from the previous
+    /// optimal basis with the new columns parked, which is the delayed
+    /// column generation step. A basis supplied later via
+    /// [`warm_start_from`](Self::warm_start_from) with a stale shape still
+    /// falls back to a cold solve — appending preserves the invariant that
+    /// a warm start can only change the work counters, never the answer.
+    ///
+    /// # Panics
+    /// Panics on NaN/crossed bounds, non-finite costs or coefficients,
+    /// out-of-range rows, or duplicate row entries within one column.
+    pub fn add_columns(&mut self, cols: &[NewColumn]) -> Vec<Col> {
+        let base = self.engine.std.nstruct;
+        self.engine.append_columns(cols);
+        if let Some(w) = &mut self.warm {
+            for j in base..base + cols.len() {
+                // Park where the engine's resting rule will put it.
+                let l = self.engine.std.lower[j];
+                let u = self.engine.std.upper[j];
+                let status = if l.is_finite() && u.is_finite() {
+                    if l.abs() <= u.abs() {
+                        BasisStatus::AtLower
+                    } else {
+                        BasisStatus::AtUpper
+                    }
+                } else if l.is_finite() {
+                    BasisStatus::AtLower
+                } else if u.is_finite() {
+                    BasisStatus::AtUpper
+                } else {
+                    BasisStatus::Free
+                };
+                w.cols.push(status);
+            }
+        }
+        (base..base + cols.len()).map(Col::from_index).collect()
+    }
+
+    /// Appends constraint rows to the held problem in place, returning
+    /// their handles (contiguous, starting at the previous
+    /// [`num_rows`](Self::num_rows)).
+    ///
+    /// The carried warm basis is extended with the new rows' activity
+    /// columns marked **basic**: the extended basis matrix is block
+    /// triangular (old basis unchanged, `-1` diagonal on the new rows), so
+    /// it is always nonsingular, and a new row whose activity lands outside
+    /// its bounds is repaired by the warm-start phase-1 bound shift exactly
+    /// like any other warm-start violation — with cold fallback on any
+    /// surprise.
+    ///
+    /// # Panics
+    /// Panics on NaN/crossed bounds, non-finite coefficients, or
+    /// out-of-range columns.
+    pub fn add_rows(&mut self, rows: &[NewRow]) -> Vec<Row> {
+        let base = self.engine.std.nrows;
+        self.engine.append_rows(rows);
+        if let Some(w) = &mut self.warm {
+            w.rows.resize(w.rows.len() + rows.len(), BasisStatus::Basic);
+        }
+        (base..base + rows.len()).map(Row::from_index).collect()
+    }
+
     /// Seeds the next solve with `basis` — e.g. one extracted from a
     /// structurally related problem — replacing whatever basis the session
     /// was carrying.
@@ -2024,6 +2305,174 @@ mod tests {
         // The template itself was never advanced by its clones.
         let again = template.solve().unwrap();
         assert_eq!(again.objective.to_bits(), base.objective.to_bits());
+    }
+
+    #[test]
+    fn add_columns_matches_monolithic() {
+        // Restricted master: max 3x s.t. x <= 4, x + 3y <= 6. Solve, then
+        // append y (cost 2) and re-solve; must match the monolithic build.
+        let mut p = Problem::new(Objective::Maximize);
+        let x = p.add_col(0.0, f64::INFINITY, 3.0);
+        let r0 = p.add_row(f64::NEG_INFINITY, 4.0, &[(x, 1.0)]);
+        let r1 = p.add_row(f64::NEG_INFINITY, 6.0, &[(x, 1.0)]);
+        let mut sess = SolverSession::new(&p).unwrap();
+        let s1 = sess.solve().unwrap();
+        assert_eq!(s1.status, Status::Optimal);
+        assert_near(s1.objective, 12.0);
+
+        let cols = sess.add_columns(&[NewColumn {
+            lower: 0.0,
+            upper: f64::INFINITY,
+            cost: 2.0,
+            entries: vec![(r1, 3.0), (r0, 0.0)],
+        }]);
+        assert_eq!(cols.len(), 1);
+        assert_eq!(sess.num_cols(), 2);
+        let s2 = sess.solve().unwrap();
+        assert_eq!(s2.status, Status::Optimal);
+        // Monolithic optimum of max 3x + 2y, x <= 4, x + 3y <= 6:
+        // x = 4, y = 2/3 => 12 + 4/3.
+        assert_near(s2.objective, 12.0 + 4.0 / 3.0);
+        assert_near(s2.x[1], 2.0 / 3.0);
+        // The second solve went through the warm path (the appended column
+        // entered nonbasic at its lower bound).
+        assert_eq!(s2.stats.warm_starts_accepted, 1);
+        assert_eq!(s2.stats.warm_start_fallbacks, 0);
+    }
+
+    #[test]
+    fn add_rows_matches_monolithic() {
+        // max x + y, x,y in [0,10], x + y <= 12; then append x - y <= 2.
+        let mut p = Problem::new(Objective::Maximize);
+        let x = p.add_col(0.0, 10.0, 2.0);
+        let y = p.add_col(0.0, 10.0, 1.0);
+        p.add_row(f64::NEG_INFINITY, 12.0, &[(x, 1.0), (y, 1.0)]);
+        let mut sess = SolverSession::new(&p).unwrap();
+        let s1 = sess.solve().unwrap();
+        assert_near(s1.objective, 2.0 * 10.0 + 2.0);
+
+        let rows = sess.add_rows(&[NewRow {
+            lower: f64::NEG_INFINITY,
+            upper: 2.0,
+            entries: vec![(x, 1.0), (y, -1.0)],
+        }]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(sess.num_rows(), 2);
+        let s2 = sess.solve().unwrap();
+        assert_eq!(s2.status, Status::Optimal);
+        // Monolithic: x - y <= 2 and x + y <= 12 => x = 7, y = 5 => 19.
+        assert_near(s2.objective, 19.0);
+        let mut q = Problem::new(Objective::Maximize);
+        let qx = q.add_col(0.0, 10.0, 2.0);
+        let qy = q.add_col(0.0, 10.0, 1.0);
+        q.add_row(f64::NEG_INFINITY, 12.0, &[(qx, 1.0), (qy, 1.0)]);
+        q.add_row(f64::NEG_INFINITY, 2.0, &[(qx, 1.0), (qy, -1.0)]);
+        let mono = solve(&q).unwrap();
+        assert_eq!(mono.objective.to_bits(), s2.objective.to_bits());
+    }
+
+    #[test]
+    fn colgen_loop_reaches_full_optimum() {
+        // A tiny delayed-column-generation loop: three "paths" of costs
+        // 5, 4, 3 share one capacity row of 6; start with only the worst
+        // one and add the rest one batch at a time, re-solving warm.
+        let mut p = Problem::new(Objective::Maximize);
+        let _x0 = p.add_col(0.0, f64::INFINITY, 3.0);
+        let cap = p.add_row(f64::NEG_INFINITY, 6.0, &[(Col::from_index(0), 1.0)]);
+        let mut sess = SolverSession::new(&p).unwrap();
+        let mut sol = sess.solve().unwrap();
+        assert_near(sol.objective, 18.0);
+        for cost in [4.0, 5.0] {
+            sess.add_columns(&[NewColumn {
+                lower: 0.0,
+                upper: f64::INFINITY,
+                cost,
+                entries: vec![(cap, 1.0)],
+            }]);
+            sol = sess.solve().unwrap();
+            assert_eq!(sol.status, Status::Optimal);
+        }
+        assert_near(sol.objective, 30.0); // all 6 units on the cost-5 column
+        assert_eq!(sess.stats().warm_starts_accepted, 2);
+        assert_eq!(sess.stats().warm_start_fallbacks, 0);
+    }
+
+    #[test]
+    fn add_columns_then_stale_external_basis_falls_back_cold() {
+        let mut p = Problem::new(Objective::Maximize);
+        let x = p.add_col(0.0, 4.0, 1.0);
+        let r = p.add_row(f64::NEG_INFINITY, 3.0, &[(x, 1.0)]);
+        let mut sess = SolverSession::new(&p).unwrap();
+        let s1 = sess.solve().unwrap();
+        let stale = s1.basis.clone().unwrap();
+        sess.add_columns(&[NewColumn {
+            lower: 0.0,
+            upper: 4.0,
+            cost: 2.0,
+            entries: vec![(r, 1.0)],
+        }]);
+        // Supplying the pre-append basis (wrong shape) must fall back to a
+        // cold solve with the answer unchanged — the PR-1 invariant.
+        sess.warm_start_from(stale);
+        let s2 = sess.solve().unwrap();
+        assert_eq!(s2.status, Status::Optimal);
+        assert_near(s2.objective, 6.0);
+        assert_eq!(s2.stats.warm_start_fallbacks, 1);
+        assert_eq!(s2.stats.warm_starts_accepted, 0);
+    }
+
+    #[test]
+    fn add_rows_then_columns_interleaved() {
+        // Grow both dimensions between solves and check against the
+        // monolithic build, including duals for the appended row.
+        let mut p = Problem::new(Objective::Minimize);
+        let x = p.add_col(0.0, f64::INFINITY, 2.0);
+        p.add_row(3.0, f64::INFINITY, &[(x, 1.0)]);
+        let mut sess = SolverSession::new(&p).unwrap();
+        let s1 = sess.solve().unwrap();
+        assert_near(s1.objective, 6.0);
+        // New row only over x, then a cheaper column covering both rows.
+        let r2 = sess.add_rows(&[NewRow {
+            lower: 5.0,
+            upper: f64::INFINITY,
+            entries: vec![(x, 1.0)],
+        }]);
+        let s2 = sess.solve().unwrap();
+        assert_near(s2.objective, 10.0);
+        sess.add_columns(&[NewColumn {
+            lower: 0.0,
+            upper: f64::INFINITY,
+            cost: 1.0,
+            entries: vec![(Row::from_index(0), 1.0), (r2[0], 1.0)],
+        }]);
+        let s3 = sess.solve().unwrap();
+        assert_eq!(s3.status, Status::Optimal);
+        assert_near(s3.objective, 5.0); // all demand met by the new column
+        let mut q = Problem::new(Objective::Minimize);
+        let qx = q.add_col(0.0, f64::INFINITY, 2.0);
+        let qy = q.add_col(0.0, f64::INFINITY, 1.0);
+        q.add_row(3.0, f64::INFINITY, &[(qx, 1.0), (qy, 1.0)]);
+        q.add_row(5.0, f64::INFINITY, &[(qx, 1.0), (qy, 1.0)]);
+        let mono = solve(&q).unwrap();
+        assert_near(s3.objective, mono.objective);
+    }
+
+    #[test]
+    fn add_columns_on_unsolved_session() {
+        // Appending before any solve must behave like building monolithic.
+        let mut p = Problem::new(Objective::Maximize);
+        let x = p.add_col(0.0, 2.0, 1.0);
+        let r = p.add_row(f64::NEG_INFINITY, 5.0, &[(x, 1.0)]);
+        let mut sess = SolverSession::new(&p).unwrap();
+        sess.add_columns(&[NewColumn {
+            lower: 0.0,
+            upper: 2.0,
+            cost: 3.0,
+            entries: vec![(r, 1.0)],
+        }]);
+        let s = sess.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_near(s.objective, 2.0 * 3.0 + 2.0 * 1.0); // both at their bounds
     }
 
     #[test]

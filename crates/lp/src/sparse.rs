@@ -96,6 +96,114 @@ impl CscMatrix {
         self.col_ptr.push(self.row_idx.len());
     }
 
+    /// Splices `cols` into the matrix starting at column position `at`,
+    /// shifting existing columns `at..` right by `cols.len()`. Each new
+    /// column is given as sorted `(row, value)` pairs, like
+    /// [`push_col`](Self::push_col). Rebuilds the storage in one pass —
+    /// O(nnz + added) — so it is meant for occasional batch growth (delayed
+    /// column generation), not per-entry editing.
+    ///
+    /// # Panics
+    /// Panics if `at > ncols`, or any row index is out of range or not
+    /// strictly increasing within its column.
+    pub fn insert_cols(&mut self, at: usize, cols: &[Vec<(u32, f64)>]) {
+        assert!(at <= self.ncols, "insert position {at} out of range");
+        if cols.is_empty() {
+            return;
+        }
+        let added: usize = cols.iter().map(|c| c.len()).sum();
+        for col in cols {
+            let mut prev: Option<u32> = None;
+            for &(r, _) in col {
+                assert!((r as usize) < self.nrows, "row index out of range");
+                if let Some(p) = prev {
+                    assert!(r > p, "rows must be strictly increasing");
+                }
+                prev = Some(r);
+            }
+        }
+        let mut row_idx = Vec::with_capacity(self.nnz() + added);
+        let mut values = Vec::with_capacity(self.nnz() + added);
+        let mut col_ptr = Vec::with_capacity(self.ncols + cols.len() + 1);
+        col_ptr.push(0usize);
+        let split = self.col_ptr[at];
+        row_idx.extend_from_slice(&self.row_idx[..split]);
+        values.extend_from_slice(&self.values[..split]);
+        col_ptr.extend_from_slice(&self.col_ptr[1..=at]);
+        for col in cols {
+            for &(r, v) in col {
+                row_idx.push(r);
+                values.push(v);
+            }
+            col_ptr.push(row_idx.len());
+        }
+        row_idx.extend_from_slice(&self.row_idx[split..]);
+        values.extend_from_slice(&self.values[split..]);
+        for j in at..self.ncols {
+            col_ptr.push(self.col_ptr[j + 1] + added);
+        }
+        self.ncols += cols.len();
+        self.col_ptr = col_ptr;
+        self.row_idx = row_idx;
+        self.values = values;
+    }
+
+    /// Grows the matrix by `k` rows at the bottom and scatters `triplets`
+    /// — `(row, col, value)` with `nrows <= row < nrows + k` — into the
+    /// existing columns. Because every new row index exceeds every existing
+    /// one, each column's new entries land at the end of its segment and
+    /// the strictly-increasing invariant is preserved without re-sorting
+    /// existing data.
+    ///
+    /// # Panics
+    /// Panics if a triplet's row is not in the new-row range, its column is
+    /// out of range, or two triplets address the same `(row, col)` cell.
+    pub fn append_rows(&mut self, k: usize, triplets: &[(u32, u32, f64)]) {
+        let old_rows = self.nrows;
+        self.nrows += k;
+        if triplets.is_empty() {
+            return;
+        }
+        for &(r, c, _) in triplets {
+            assert!(
+                (r as usize) >= old_rows && (r as usize) < self.nrows,
+                "row index {r} outside the appended range"
+            );
+            assert!((c as usize) < self.ncols, "col index {c} out of range");
+        }
+        let mut extra: Vec<(u32, u32, f64)> = triplets.to_vec();
+        extra.sort_unstable_by_key(|&(r, c, _)| (c, r));
+        for w in extra.windows(2) {
+            assert!(
+                (w[0].1, w[0].0) != (w[1].1, w[1].0),
+                "duplicate (row, col) entry in appended rows"
+            );
+        }
+        let mut row_idx = Vec::with_capacity(self.nnz() + extra.len());
+        let mut values = Vec::with_capacity(self.nnz() + extra.len());
+        let mut col_ptr = Vec::with_capacity(self.ncols + 1);
+        col_ptr.push(0usize);
+        let mut it = extra.iter().peekable();
+        for j in 0..self.ncols {
+            let lo = self.col_ptr[j];
+            let hi = self.col_ptr[j + 1];
+            row_idx.extend_from_slice(&self.row_idx[lo..hi]);
+            values.extend_from_slice(&self.values[lo..hi]);
+            while let Some(&&(r, c, v)) = it.peek() {
+                if c as usize != j {
+                    break;
+                }
+                row_idx.push(r);
+                values.push(v);
+                it.next();
+            }
+            col_ptr.push(row_idx.len());
+        }
+        self.col_ptr = col_ptr;
+        self.row_idx = row_idx;
+        self.values = values;
+    }
+
     /// Number of rows.
     #[inline]
     pub fn nrows(&self) -> usize {
@@ -361,6 +469,75 @@ mod tests {
     fn push_col_rejects_unsorted() {
         let mut m = CscMatrix::empty(4);
         m.push_col(&[(2, 1.0), (1, 2.0)]);
+    }
+
+    #[test]
+    fn insert_cols_mid_matrix() {
+        let mut m = CscMatrix::from_triplets(3, 2, vec![(0, 0, 1.0), (2, 1, 2.0)]);
+        m.insert_cols(1, &[vec![(1, 5.0)], vec![(0, 6.0), (2, 7.0)]]);
+        assert_eq!(m.ncols(), 4);
+        assert_eq!(m.nnz(), 5);
+        let want = CscMatrix::from_triplets(
+            3,
+            4,
+            vec![
+                (0, 0, 1.0),
+                (1, 1, 5.0),
+                (0, 2, 6.0),
+                (2, 2, 7.0),
+                (2, 3, 2.0),
+            ],
+        );
+        assert_eq!(m, want);
+    }
+
+    #[test]
+    fn insert_cols_at_ends() {
+        let mut m = CscMatrix::from_triplets(2, 1, vec![(1, 0, 3.0)]);
+        m.insert_cols(0, &[vec![(0, 1.0)]]);
+        m.insert_cols(2, &[vec![], vec![(1, 4.0)]]);
+        assert_eq!(m.ncols(), 4);
+        let d = m.to_dense();
+        assert_eq!(d[0][0], 1.0);
+        assert_eq!(d[1][1], 3.0);
+        assert_eq!(d[1][3], 4.0);
+        assert_eq!(m.col_nnz(2), 0);
+    }
+
+    #[test]
+    fn append_rows_extends_columns() {
+        let mut m = CscMatrix::from_triplets(2, 3, vec![(0, 0, 1.0), (1, 1, 2.0)]);
+        m.append_rows(2, &[(2, 0, 5.0), (3, 0, 6.0), (2, 2, 7.0)]);
+        assert_eq!(m.nrows(), 4);
+        assert_eq!(m.nnz(), 5);
+        let (rows, vals) = m.col(0);
+        assert_eq!(rows, &[0, 2, 3]);
+        assert_eq!(vals, &[1.0, 5.0, 6.0]);
+        let (rows, vals) = m.col(2);
+        assert_eq!(rows, &[2]);
+        assert_eq!(vals, &[7.0]);
+    }
+
+    #[test]
+    fn append_rows_no_entries() {
+        let mut m = CscMatrix::from_triplets(2, 1, vec![(0, 0, 1.0)]);
+        m.append_rows(3, &[]);
+        assert_eq!(m.nrows(), 5);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the appended range")]
+    fn append_rows_rejects_existing_row() {
+        let mut m = CscMatrix::from_triplets(2, 1, vec![(0, 0, 1.0)]);
+        m.append_rows(1, &[(1, 0, 9.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate (row, col)")]
+    fn append_rows_rejects_duplicates() {
+        let mut m = CscMatrix::from_triplets(2, 1, vec![(0, 0, 1.0)]);
+        m.append_rows(1, &[(2, 0, 9.0), (2, 0, 1.0)]);
     }
 
     #[test]

@@ -1,5 +1,20 @@
 //! Dijkstra shortest paths with optional edge/node exclusion (as needed by
-//! Yen's spur computations).
+//! Yen's spur computations) and arbitrary per-link weight closures (as
+//! needed by reduced-cost pricing in delayed column generation).
+//!
+//! ## Determinism
+//!
+//! Every search in this module is a pure function of the graph's
+//! construction order, independent of thread count or platform:
+//!
+//! * frontier nodes with **equal distance settle in ascending node-id
+//!   order** (the heap tie-breaks on node id — lowest wins);
+//! * among **equal-cost predecessors** the first relaxation is kept
+//!   (strict `<` improvement test), so ties resolve to the edge relaxed
+//!   from the earliest-settled tail, in `out_edges` order.
+//!
+//! Reduced-cost pricing relies on this: two runs at different `WS_THREADS`
+//! settings must propose byte-identical columns.
 
 use crate::graph::{EdgeId, Graph, NodeId, Path};
 use std::cmp::Ordering;
@@ -67,6 +82,27 @@ pub fn shortest_path_filtered(
     edge_ok: impl Fn(EdgeId) -> bool,
     node_ok: impl Fn(NodeId) -> bool,
 ) -> Option<Path> {
+    shortest_path_weighted(g, src, dst, |e| weight.of(g, e), edge_ok, node_ok).map(|(_, path)| path)
+}
+
+/// Dijkstra under an arbitrary non-negative per-link weight closure,
+/// returning the total weight alongside the path. This is the kernel
+/// reduced-cost pricing uses: the closure evaluates the capacity-row dual
+/// of each link (clamped to zero), and the returned total is the pricer's
+/// lower estimate of the column's dual load.
+///
+/// Ties are broken deterministically — see the module docs: equal-distance
+/// nodes settle lowest-id first, equal-cost predecessors resolve to the
+/// first relaxation. Weights must be non-negative and finite; negative
+/// weights break Dijkstra's invariant (debug builds assert).
+pub fn shortest_path_weighted(
+    g: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    weight: impl Fn(EdgeId) -> f64,
+    edge_ok: impl Fn(EdgeId) -> bool,
+    node_ok: impl Fn(NodeId) -> bool,
+) -> Option<(f64, Path)> {
     if src == dst || !node_ok(src) || !node_ok(dst) {
         return None;
     }
@@ -96,7 +132,9 @@ pub fn shortest_path_filtered(
             if done[w.index()] || !node_ok(w) {
                 continue;
             }
-            let nd = d + weight.of(g, e);
+            let we = weight(e);
+            debug_assert!(we >= 0.0 && we.is_finite(), "edge weight must be >= 0");
+            let nd = d + we;
             if nd < dist[w.index()] {
                 dist[w.index()] = nd;
                 pred[w.index()] = Some(e);
@@ -117,7 +155,7 @@ pub fn shortest_path_filtered(
         cur = g.src(e);
     }
     edges.reverse();
-    Some(Path::from_edges_unchecked(edges))
+    Some((dist[dst.index()], Path::from_edges_unchecked(edges)))
 }
 
 #[cfg(test)]
@@ -177,6 +215,53 @@ mod tests {
         )
         .unwrap();
         assert_eq!(p.nodes(&g), vec![ns[0], ns[2], ns[3]]);
+    }
+
+    #[test]
+    fn weighted_closure_returns_distance() {
+        let (g, ns) = diamond();
+        let (d, p) =
+            shortest_path_weighted(&g, ns[0], ns[3], |e| g.length(e), |_| true, |_| true).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!((d - 2.0).abs() < 1e-12);
+        // Zero-weight closures are legal (all-slack duals).
+        let (d0, p0) =
+            shortest_path_weighted(&g, ns[0], ns[3], |_| 0.0, |_| true, |_| true).unwrap();
+        assert_eq!(d0, 0.0);
+        assert_eq!(p0.source(&g), ns[0]);
+        assert_eq!(p0.target(&g), ns[3]);
+    }
+
+    /// Two equal-cost routes 0->1->3 and 0->2->3: the tie must always
+    /// resolve through node 1 (lowest node id settles first), regardless
+    /// of edge insertion order.
+    #[test]
+    fn tie_breaks_toward_lowest_node_id() {
+        // Insertion order A: via-1 edges first.
+        let mut ga = Graph::new();
+        let na = ga.add_nodes(4);
+        ga.add_link(na[0], na[1], 1);
+        ga.add_link(na[1], na[3], 1);
+        ga.add_link(na[0], na[2], 1);
+        ga.add_link(na[2], na[3], 1);
+        // Insertion order B: via-2 edges first.
+        let mut gb = Graph::new();
+        let nb = gb.add_nodes(4);
+        gb.add_link(nb[0], nb[2], 1);
+        gb.add_link(nb[2], nb[3], 1);
+        gb.add_link(nb[0], nb[1], 1);
+        gb.add_link(nb[1], nb[3], 1);
+        for (g, ns) in [(&ga, &na), (&gb, &nb)] {
+            let p = shortest_path(g, ns[0], ns[3]).unwrap();
+            assert_eq!(
+                p.nodes(g),
+                vec![ns[0], ns[1], ns[3]],
+                "equal-cost tie must settle through the lowest node id"
+            );
+            let (_, pw) =
+                shortest_path_weighted(g, ns[0], ns[3], |_| 1.0, |_| true, |_| true).unwrap();
+            assert_eq!(pw.nodes(g), vec![ns[0], ns[1], ns[3]]);
+        }
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod waxman;
 pub mod yen;
 
 pub use abilene::{abilene14, abilene20};
-pub use dijkstra::shortest_path;
+pub use dijkstra::{shortest_path, shortest_path_weighted};
 pub use dot::{to_dot, to_dot_with_load};
 pub use esnet::esnet;
 pub use graph::{EdgeId, Graph, NodeId, Path};

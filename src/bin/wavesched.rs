@@ -11,11 +11,13 @@
 //! Networks: `abilene14`, `abilene20`, `esnet`, or `waxman:<nodes>:<pairs>:<seed>`.
 
 use std::process::ExitCode;
+use wavesched::core::colgen::{CgStats, ColGenConfig, PricerChoice};
 use wavesched::core::controller::OverloadPolicy;
 use wavesched::core::instance::{Instance, InstanceConfig};
-use wavesched::core::pipeline::max_throughput_pipeline;
+use wavesched::core::lpdar::AdjustOrder;
+use wavesched::core::pipeline::{max_throughput_pipeline, max_throughput_pipeline_colgen};
 use wavesched::core::report::{job_timeline, link_utilization};
-use wavesched::core::ret::{solve_ret, RetConfig};
+use wavesched::core::ret::{solve_ret, solve_ret_colgen, RetConfig};
 use wavesched::net::{
     abilene14, abilene20, esnet, to_dot, waxman_network, Graph, PathSet, WaxmanConfig,
 };
@@ -47,6 +49,13 @@ common options:
                          to stderr after the command
   --paths <k>            allowed paths per job (default 4)
   --alpha <a>            stage-2 fairness slack (default 0.1)
+  --colgen               solve through delayed column generation instead of
+                         materializing every Yen column (schedule, ret)
+  --pricer <reduced-cost|exhaustive>  column-generation pricing oracle
+                         (default reduced-cost)
+  --cg-rounds <n>        max price-resolve rounds per LP form (default 50)
+  --cg-tol <t>           reduced-cost tolerance for entering columns
+                         (default 1e-7)
 
 gen-trace options:
   --jobs <n> --seed <s>  workload size and seed
@@ -123,6 +132,42 @@ impl Args {
     }
 }
 
+/// Parses the column-generation knobs (`--colgen`, `--pricer`,
+/// `--cg-rounds`, `--cg-tol`) into a config, or `None` when `--colgen`
+/// was not requested. The knobs are accepted only alongside `--colgen`
+/// so a typo'd invocation cannot silently run the monolithic pipeline
+/// with pricing options ignored.
+fn colgen_cfg(args: &Args) -> Result<Option<ColGenConfig>, String> {
+    if !args.flag("colgen") {
+        for k in ["pricer", "cg-rounds", "cg-tol"] {
+            if args.get(k).is_some() {
+                return Err(format!("--{k} requires --colgen"));
+            }
+        }
+        return Ok(None);
+    }
+    let mut cg = ColGenConfig::default();
+    cg.max_rounds = args.num("cg-rounds", cg.max_rounds)?;
+    cg.tolerance = args.num("cg-tol", cg.tolerance)?;
+    cg.pricer = match args.get("pricer").unwrap_or("reduced-cost") {
+        "reduced-cost" => PricerChoice::ReducedCost,
+        "exhaustive" => PricerChoice::Exhaustive,
+        other => {
+            return Err(format!(
+                "unknown pricer {other:?}; supported: reduced-cost, exhaustive"
+            ))
+        }
+    };
+    Ok(Some(cg))
+}
+
+fn print_cg_stats(stats: &CgStats) {
+    println!(
+        "column generation: {} rounds, {} columns entered, {} pricer calls",
+        stats.rounds, stats.columns_added, stats.pricer_calls
+    );
+}
+
 fn build_network(spec: &str, w: u32) -> Result<Graph, String> {
     match spec {
         "abilene14" => Ok(abilene14(w).0),
@@ -170,11 +215,37 @@ fn run() -> Result<(), String> {
         let metrics =
             obs::parse_json_lines(&text).map_err(|e| format!("{path}: invalid report: {e}"))?;
         let (mut counters, mut hists, mut spans) = (0usize, 0usize, 0usize);
+        let mut counter_names = Vec::new();
         for m in &metrics {
             match m {
-                obs::Metric::Counter { .. } => counters += 1,
+                obs::Metric::Counter { name, .. } => {
+                    counters += 1;
+                    counter_names.push(name.as_str());
+                }
                 obs::Metric::Histogram { .. } => hists += 1,
                 obs::Metric::Span { .. } => spans += 1,
+            }
+        }
+        // Column generation reports as a counter *family*: a run that
+        // priced anything records all four cg.* counters in one code path,
+        // so a partial family means the report schema drifted.
+        if counter_names.iter().any(|n| n.starts_with("cg.")) {
+            const CG_FAMILY: [&str; 4] = [
+                "cg.rounds",
+                "cg.columns_added",
+                "cg.pricer_calls",
+                "cg.pricing_ns",
+            ];
+            let missing: Vec<&str> = CG_FAMILY
+                .iter()
+                .filter(|want| !counter_names.contains(want))
+                .copied()
+                .collect();
+            if !missing.is_empty() {
+                return Err(format!(
+                    "{path}: cg.* counters present but incomplete — missing {missing:?} \
+                     (a column-generation run always records the full family {CG_FAMILY:?})"
+                ));
             }
         }
         println!(
@@ -272,9 +343,27 @@ fn run() -> Result<(), String> {
         }
         "schedule" => {
             let jobs = load_trace()?;
-            let mut ps = PathSet::new(inst_cfg.paths_per_job);
-            let inst = Instance::build(&graph, &jobs, &inst_cfg, &mut ps);
-            let r = max_throughput_pipeline(&inst, alpha).map_err(|e| e.to_string())?;
+            let (inst, r) = match colgen_cfg(&args)? {
+                Some(cg) => {
+                    let (r, inst, stats) = max_throughput_pipeline_colgen(
+                        &graph,
+                        &jobs,
+                        &inst_cfg,
+                        alpha,
+                        AdjustOrder::Paper,
+                        &cg,
+                    )
+                    .map_err(|e| e.to_string())?;
+                    print_cg_stats(&stats);
+                    (inst, r)
+                }
+                None => {
+                    let mut ps = PathSet::new(inst_cfg.paths_per_job);
+                    let inst = Instance::build(&graph, &jobs, &inst_cfg, &mut ps);
+                    let r = max_throughput_pipeline(&inst, alpha).map_err(|e| e.to_string())?;
+                    (inst, r)
+                }
+            };
             let plan = r.lpdar.trim_to_demand(&inst);
             println!(
                 "network {net_spec}, {} jobs, Z* = {:.3}",
@@ -295,8 +384,16 @@ fn run() -> Result<(), String> {
         }
         "ret" => {
             let jobs = load_trace()?;
-            let out = solve_ret(&graph, &jobs, &inst_cfg, &RetConfig::default())
-                .map_err(|e| e.to_string())?;
+            let out = match colgen_cfg(&args)? {
+                Some(cg) => solve_ret_colgen(&graph, &jobs, &inst_cfg, &RetConfig::default(), &cg)
+                    .map_err(|e| e.to_string())?
+                    .map(|(r, stats)| {
+                        print_cg_stats(&stats);
+                        r
+                    }),
+                None => solve_ret(&graph, &jobs, &inst_cfg, &RetConfig::default())
+                    .map_err(|e| e.to_string())?,
+            };
             match out {
                 None => println!("no end-time extension up to b_max completes all jobs"),
                 Some(r) => {
