@@ -207,6 +207,37 @@ fn bench_per_pivot_kernels(c: &mut Criterion) {
         "# fig4-scale(400-node) whole pivot: sparse {sparse_pivot:.0} ns vs dense {dense_pivot:.0} ns ({:.2}x)",
         dense_pivot / sparse_pivot
     );
+    // Whole-pivot and whole-solve with candidate-list pricing
+    // (`WS_PRICING=partial`). These time-expanded LPs are degenerate enough
+    // that the candidate sublist's narrower pivot choices inflate the
+    // iteration count, so partial pricing is expected to be at best neutral
+    // here — the lines below keep that trade-off measured rather than
+    // assumed (see DESIGN.md "Dual simplex & partial pricing").
+    let partial_cfg = SimplexConfig {
+        partial_pricing: true,
+        ..SimplexConfig::default()
+    };
+    let partial_pivot = whole_pivot_ns(&p400, &partial_cfg);
+    eprintln!(
+        "# fig4-scale(400-node) whole pivot: full pricing {sparse_pivot:.0} ns vs partial {partial_pivot:.0} ns ({:.2}x)",
+        sparse_pivot / partial_pivot
+    );
+    for (name, cfg) in [
+        ("full", SimplexConfig::default()),
+        ("partial", partial_cfg.clone()),
+    ] {
+        let t = Instant::now();
+        let sol = wavesched_lp::solve_with(&p400, &cfg).expect("stage1 solve");
+        let dt = t.elapsed();
+        eprintln!(
+            "# fig4-scale(400-node) whole solve, {name} pricing: {:.2}s, obj {:.6}, {} iters, {} refreshes, {} candidates scanned",
+            dt.as_secs_f64(),
+            sol.objective,
+            sol.stats.iterations,
+            sol.stats.partial_refreshes,
+            sol.stats.pricing_candidates_scanned,
+        );
+    }
 
     // The whole-pivot window through Criterion as well (probe construction
     // — standardization plus the warmup solve — is inside the closure, so

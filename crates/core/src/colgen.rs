@@ -104,7 +104,7 @@ impl Default for ColGenConfig {
 
 /// Column-generation work counters (also mirrored into the `cg.*` obs
 /// counters: `cg.rounds`, `cg.columns_added`, `cg.pricer_calls`,
-/// `cg.pricing_ns`).
+/// `cg.pricing_ns`, `cg.master_dual_iterations`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CgStats {
     /// Price–resolve rounds run (one per [`CgMaster::price_and_augment`]).
@@ -115,6 +115,9 @@ pub struct CgStats {
     pub pricer_calls: u64,
     /// Wall-clock nanoseconds spent inside pricers (reporting only).
     pub pricing_ns: u64,
+    /// Dual simplex pivots spent in master re-solves (bound/RHS-only
+    /// re-aims that skipped the primal phase-1 repair).
+    pub master_dual_iterations: u64,
 }
 
 /// One pool column: `(job, path index within the job's pool, slice)`.
@@ -642,9 +645,14 @@ impl CgMaster {
         self.set_active_windows(&all);
     }
 
-    /// Solves the restricted master (warm from the previous optimum).
+    /// Solves the restricted master (warm from the previous optimum; the
+    /// session takes the dual simplex path automatically when every edit
+    /// since the last optimum was a bound/RHS re-aim).
     pub fn solve(&mut self) -> Result<Solution, SolveError> {
-        self.session.solve()
+        let sol = self.session.solve()?;
+        self.stats.master_dual_iterations += sol.stats.dual_iterations;
+        obs::counter_add("cg.master_dual_iterations", sol.stats.dual_iterations);
+        Ok(sol)
     }
 
     /// One pricing round: extracts the duals of `sol`, calls the pricer,

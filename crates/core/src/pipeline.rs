@@ -60,6 +60,7 @@ impl PipelineResult {
     /// discretization lost nothing — rather than the NaN a literal `0/0`
     /// would give.
     pub fn lpd_normalized(&self) -> f64 {
+        // lint: allow(float-eq, reason = "exact-zero guard against a literal 0/0: any nonzero throughput, however small, is a meaningful denominator")
         if self.lp_throughput == 0.0 {
             return 1.0;
         }
@@ -72,6 +73,7 @@ impl PipelineResult {
     ///
     /// [`lpd_normalized`]: PipelineResult::lpd_normalized
     pub fn lpdar_normalized(&self) -> f64 {
+        // lint: allow(float-eq, reason = "exact-zero guard against a literal 0/0: any nonzero throughput, however small, is a meaningful denominator")
         if self.lp_throughput == 0.0 {
             return 1.0;
         }

@@ -20,8 +20,8 @@ use crate::schedule::Schedule;
 use std::collections::BTreeMap;
 use std::ops::Range;
 use wavesched_lp::{
-    solve_with, Col, Objective, Problem, SimplexConfig, SolveError, SolveStats, SolverSession,
-    Status,
+    solve_with, Basis, Col, Objective, Problem, SimplexConfig, SolveError, SolveStats,
+    SolverSession, Status,
 };
 use wavesched_net::{Graph, PathSet};
 use wavesched_obs as obs;
@@ -231,6 +231,20 @@ fn build_probe(inst: &Instance) -> Problem {
 /// merge bit-identical realized stats at every pool width. Structural
 /// trouble degrades to a cold solve inside the clone, never to a wrong
 /// answer.
+/// The probes' LP settings: the configured simplex options plus
+/// candidate-list partial pricing. A probe's answer is a threshold test on
+/// the optimal *objective* — unique for an LP — never on the particular
+/// optimal vertex, so the vertex drift partial pricing allows on degenerate
+/// faces cannot change probe answers. The δ-growth and other
+/// schedule-bearing solves keep the exhaustive scan: their LPDAR rounding
+/// is a function of the vertex itself.
+fn probe_lp(cfg: &RetConfig) -> SimplexConfig {
+    SimplexConfig {
+        partial_pricing: true,
+        ..cfg.lp.clone()
+    }
+}
+
 struct Prober<'a> {
     graph: &'a Graph,
     jobs: &'a [Job],
@@ -374,7 +388,7 @@ impl<'a> Prober<'a> {
             // probes then answer without solving, so a session is useless.
             if !inst.has_unschedulable_job() {
                 let p = build_probe(&inst);
-                let template = SolverSession::with_config(&p, &cfg.lp)?;
+                let template = SolverSession::with_config(&p, &probe_lp(cfg))?;
                 let upper = bottleneck_uppers(&inst);
                 warm = Some(WarmProbe {
                     inst,
@@ -562,7 +576,7 @@ impl<'a> Prober<'a> {
             return Ok(false);
         }
         let p = build_probe(&inst);
-        let sol = solve_with(&p, &self.cfg.lp)?;
+        let sol = solve_with(&p, &probe_lp(self.cfg))?;
         self.stats.merge(&sol.stats);
         Ok(sol.status == Status::Optimal && sol.objective >= 1.0 - RET_PROBE_TOL)
     }
@@ -584,6 +598,120 @@ fn collect_midpoints(lo: f64, hi: f64, depth: usize, tol: f64, out: &mut Vec<f64
     out.push(mid);
     collect_midpoints(lo, mid, depth - 1, tol, out);
     collect_midpoints(mid, hi, depth - 1, tol, out);
+}
+
+/// How [`probe_sequence_stats`] re-solves consecutive probes. Bench
+/// support (see `crates/bench/benches/warm.rs`): isolates what each layer
+/// of the warm-start story buys on the probe sequence alone.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeResolveMode {
+    /// Fresh session per probe: every probe pays a full cold solve.
+    Cold,
+    /// One chained session, but each probe re-feeds the previous optimal
+    /// basis via `warm_start_from` — the provenance downgrade forces the
+    /// primal warm ladder (phase-1 bound-shift repair), i.e. the pre-dual
+    /// behavior of the session layer.
+    PrimalWarm,
+    /// One chained session left to its own selection: bound-only edits
+    /// between optimal solves take the dual simplex path.
+    SessionWarm,
+}
+
+/// Bench support: replays the RET bisection probe sequence serially on the
+/// `b_max` envelope probe LP under an explicit re-solve strategy, returning
+/// `(b̂, probe-sequence work counters)` — `None` when some job is
+/// unschedulable even at `b_max`. All three modes ask the identical LP
+/// question per trial `b` (the envelope LP with out-of-window columns fixed
+/// to zero), so `b̂` is mode-independent and the counters isolate exactly
+/// the re-solve strategy.
+#[doc(hidden)]
+pub fn probe_sequence_stats(
+    graph: &Graph,
+    jobs: &[Job],
+    inst_cfg: &InstanceConfig,
+    cfg: &RetConfig,
+    mode: ProbeResolveMode,
+) -> Result<Option<(f64, SolveStats)>, SolveError> {
+    let demands: Vec<f64> = jobs
+        .iter()
+        .map(|j| inst_cfg.demand_units(j.size_gb))
+        .collect();
+    let mut pathset = PathSet::new(inst_cfg.paths_per_job);
+    let inst = extended_instance(
+        graph,
+        jobs,
+        &demands,
+        cfg.b_max,
+        cfg.mode,
+        inst_cfg,
+        &mut pathset,
+    );
+    if inst.has_unschedulable_job() {
+        return Ok(None);
+    }
+    let p = build_probe(&inst);
+    let upper = bottleneck_uppers(&inst);
+    let lp = probe_lp(cfg);
+    let mut session = SolverSession::with_config(&p, &lp)?;
+    let mut carried: Option<Basis> = None;
+    let mut stats = SolveStats::default();
+
+    let probe = |b: f64,
+                 session: &mut SolverSession,
+                 carried: &mut Option<Basis>,
+                 stats: &mut SolveStats|
+     -> Result<bool, SolveError> {
+        let mut windows: Vec<Range<usize>> = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let ext = cfg.mode.apply(job, b);
+            let w = inst.grid.window_slices(ext.start, ext.end);
+            if w.is_empty() {
+                return Ok(false);
+            }
+            windows.push(w);
+        }
+        if mode == ProbeResolveMode::Cold {
+            *session = SolverSession::with_config(&p, &lp)?;
+        }
+        for (var, job, _, slice) in inst.vars.iter() {
+            let ub = if windows[job].contains(&slice) {
+                upper[var]
+            } else {
+                0.0
+            };
+            session.set_col_bounds(Col::from_index(var), 0.0, ub);
+        }
+        if mode == ProbeResolveMode::PrimalWarm {
+            if let Some(basis) = carried.take() {
+                session.warm_start_from(basis);
+            }
+        }
+        let sol = session.solve()?;
+        if mode == ProbeResolveMode::PrimalWarm && sol.status == Status::Optimal {
+            *carried = sol.basis.clone();
+        }
+        stats.merge(&sol.stats);
+        Ok(sol.status == Status::Optimal && sol.objective >= 1.0 - RET_PROBE_TOL)
+    };
+
+    let b_hat = if probe(0.0, &mut session, &mut carried, &mut stats)? {
+        0.0
+    } else if !probe(cfg.b_max, &mut session, &mut carried, &mut stats)? {
+        return Ok(None);
+    } else {
+        let (mut lo, mut hi) = (0.0, cfg.b_max);
+        while hi - lo > cfg.bsearch_tol {
+            let mid = 0.5 * (lo + hi);
+            if probe(mid, &mut session, &mut carried, &mut stats)? {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        hi
+    };
+    Ok(Some((b_hat, stats)))
 }
 
 /// Per-variable upper bounds for an instance's assignment columns: the

@@ -32,6 +32,7 @@ impl TimeGrid {
     /// A grid from explicit boundaries (strictly increasing, starting at 0).
     pub fn from_bounds(bounds: Vec<f64>) -> Self {
         assert!(bounds.len() >= 2, "need at least one slice");
+        // lint: allow(float-eq, reason = "validates a caller-supplied sentinel: the grid origin must be exactly 0.0, not merely near it")
         assert!(bounds[0] == 0.0, "grid must start at time 0");
         assert!(
             bounds.windows(2).all(|w| w[0] < w[1]),

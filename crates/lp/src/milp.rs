@@ -115,9 +115,8 @@ enum NodeOutcome {
     /// Infeasible, iteration-limited, or empty-domain node.
     Fathomed,
     /// Relaxation integral: a candidate incumbent (`obj` re-evaluated on
-    /// the rounded point; `bound` is the LP value used for pruning).
+    /// the rounded point).
     Integral {
-        bound: f64,
         obj: f64,
         x: Vec<f64>,
     },
@@ -237,11 +236,7 @@ impl Ctx<'_> {
                                 x[j] = x[j].round();
                             }
                             let obj = self.p.eval_objective(&x);
-                            Ok(NodeOutcome::Integral {
-                                bound: sol.objective,
-                                obj,
-                                x,
-                            })
+                            Ok(NodeOutcome::Integral { obj, x })
                         }
                         Some(j) => {
                             let v = sol.x[j];
@@ -317,11 +312,15 @@ impl Ctx<'_> {
                 }
                 Ok(NodeOutcome::Unbounded) => st.unbounded = true,
                 Ok(NodeOutcome::Fathomed) => {}
-                Ok(NodeOutcome::Integral { bound, obj, x }) => {
-                    let inc_obj = st.incumbent.as_ref().map(|(o, _)| *o);
-                    if !self.prune(bound, inc_obj)
-                        && should_replace(self.maximize, obj, &x, &st.incumbent)
-                    {
+                Ok(NodeOutcome::Integral { obj, x }) => {
+                    // No prune() here: the gap-based prune would discard a
+                    // candidate that *ties* the incumbent objective (rel
+                    // gap 0) before the lexicographic tie-break ever saw
+                    // it, making the surviving point depend on discovery
+                    // order. `should_replace` alone is the total order the
+                    // module contract promises — strictly worse candidates
+                    // lose there anyway.
+                    if should_replace(self.maximize, obj, &x, &st.incumbent) {
                         st.incumbent = Some((obj, x));
                     }
                 }

@@ -24,6 +24,7 @@
 //!   with a relaxed feasibility tolerance, pass two picks the numerically
 //!   largest pivot among the near-blocking rows.
 
+mod dual;
 mod lu;
 
 use crate::model::{Col, Problem, Row};
@@ -57,6 +58,20 @@ pub struct SimplexConfig {
     /// kernels everywhere, which the differential tests use as an oracle:
     /// the answer is bit-identical either way, only the work differs.
     pub kernel_density_threshold: f64,
+    /// Candidate-list partial pricing for the primal path: pricing scans a
+    /// minor-iteration sublist of attractive columns instead of every
+    /// nonbasic column, with periodic full refreshes. The `WS_PRICING`
+    /// environment variable overrides this (`full` / `partial`); `full` is
+    /// the exhaustive-scan differential oracle. Bland's anti-cycling rule
+    /// always bypasses the sublist, so the termination guarantee is
+    /// unchanged.
+    ///
+    /// Off by default: partial pricing reaches the same *objective* but may
+    /// land on a different vertex of a degenerate optimal face, and several
+    /// consumers (LPDAR rounding, schedule extraction) are functions of the
+    /// particular vertex. Callers whose decisions are objective-only (e.g.
+    /// the RET feasibility probes) opt in per config.
+    pub partial_pricing: bool,
 }
 
 impl Default for SimplexConfig {
@@ -69,7 +84,41 @@ impl Default for SimplexConfig {
             refactor_interval: 100,
             degeneracy_threshold: 400,
             kernel_density_threshold: 0.3,
+            partial_pricing: false,
         }
+    }
+}
+
+/// Process-wide pricing-mode override from the `WS_PRICING` environment
+/// variable, read once per process: `full` forces the exhaustive Devex scan
+/// (the bit-identical differential oracle), `partial` forces candidate-list
+/// pricing, anything else (or unset) defers to
+/// [`SimplexConfig::partial_pricing`].
+fn pricing_env() -> Option<bool> {
+    static MODE: std::sync::OnceLock<Option<bool>> = std::sync::OnceLock::new();
+    *MODE.get_or_init(|| {
+        // lint: allow(env-knob, reason = "WS_PRICING mirrors the sanctioned WS_THREADS pattern: read once at first use, config default preserved when unset, documented in the README")
+        match std::env::var("WS_PRICING") {
+            Ok(v) if v.eq_ignore_ascii_case("full") => Some(false),
+            Ok(v) if v.eq_ignore_ascii_case("partial") => Some(true),
+            _ => None,
+        }
+    })
+}
+
+/// Clamps a ratio-test quantity to nonnegative with a deterministic `+0.0`.
+///
+/// `f64::max` leaves the sign of a zero result unspecified — optimized and
+/// unoptimized builds can disagree on `(-0.0).max(0.0)` — and a `-0.0`
+/// step or ratio leaks into `total_cmp`-ordered candidate sorts, which
+/// distinguish the two zeros. Every zero-clamp on the pivot trajectory goes
+/// through here so debug and release builds pick identical pivots.
+#[inline]
+fn pos_or_zero(t: f64) -> f64 {
+    if t > 0.0 {
+        t
+    } else {
+        0.0
     }
 }
 
@@ -131,7 +180,10 @@ pub fn solve_with_start(
 ) -> Result<Solution, SolveError> {
     let std = standardize(p)?;
     let mut engine = Engine::new(std, cfg.clone());
-    engine.solve(start)
+    // A caller-supplied basis has no provenance guarantee, so the dual
+    // re-solve path (which requires "own last optimal basis, bounds/RHS
+    // edits only") is reserved for `SolverSession`.
+    engine.solve(start, false)
 }
 
 /// Folds a finished solve's counters into the process-wide observability
@@ -151,6 +203,13 @@ fn publish_stats(s: &SolveStats, nrows: usize) {
     obs::counter_add("lp.warm_start_fallbacks", s.warm_start_fallbacks);
     obs::counter_add("lp.ftran_dense_fallbacks", s.ftran_dense_fallbacks);
     obs::counter_add("lp.btran_dense_fallbacks", s.btran_dense_fallbacks);
+    obs::counter_add("lp.dual_iterations", s.dual_iterations);
+    obs::counter_add("lp.dual_bound_flips", s.dual_bound_flips);
+    obs::counter_add(
+        "lp.pricing_candidates_scanned",
+        s.pricing_candidates_scanned,
+    );
+    obs::counter_add("lp.partial_refreshes", s.partial_refreshes);
     obs::record("lp.solve_iterations", s.iterations);
     // Kernel density profile: histograms of the per-solve mean nonzero
     // counts and densities (percent of the basis dimension), the signal
@@ -247,6 +306,26 @@ struct Engine {
     /// signed artificials of a cold start and any basic variables a warm
     /// start left outside their bounds.
     relaxed: Vec<Relaxed>,
+    /// Partial pricing on for this engine (config plus the `WS_PRICING`
+    /// override, resolved at construction).
+    pricing_partial: bool,
+    /// Partial-pricing candidate list: column indices, rebuilt by each full
+    /// refresh, scanned on minor iterations. Cleared at phase start.
+    cand: Vec<u32>,
+    /// Candidate membership flags (sized to the column count at phase
+    /// start); Devex weight maintenance is restricted to members while the
+    /// sublist is active.
+    cand_member: Vec<bool>,
+    /// Minor iterations remaining before the next forced full refresh.
+    cand_budget: u32,
+    /// Refresh scratch: `(score, column)` pairs of eligible columns.
+    cand_scores: Vec<(f64, u32)>,
+    /// Dual ratio-test scratch: `(column, alpha)` pairs over the pivotal
+    /// row's nonbasic support.
+    dual_cols: Vec<(u32, f64)>,
+    /// Dual BFRT scratch: candidate order of `dual_cols` indices, sorted by
+    /// dual ratio.
+    dual_order: Vec<u32>,
 }
 
 /// A phase-1 bound relaxation: column `col` temporarily has one bound opened
@@ -434,6 +513,13 @@ impl Engine {
             eta_active: Vec::new(),
             kernel_cap,
             relaxed: Vec::new(),
+            pricing_partial: pricing_env().unwrap_or(cfg.partial_pricing),
+            cand: Vec::new(),
+            cand_member: vec![false; ncols],
+            cand_budget: 0,
+            cand_scores: Vec::with_capacity(ncols),
+            dual_cols: Vec::with_capacity(nnz),
+            dual_order: Vec::with_capacity(nnz),
             std,
             cfg,
         }
@@ -631,6 +717,7 @@ impl Engine {
         self.bland = false;
         self.degen_run = 0;
         self.relaxed.clear();
+        self.reset_candidates();
         for i in 0..self.std.nrows {
             let a = self.std.artificial_col(i);
             self.std.lower[a] = 0.0;
@@ -705,16 +792,39 @@ impl Engine {
 
     /// Solves the held standardized form, warm-starting from `start` when
     /// supplied and usable, with a silent cold fallback otherwise.
-    fn solve(&mut self, start: Option<&Basis>) -> Result<Solution, SolveError> {
+    /// `try_dual` additionally tries a dual simplex re-solve first — only
+    /// correct when `start` is this engine's own last optimal basis and
+    /// nothing but bounds/RHS changed since (the caller asserts that); the
+    /// dual path degrades to the ordinary warm/cold ladder on any doubt.
+    fn solve(&mut self, start: Option<&Basis>, try_dual: bool) -> Result<Solution, SolveError> {
         let _span = obs::span("lp_solve");
-        let sol = self.solve_inner(start)?;
+        let sol = self.solve_inner(start, try_dual)?;
         publish_stats(&sol.stats, self.std.nrows);
         Ok(sol)
     }
 
-    fn solve_inner(&mut self, start: Option<&Basis>) -> Result<Solution, SolveError> {
+    fn solve_inner(
+        &mut self,
+        start: Option<&Basis>,
+        try_dual: bool,
+    ) -> Result<Solution, SolveError> {
         if let Some(basis) = start {
             self.reset_for_solve();
+            if try_dual {
+                match self.attempt_dual(basis) {
+                    Ok(sol) => return Ok(sol),
+                    Err(_) => {
+                        // Dual path abandoned (dual-infeasible after the
+                        // edits, numerical trouble, or stalled): scrub the
+                        // partially-installed state but keep the work it
+                        // burned on the counters, then fall through to the
+                        // ordinary warm attempt.
+                        let stats = self.stats;
+                        self.reset_for_solve();
+                        self.stats = stats;
+                    }
+                }
+            }
             match self.attempt_warm(basis) {
                 Ok(sol) => return Ok(sol),
                 Err(_) => {
@@ -1015,6 +1125,7 @@ impl Engine {
     fn iterate(&mut self, phase1: bool) -> Result<PhaseOutcome, SolveError> {
         self.recompute_reduced();
         self.weights.fill(1.0);
+        self.reset_candidates();
         loop {
             if self.stats.iterations >= self.cfg.max_iterations {
                 return Ok(PhaseOutcome::IterationLimit);
@@ -1215,39 +1326,56 @@ impl Engine {
         self.put_duals(y);
     }
 
-    /// Devex pricing over the maintained reduced costs. Returns the
-    /// entering column and its movement direction (+1 from lower/free, -1
-    /// from upper/free).
-    fn price(&self) -> Option<(usize, f64)> {
+    /// Entering-direction eligibility of nonbasic column `j` under the
+    /// maintained reduced costs: +1 from lower/free, -1 from upper/free,
+    /// `None` when `j` cannot improve the objective.
+    #[inline]
+    fn eligible_dir(&self, j: usize) -> Option<f64> {
         let tol = self.cfg.opt_tol;
+        match self.state[j] {
+            VarState::Basic(_) | VarState::Fixed => None,
+            VarState::AtLower => (self.d[j] < -tol).then_some(1.0),
+            VarState::AtUpper => (self.d[j] > tol).then_some(-1.0),
+            VarState::Free => {
+                if self.d[j] < -tol {
+                    Some(1.0)
+                } else if self.d[j] > tol {
+                    Some(-1.0)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Pricing dispatch: candidate-list partial pricing when enabled, the
+    /// full Devex scan otherwise. Bland mode always takes the full
+    /// first-eligible scan — partial pricing must not weaken the
+    /// anti-cycling termination guarantee. A `None` from either mode means
+    /// a *complete* scan found no eligible column, so the claimed-optimal
+    /// verification in [`Self::iterate`] has identical semantics in both.
+    fn price(&mut self) -> Option<(usize, f64)> {
+        if self.bland || !self.pricing_partial {
+            return self.price_full();
+        }
+        if !self.cand.is_empty() && self.cand_budget > 0 {
+            if let Some(best) = self.scan_candidates() {
+                self.cand_budget -= 1;
+                return Some(best);
+            }
+        }
+        self.refresh_candidates()
+    }
+
+    /// Devex pricing over every nonbasic column. Returns the entering
+    /// column and its movement direction.
+    fn price_full(&mut self) -> Option<(usize, f64)> {
         let mut best: Option<(usize, f64, f64)> = None; // (col, dir, score)
         for j in 0..self.std.ncols() {
-            let dir = match self.state[j] {
-                VarState::Basic(_) | VarState::Fixed => continue,
-                VarState::AtLower => {
-                    if self.d[j] < -tol {
-                        1.0
-                    } else {
-                        continue;
-                    }
-                }
-                VarState::AtUpper => {
-                    if self.d[j] > tol {
-                        -1.0
-                    } else {
-                        continue;
-                    }
-                }
-                VarState::Free => {
-                    if self.d[j] < -tol {
-                        1.0
-                    } else if self.d[j] > tol {
-                        -1.0
-                    } else {
-                        continue;
-                    }
-                }
+            let Some(dir) = self.eligible_dir(j) else {
+                continue;
             };
+            self.stats.pricing_candidates_scanned += 1;
             if self.bland {
                 // Bland: first eligible index guarantees termination.
                 return Some((j, dir));
@@ -1260,9 +1388,102 @@ impl Engine {
         best.map(|(j, dir, _)| (j, dir))
     }
 
+    /// Minor-iteration pricing pass: best Devex score among the current
+    /// candidates (entries that went basic or lost eligibility are skipped;
+    /// the next refresh drops them).
+    fn scan_candidates(&mut self) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64, f64)> = None;
+        let mut scanned = 0u64;
+        for &jc in &self.cand {
+            let j = jc as usize;
+            scanned += 1;
+            let Some(dir) = self.eligible_dir(j) else {
+                continue;
+            };
+            let score = self.d[j] * self.d[j] / self.weights[j];
+            if best.is_none_or(|(_, _, s)| score > s) {
+                best = Some((j, dir, score));
+            }
+        }
+        self.stats.pricing_candidates_scanned += scanned;
+        best.map(|(j, dir, _)| (j, dir))
+    }
+
+    /// Full eligibility scan that rebuilds the candidate list with the
+    /// highest-scoring columns and returns the best of them. `None` means
+    /// no column anywhere is eligible (the full-scan optimality claim).
+    /// Entirely deterministic: scores tie-break toward the lower column
+    /// index, so the list does not depend on allocation or thread state.
+    fn refresh_candidates(&mut self) -> Option<(usize, f64)> {
+        self.stats.partial_refreshes += 1;
+        for &jc in &self.cand {
+            self.cand_member[jc as usize] = false;
+        }
+        self.cand.clear();
+        let mut scores = std::mem::take(&mut self.cand_scores);
+        scores.clear();
+        for j in 0..self.std.ncols() {
+            if self.eligible_dir(j).is_none() {
+                continue;
+            }
+            self.stats.pricing_candidates_scanned += 1;
+            let score = self.d[j] * self.d[j] / self.weights[j];
+            scores.push((score, j as u32));
+        }
+        if scores.is_empty() {
+            self.cand_scores = scores;
+            self.cand_budget = 0;
+            return None;
+        }
+        // Keep the top slice by (score desc, column asc); the list size
+        // grows with sqrt(ncols) so minor iterations touch O(sqrt n)
+        // columns instead of n.
+        let keep = Self::candidate_list_size(self.std.ncols()).min(scores.len());
+        scores.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        scores.truncate(keep);
+        for &(_, jc) in scores.iter() {
+            self.cand.push(jc);
+            self.cand_member[jc as usize] = true;
+        }
+        let (_, best) = scores[0];
+        self.cand_budget = keep as u32;
+        self.cand_scores = scores;
+        let j = best as usize;
+        // The top candidate was eligible a moment ago by construction.
+        let dir = self.eligible_dir(j)?;
+        Some((j, dir))
+    }
+
+    /// Partial-pricing sublist size for an `ncols`-column problem.
+    fn candidate_list_size(ncols: usize) -> usize {
+        (2.0 * (ncols as f64).sqrt()) as usize + 16
+    }
+
+    /// Empties the candidate list (start of a phase, or after a structural
+    /// change): the first partial-pricing call will run a full refresh.
+    fn reset_candidates(&mut self) {
+        for &jc in &self.cand {
+            let j = jc as usize;
+            if j < self.cand_member.len() {
+                self.cand_member[j] = false;
+            }
+        }
+        self.cand.clear();
+        self.cand_member.resize(self.std.ncols(), false);
+        self.cand_budget = 0;
+    }
+
     /// After choosing pivot (entering `q`, leaving position `pos`), updates
     /// the reduced costs and Devex weights using the pivotal row
     /// `alpha = e_pos' B^{-1} A`.
+    ///
+    /// Reduced costs are always updated globally, even under candidate-list
+    /// pricing. A sublist-only update (let non-candidate `d` go stale,
+    /// recompute wholesale at each refresh) was evaluated and rejected:
+    /// these time-expanded LPs are degenerate enough that the eligible set
+    /// churns across refreshes, which makes refreshes — and with them the
+    /// full recompute — far too frequent, and the sublist's pivot choices
+    /// inflate the iteration count well past what the cheaper update saves.
     fn update_reduced_and_weights(&mut self, q: usize, pos: usize, alpha_q: f64) {
         // rho = B^{-T} e_pos (row-indexed), computed sparsely into the
         // engine-owned arena.
@@ -1307,6 +1528,12 @@ impl Engine {
         touched.sort_unstable();
         touched.dedup();
         self.stats.pivot_row_nnz += touched.len() as u64;
+        // With candidate-list pricing only the candidates' scores are ever
+        // read before the next full refresh (which rebuilds weights'
+        // relevance from scratch), so weight maintenance is confined to the
+        // sublist; reduced costs are always updated for every touched
+        // column — optimality claims depend on them.
+        let partial = self.pricing_partial && !self.bland;
         let mut max_weight: f64 = 1.0;
         for &jc in &touched {
             let j = jc as usize;
@@ -1317,6 +1544,9 @@ impl Engine {
                 continue;
             }
             self.d[j] -= ratio * alpha_j;
+            if partial && !self.cand_member[j] {
+                continue;
+            }
             let cand = (alpha_j / alpha_q) * (alpha_j / alpha_q) * wq;
             if cand > self.weights[j] {
                 self.weights[j] = cand;
@@ -1363,10 +1593,19 @@ impl Engine {
     /// the sign of cancelled zeros, which every consumer guards away.
     fn ftran_entering(&mut self, q: usize) {
         let mut rhs = std::mem::take(&mut self.ftran_rhs);
-        let mut w = std::mem::take(&mut self.ftran_w);
-        let mut s = std::mem::take(&mut self.lu_scratch);
         let (rows, vals) = self.std.a.col(q);
         rhs.load(rows, vals);
+        self.ftran_loaded(rhs);
+    }
+
+    /// Shared FTRAN tail: solves `B w = rhs` for an already-loaded
+    /// row-indexed `rhs` (LU pass, then the eta file), leaving the
+    /// basis-position-indexed result in `ftran_w` and handing `rhs` back to
+    /// its arena. Used by the entering-column FTRAN above and by the dual
+    /// ratio test's accumulated bound-flip column.
+    fn ftran_loaded(&mut self, mut rhs: WorkVec) {
+        let mut w = std::mem::take(&mut self.ftran_w);
+        let mut s = std::mem::take(&mut self.lu_scratch);
         self.lu
             .as_ref()
             // lint: allow(lib-unwrap, reason = "invariant: solve() refactorizes before any ratio test, so an LU is always installed here")
@@ -1434,54 +1673,81 @@ impl Engine {
                 }
                 (self.xb[pos] - lb + ftol) / -rate
             };
-            t_relaxed = t_relaxed.min(limit.max(0.0));
+            t_relaxed = t_relaxed.min(pos_or_zero(limit));
         });
         if t_relaxed.is_infinite() {
             return RatioOutcome::Unbounded;
         }
 
         // Pass 2: among rows blocking at or before `t_relaxed`, take the one
-        // with the largest pivot magnitude (Harris-style selection), breaking
-        // remaining ties toward retiring artificials.
-        let mut best: Option<(usize, f64, f64, bool)> = None; // pos, step, |pivot|, is_artificial
-        for_each_entry(w, |pos, wp| {
+        // with the largest pivot magnitude (Harris-style selection). Ties
+        // are decided inside a *relative band* around the maximum rather
+        // than by exact float equality: any pivot within `RATIO_TIE_BAND`
+        // of the best magnitude is numerically interchangeable, and inside
+        // the band the choice is lexicographic — retire artificials first,
+        // then the lowest basis position — so the selection is deterministic
+        // and independent of the visit order's rounding noise.
+        const RATIO_TIE_BAND: f64 = 1e-9;
+        let mut max_mag = 0.0f64;
+        let blocking = |pos: usize, wp: f64| -> Option<f64> {
             if wp.abs() <= ptol {
-                return;
+                return None;
             }
             let rate = -wp * dir;
             let j = self.basis[pos];
             let limit = if rate > 0.0 {
                 let ub = self.std.upper[j];
                 if !ub.is_finite() {
-                    return;
+                    return None;
                 }
                 (ub - self.xb[pos]) / rate
             } else {
                 let lb = self.std.lower[j];
                 if !lb.is_finite() {
-                    return;
+                    return None;
                 }
                 (self.xb[pos] - lb) / -rate
             };
-            let limit = limit.max(0.0);
-            if limit <= t_relaxed {
-                let art = self.std.kind[j] == ColKind::Artificial;
-                let better = match best {
-                    None => true,
-                    Some((_, _, bp, bart)) => wp.abs() > bp || (wp.abs() == bp && art && !bart),
-                };
-                if better {
-                    best = Some((pos, limit, wp.abs(), art));
-                }
+            let limit = pos_or_zero(limit);
+            (limit <= t_relaxed).then_some(limit)
+        };
+        let mut any_blocking = false;
+        for_each_entry(w, |pos, wp| {
+            if blocking(pos, wp).is_some() {
+                any_blocking = true;
+                max_mag = max_mag.max(wp.abs());
+            }
+        });
+        if !any_blocking {
+            // Nothing blocks before the entering variable's own range:
+            // a bound flip (own_range is finite here).
+            return RatioOutcome::BoundFlip(own_range);
+        }
+        let band_floor = max_mag * (1.0 - RATIO_TIE_BAND);
+        let mut best: Option<(usize, f64, bool)> = None; // pos, step, is_artificial
+        for_each_entry(w, |pos, wp| {
+            let Some(limit) = blocking(pos, wp) else {
+                return;
+            };
+            if wp.abs() < band_floor {
+                return;
+            }
+            let art = self.std.kind[self.basis[pos]] == ColKind::Artificial;
+            // Entries arrive in ascending basis position, so the first
+            // in-band row of a given artificiality class wins the
+            // lexicographic order automatically.
+            let better = match best {
+                None => true,
+                Some((_, _, bart)) => art && !bart,
+            };
+            if better {
+                best = Some((pos, limit, art));
             }
         });
         match best {
-            None => {
-                // Nothing blocks before the entering variable's own range:
-                // a bound flip (own_range is finite here).
-                RatioOutcome::BoundFlip(own_range)
-            }
-            Some((pos, step, _, _)) => RatioOutcome::Pivot { pos, step },
+            // max_mag > 0 guarantees an in-band blocking row exists.
+            None => RatioOutcome::BoundFlip(own_range),
+            Some((pos, step, _)) => RatioOutcome::Pivot { pos, step },
         }
     }
 
@@ -1800,7 +2066,7 @@ impl PivotProbe {
         };
         let mut engine = Engine::new(std, cfg);
         // lint: allow(lib-unwrap, reason = "bench-only probe constructor: warmup failure means the benchmark fixture is broken and should abort loudly")
-        let sol = engine.solve(None).expect("probe warmup failed");
+        let sol = engine.solve(None, false).expect("probe warmup failed");
         assert_eq!(
             sol.status,
             Status::IterationLimit,
@@ -1923,6 +2189,16 @@ pub struct SolverSession {
     engine: Engine,
     warm: Option<Basis>,
     agg: SolveStats,
+    /// True when `warm` is this session's *own* last optimal basis for the
+    /// current problem structure (not user-supplied, no columns/rows added
+    /// since). Together with `!cost_dirty` this is the precondition for the
+    /// dual simplex re-solve path: the basis is then dual feasible up to
+    /// the bound/RHS edits made since.
+    warm_is_own: bool,
+    /// True when an objective coefficient actually changed since the last
+    /// optimal solve. Cost edits invalidate dual feasibility, so they
+    /// force the next re-solve back onto the primal warm path.
+    cost_dirty: bool,
 }
 
 impl SolverSession {
@@ -1938,6 +2214,8 @@ impl SolverSession {
             engine: Engine::new(std, cfg.clone()),
             warm: None,
             agg: SolveStats::default(),
+            warm_is_own: false,
+            cost_dirty: false,
         })
     }
 
@@ -1997,7 +2275,12 @@ impl SolverSession {
         let j = col.index();
         assert!(j < self.engine.std.nstruct, "col out of range");
         assert!(cost.is_finite(), "non-finite cost");
-        self.engine.std.cost[j] = self.engine.std.obj_sign * cost;
+        let signed = self.engine.std.obj_sign * cost;
+        // lint: allow(float-eq, reason = "exact no-op detection: re-setting the identical coefficient (the common install-everything pattern) must not disqualify the dual re-solve path, and an exact compare can never misclassify a real change")
+        if signed != self.engine.std.cost[j] {
+            self.engine.std.cost[j] = signed;
+            self.cost_dirty = true;
+        }
     }
 
     /// Appends structural columns to the held problem in place, returning
@@ -2018,6 +2301,7 @@ impl SolverSession {
     /// out-of-range rows, or duplicate row entries within one column.
     pub fn add_columns(&mut self, cols: &[NewColumn]) -> Vec<Col> {
         let base = self.engine.std.nstruct;
+        self.warm_is_own = false; // structure change: not a bounds/RHS-only edit
         self.engine.append_columns(cols);
         if let Some(w) = &mut self.warm {
             for j in base..base + cols.len() {
@@ -2060,6 +2344,7 @@ impl SolverSession {
     /// out-of-range columns.
     pub fn add_rows(&mut self, rows: &[NewRow]) -> Vec<Row> {
         let base = self.engine.std.nrows;
+        self.warm_is_own = false; // structure change: not a bounds/RHS-only edit
         self.engine.append_rows(rows);
         if let Some(w) = &mut self.warm {
             w.rows.resize(w.rows.len() + rows.len(), BasisStatus::Basic);
@@ -2072,11 +2357,13 @@ impl SolverSession {
     /// was carrying.
     pub fn warm_start_from(&mut self, basis: Basis) {
         self.warm = Some(basis);
+        self.warm_is_own = false; // foreign provenance: primal warm path only
     }
 
     /// Drops the carried basis; the next solve starts cold.
     pub fn clear_warm_start(&mut self) {
         self.warm = None;
+        self.warm_is_own = false;
     }
 
     /// Solves the current state of the held problem, warm-starting from the
@@ -2089,9 +2376,16 @@ impl SolverSession {
     /// [`warm_start_from`](SolverSession::warm_start_from) /
     /// [`clear_warm_start`](SolverSession::clear_warm_start) to override.
     pub fn solve(&mut self) -> Result<Solution, SolveError> {
-        let sol = self.engine.solve(self.warm.as_ref())?;
+        // The dual re-solve path needs dual feasibility of the carried
+        // basis, which only the session can certify: its own last optimal
+        // basis for this exact structure, with every edit since confined
+        // to bounds/RHS. Anything else goes down the primal warm ladder.
+        let try_dual = self.warm_is_own && !self.cost_dirty;
+        let sol = self.engine.solve(self.warm.as_ref(), try_dual)?;
         if sol.status == Status::Optimal {
             self.warm.clone_from(&sol.basis);
+            self.warm_is_own = sol.basis.is_some();
+            self.cost_dirty = false;
         }
         self.agg.merge(&sol.stats);
         Ok(sol)
@@ -2114,6 +2408,19 @@ mod tests {
             "expected {b}, got {a} (diff {})",
             (a - b).abs()
         );
+    }
+
+    #[test]
+    fn ratio_clamp_zero_sign_is_deterministic() {
+        // `f64::max(-0.0, 0.0)` may return either zero depending on how the
+        // build lowers it; the ratio-test clamp must always produce `+0.0`
+        // or `total_cmp`-ordered candidate sorts diverge across build
+        // profiles (debug vs release picking different pivots).
+        assert_eq!(pos_or_zero(-0.0).to_bits(), 0.0f64.to_bits());
+        assert_eq!(pos_or_zero(0.0).to_bits(), 0.0f64.to_bits());
+        assert_eq!(pos_or_zero(f64::NAN).to_bits(), 0.0f64.to_bits());
+        assert_eq!(pos_or_zero(-1.5).to_bits(), 0.0f64.to_bits());
+        assert_eq!(pos_or_zero(2.5), 2.5);
     }
 
     #[test]

@@ -105,6 +105,19 @@ pub struct SolveStats {
     /// Summed count of nonbasic columns touched by pivotal-row pricing
     /// updates (the support of α_r = ρᵀA net of basic/fixed columns).
     pub pivot_row_nnz: u64,
+    /// Dual simplex pivots (bound/RHS re-solves from a still-dual-feasible
+    /// basis). Also included in `iterations`.
+    pub dual_iterations: u64,
+    /// Nonbasic boxed variables flipped between their bounds by the dual
+    /// ratio test (no basis change). Primal flips are in `bound_flips`.
+    pub dual_bound_flips: u64,
+    /// Nonbasic columns whose reduced cost a primal pricing scan examined
+    /// (full scans charge every nonbasic column; candidate-list scans only
+    /// the sublist).
+    pub pricing_candidates_scanned: u64,
+    /// Full refreshes of the partial-pricing candidate list (each one is a
+    /// complete eligibility scan).
+    pub partial_refreshes: u64,
 }
 
 impl SolveStats {
@@ -131,6 +144,10 @@ impl SolveStats {
         self.btran_nnz += other.btran_nnz;
         self.btran_dense_fallbacks += other.btran_dense_fallbacks;
         self.pivot_row_nnz += other.pivot_row_nnz;
+        self.dual_iterations += other.dual_iterations;
+        self.dual_bound_flips += other.dual_bound_flips;
+        self.pricing_candidates_scanned += other.pricing_candidates_scanned;
+        self.partial_refreshes += other.partial_refreshes;
     }
 }
 
@@ -218,6 +235,10 @@ mod tests {
             btran_nnz: 21,
             btran_dense_fallbacks: 2,
             pivot_row_nnz: 70,
+            dual_iterations: 4,
+            dual_bound_flips: 2,
+            pricing_candidates_scanned: 120,
+            partial_refreshes: 3,
         };
         let b = SolveStats {
             iterations: 5,
@@ -236,6 +257,10 @@ mod tests {
             btran_nnz: 9,
             btran_dense_fallbacks: 0,
             pivot_row_nnz: 30,
+            dual_iterations: 1,
+            dual_bound_flips: 0,
+            pricing_candidates_scanned: 40,
+            partial_refreshes: 1,
         };
         a.merge(&b);
         assert_eq!(a.iterations, 15);
@@ -252,6 +277,10 @@ mod tests {
         assert_eq!(a.btran_nnz, 30);
         assert_eq!(a.btran_dense_fallbacks, 2);
         assert_eq!(a.pivot_row_nnz, 100);
+        assert_eq!(a.dual_iterations, 5);
+        assert_eq!(a.dual_bound_flips, 2);
+        assert_eq!(a.pricing_candidates_scanned, 160);
+        assert_eq!(a.partial_refreshes, 4);
     }
 
     #[test]

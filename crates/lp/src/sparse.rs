@@ -265,6 +265,7 @@ impl CscMatrix {
         #[allow(clippy::needless_range_loop)] // column index drives col_axpy
         for j in 0..self.ncols {
             let xj = x[j];
+            // lint: allow(float-eq, reason = "exact-zero skip is a sparsity guard: skipping true zeros never changes the arithmetic")
             if xj != 0.0 {
                 self.col_axpy(j, xj, y);
             }

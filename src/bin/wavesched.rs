@@ -35,11 +35,14 @@ commands:
   simulate    run the periodic controller simulation on a trace
   dot         print the network as Graphviz DOT
   check-report <file>    validate a JSON-lines metrics report (--report output)
-  check-counters <actual> <expected>
+  check-counters <actual> <expected> [--require-nonzero <name>]...
               compare counters in two metrics reports; fails when any
               counter listed in <expected> grew (a solver-work regression)
               or disappeared. Counters below the expectation are reported
               as improvements — refresh <expected> when they stick.
+              --require-nonzero (repeatable) additionally fails when the
+              named counter is missing or zero in <actual> — a liveness
+              gate for paths (e.g. dual simplex) that must have run.
 
 common options:
   --network <abilene14|abilene20|esnet|waxman:<nodes>:<pairs>:<seed>>
@@ -230,11 +233,12 @@ fn run() -> Result<(), String> {
         // priced anything records all four cg.* counters in one code path,
         // so a partial family means the report schema drifted.
         if counter_names.iter().any(|n| n.starts_with("cg.")) {
-            const CG_FAMILY: [&str; 4] = [
+            const CG_FAMILY: [&str; 5] = [
                 "cg.rounds",
                 "cg.columns_added",
                 "cg.pricer_calls",
                 "cg.pricing_ns",
+                "cg.master_dual_iterations",
             ];
             let missing: Vec<&str> = CG_FAMILY
                 .iter()
@@ -260,6 +264,17 @@ fn run() -> Result<(), String> {
             [a, e] => (a.as_str(), e.as_str()),
             _ => return Err("check-counters needs <actual> <expected> file paths".to_string()),
         };
+        // `--require-nonzero <name>` (repeatable): the named counter must be
+        // present AND strictly positive in <actual>. The plain comparison is
+        // upper-bound only, so without this a code path that silently stops
+        // running (e.g. the dual simplex never engaging) would read as an
+        // "improvement" — this makes "the path actually ran" a gate.
+        let required: Vec<&str> = args
+            .opts
+            .iter()
+            .filter(|(k, v)| k == "require-nonzero" && !v.is_empty())
+            .map(|(_, v)| v.as_str())
+            .collect();
         let counters_of = |path: &str| -> Result<Vec<(String, u64)>, String> {
             let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
             let metrics =
@@ -289,6 +304,13 @@ fn run() -> Result<(), String> {
                 Some(_) => {}
             }
         }
+        for name in &required {
+            match actual.iter().find(|(n, _)| n == name) {
+                None => regressions.push(format!("{name}: required nonzero but missing")),
+                Some((_, 0)) => regressions.push(format!("{name}: required nonzero but is 0")),
+                Some(_) => {}
+            }
+        }
         if !regressions.is_empty() {
             return Err(format!(
                 "{actual_path}: {} counter regression(s) vs {expected_path}:\n  {}",
@@ -297,8 +319,9 @@ fn run() -> Result<(), String> {
             ));
         }
         println!(
-            "{actual_path}: {} counters within expectations ({improvements} improved)",
-            expected.len()
+            "{actual_path}: {} counters within expectations ({improvements} improved, {} required nonzero)",
+            expected.len(),
+            required.len()
         );
         return Ok(());
     }
