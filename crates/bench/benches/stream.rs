@@ -1,0 +1,91 @@
+//! Criterion benchmark for the streaming trace replay: the periodic
+//! controller driven from a lazily generated job stream versus the same
+//! trace preloaded into memory.
+//!
+//! The interesting output is not the wall-clock delta (the controller's
+//! LP work dwarfs job generation either way) but the allocation profile
+//! printed once at startup: early-window versus late-window mean bytes
+//! allocated per invocation. Flat means the active-window grid and build
+//! arenas hold — steady-state allocation is independent of how far the
+//! replay has progressed. The full-scale (million-job) capture lives in
+//! the `stream` *binary* (`--bin stream`), which installs the tracking
+//! allocator; see EXPERIMENTS.md BENCH_8.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wavesched_core::controller::ControllerConfig;
+use wavesched_net::abilene14;
+use wavesched_sim::{run_simulation_streamed, SimConfig};
+use wavesched_workload::{ArrivalModel, WorkloadConfig, WorkloadGenerator};
+
+fn replay_config(jobs: usize) -> (SimConfig, WorkloadConfig) {
+    let mut ctl = ControllerConfig::paper(4);
+    ctl.tau = 4;
+    ctl.instance.paths_per_job = 2;
+    let rate = 20.0;
+    let cfg = SimConfig {
+        controller: ctl,
+        max_slices: (jobs as f64 / rate).ceil() as usize + 500,
+    };
+    let wl = WorkloadConfig {
+        num_jobs: jobs,
+        seed: 2009,
+        arrival: ArrivalModel::Poisson { rate },
+        window: (4.0, 8.0),
+        ..Default::default()
+    };
+    (cfg, wl)
+}
+
+fn bench_streamed_vs_preloaded(c: &mut Criterion) {
+    let (g, _) = abilene14(4);
+    let jobs = 1_000;
+    let (cfg, wl) = replay_config(jobs);
+
+    // One instrumented pass for the profile line (all-zero deltas here —
+    // the bench harness does not install the tracking allocator — but
+    // peak_active and the slice/invocation counts are real).
+    let r = run_simulation_streamed(
+        &g,
+        WorkloadGenerator::new(wl.clone()).stream(&g),
+        &cfg,
+        None,
+    )
+    .expect("replay");
+    eprintln!(
+        "# stream replay: {} jobs, {} invocations, {} slices, peak_active {}, \
+         alloc/invocation early {:.0} B late {:.0} B",
+        r.jobs_seen,
+        r.invocations,
+        r.slices,
+        r.peak_active,
+        r.mem.early_mean_alloc_bytes,
+        r.mem.late_mean_alloc_bytes,
+    );
+
+    let mut group = c.benchmark_group("stream_replay");
+    group.sample_size(10);
+    group.bench_function("streamed", |b| {
+        b.iter(|| {
+            black_box(
+                run_simulation_streamed(
+                    &g,
+                    WorkloadGenerator::new(wl.clone()).stream(&g),
+                    &cfg,
+                    None,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.bench_function("preloaded", |b| {
+        b.iter(|| {
+            let all = WorkloadGenerator::new(wl.clone()).generate(&g);
+            black_box(run_simulation_streamed(&g, all, &cfg, None).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_streamed_vs_preloaded);
+criterion_main!(benches);

@@ -96,6 +96,65 @@ fn jobs_finished_smoke_csv_is_bit_identical_across_thread_counts() {
     );
 }
 
+/// Runs the `stream` replay binary with a decision log, returning
+/// (scheduling rows of stdout, decision log bytes). The `mem_*` stdout
+/// rows are allocation telemetry — machine-dependent by design — so they
+/// are stripped before comparison; the decision log contains scheduling
+/// outcomes only and is compared whole.
+fn run_stream(threads: &str, label: &str, extra_args: &[&str]) -> (String, Vec<u8>) {
+    let log_path = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("stream_determinism_{label}.log"));
+    let out = Command::new(env!("CARGO_BIN_EXE_stream"))
+        .args(["--jobs", "600", "--log"])
+        .arg(&log_path)
+        .args(extra_args)
+        .env("WS_THREADS", threads)
+        .output()
+        .expect("stream binary runs");
+    assert!(
+        out.status.success(),
+        "stream failed under WS_THREADS={threads}: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8 csv");
+    let sched: String = stdout
+        .lines()
+        .filter(|l| !l.starts_with("mem_"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let log = std::fs::read(&log_path).expect("decision log written");
+    assert!(!log.is_empty(), "decision log must not be empty");
+    (sched, log)
+}
+
+#[test]
+fn streamed_replay_log_is_bit_identical_across_thread_counts() {
+    let (csv1, log1) = run_stream("1", "t1", &[]);
+    let (csv4, log4) = run_stream("4", "t4", &[]);
+    assert_eq!(
+        log1, log4,
+        "streamed decision log must not depend on WS_THREADS"
+    );
+    assert_eq!(
+        csv1, csv4,
+        "stream scheduling CSV must not depend on WS_THREADS"
+    );
+}
+
+#[test]
+fn streamed_replay_log_is_bit_identical_to_preloaded() {
+    // Feeding the controller from the lazy stream versus from a fully
+    // materialized trace must be observationally equivalent: same
+    // decisions, same bytes. Only memory differs.
+    let (csv_s, log_s) = run_stream("1", "streamed", &[]);
+    let (csv_p, log_p) = run_stream("1", "preloaded", &["--preload"]);
+    assert_eq!(
+        log_s, log_p,
+        "streamed and preloaded replays must produce identical decision logs"
+    );
+    assert_eq!(csv_s, csv_p);
+}
+
 #[test]
 fn ret_search_is_bit_identical_across_probe_widths() {
     // The fig4 shape at test-friendly size: overloaded Abilene so the

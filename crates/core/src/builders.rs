@@ -1,44 +1,56 @@
 //! Shared LP-construction helpers used by the Stage-1, Stage-2 and SUB-RET
 //! builders.
+//!
+//! Each helper writes into caller-provided scratch (normally a
+//! [`BuildArena`](crate::arena::BuildArena)'s buffers) so repeated builds —
+//! one per controller period — reuse one allocation instead of reallocating
+//! per row.
 
 use crate::instance::Instance;
 use wavesched_lp::{Col, Problem};
 
 /// Adds one nonnegative column per decision variable, upper-bounded by the
 /// bottleneck wavelength count of its path (a valid implied bound that
-/// shrinks the search). Costs start at zero. Returns the columns, aligned
-/// with the instance's `VarMap`.
-pub(crate) fn add_assignment_cols(p: &mut Problem, inst: &Instance) -> Vec<Col> {
-    let mut cols = Vec::with_capacity(inst.vars.len());
+/// shrinks the search). Costs start at zero. Fills `cols` (cleared first)
+/// with the columns, aligned with the instance's `VarMap`.
+pub(crate) fn add_assignment_cols(p: &mut Problem, inst: &Instance, cols: &mut Vec<Col>) {
+    cols.clear();
+    cols.reserve(inst.vars.len());
     for (_, job, path, _) in inst.vars.iter() {
         let bottleneck = inst.paths[job][path].bottleneck_wavelengths(&inst.graph) as f64;
         cols.push(p.add_col(0.0, bottleneck, 0.0));
     }
-    cols
 }
 
 /// Adds the capacity rows (eq. 3): for every (edge, slice) pair crossed by
 /// at least one allowed path, the total assignment is at most the edge's
-/// wavelength count.
-pub(crate) fn add_capacity_rows(p: &mut Problem, inst: &Instance, cols: &[Col]) {
-    // Deterministic iteration order for reproducible solves.
-    let mut keys: Vec<&(u32, u32)> = inst.capacity_groups.keys().collect();
-    keys.sort();
-    for key in keys {
-        let vars = &inst.capacity_groups[key];
+/// wavelength count. Rows are added in sorted key order (`BTreeMap`
+/// iteration), keeping solves reproducible.
+pub(crate) fn add_capacity_rows(
+    p: &mut Problem,
+    inst: &Instance,
+    cols: &[Col],
+    scratch: &mut Vec<(Col, f64)>,
+) {
+    for (key, vars) in &inst.capacity_groups {
         let cap = inst.graph.wavelengths(wavesched_net::EdgeId(key.0)) as f64;
-        let coeffs: Vec<(Col, f64)> = vars.iter().map(|&v| (cols[v as usize], 1.0)).collect();
-        p.add_row(f64::NEG_INFINITY, cap, &coeffs);
+        scratch.clear();
+        scratch.extend(vars.iter().map(|&v| (cols[v as usize], 1.0)));
+        p.add_row(f64::NEG_INFINITY, cap, scratch);
     }
 }
 
-/// Coefficients of `sum_{p,j} x_i(p,j) * LEN(j)` for one job.
-pub(crate) fn job_volume_coeffs(inst: &Instance, cols: &[Col], job: usize) -> Vec<(Col, f64)> {
-    inst.vars
-        .job_range(job)
-        .map(|var| {
-            let (_, _, slice) = inst.vars.triple(var);
-            (cols[var], inst.grid.len_of(slice))
-        })
-        .collect()
+/// Fills `out` (cleared first) with the coefficients of
+/// `sum_{p,j} x_i(p,j) * LEN(j)` for one job.
+pub(crate) fn job_volume_coeffs(
+    inst: &Instance,
+    cols: &[Col],
+    job: usize,
+    out: &mut Vec<(Col, f64)>,
+) {
+    out.clear();
+    out.extend(inst.vars.job_range(job).map(|var| {
+        let (_, _, slice) = inst.vars.triple(var);
+        (cols[var], inst.grid.len_of(slice))
+    }));
 }

@@ -417,6 +417,9 @@ pub struct CgMaster {
     lp_cols: Vec<Col>,
     form: MasterForm,
     stats: CgStats,
+    /// Per-round pricing scratch (reduced-cost budgets per job), recycled
+    /// across rounds so steady-state pricing stops allocating.
+    budget_scratch: Vec<Vec<f64>>,
 }
 
 impl CgMaster {
@@ -515,6 +518,7 @@ impl CgMaster {
             lp_cols,
             form: MasterForm::Stage1,
             stats: CgStats::default(),
+            budget_scratch: Vec::new(),
         })
     }
 
@@ -628,6 +632,20 @@ impl CgMaster {
             let env = &self.windows[i];
             self.active[i] = w.start.max(env.start)..w.end.min(env.end);
         }
+        self.apply_active_bounds();
+    }
+
+    /// Reopens every job's full envelope window.
+    pub fn reset_active_windows(&mut self) {
+        for i in 0..self.windows.len() {
+            self.active[i] = self.windows[i].clone();
+        }
+        self.apply_active_bounds();
+    }
+
+    /// Re-aims every pool column's upper bound at the current active
+    /// windows: open inside, fixed to zero outside.
+    fn apply_active_bounds(&mut self) {
         for k in 0..self.pool.cols.len() {
             let pc = self.pool.cols[k];
             let hi = if self.active[pc.job as usize].contains(&(pc.slice as usize)) {
@@ -637,12 +655,6 @@ impl CgMaster {
             };
             self.session.set_col_bounds(self.lp_cols[k], 0.0, hi);
         }
-    }
-
-    /// Reopens every job's full envelope window.
-    pub fn reset_active_windows(&mut self) {
-        let all = self.windows.clone();
-        self.set_active_windows(&all);
     }
 
     /// Solves the restricted master (warm from the previous optimum; the
@@ -680,15 +692,19 @@ impl CgMaster {
             .iter()
             .map(|(k, r)| (*k, sol.duals[r.index()]))
             .collect();
-        let mut budgets: Vec<Vec<f64>> = Vec::with_capacity(self.jobs.len());
-        for i in 0..self.jobs.len() {
+        // Budgets live in recycled scratch: taken out of the master for the
+        // round (so `cost_of` can still borrow `self`), restored on exit.
+        let mut budgets = std::mem::take(&mut self.budget_scratch);
+        budgets.resize_with(self.jobs.len(), Vec::new);
+        for (i, bi) in budgets.iter_mut().enumerate() {
             let lambda = sol.duals[self.job_rows[i].index()];
             let w = self.active[i].clone();
-            let mut b = Vec::with_capacity(w.len());
+            bi.clear();
+            bi.reserve(w.len());
             for j in w {
-                b.push(self.cost_of(i, j) - lambda * self.grid.len_of(j) - self.cg.tolerance);
+                let b = self.cost_of(i, j) - lambda * self.grid.len_of(j) - self.cg.tolerance;
+                bi.push(b);
             }
-            budgets.push(b);
         }
 
         let _pricing = obs::span("cg_pricing");
@@ -735,6 +751,7 @@ impl CgMaster {
         }
         self.stats.columns_added += added as u64;
         obs::counter_add("cg.columns_added", added as u64);
+        self.budget_scratch = budgets;
         added
     }
 

@@ -12,12 +12,13 @@
 //! [`Controller::record_transfer`].
 
 use crate::admission::admit_by_priority;
+use crate::arena::BuildArena;
 use crate::instance::{Instance, InstanceConfig};
 use crate::lpdar::AdjustOrder;
-use crate::pipeline::max_throughput_pipeline_warmed;
+use crate::pipeline::max_throughput_pipeline_in;
 use crate::ret::{solve_ret_with_demands, RetConfig};
 use crate::schedule::Schedule;
-use crate::stage1::solve_stage1_with_start;
+use crate::stage1::solve_stage1_in;
 use wavesched_lp::{Basis, SimplexConfig, SolveError, SolveStats};
 use wavesched_net::{Graph, PathSet};
 use wavesched_obs as obs;
@@ -121,6 +122,8 @@ pub struct Controller {
     /// Stage 1 warm-starts from it when the job set's shape still matches
     /// (the solver falls back to a cold start otherwise).
     warm_stage1: Option<Basis>,
+    /// LP-construction scratch recycled across invocations.
+    arena: BuildArena,
     stats: SolveStats,
 }
 
@@ -138,6 +141,7 @@ impl Controller {
             expired: Vec::new(),
             rejected_total: 0,
             warm_stage1: None,
+            arena: BuildArena::new(),
             stats: SolveStats::default(),
         }
     }
@@ -160,6 +164,22 @@ impl Controller {
     /// Ids of jobs dropped because their window elapsed before completion.
     pub fn expired(&self) -> &[JobId] {
         &self.expired
+    }
+
+    /// Drains the finished-job log, returning the retired ids.
+    ///
+    /// Long replays call this every period so controller memory tracks the
+    /// *active* job set instead of growing with everything ever completed;
+    /// callers that never drain keep the cumulative
+    /// [`finished`](Controller::finished) view unchanged.
+    pub fn take_finished(&mut self) -> Vec<JobId> {
+        std::mem::take(&mut self.finished)
+    }
+
+    /// Drains the expired-job log; see
+    /// [`take_finished`](Controller::take_finished).
+    pub fn take_expired(&mut self) -> Vec<JobId> {
+        std::mem::take(&mut self.expired)
     }
 
     /// Total number of rejected requests so far.
@@ -293,15 +313,20 @@ impl Controller {
         // pipeline would schedule, so it both consumes and refreshes the
         // carried warm basis.
         if self.cfg.policy == OverloadPolicy::ExtendDeadlines && !jobs.is_empty() {
-            let mut probe_ps = PathSet::new(self.cfg.instance.paths_per_job);
-            let probe = Instance::build_with_demands(
+            let probe = Instance::build_with_demands_from(
                 &self.graph,
                 &jobs,
                 demands.clone(),
                 &self.cfg.instance,
-                &mut probe_ps,
+                &mut self.pathset,
+                now,
             );
-            let s1 = solve_stage1_with_start(&probe, &self.cfg.lp, self.warm_stage1.as_ref())?;
+            let s1 = solve_stage1_in(
+                &probe,
+                &self.cfg.lp,
+                self.warm_stage1.as_ref(),
+                &mut self.arena,
+            )?;
             inv_stats.merge(&s1.stats);
             if s1.basis.is_some() {
                 self.warm_stage1 = s1.basis;
@@ -348,19 +373,21 @@ impl Controller {
         // two-stage pipeline + LPDAR, warm-starting Stage 1 from the carried
         // basis (the previous invocation's — or, under ExtendDeadlines, this
         // round's overload probe over the identical instance).
-        let inst = Instance::build_with_demands(
+        let inst = Instance::build_with_demands_from(
             &self.graph,
             &jobs,
             demands.clone(),
             &self.cfg.instance,
             &mut self.pathset,
+            now,
         );
-        let pipe = max_throughput_pipeline_warmed(
+        let pipe = max_throughput_pipeline_in(
             &inst,
             self.cfg.alpha,
             self.cfg.order,
             &self.cfg.lp,
             self.warm_stage1.as_ref(),
+            &mut self.arena,
         )?;
         inv_stats.merge(&pipe.stats);
         if pipe.stage1_basis.is_some() {

@@ -71,17 +71,17 @@ pub struct VarMap {
 }
 
 impl VarMap {
-    fn build(windows: &[Range<usize>], num_paths: &[usize]) -> Self {
+    fn build(windows: Vec<Range<usize>>, num_paths: Vec<usize>) -> Self {
         let mut job_offsets = Vec::with_capacity(windows.len());
         let mut total = 0usize;
-        for (w, &np) in windows.iter().zip(num_paths) {
+        for (w, &np) in windows.iter().zip(&num_paths) {
             job_offsets.push(total);
             total += w.len() * np;
         }
         VarMap {
             job_offsets,
-            num_paths: num_paths.to_vec(),
-            windows: windows.to_vec(),
+            num_paths,
+            windows,
             total,
         }
     }
@@ -212,11 +212,28 @@ impl Instance {
         cfg: &InstanceConfig,
         pathset: &mut PathSet,
     ) -> Self {
+        Self::build_with_demands_from(graph, jobs, demands, cfg, pathset, 0.0)
+    }
+
+    /// Like [`build_with_demands`](Instance::build_with_demands), but on an
+    /// active-window grid whose stored slices start at `from_time` (the
+    /// controller's current time). Slice indices stay global, so the
+    /// resulting LPs, schedules and CSVs are byte-identical to a full
+    /// build; only the memory for the dead `[0, from_time)` prefix is
+    /// elided. `from_time = 0` is exactly the full build.
+    pub fn build_with_demands_from(
+        graph: &Graph,
+        jobs: &[Job],
+        demands: Vec<f64>,
+        cfg: &InstanceConfig,
+        pathset: &mut PathSet,
+        from_time: f64,
+    ) -> Self {
         let paths: Vec<Vec<Path>> = jobs
             .iter()
             .map(|j| pathset.paths(graph, j.src, j.dst).to_vec())
             .collect();
-        Self::build_with_paths(graph, jobs, demands, cfg, paths)
+        Self::build_with_paths_from(graph, jobs, demands, cfg, paths, from_time)
     }
 
     /// Builds an instance with explicit per-job path lists instead of the
@@ -232,6 +249,20 @@ impl Instance {
         cfg: &InstanceConfig,
         paths: Vec<Vec<Path>>,
     ) -> Self {
+        Self::build_with_paths_from(graph, jobs, demands, cfg, paths, 0.0)
+    }
+
+    /// [`build_with_paths`](Instance::build_with_paths) on an active-window
+    /// grid starting at `from_time`; see
+    /// [`build_with_demands_from`](Instance::build_with_demands_from).
+    pub fn build_with_paths_from(
+        graph: &Graph,
+        jobs: &[Job],
+        demands: Vec<f64>,
+        cfg: &InstanceConfig,
+        paths: Vec<Vec<Path>>,
+        from_time: f64,
+    ) -> Self {
         assert_eq!(jobs.len(), demands.len());
         assert_eq!(jobs.len(), paths.len());
         let horizon = jobs
@@ -240,14 +271,17 @@ impl Instance {
             .fold(1.0_f64, f64::max)
             .ceil()
             .max(1.0) as usize;
-        let grid = TimeGrid::uniform(horizon);
+        let origin = from_time.max(0.0).floor() as usize;
+        // `windowed(0, n)` is exactly `uniform(n)`; clamp so the grid keeps
+        // at least one slice even when every window has already closed.
+        let grid = TimeGrid::windowed(origin, horizon.max(origin + 1) - origin);
 
         let windows: Vec<Range<usize>> = jobs
             .iter()
             .map(|j| grid.window_slices(j.start, j.end))
             .collect();
         let num_paths: Vec<usize> = paths.iter().map(|p| p.len()).collect();
-        let vars = VarMap::build(&windows, &num_paths);
+        let vars = VarMap::build(windows, num_paths);
 
         let mut capacity_groups: BTreeMap<(u32, u32), Vec<u32>> = BTreeMap::new();
         for (var, job, p, slice) in vars.iter() {
@@ -364,6 +398,43 @@ mod tests {
         let inst = small_instance(12);
         let max_end = inst.jobs.iter().map(|j| j.end).fold(0.0f64, f64::max);
         assert!(inst.grid.horizon() >= max_end.floor());
+    }
+
+    #[test]
+    fn windowed_build_matches_full_build() {
+        // When every job's window lies at or after `from_time`, the
+        // active-window build must agree with the full build on everything
+        // an LP builder consumes: variable enumeration, windows and
+        // capacity groups — only the grid's stored prefix differs.
+        let (g, _) = abilene14(4);
+        let jobs: Vec<Job> = WorkloadGenerator::new(WorkloadConfig {
+            num_jobs: 10,
+            seed: 3,
+            ..Default::default()
+        })
+        .generate(&g)
+        .into_iter()
+        .map(|mut j| {
+            j.start += 25.0;
+            j.end += 25.0;
+            j
+        })
+        .collect();
+        let cfg = InstanceConfig::paper(4);
+        let mut ps = PathSet::new(cfg.paths_per_job);
+        let full = Instance::build(&g, &jobs, &cfg, &mut ps);
+        let demands: Vec<f64> = jobs.iter().map(|j| cfg.demand_units(j.size_gb)).collect();
+        let win = Instance::build_with_demands_from(&g, &jobs, demands, &cfg, &mut ps, 25.0);
+
+        assert_eq!(win.grid.first_slice(), 25);
+        assert_eq!(win.grid.num_slices(), full.grid.num_slices());
+        assert_eq!(win.vars.len(), full.vars.len());
+        for i in 0..jobs.len() {
+            assert_eq!(win.vars.window(i), full.vars.window(i), "job {i}");
+            assert_eq!(win.vars.paths_of(i), full.vars.paths_of(i), "job {i}");
+        }
+        assert_eq!(win.capacity_groups, full.capacity_groups);
+        assert_eq!(win.demands, full.demands);
     }
 
     #[test]

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod arena;
 pub(crate) mod builders;
 pub mod colgen;
 pub mod controller;
@@ -46,6 +47,7 @@ pub mod stage2;
 pub mod timegrid;
 
 pub use admission::{admit_by_priority, AdmissionOutcome};
+pub use arena::BuildArena;
 pub use colgen::{
     CgMaster, CgStats, ColGenConfig, ColumnPool, ExhaustivePricer, Pricer, PricerChoice,
     PricingContext, ReducedCostPricer,
@@ -54,7 +56,10 @@ pub use controller::{Controller, ControllerConfig, OverloadPolicy};
 pub use gkflow::{approx_stage1, GkConfig, GkResult};
 pub use instance::{Instance, InstanceConfig, VarMap};
 pub use lpdar::{adjust_rates, adjust_rates_capped, lpdar, lpdar_capped, truncate, AdjustOrder};
-pub use pipeline::{max_throughput_pipeline, max_throughput_pipeline_colgen, PipelineResult};
+pub use pipeline::{
+    max_throughput_pipeline, max_throughput_pipeline_colgen, max_throughput_pipeline_in,
+    PipelineResult,
+};
 pub use ret::{solve_ret, solve_ret_colgen, solve_ret_with_demands, RetConfig, RetMode, RetResult};
 pub use schedule::Schedule;
 pub use stage1::{solve_stage1, solve_stage1_colgen};

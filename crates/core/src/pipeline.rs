@@ -6,14 +6,13 @@
 //! timing convention is followed: the reported LPD time includes the LP
 //! solve it discretizes, and the LPDAR time includes both.
 
+use crate::arena::BuildArena;
 use crate::colgen::{CgMaster, CgStats, ColGenConfig};
 use crate::instance::{Instance, InstanceConfig};
 use crate::lpdar::{adjust_rates, truncate, AdjustOrder};
 use crate::schedule::Schedule;
-use crate::stage1::{solve_stage1_colgen, solve_stage1_with_start};
-use crate::stage2::{
-    solve_stage2_colgen, solve_stage2_weighted_with_start, stage2_basis_from_stage1, WeightPolicy,
-};
+use crate::stage1::{solve_stage1_colgen, solve_stage1_in};
+use crate::stage2::{solve_stage2_colgen, solve_stage2_in, stage2_basis_from_stage1, WeightPolicy};
 use std::time::{Duration, Instant};
 use wavesched_lp::{Basis, SimplexConfig, SolveError, SolveStats};
 use wavesched_net::Graph;
@@ -113,12 +112,35 @@ pub fn max_throughput_pipeline_warmed(
     cfg: &SimplexConfig,
     stage1_start: Option<&Basis>,
 ) -> Result<PipelineResult, SolveError> {
+    max_throughput_pipeline_in(
+        inst,
+        alpha,
+        order,
+        cfg,
+        stage1_start,
+        &mut BuildArena::new(),
+    )
+}
+
+/// [`max_throughput_pipeline_warmed`] routing all LP-construction scratch
+/// through a caller-held [`BuildArena`]. A long-running caller (the
+/// controller, a replay loop) holds one arena for its lifetime so
+/// steady-state builds stop allocating; results are identical to the
+/// throwaway-arena entry points.
+pub fn max_throughput_pipeline_in(
+    inst: &Instance,
+    alpha: f64,
+    order: AdjustOrder,
+    cfg: &SimplexConfig,
+    stage1_start: Option<&Basis>,
+    arena: &mut BuildArena,
+) -> Result<PipelineResult, SolveError> {
     let _pipeline_span = obs::span("pipeline");
     // lint: allow(wallclock, reason = "stage timings are reporting-only fields of PipelineResult; no scheduling decision reads them")
     let t0 = Instant::now();
     let s1 = {
         let _s = obs::span("stage1");
-        solve_stage1_with_start(inst, cfg, stage1_start)?
+        solve_stage1_in(inst, cfg, stage1_start, arena)?
     };
     let stage1_time = t0.elapsed();
 
@@ -128,13 +150,14 @@ pub fn max_throughput_pipeline_warmed(
             .basis
             .as_ref()
             .and_then(|b| stage2_basis_from_stage1(b, inst.vars.len()));
-        solve_stage2_weighted_with_start(
+        solve_stage2_in(
             inst,
             s1.z_star,
             alpha,
             &WeightPolicy::DemandProportional,
             cfg,
             s2_start.as_ref(),
+            arena,
         )?
     };
     let lp_time = t0.elapsed();

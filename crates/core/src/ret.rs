@@ -171,16 +171,17 @@ const RET_PROBE_TOL: f64 = 1e-6;
 /// (already end-extended) instance.
 fn build_subret(inst: &Instance) -> Problem {
     let mut p = Problem::new(Objective::Minimize);
-    let cols = add_assignment_cols(&mut p, inst);
+    let (mut cols, mut coeffs) = (Vec::new(), Vec::new());
+    add_assignment_cols(&mut p, inst, &mut cols);
     for (var, _, _, slice) in inst.vars.iter() {
         p.set_cost(cols[var], (slice + 1) as f64);
     }
     // Eq. 15: every job moves at least its demand.
     for i in 0..inst.num_jobs() {
-        let coeffs = job_volume_coeffs(inst, &cols, i);
+        job_volume_coeffs(inst, &cols, i, &mut coeffs);
         p.add_row(inst.demands[i], f64::INFINITY, &coeffs);
     }
-    add_capacity_rows(&mut p, inst, &cols);
+    add_capacity_rows(&mut p, inst, &cols, &mut coeffs);
     p
 }
 
@@ -194,14 +195,15 @@ fn build_subret(inst: &Instance) -> Problem {
 /// a session stay warm across the whole search.
 fn build_probe(inst: &Instance) -> Problem {
     let mut p = Problem::new(Objective::Maximize);
-    let cols = add_assignment_cols(&mut p, inst);
+    let (mut cols, mut coeffs) = (Vec::new(), Vec::new());
+    add_assignment_cols(&mut p, inst, &mut cols);
     let z = p.add_col(0.0, 1.0, 1.0);
     for i in 0..inst.num_jobs() {
-        let mut coeffs = job_volume_coeffs(inst, &cols, i);
+        job_volume_coeffs(inst, &cols, i, &mut coeffs);
         coeffs.push((z, -inst.demands[i]));
         p.add_row(0.0, f64::INFINITY, &coeffs);
     }
-    add_capacity_rows(&mut p, inst, &cols);
+    add_capacity_rows(&mut p, inst, &cols, &mut coeffs);
     p
 }
 

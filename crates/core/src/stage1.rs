@@ -5,6 +5,7 @@
 //! capacities. `Z* < 1` means the network is overloaded; `Z* >= 1` means
 //! every deadline can be met (and demands could even be scaled up by `Z*`).
 
+use crate::arena::BuildArena;
 use crate::builders::{add_assignment_cols, add_capacity_rows, job_volume_coeffs};
 use crate::colgen::{CgMaster, Pricer};
 use crate::instance::Instance;
@@ -44,17 +45,23 @@ pub fn solve_stage1_with(inst: &Instance, cfg: &SimplexConfig) -> Result<Stage1R
 /// benchmarks, which probe the raw pivot loop on the paper-scale model.
 #[doc(hidden)]
 pub fn build_stage1_problem(inst: &Instance) -> Problem {
+    build_stage1_problem_in(inst, &mut BuildArena::new())
+}
+
+/// [`build_stage1_problem`] writing its construction scratch into `arena`.
+pub(crate) fn build_stage1_problem_in(inst: &Instance, arena: &mut BuildArena) -> Problem {
     let mut p = Problem::new(Objective::Maximize);
-    let cols = add_assignment_cols(&mut p, inst);
+    let (cols, coeffs) = arena.scratch();
+    add_assignment_cols(&mut p, inst, cols);
     let z = p.add_col(0.0, f64::INFINITY, 1.0); // maximize Z
 
     // Eq. 2: sum_{p,j} x·LEN = Z · D_i for every job.
     for i in 0..inst.num_jobs() {
-        let mut coeffs = job_volume_coeffs(inst, &cols, i);
+        job_volume_coeffs(inst, cols, i, coeffs);
         coeffs.push((z, -inst.demands[i]));
-        p.add_row(0.0, 0.0, &coeffs);
+        p.add_row(0.0, 0.0, coeffs);
     }
-    add_capacity_rows(&mut p, inst, &cols);
+    add_capacity_rows(&mut p, inst, cols, coeffs);
     p
 }
 
@@ -69,6 +76,18 @@ pub fn solve_stage1_with_start(
     cfg: &SimplexConfig,
     start: Option<&Basis>,
 ) -> Result<Stage1Result, SolveError> {
+    solve_stage1_in(inst, cfg, start, &mut BuildArena::new())
+}
+
+/// [`solve_stage1_with_start`] building the LP through a caller-held
+/// [`BuildArena`], so repeated solves (one per controller period) reuse the
+/// construction buffers instead of reallocating them.
+pub(crate) fn solve_stage1_in(
+    inst: &Instance,
+    cfg: &SimplexConfig,
+    start: Option<&Basis>,
+    arena: &mut BuildArena,
+) -> Result<Stage1Result, SolveError> {
     if inst.num_jobs() == 0 {
         return Ok(Stage1Result {
             z_star: f64::INFINITY,
@@ -79,7 +98,7 @@ pub fn solve_stage1_with_start(
     }
 
     let build_span = obs::span("build");
-    let p = build_stage1_problem(inst);
+    let p = build_stage1_problem_in(inst, arena);
     drop(build_span);
 
     let sol = solve_with_start(&p, cfg, start)?;

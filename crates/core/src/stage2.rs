@@ -9,6 +9,7 @@
 //! transferred volume over total demand, and the fairness constraint a
 //! per-job lower bound on transferred volume.
 
+use crate::arena::BuildArena;
 use crate::builders::{add_assignment_cols, add_capacity_rows, job_volume_coeffs};
 use crate::colgen::{CgMaster, Pricer};
 use crate::instance::Instance;
@@ -137,6 +138,30 @@ pub fn solve_stage2_weighted_with_start(
     cfg: &SimplexConfig,
     start: Option<&Basis>,
 ) -> Result<Stage2Result, SolveError> {
+    solve_stage2_in(
+        inst,
+        z_star,
+        alpha,
+        weights,
+        cfg,
+        start,
+        &mut BuildArena::new(),
+    )
+}
+
+/// [`solve_stage2_weighted_with_start`] building the LP through a
+/// caller-held [`BuildArena`]; see
+/// [`solve_stage1_in`](crate::stage1::solve_stage1_in).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn solve_stage2_in(
+    inst: &Instance,
+    z_star: f64,
+    alpha: f64,
+    weights: &WeightPolicy,
+    cfg: &SimplexConfig,
+    start: Option<&Basis>,
+    arena: &mut BuildArena,
+) -> Result<Stage2Result, SolveError> {
     assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
     if inst.num_jobs() == 0 {
         return Ok(Stage2Result {
@@ -149,7 +174,8 @@ pub fn solve_stage2_weighted_with_start(
 
     let total_weight: f64 = (0..inst.num_jobs()).map(|i| weights.weight(inst, i)).sum();
     let mut p = Problem::new(Objective::Maximize);
-    let cols = add_assignment_cols(&mut p, inst);
+    let (cols, coeffs) = arena.scratch();
+    add_assignment_cols(&mut p, inst, cols);
     // A costless fairness-level variable Z >= (1-alpha) Z*, mirroring
     // Stage 1's Z column so the two problems share one variable space and a
     // Stage-1 basis installs verbatim. Writing the fairness rows as
@@ -168,11 +194,11 @@ pub fn solve_stage2_weighted_with_start(
 
     // Fairness (eq. 9): per-job transferred volume >= (1-alpha) Z* D_i.
     for i in 0..inst.num_jobs() {
-        let mut coeffs = job_volume_coeffs(inst, &cols, i);
+        job_volume_coeffs(inst, cols, i, coeffs);
         coeffs.push((z, -inst.demands[i]));
-        p.add_row(0.0, f64::INFINITY, &coeffs);
+        p.add_row(0.0, f64::INFINITY, coeffs);
     }
-    add_capacity_rows(&mut p, inst, &cols);
+    add_capacity_rows(&mut p, inst, cols, coeffs);
 
     let sol = solve_with_start(&p, cfg, start)?;
     match sol.status {

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 mod json;
+pub mod mem;
 
 pub use json::{parse_json_lines, to_json_lines};
 

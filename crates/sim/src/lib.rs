@@ -10,11 +10,16 @@
 //!   actual progress back.
 //! * [`metrics`] — what came out: completion/on-time rates, rejections,
 //!   expiries, average end times, link utilization, volume moved.
+//! * [`stream`] — the same slice loop over a lazily produced job stream,
+//!   tracking only in-flight jobs: replaying a million-job trace costs
+//!   memory proportional to the active window, not the trace.
 
 #![warn(missing_docs)]
 
 pub mod engine;
 pub mod metrics;
+pub mod stream;
 
 pub use engine::{run_simulation, SimConfig};
 pub use metrics::{JobOutcome, SimReport};
+pub use stream::{run_simulation_streamed, MemProfile, StreamReport};

@@ -80,39 +80,55 @@ impl WorkloadGenerator {
         let mut jobs = Vec::with_capacity(self.cfg.num_jobs);
         let mut clock = 0.0_f64;
         for i in 0..self.cfg.num_jobs {
-            let arrival = match self.cfg.arrival {
-                ArrivalModel::Batch => 0.0,
-                ArrivalModel::Poisson { rate } => {
-                    assert!(rate > 0.0, "Poisson rate must be positive");
-                    // Exponential inter-arrival via inverse transform.
-                    let u: f64 = self.rng.random_range(f64::MIN_POSITIVE..1.0);
-                    clock += -u.ln() / rate;
-                    clock
-                }
-            };
-            let src = nodes[self.rng.random_range(0..nodes.len())];
-            let dst = loop {
-                let d = nodes[self.rng.random_range(0..nodes.len())];
-                if d != src {
-                    break d;
-                }
-            };
-            let size_gb = self
-                .rng
-                .random_range(self.cfg.size_gb.0..=self.cfg.size_gb.1);
-            let start = arrival + self.uniform(self.cfg.start_offset);
-            let end = start + self.uniform(self.cfg.window);
-            jobs.push(Job::new(
-                JobId(i as u32),
-                arrival,
-                src,
-                dst,
-                size_gb,
-                start,
-                end,
-            ));
+            jobs.push(self.gen_one(&nodes, i, &mut clock));
         }
         jobs
+    }
+
+    /// Turns the generator into a lazily-evaluated job stream over the
+    /// nodes of `g`, producing exactly the sequence [`generate`] would —
+    /// same seed, same jobs — one at a time.
+    ///
+    /// [`generate`]: WorkloadGenerator::generate
+    pub fn stream(self, g: &Graph) -> JobStream {
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        assert!(nodes.len() >= 2, "need at least two nodes");
+        JobStream {
+            generator: self,
+            nodes,
+            clock: 0.0,
+            next: 0,
+        }
+    }
+
+    /// Draws job `i`. The per-job RNG consumption order is the sequence
+    /// contract shared by [`generate`](WorkloadGenerator::generate) and
+    /// [`JobStream`]: arrival uniform (Poisson only), src, dst (rejection
+    /// loop), size, start offset, window.
+    fn gen_one(&mut self, nodes: &[NodeId], i: usize, clock: &mut f64) -> Job {
+        let arrival = match self.cfg.arrival {
+            ArrivalModel::Batch => 0.0,
+            ArrivalModel::Poisson { rate } => {
+                assert!(rate > 0.0, "Poisson rate must be positive");
+                // Exponential inter-arrival via inverse transform.
+                let u: f64 = self.rng.random_range(f64::MIN_POSITIVE..1.0);
+                *clock += -u.ln() / rate;
+                *clock
+            }
+        };
+        let src = nodes[self.rng.random_range(0..nodes.len())];
+        let dst = loop {
+            let d = nodes[self.rng.random_range(0..nodes.len())];
+            if d != src {
+                break d;
+            }
+        };
+        let size_gb = self
+            .rng
+            .random_range(self.cfg.size_gb.0..=self.cfg.size_gb.1);
+        let start = arrival + self.uniform(self.cfg.start_offset);
+        let end = start + self.uniform(self.cfg.window);
+        Job::new(JobId(i as u32), arrival, src, dst, size_gb, start, end)
     }
 
     fn uniform(&mut self, (lo, hi): (f64, f64)) -> f64 {
@@ -123,6 +139,42 @@ impl WorkloadGenerator {
         }
     }
 }
+
+/// A lazily-evaluated workload: yields the jobs of
+/// [`WorkloadGenerator::generate`] one at a time, so a million-job replay
+/// never materializes the full trace.
+///
+/// Created by [`WorkloadGenerator::stream`].
+#[derive(Debug)]
+pub struct JobStream {
+    generator: WorkloadGenerator,
+    nodes: Vec<NodeId>,
+    clock: f64,
+    next: usize,
+}
+
+impl Iterator for JobStream {
+    type Item = Job;
+
+    fn next(&mut self) -> Option<Job> {
+        if self.next >= self.generator.cfg.num_jobs {
+            return None;
+        }
+        let i = self.next;
+        self.next += 1;
+        let mut clock = self.clock;
+        let job = self.generator.gen_one(&self.nodes, i, &mut clock);
+        self.clock = clock;
+        Some(job)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.generator.cfg.num_jobs - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for JobStream {}
 
 #[cfg(test)]
 mod tests {
@@ -191,6 +243,37 @@ mod tests {
             (rate - 2.0).abs() < 0.2,
             "empirical rate {rate} far from 2.0"
         );
+    }
+
+    #[test]
+    fn stream_matches_generate() {
+        let (g, _) = abilene14(4);
+        for arrival in [ArrivalModel::Batch, ArrivalModel::Poisson { rate: 1.5 }] {
+            let cfg = WorkloadConfig {
+                num_jobs: 120,
+                seed: 42,
+                arrival,
+                start_offset: (1.0, 3.0),
+                ..Default::default()
+            };
+            let batch = WorkloadGenerator::new(cfg.clone()).generate(&g);
+            let stream = WorkloadGenerator::new(cfg).stream(&g);
+            assert_eq!(stream.len(), 120);
+            let streamed: Vec<Job> = stream.collect();
+            assert_eq!(streamed, batch, "stream must replay generate ({arrival:?})");
+        }
+    }
+
+    #[test]
+    fn stream_is_exhausted_after_num_jobs() {
+        let (g, _) = abilene14(4);
+        let mut s = WorkloadGenerator::new(WorkloadConfig {
+            num_jobs: 3,
+            ..Default::default()
+        })
+        .stream(&g);
+        assert_eq!(s.by_ref().count(), 3);
+        assert!(s.next().is_none());
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub mod job;
 pub mod normalize;
 pub mod trace;
 
-pub use generator::{ArrivalModel, WorkloadConfig, WorkloadGenerator};
+pub use generator::{ArrivalModel, JobStream, WorkloadConfig, WorkloadGenerator};
 pub use job::{Job, JobId};
 pub use normalize::{gb_per_wavelength_slice, normalized_demand, LinkRate};
-pub use trace::{parse_trace, write_trace, TraceError};
+pub use trace::{parse_trace, write_trace, TraceError, TraceReader};

@@ -252,6 +252,26 @@ fn run() -> Result<(), String> {
                 ));
             }
         }
+        // Same all-or-nothing rule for the allocation-tracking family: the
+        // streamed replay emits both byte counters from one code path
+        // (crates/sim stream engine), so a lone byte counter means the
+        // schema drifted. Keyed on the `mem.bytes_` prefix specifically —
+        // `mem.arena_reuse_hits` is recorded by instance builds on its own
+        // and legitimately appears without the replay counters.
+        if counter_names.iter().any(|n| n.starts_with("mem.bytes_")) {
+            const MEM_FAMILY: [&str; 2] = ["mem.bytes_allocated", "mem.bytes_freed"];
+            let missing: Vec<&str> = MEM_FAMILY
+                .iter()
+                .filter(|want| !counter_names.contains(want))
+                .copied()
+                .collect();
+            if !missing.is_empty() {
+                return Err(format!(
+                    "{path}: mem.* counters present but incomplete — missing {missing:?} \
+                     (a tracked replay always records the full family {MEM_FAMILY:?})"
+                ));
+            }
+        }
         println!(
             "{path}: valid report, {} metrics ({counters} counters, {hists} histograms, {spans} spans)",
             metrics.len()
