@@ -338,11 +338,9 @@ impl Pricer for ReducedCostPricer {
                         job.src,
                         job.dst,
                         |e| {
-                            ctx.cap_duals
-                                .get(&(e.0, j as u32))
-                                .copied()
-                                .unwrap_or(0.0)
-                                .max(0.0)
+                            wavesched_lp::pos_or_zero(
+                                ctx.cap_duals.get(&(e.0, j as u32)).copied().unwrap_or(0.0),
+                            )
                         },
                         |_| true,
                         |_| true,

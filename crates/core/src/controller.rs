@@ -191,7 +191,7 @@ impl Controller {
     /// simulator calls this after executing each slice.
     pub fn record_transfer(&mut self, job: JobId, amount: f64) {
         if let Some(a) = self.active.iter_mut().find(|a| a.job.id == job) {
-            a.remaining = (a.remaining - amount).max(0.0);
+            a.remaining = wavesched_lp::pos_or_zero(a.remaining - amount);
         }
     }
 

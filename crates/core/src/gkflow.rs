@@ -180,10 +180,11 @@ pub fn approx_stage1(inst: &Instance, cfg: &GkConfig) -> GkResult {
     // Certified concurrent throughput: the worst-off job's ratio. Scale the
     // schedule once more so every job moves exactly z_lower * D_i (callers
     // expect the Stage-1 semantics of a *common* factor).
-    let z_lower = (0..inst.num_jobs())
-        .map(|i| schedule.throughput(inst, i))
-        .fold(f64::INFINITY, f64::min)
-        .max(0.0);
+    let z_lower = wavesched_lp::pos_or_zero(
+        (0..inst.num_jobs())
+            .map(|i| schedule.throughput(inst, i))
+            .fold(f64::INFINITY, f64::min),
+    );
 
     GkResult {
         z_lower,

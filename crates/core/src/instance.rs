@@ -271,7 +271,7 @@ impl Instance {
             .fold(1.0_f64, f64::max)
             .ceil()
             .max(1.0) as usize;
-        let origin = from_time.max(0.0).floor() as usize;
+        let origin = wavesched_lp::pos_or_zero(from_time).floor() as usize;
         // `windowed(0, n)` is exactly `uniform(n)`; clamp so the grid keeps
         // at least one slice even when every window has already closed.
         let grid = TimeGrid::windowed(origin, horizon.max(origin + 1) - origin);

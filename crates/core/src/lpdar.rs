@@ -48,7 +48,7 @@ pub fn truncate(inst: &Instance, lp: &Schedule) -> Schedule {
             .map(|&v| {
                 // Guard against values sitting a hair under an integer due to
                 // LP tolerance: 2.9999999995 truncates to 3, not 2.
-                (v + 1e-9).floor().max(0.0)
+                wavesched_lp::pos_or_zero((v + 1e-9).floor())
             })
             .collect();
     Schedule::from_values(inst, x)

@@ -505,6 +505,71 @@ let r = r#"panic!("x")"#;"##;
     }
 
     #[test]
+    fn quote_disambiguation_byte_chars_lifetimes_and_delimiters() {
+        // Byte-char literals, including escaped quote/backslash and brace
+        // payloads: each must be one opaque Char token, never punctuation.
+        let src = r"let a = b'{'; let b = b'}'; let c = b'\''; let d = b'\\'; let e = b'x';";
+        let ks = kinds(src);
+        assert_eq!(
+            ks.iter().filter(|(k, _)| *k == TokKind::Char).count(),
+            5,
+            "{ks:?}"
+        );
+        assert!(ks
+            .iter()
+            .all(|(k, t)| !(*k == TokKind::Punct && (t == "{" || t == "}"))));
+
+        // Plain char literals with delimiter payloads.
+        let src = "let p = '('; let q = ')'; let r = '{'; let s = '}'; let t = '\\'';";
+        let ks = kinds(src);
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 5);
+        assert!(ks.iter().all(|(k, t)| !(*k == TokKind::Punct
+            && matches!(t.as_str(), "(" | ")" | "{" | "}"))
+            || t == "="),);
+
+        // Lifetimes hard against punctuation, loop labels, and `'_` vs `'_'`.
+        let src = "fn f<'a,'b:'a>(x:&'a str,y:&'b str)->&'a str{x}\n\
+                   fn g(){'outer:loop{break 'outer;}}\n\
+                   fn h(c:&'_ str)->char{'_'}";
+        let ks = kinds(src);
+        let lifetimes: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(
+            lifetimes,
+            ["'a", "'b", "'a", "'a", "'b", "'a", "'outer", "'outer", "'_"]
+        );
+        assert_eq!(
+            ks.iter().filter(|(k, _)| *k == TokKind::Char).count(),
+            1,
+            "only '_' is a char: {ks:?}"
+        );
+
+        // Char ranges in match arms: both endpoints are chars, `..=` is one
+        // punct, and the arm braces still balance.
+        let src = "fn d(c: char) -> u8 { match c { 'a'..='z' => 1, _ => 0 } }";
+        let ks = kinds(src);
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Punct && t == "..="));
+    }
+
+    #[test]
+    fn byte_and_raw_strings_are_opaque() {
+        let src = r###"let a = b"{ not a brace }"; let b = br#"also " not { one"#; let c = r"plain raw }";"###;
+        let ks = kinds(src);
+        assert_eq!(
+            ks.iter().filter(|(k, _)| *k == TokKind::Str).count(),
+            3,
+            "{ks:?}"
+        );
+        assert!(ks
+            .iter()
+            .all(|(k, t)| !(*k == TokKind::Punct && (t == "{" || t == "}"))));
+    }
+
+    #[test]
     fn line_numbers_track_newlines_everywhere() {
         let src = "a\n\"two\nlines\"\n/* b\n */ c";
         let toks = lex(src);

@@ -31,9 +31,60 @@
 pub mod baseline;
 pub mod lexer;
 pub mod rules;
+pub mod tree;
 
 use rules::Finding;
 use std::path::{Path, PathBuf};
+
+/// Version stamped into the `--json` report. Bump on any change to the
+/// report's shape so CI consumers can hard-fail on drift instead of
+/// misparsing.
+pub const JSON_SCHEMA_VERSION: u64 = 1;
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the `--json` report: a stable `schema_version`, the diff
+/// counts, and the new findings sorted by (file, line, rule) — the order
+/// is re-imposed here so the report is deterministic regardless of how
+/// the caller assembled the slice.
+pub fn render_json(new: &[Finding], matched: usize, stale: usize) -> String {
+    let mut new: Vec<&Finding> = new.iter().collect();
+    new.sort();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema_version\": {JSON_SCHEMA_VERSION},\n"));
+    out.push_str(&format!("  \"matched\": {matched},\n"));
+    out.push_str(&format!("  \"stale\": {stale},\n"));
+    out.push_str("  \"new\": [\n");
+    for (i, f) in new.iter().enumerate() {
+        let comma = if i + 1 < new.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"snippet\": \"{}\", \
+             \"message\": \"{}\"}}{comma}\n",
+            json_escape(&f.file),
+            f.line,
+            f.rule,
+            json_escape(&f.snippet),
+            json_escape(&f.message)
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
 
 /// The workspace root, resolved at compile time from this crate's location
 /// (`crates/lint` → two levels up). Callers can override with `--root`.

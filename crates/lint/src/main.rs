@@ -69,42 +69,6 @@ fn print_finding(f: &Finding) {
     eprintln!("    {}", f.snippet);
 }
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn print_json(new: &[Finding], matched: usize, stale: usize) {
-    println!("{{");
-    println!("  \"matched\": {matched},");
-    println!("  \"stale\": {stale},");
-    println!("  \"new\": [");
-    for (i, f) in new.iter().enumerate() {
-        let comma = if i + 1 < new.len() { "," } else { "" };
-        println!(
-            "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"snippet\": \"{}\", \
-             \"message\": \"{}\"}}{comma}",
-            json_escape(&f.file),
-            f.line,
-            f.rule,
-            json_escape(&f.snippet),
-            json_escape(&f.message)
-        );
-    }
-    println!("  ]");
-    println!("}}");
-}
-
 fn main() -> ExitCode {
     let opts = parse_args();
     let findings = match wavesched_lint::lint_workspace(&opts.root) {
@@ -147,7 +111,10 @@ fn main() -> ExitCode {
 
     let diff = base.diff(&findings);
     if opts.json {
-        print_json(&diff.new, diff.matched, diff.stale.len());
+        print!(
+            "{}",
+            wavesched_lint::render_json(&diff.new, diff.matched, diff.stale.len())
+        );
     } else {
         for f in &diff.new {
             print_finding(f);

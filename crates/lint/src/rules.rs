@@ -24,32 +24,84 @@
 //!   (`wavesched-par`'s `WS_THREADS` reader, `wavesched-bench`'s
 //!   `try_env_usize`). Ad-hoc env reads are knobs no one can discover, and
 //!   silently-misread knobs mislabel experiments.
+//! * `zero-sign-clamp` — no `.max(0.0)` / `f64::max(…, 0.0)` / `.min(-0.0)`
+//!   zero clamps outside `pos_or_zero` in `crates/lp`/`crates/core` library
+//!   code. `f64::max` leaves the sign of a zero result unspecified, and a
+//!   `-0.0` leaking into a `total_cmp`-ordered pivot sort sends debug and
+//!   release builds down different degenerate paths (the PR 7 bug class).
+//! * `alloc-in-hot-path` — no heap-allocating calls (`Vec::new`, `vec!`,
+//!   `collect`, `to_vec`, `clone`, `Box::new`, `with_capacity`, …) inside
+//!   the configured simplex hot-function list in `crates/lp`. Steady-state
+//!   pivots reuse engine-owned arenas; the runtime counting-allocator test
+//!   enforces this dynamically, this rule makes it visible statically.
+//! * `float-sort-partial` — no `sort_by` / `max_by` / `min_by` comparator
+//!   built on `partial_cmp` in the determinism-sensitive crates: NaN makes
+//!   `partial_cmp` panic-or-lie territory and its zero handling differs
+//!   from `total_cmp`, which is the workspace's ordering primitive.
+//! * `lossy-cast` — no narrowing `as` cast (`usize`, `u32`, smaller) of a
+//!   parenthesized arithmetic expression in `crates/lp`/`crates/core`
+//!   library code: `(a * b + c) as u32` silently truncates on overflow;
+//!   hoist the expression behind a checked or documented conversion.
 //! * `bad-suppression` — a `// lint: allow(...)` comment that is malformed,
 //!   names an unknown rule, or lacks a non-empty `reason = "..."`. A
 //!   suppression without a reason is just a hidden violation.
 
 use crate::lexer::{lex, Tok, TokKind};
+use crate::tree::ScopeTree;
 use std::collections::BTreeMap;
 
 /// Names of all rules, in report order.
-pub const RULE_NAMES: [&str; 6] = [
+pub const RULE_NAMES: [&str; 10] = [
     "float-eq",
     "hash-iter-order",
     "lib-unwrap",
     "wallclock",
     "env-knob",
+    "zero-sign-clamp",
+    "alloc-in-hot-path",
+    "float-sort-partial",
+    "lossy-cast",
     "bad-suppression",
 ];
 
 /// One-line description per rule, aligned with [`RULE_NAMES`].
-pub const RULE_DESCRIPTIONS: [&str; 6] = [
+pub const RULE_DESCRIPTIONS: [&str; 10] = [
     "no ==/!= against float expressions in crates/lp and crates/core library code",
     "no HashMap/HashSet in ordering-sensitive crates (bench, sim, net, core)",
     "no unwrap()/expect()/panic! in non-test, non-binary library code",
     "no Instant::now/SystemTime outside crates/obs and bench binaries",
     "no raw std::env::var outside the sanctioned par/bench helpers",
+    "no .max(0.0)/f64::max(..,0.0)/.min(-0.0) zero clamps outside pos_or_zero (lp/core lib)",
+    "no heap-allocating calls inside the simplex hot-function list (lp lib)",
+    "no sort_by/max_by/min_by comparator built on partial_cmp (use total_cmp)",
+    "no narrowing `as` cast of parenthesized arithmetic (lp/core lib)",
     "malformed or reason-less `// lint: allow(...)` comment",
 ];
+
+/// The simplex hot-function list for `alloc-in-hot-path`: the pivot loop
+/// and every kernel it calls per iteration. A `price_`/`ftran_`/`btran_`
+/// prefix covers variants (sparse/dense twins, future pricing modes).
+const HOT_FNS: [&str; 12] = [
+    "pivot",
+    "apply_pivot",
+    "apply_bound_flip",
+    "ratio_test",
+    "dual_loop",
+    "update_reduced_and_weights",
+    "push_row_cols",
+    "scan_candidates",
+    "refresh_candidates",
+    "price",
+    "ftran",
+    "btran",
+];
+
+fn is_hot_fn(name: &str) -> bool {
+    HOT_FNS.contains(&name)
+        || name.starts_with("price_")
+        || name.starts_with("ftran_")
+        || name.starts_with("btran_")
+}
 
 /// One violation.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -121,6 +173,25 @@ fn wallclock_applies(path: &str) -> bool {
 
 fn env_knob_applies(path: &str) -> bool {
     !matches!(path, "crates/par/src/lib.rs" | "crates/bench/src/lib.rs")
+}
+
+fn zero_sign_applies(path: &str) -> bool {
+    matches!(crate_of(path), Some("lp") | Some("core")) && is_lib_source(path)
+}
+
+fn alloc_hot_applies(path: &str) -> bool {
+    crate_of(path) == Some("lp") && is_lib_source(path)
+}
+
+fn float_sort_applies(path: &str) -> bool {
+    matches!(
+        crate_of(path),
+        Some("lp") | Some("core") | Some("net") | Some("sim")
+    ) && is_lib_source(path)
+}
+
+fn lossy_cast_applies(path: &str) -> bool {
+    matches!(crate_of(path), Some("lp") | Some("core")) && is_lib_source(path)
 }
 
 /// Byte ranges of `#[cfg(test)]` items and `#[test]` functions: rules do
@@ -339,6 +410,7 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
         .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
         .copied()
         .collect();
+    let tree = ScopeTree::build(src, &code);
 
     let push = |rule: &'static str, tok: &Tok, message: String, findings: &mut Vec<Finding>| {
         if !supp.allows(tok.line, rule) {
@@ -357,6 +429,10 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
     let lib_unwrap = lib_unwrap_applies(path);
     let wallclock = wallclock_applies(path);
     let env_knob = env_knob_applies(path);
+    let zero_sign = zero_sign_applies(path);
+    let alloc_hot = alloc_hot_applies(path);
+    let float_sort = float_sort_applies(path);
+    let lossy_cast = lossy_cast_applies(path);
 
     for (i, t) in code.iter().enumerate() {
         if in_test(t.start) {
@@ -436,6 +512,87 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
                     &mut findings,
                 );
             }
+            TokKind::Ident if zero_sign && matches!(text, "max" | "min") => {
+                if let Some(form) = zero_clamp_form(src, &code, i) {
+                    // Scope-aware: the one function allowed to spell a zero
+                    // clamp is the deterministic helper itself.
+                    if tree.enclosing_fn(i) != Some("pos_or_zero") {
+                        push(
+                            "zero-sign-clamp",
+                            t,
+                            format!(
+                                "`{form}` clamps against a zero whose result sign \
+                                 `f64::{text}` leaves unspecified; a `-0.0` leaking into a \
+                                 `total_cmp`-ordered pivot sort diverges between builds — \
+                                 route through `pos_or_zero`"
+                            ),
+                            &mut findings,
+                        );
+                    }
+                }
+            }
+            // Guard on the *form*, not just the crate: the arms of this
+            // match are exclusive, and a broad guard here would swallow
+            // identifiers later arms need (`as`, `env`, `Instant`, …).
+            TokKind::Ident if alloc_hot && alloc_call_form(src, &code, i).is_some() => {
+                if let Some(hot) = tree.enclosing_fn(i).filter(|f| is_hot_fn(f)) {
+                    let hot = hot.to_string();
+                    let what = alloc_call_form(src, &code, i).unwrap_or_default();
+                    push(
+                        "alloc-in-hot-path",
+                        t,
+                        format!(
+                            "heap allocation (`{what}`) inside hot function `{hot}`: \
+                             steady-state pivots must reuse engine-owned arenas \
+                             (see crates/lp/tests/alloc.rs)"
+                        ),
+                        &mut findings,
+                    );
+                }
+            }
+            TokKind::Ident
+                if float_sort
+                    && matches!(
+                        text,
+                        "sort_by" | "sort_unstable_by" | "max_by" | "min_by" | "binary_search_by"
+                    ) =>
+            {
+                let prev = i.checked_sub(1).map(|p| code[p].text(src));
+                let next_open = code.get(i + 1).map(|n| n.text(src)) == Some("(");
+                if prev == Some(".") && next_open {
+                    if let Some(close) = matching_close(src, &code, i + 1) {
+                        let uses_partial = code[i + 2..close]
+                            .iter()
+                            .any(|a| a.kind == TokKind::Ident && a.text(src) == "partial_cmp");
+                        if uses_partial {
+                            push(
+                                "float-sort-partial",
+                                t,
+                                format!(
+                                    "`{text}` comparator built on `partial_cmp`: NaN breaks \
+                                     the ordering and its zero handling differs across \
+                                     platforms — use `total_cmp`"
+                                ),
+                                &mut findings,
+                            );
+                        }
+                    }
+                }
+            }
+            TokKind::Ident if lossy_cast && text == "as" => {
+                if let Some(ty) = narrowing_cast_of_arithmetic(src, &code, i) {
+                    push(
+                        "lossy-cast",
+                        t,
+                        format!(
+                            "`as {ty}` narrowing cast of an arithmetic expression silently \
+                             truncates on overflow; compute in the wide type and convert \
+                             through a checked/documented conversion"
+                        ),
+                        &mut findings,
+                    );
+                }
+            }
             TokKind::Ident if env_knob && text == "env" => {
                 let is_var = code.get(i + 1).map(|n| n.text(src)) == Some("::")
                     && code
@@ -510,6 +667,199 @@ fn operand_is_float(src: &str, code: &[Tok], j: usize, left: bool) -> bool {
         }
         _ => false,
     }
+}
+
+/// Index of the `)` matching the `(` at `open` (same depth), if any.
+fn matching_close(src: &str, code: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in code.iter().enumerate().skip(open) {
+        match t.text(src) {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Index of the `(` matching the `)` at `close` (same depth), if any.
+fn matching_open(src: &str, code: &[Tok], close: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for k in (0..=close).rev() {
+        match code[k].text(src) {
+            ")" => depth += 1,
+            "(" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Is the float literal token's numeric value exactly zero (`0.0`, `0.`,
+/// `0f64`, `0.0_f32`, …)?
+fn float_literal_is_zero(text: &str) -> bool {
+    let digits: String = text.chars().filter(|c| *c != '_').collect();
+    let trimmed = digits
+        .strip_suffix("f64")
+        .or_else(|| digits.strip_suffix("f32"))
+        .unwrap_or(&digits);
+    trimmed.parse::<f64>().map(|v| v == 0.0).unwrap_or(false)
+}
+
+/// Do the tokens in `code[lo..hi]` form a bare (possibly negated) float
+/// zero? Returns `Some(negated)` if so.
+fn bare_zero(src: &str, code: &[Tok], lo: usize, hi: usize) -> Option<bool> {
+    let args = &code[lo..hi];
+    match args {
+        [z] if z.kind == TokKind::Float && float_literal_is_zero(z.text(src)) => Some(false),
+        [m, z]
+            if m.text(src) == "-"
+                && z.kind == TokKind::Float
+                && float_literal_is_zero(z.text(src)) =>
+        {
+            Some(true)
+        }
+        _ => None,
+    }
+}
+
+/// Detects a zero clamp at the `max`/`min` ident `code[i]`: method form
+/// `.max(0.0)` / `.min(-0.0)`, or qualified `f64::max(a, 0.0)` with a bare
+/// zero as either argument. `max` fires on a zero of either sign (the
+/// result sign is unspecified whenever the other operand can be `-0.0` or
+/// the zero argument wins); `min` only on `-0.0` (clamping *up to* `-0.0`
+/// manufactures negative zeros). Returns a display form for the message.
+fn zero_clamp_form(src: &str, code: &[Tok], i: usize) -> Option<String> {
+    let name = code[i].text(src);
+    let prev = i.checked_sub(1).map(|p| code[p].text(src));
+    if code.get(i + 1).map(|n| n.text(src)) != Some("(") {
+        return None;
+    }
+    let close = matching_close(src, code, i + 1)?;
+    let polarity_hit = |neg: bool| name == "max" || neg;
+    if prev == Some(".") {
+        let neg = bare_zero(src, code, i + 2, close)?;
+        if polarity_hit(neg) {
+            let sign = if neg { "-" } else { "" };
+            return Some(format!(".{name}({sign}0.0)"));
+        }
+        return None;
+    }
+    if prev == Some("::") && i >= 2 && matches!(code[i - 2].text(src), "f64" | "f32") {
+        // Split the two top-level arguments at the comma.
+        let mut depth = 0i32;
+        let mut cut = None;
+        for (k, tok) in code.iter().enumerate().take(close).skip(i + 2) {
+            match tok.text(src) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "," if depth == 0 => {
+                    cut = Some(k);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let cut = cut?;
+        for (lo, hi) in [(i + 2, cut), (cut + 1, close)] {
+            if let Some(neg) = bare_zero(src, code, lo, hi) {
+                if polarity_hit(neg) {
+                    let sign = if neg { "-" } else { "" };
+                    return Some(format!("{}::{name}(…, {sign}0.0)", code[i - 2].text(src)));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Detects a heap-allocating call at ident `code[i]`; returns its display
+/// form. Covers the constructors (`Vec::new`, `Box::new`,
+/// `…::with_capacity`, `Vec::from`), the `vec!` macro, and the allocating
+/// method calls (`.collect()`, `.to_vec()`, `.clone()`, …).
+fn alloc_call_form(src: &str, code: &[Tok], i: usize) -> Option<String> {
+    let text = code[i].text(src);
+    let prev = i.checked_sub(1).map(|p| code[p].text(src));
+    let next = code.get(i + 1).map(|n| n.text(src));
+    if text == "vec" && next == Some("!") {
+        return Some("vec!".to_string());
+    }
+    const ALLOC_TYPES: [&str; 7] = [
+        "Vec", "Box", "String", "VecDeque", "BTreeMap", "BTreeSet", "HashMap",
+    ];
+    if matches!(text, "new" | "with_capacity" | "from")
+        && prev == Some("::")
+        && i >= 2
+        && ALLOC_TYPES.contains(&code[i - 2].text(src))
+    {
+        return Some(format!("{}::{text}", code[i - 2].text(src)));
+    }
+    if matches!(
+        text,
+        "collect" | "to_vec" | "clone" | "cloned" | "to_owned" | "to_string"
+    ) && prev == Some(".")
+        && next == Some("(")
+    {
+        return Some(format!(".{text}()"));
+    }
+    None
+}
+
+/// Narrow integer targets for `lossy-cast`. `u64`/`i64`/floats are exempt
+/// (the workspace's index arithmetic is done in `usize`-width or wider).
+const NARROW_INTS: [&str; 8] = ["usize", "isize", "u32", "i32", "u16", "i16", "u8", "i8"];
+
+/// Detects `( …arith… ) as <narrow>` at the `as` ident `code[i]`: the cast
+/// operand is a *parenthesized group* (not a call — a token before the `(`
+/// that could be a callee disqualifies it) containing a top-level binary
+/// arithmetic operator. Returns the target type name.
+fn narrowing_cast_of_arithmetic<'a>(src: &'a str, code: &[Tok], i: usize) -> Option<&'a str> {
+    let ty = code.get(i + 1)?.text(src);
+    if !NARROW_INTS.contains(&ty) {
+        return None;
+    }
+    if i == 0 || code[i - 1].text(src) != ")" {
+        return None;
+    }
+    let open = matching_open(src, code, i - 1)?;
+    if open > 0 {
+        let before = &code[open - 1];
+        // `f(...)`, `x[...](...)` , `collect::<_>(...)`: a call, not a
+        // grouped expression — the arithmetic inside is the callee's args.
+        if before.kind == TokKind::Ident || matches!(before.text(src), ")" | "]" | ">") {
+            return None;
+        }
+    }
+    let mut depth = 0i32;
+    for k in open..i - 1 {
+        let t = code[k].text(src);
+        match t {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "+" | "-" | "*" | "/" | "%" if depth == 1 => {
+                // Binary only: a unary minus follows an opener or another
+                // operator, a binary operator follows a value.
+                let p = &code[k - 1];
+                let binary = matches!(p.kind, TokKind::Ident | TokKind::Int | TokKind::Float)
+                    || matches!(p.text(src), ")" | "]");
+                if binary {
+                    return Some(ty);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -621,6 +971,122 @@ mod tests {
         );
         let empty = "// lint: allow(float-eq, reason = \"\")\nfn f() {}";
         assert_eq!(rules_hit("crates/lp/src/a.rs", empty), ["bad-suppression"]);
+    }
+
+    #[test]
+    fn zero_sign_clamp_scoped_by_function_and_crate() {
+        let bad = "fn clamp(t: f64) -> f64 { t.max(0.0) }";
+        assert_eq!(rules_hit("crates/lp/src/a.rs", bad), ["zero-sign-clamp"]);
+        assert_eq!(rules_hit("crates/core/src/a.rs", bad), ["zero-sign-clamp"]);
+        assert!(rules_hit("crates/net/src/a.rs", bad).is_empty());
+        // The deterministic helper itself is the one allowed spelling.
+        let inside = "fn pos_or_zero(t: f64) -> f64 { t.max(0.0) }";
+        assert!(rules_hit("crates/lp/src/a.rs", inside).is_empty());
+        // Qualified form, either argument; the literal PR 7 shape.
+        assert_eq!(
+            rules_hit(
+                "crates/lp/src/a.rs",
+                "fn f(a: f64) -> f64 { f64::max(a, 0.0) }"
+            ),
+            ["zero-sign-clamp"]
+        );
+        assert_eq!(
+            rules_hit(
+                "crates/lp/src/a.rs",
+                "fn f() -> f64 { f64::max(-0.0, 0.0) }"
+            ),
+            ["zero-sign-clamp"]
+        );
+        // `.min(-0.0)` manufactures negative zeros; `.min(0.0)` does not.
+        assert_eq!(
+            rules_hit("crates/lp/src/a.rs", "fn f(t: f64) -> f64 { t.min(-0.0) }"),
+            ["zero-sign-clamp"]
+        );
+        assert!(rules_hit("crates/lp/src/a.rs", "fn f(t: f64) -> f64 { t.min(0.0) }").is_empty());
+        // Non-zero clamps are fine.
+        assert!(rules_hit("crates/lp/src/a.rs", "fn f(t: f64) -> f64 { t.max(1.0) }").is_empty());
+        // `f64::min` passed as a function value (no call parens) is fine.
+        assert!(rules_hit(
+            "crates/lp/src/a.rs",
+            "fn f(v: &[f64]) -> f64 { v.iter().copied().fold(0.5, f64::min) }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn alloc_in_hot_path_scoped_by_function_list() {
+        // Inside a hot function: fires.
+        let bad = "fn ratio_test(&self) { let v = Vec::new(); }";
+        assert_eq!(rules_hit("crates/lp/src/a.rs", bad), ["alloc-in-hot-path"]);
+        // Same allocation in a cold function: silent.
+        let cold = "fn setup(&self) { let v = Vec::new(); }";
+        assert!(rules_hit("crates/lp/src/a.rs", cold).is_empty());
+        // Prefix wildcard covers kernel variants.
+        let pfx = "fn ftran_entering(&mut self) { let w = x.to_vec(); }";
+        assert_eq!(rules_hit("crates/lp/src/a.rs", pfx), ["alloc-in-hot-path"]);
+        // Closures inside a hot fn are still inside it.
+        let clo = "fn price_full(&mut self) { let f = || cols.iter().collect(); }";
+        assert_eq!(rules_hit("crates/lp/src/a.rs", clo), ["alloc-in-hot-path"]);
+        // Outside crates/lp: out of scope.
+        assert!(rules_hit("crates/core/src/a.rs", bad).is_empty());
+        // vec! and Box::new forms.
+        assert_eq!(
+            rules_hit(
+                "crates/lp/src/a.rs",
+                "fn apply_pivot(&mut self) { let v = vec![0.0; m]; }"
+            ),
+            ["alloc-in-hot-path"]
+        );
+        assert_eq!(
+            rules_hit(
+                "crates/lp/src/a.rs",
+                "fn dual_loop(&mut self) { let b = Box::new(0); }"
+            ),
+            ["alloc-in-hot-path"]
+        );
+    }
+
+    #[test]
+    fn float_sort_partial_requires_total_cmp() {
+        let bad = "fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }";
+        let hits = rules_hit("crates/sim/src/a.rs", bad);
+        assert!(hits.contains(&"float-sort-partial"), "{hits:?}");
+        let good = "fn f(v: &mut [f64]) { v.sort_by(|a, b| a.total_cmp(b)); }";
+        assert!(rules_hit("crates/sim/src/a.rs", good).is_empty());
+        // min_by / binary_search_by too; a partial_cmp *definition* (an Ord
+        // impl) never fires.
+        let min = "fn f(v: &[f64]) { let _ = v.iter().min_by(|a, b| a.partial_cmp(b).unwrap()); }";
+        assert!(rules_hit("crates/net/src/a.rs", min).contains(&"float-sort-partial"));
+        let def =
+            "impl PartialOrd for S { fn partial_cmp(&self, o: &S) -> Option<Ordering> { None } }";
+        assert!(rules_hit("crates/net/src/a.rs", def).is_empty());
+    }
+
+    #[test]
+    fn lossy_cast_flags_grouped_arithmetic_only() {
+        let bad = "fn f(i: usize, m: usize) -> u32 { (i * m + 1) as u32 }";
+        assert_eq!(rules_hit("crates/lp/src/a.rs", bad), ["lossy-cast"]);
+        // A plain value cast is fine; so is a call result.
+        assert!(rules_hit("crates/lp/src/a.rs", "fn f(n: u64) -> u32 { n as u32 }").is_empty());
+        assert!(rules_hit(
+            "crates/lp/src/a.rs",
+            "fn f(v: &[u8]) -> u32 { v.len() as u32 }"
+        )
+        .is_empty());
+        // `g(a + b) as u32` is a call — the arithmetic is the callee's args.
+        assert!(rules_hit(
+            "crates/lp/src/a.rs",
+            "fn f(a: usize, b: usize) -> u32 { g(a + b) as u32 }"
+        )
+        .is_empty());
+        // Widening casts are exempt.
+        assert!(rules_hit(
+            "crates/lp/src/a.rs",
+            "fn f(a: u32, b: u32) -> u64 { (a + b) as u64 }"
+        )
+        .is_empty());
+        // Out of scope crates.
+        assert!(rules_hit("crates/net/src/a.rs", bad).is_empty());
     }
 
     #[test]

@@ -1,0 +1,327 @@
+//! Brace-matched scope tree over the lexer's token stream.
+//!
+//! This is the v2 "structural pass": not a Rust parser, just enough
+//! bookkeeping over [`crate::lexer`] output to answer, for any token,
+//! *which function am I in* and *which module path am I under*. Rules use
+//! it to scope findings to functions (`alloc-in-hot-path` fires only
+//! inside the configured hot list; `zero-sign-clamp` is exempt inside
+//! `pos_or_zero` itself).
+//!
+//! Mechanics: a single forward walk over the non-comment tokens maintains
+//! a stack of brace scopes. An `fn name` or `mod name` header seen at the
+//! current nesting becomes *pending* and is attached to the next `{` that
+//! opens at header depth zero (parens/brackets inside the signature are
+//! tracked so a `;` in `[u8; N]` doesn't cancel the header, and a `;` at
+//! depth zero — a trait method declaration or `mod m;` — does). Every
+//! other `{` (blocks, closures, `match` arms, struct literals, `use`
+//! groups, macro bodies) opens an anonymous block scope, which is exactly
+//! right for the queries above: a closure stays inside its enclosing
+//! function.
+//!
+//! The walk also records brace debt — `}` without a matching `{`, and
+//! scopes still open at end of input — which the workspace-wide test uses
+//! to prove the lexer never mislexes a delimiter (a char literal `'{'`
+//! or byte literal `b'}'` read as punctuation would show up here).
+
+use crate::lexer::{Tok, TokKind};
+
+/// Scope kinds distinguished by the tree. Only `Fn` and `Mod` carry names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScopeKind {
+    /// The file itself.
+    Root,
+    /// A `fn` body (free function, method, or nested fn).
+    Fn,
+    /// An inline `mod name { … }` body.
+    Mod,
+    /// Any other braced region: blocks, closures, `impl`/`trait`/`struct`
+    /// bodies, match arms, struct literals, macro bodies.
+    Block,
+}
+
+#[derive(Debug)]
+struct Scope {
+    parent: u32,
+    kind: ScopeKind,
+    /// `fn` / `mod` name; empty for root and anonymous blocks.
+    name: String,
+}
+
+/// The scope tree for one file, plus a per-token map into it.
+#[derive(Debug)]
+pub struct ScopeTree {
+    scopes: Vec<Scope>,
+    /// Innermost scope containing each code token (index-parallel to the
+    /// token slice the tree was built over).
+    scope_of: Vec<u32>,
+    /// `}` tokens with no matching `{` (0 in well-formed input).
+    extra_closers: usize,
+    /// Scopes still open at end of input (0 in well-formed input).
+    unclosed: usize,
+}
+
+/// Header state while between `fn name` / `mod name` and its body brace.
+struct Pending {
+    kind: ScopeKind,
+    name: String,
+    /// Paren/bracket depth accumulated inside the header signature.
+    depth: u32,
+}
+
+impl ScopeTree {
+    /// Builds the tree over `code`, which must be the **comment-filtered**
+    /// token stream of `src` (the same filtering the rule engine applies).
+    pub fn build(src: &str, code: &[Tok]) -> ScopeTree {
+        let mut scopes = vec![Scope {
+            parent: 0,
+            kind: ScopeKind::Root,
+            name: String::new(),
+        }];
+        let mut stack: Vec<u32> = vec![0];
+        let mut scope_of = Vec::with_capacity(code.len());
+        let mut pending: Option<Pending> = None;
+        let mut extra_closers = 0usize;
+
+        for (i, t) in code.iter().enumerate() {
+            let top = *stack.last().unwrap_or(&0);
+            scope_of.push(top);
+            let text = t.text(src);
+            match t.kind {
+                TokKind::Ident => match text {
+                    // `fn` introduces a named function header only when a
+                    // name follows (`fn(u8)` is a fn-pointer type). A
+                    // header already pending (e.g. `-> impl Fn…` inside a
+                    // signature) is never clobbered.
+                    "fn" if pending.is_none() => {
+                        if let Some(next) = code.get(i + 1) {
+                            if next.kind == TokKind::Ident {
+                                pending = Some(Pending {
+                                    kind: ScopeKind::Fn,
+                                    name: next.text(src).to_string(),
+                                    depth: 0,
+                                });
+                            }
+                        }
+                    }
+                    "mod" if pending.is_none() => {
+                        if let Some(next) = code.get(i + 1) {
+                            if next.kind == TokKind::Ident {
+                                pending = Some(Pending {
+                                    kind: ScopeKind::Mod,
+                                    name: next.text(src).to_string(),
+                                    depth: 0,
+                                });
+                            }
+                        }
+                    }
+                    _ => {}
+                },
+                TokKind::Punct => match text {
+                    "(" | "[" => {
+                        if let Some(p) = pending.as_mut() {
+                            p.depth += 1;
+                        }
+                    }
+                    ")" | "]" => {
+                        if let Some(p) = pending.as_mut() {
+                            p.depth = p.depth.saturating_sub(1);
+                        }
+                    }
+                    // A `;` at header depth zero cancels the pending item:
+                    // `mod m;`, or a trait method without a body.
+                    ";" if pending.as_ref().is_some_and(|p| p.depth == 0) => {
+                        pending = None;
+                    }
+                    "{" => {
+                        let (kind, name) = match pending.take() {
+                            Some(p) if p.depth == 0 => (p.kind, p.name),
+                            // Brace inside a signature (`[u8; { N }]`):
+                            // anonymous, header stays pending.
+                            Some(p) => {
+                                pending = Some(p);
+                                (ScopeKind::Block, String::new())
+                            }
+                            None => (ScopeKind::Block, String::new()),
+                        };
+                        let id = scopes.len() as u32;
+                        scopes.push(Scope {
+                            parent: top,
+                            kind,
+                            name,
+                        });
+                        stack.push(id);
+                    }
+                    "}" => {
+                        if stack.len() > 1 {
+                            stack.pop();
+                        } else {
+                            extra_closers += 1;
+                        }
+                    }
+                    _ => {}
+                },
+                _ => {}
+            }
+        }
+        let unclosed = stack.len() - 1;
+        ScopeTree {
+            scopes,
+            scope_of,
+            extra_closers,
+            unclosed,
+        }
+    }
+
+    /// Name of the innermost enclosing `fn` of code token `i` (closures and
+    /// blocks are transparent), or `None` at item level.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&str> {
+        let mut s = *self.scope_of.get(i)?;
+        loop {
+            let sc = &self.scopes[s as usize];
+            if sc.kind == ScopeKind::Fn {
+                return Some(&sc.name);
+            }
+            if s == 0 {
+                return None;
+            }
+            s = sc.parent;
+        }
+    }
+
+    /// Inline-module path of code token `i` (`"a::b"`), empty at file level.
+    pub fn module_path(&self, i: usize) -> String {
+        let mut parts = Vec::new();
+        let mut s = match self.scope_of.get(i) {
+            Some(&s) => s,
+            None => return String::new(),
+        };
+        loop {
+            let sc = &self.scopes[s as usize];
+            if sc.kind == ScopeKind::Mod {
+                parts.push(sc.name.as_str());
+            }
+            if s == 0 {
+                break;
+            }
+            s = sc.parent;
+        }
+        parts.reverse();
+        parts.join("::")
+    }
+
+    /// Brace debt: (`}` without a `{`, scopes left open at end of input).
+    /// Both are zero for every well-lexed, well-formed file — the
+    /// workspace-wide test gates on it.
+    pub fn brace_debt(&self) -> (usize, usize) {
+        (self.extra_closers, self.unclosed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn tree(src: &str) -> (Vec<Tok>, ScopeTree) {
+        let code: Vec<Tok> = lex(src)
+            .into_iter()
+            .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .collect();
+        let t = ScopeTree::build(src, &code);
+        (code, t)
+    }
+
+    fn fn_at_ident<'a>(src: &str, code: &[Tok], t: &'a ScopeTree, ident: &str) -> Option<&'a str> {
+        let i = code
+            .iter()
+            .position(|k| k.text(src) == ident)
+            .unwrap_or_else(|| panic!("ident {ident} not found"));
+        t.enclosing_fn(i)
+    }
+
+    #[test]
+    fn functions_and_modules_are_named() {
+        let src = "mod outer { fn alpha() { let x = 1; } fn beta() { inner(); } }";
+        let (code, t) = tree(src);
+        assert_eq!(fn_at_ident(src, &code, &t, "x"), Some("alpha"));
+        assert_eq!(fn_at_ident(src, &code, &t, "inner"), Some("beta"));
+        let i = code.iter().position(|k| k.text(src) == "x").unwrap();
+        assert_eq!(t.module_path(i), "outer");
+        assert_eq!(t.brace_debt(), (0, 0));
+    }
+
+    #[test]
+    fn closures_and_blocks_stay_inside_their_fn() {
+        let src = "fn f() { let g = |a: u8| { a + 1 }; if true { nested(); } }";
+        let (code, t) = tree(src);
+        assert_eq!(fn_at_ident(src, &code, &t, "nested"), Some("f"));
+        // The closure body too.
+        let plus = code.iter().position(|k| k.text(src) == "+").unwrap();
+        assert_eq!(t.enclosing_fn(plus), Some("f"));
+    }
+
+    #[test]
+    fn impl_and_trait_methods_resolve_to_the_method() {
+        let src = "impl<'a> Foo<'a> { fn get(&'a self) -> &'a str { self.body } }\n\
+                   trait T { fn sig(&self) -> u8; fn with_default(&self) { dflt(); } }";
+        let (code, t) = tree(src);
+        assert_eq!(fn_at_ident(src, &code, &t, "body"), Some("get"));
+        assert_eq!(fn_at_ident(src, &code, &t, "dflt"), Some("with_default"));
+        assert_eq!(t.brace_debt(), (0, 0));
+    }
+
+    #[test]
+    fn fn_pointer_types_and_sig_semicolons_do_not_open_scopes() {
+        // `fn(u8)` is a type, not a header; `fn sig(…);` has no body; the
+        // `;` inside `[u8; 3]` must not cancel the real header.
+        let src = "struct S { cb: fn(u8) -> u8 }\nfn real(x: [u8; 3]) { use_it(x); }";
+        let (code, t) = tree(src);
+        assert_eq!(fn_at_ident(src, &code, &t, "use_it"), Some("real"));
+        assert_eq!(t.brace_debt(), (0, 0));
+    }
+
+    #[test]
+    fn item_level_tokens_have_no_enclosing_fn() {
+        let src = "const X: f64 = 0.0; fn f() {}";
+        let (code, t) = tree(src);
+        let i = code.iter().position(|k| k.text(src) == "X").unwrap();
+        assert_eq!(t.enclosing_fn(i), None);
+    }
+
+    #[test]
+    fn nested_fns_resolve_innermost() {
+        let src = "fn outer() { fn inner() { deep(); } inner(); shallow(); }";
+        let (code, t) = tree(src);
+        assert_eq!(fn_at_ident(src, &code, &t, "deep"), Some("inner"));
+        assert_eq!(fn_at_ident(src, &code, &t, "shallow"), Some("outer"));
+    }
+
+    #[test]
+    fn char_and_byte_literal_braces_do_not_unbalance() {
+        // A mislexed '{' / b'}' would corrupt the tree; these must all be
+        // opaque Char tokens.
+        let src = "fn f(c: char) -> bool { matches!(c, '{' | '}') || c == '\\'' }\n\
+                   fn g(b: u8) -> bool { b == b'{' || b == b'}' || b == b'\\'' }";
+        let (_, t) = tree(src);
+        assert_eq!(t.brace_debt(), (0, 0));
+    }
+
+    #[test]
+    fn lifetimes_near_braces_do_not_unbalance() {
+        let src = "fn f<'a>(s: &'a str) -> &'a str { let r: &'static str = \"x\"; s }\n\
+                   fn g() { 'label: loop { break 'label; } }";
+        let (code, t) = tree(src);
+        assert_eq!(t.brace_debt(), (0, 0));
+        assert_eq!(fn_at_ident(src, &code, &t, "r"), Some("f"));
+    }
+
+    #[test]
+    fn brace_debt_reports_malformed_input() {
+        let (_, t) = tree("fn f() { }");
+        assert_eq!(t.brace_debt(), (0, 0));
+        let (_, t) = tree("fn f() { ");
+        assert_eq!(t.brace_debt(), (0, 1));
+        let (_, t) = tree("} }");
+        assert_eq!(t.brace_debt(), (2, 0));
+    }
+}

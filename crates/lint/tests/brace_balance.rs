@@ -1,0 +1,30 @@
+//! Workspace-wide lexer/tree soundness gate: every `.rs` file in the repo
+//! must produce a perfectly balanced scope tree. A single mislexed
+//! delimiter — a char literal `'{'` or byte literal `b'}'` read as
+//! punctuation, a string scanned short — shows up here as brace debt, so
+//! this test settles the lexer-disambiguation question empirically over
+//! the entire codebase rather than by enumeration.
+
+use wavesched_lint::lexer::{lex, TokKind};
+use wavesched_lint::tree::ScopeTree;
+
+#[test]
+fn every_workspace_file_has_zero_brace_debt() {
+    let root = wavesched_lint::workspace_root();
+    let files = wavesched_lint::collect_files(&root).expect("walk workspace");
+    assert!(files.len() > 20, "suspiciously few files: {files:?}");
+    let mut bad = Vec::new();
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel)).expect("read source");
+        let code: Vec<_> = lex(&src)
+            .into_iter()
+            .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .collect();
+        let tree = ScopeTree::build(&src, &code);
+        let (extra, unclosed) = tree.brace_debt();
+        if extra != 0 || unclosed != 0 {
+            bad.push(format!("{rel}: {extra} extra closers, {unclosed} unclosed"));
+        }
+    }
+    assert!(bad.is_empty(), "brace debt found:\n{}", bad.join("\n"));
+}

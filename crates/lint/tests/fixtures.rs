@@ -3,13 +3,22 @@
 //! round-trip and staleness coverage.
 
 use std::path::{Path, PathBuf};
-use wavesched_lint::baseline::Baseline;
+use wavesched_lint::baseline::{Baseline, Json};
 use wavesched_lint::rules::{lint_source, Finding, RULE_NAMES};
 
-/// A path on which **all** rules apply: `crates/core/src/` is in scope for
-/// float-eq, hash-iter-order, lib-unwrap, wallclock, and env-knob alike,
-/// which is what makes it the canonical drop target for bad snippets.
-const DROP_PATH: &str = "crates/core/src/fixture_under_test.rs";
+/// Synthetic path each rule's snippets are linted under. `crates/core/src/`
+/// is in scope for almost every rule, which makes it the canonical drop
+/// target — except `alloc-in-hot-path`, which is deliberately lp-only
+/// (core's column-generation `Pricer` methods are literally named `price`
+/// and legitimately allocate), so its snippets drop into `crates/lp`.
+fn drop_path(rule: &str) -> String {
+    let krate = if rule == "alloc-in-hot-path" {
+        "lp"
+    } else {
+        "core"
+    };
+    format!("crates/{krate}/src/fixture_under_test.rs")
+}
 
 fn fixture_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
@@ -20,8 +29,11 @@ fn fixture(rule: &str, which: &str) -> String {
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
 }
 
-fn rules_hit(src: &str) -> Vec<&'static str> {
-    let mut rules: Vec<&'static str> = lint_source(DROP_PATH, src).iter().map(|f| f.rule).collect();
+fn rules_hit(rule: &str, src: &str) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = lint_source(&drop_path(rule), src)
+        .iter()
+        .map(|f| f.rule)
+        .collect();
     rules.dedup();
     rules
 }
@@ -39,7 +51,7 @@ fn every_rule_has_fixtures() {
 #[test]
 fn known_bad_fixtures_fire_their_rule() {
     for rule in RULE_NAMES {
-        let hits = rules_hit(&fixture(rule, "bad"));
+        let hits = rules_hit(rule, &fixture(rule, "bad"));
         assert!(
             hits.contains(&rule),
             "bad fixture for {rule} fired {hits:?}, expected it to include {rule}"
@@ -50,7 +62,7 @@ fn known_bad_fixtures_fire_their_rule() {
 #[test]
 fn known_good_fixtures_are_clean() {
     for rule in RULE_NAMES {
-        let findings = lint_source(DROP_PATH, &fixture(rule, "good"));
+        let findings = lint_source(&drop_path(rule), &fixture(rule, "good"));
         assert!(
             findings.is_empty(),
             "good fixture for {rule} produced findings: {findings:?}"
@@ -63,7 +75,12 @@ fn known_good_fixtures_are_clean() {
 fn all_bad_findings() -> Vec<Finding> {
     let mut findings = Vec::new();
     for rule in RULE_NAMES {
-        let path = format!("crates/core/src/fixture_{}.rs", rule.replace('-', "_"));
+        let krate = if rule == "alloc-in-hot-path" {
+            "lp"
+        } else {
+            "core"
+        };
+        let path = format!("crates/{krate}/src/fixture_{}.rs", rule.replace('-', "_"));
         findings.extend(lint_source(&path, &fixture(rule, "bad")));
     }
     findings.sort();
@@ -152,6 +169,85 @@ fn dropped_in_bad_snippet_fails_against_checked_in_baseline() {
     );
 
     std::fs::remove_dir_all(&scratch).ok();
+}
+
+#[test]
+fn pr7_zero_sign_pattern_is_caught() {
+    // Regression guard for the PR 7 hazard the rule exists for: the bad
+    // fixture carries the literal `f64::max(-0.0, 0.0)` pattern and
+    // `zero-sign-clamp` must flag that exact line.
+    let src = fixture("zero-sign-clamp", "bad");
+    assert!(
+        src.contains("f64::max(-0.0, 0.0)"),
+        "fixture lost the literal PR 7 pattern"
+    );
+    let findings = lint_source(&drop_path("zero-sign-clamp"), &src);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "zero-sign-clamp" && f.snippet.contains("f64::max(-0.0, 0.0)")),
+        "zero-sign-clamp missed the PR 7 pattern: {findings:#?}"
+    );
+}
+
+#[test]
+fn json_report_round_trips_with_schema_version_and_sorted_order() {
+    // Unsorted input on purpose: render_json must impose (file, line, rule)
+    // order itself.
+    let mut findings = all_bad_findings();
+    findings.reverse();
+    let text = wavesched_lint::render_json(&findings, 3, 1);
+
+    // The report must parse with the same minimal JSON parser the baseline
+    // uses — CI consumers get one grammar for both artifacts.
+    let parsed = Json::parse(&text).expect("report must be valid JSON");
+    let obj = match &parsed {
+        Json::Object(m) => m,
+        other => panic!("report root must be an object, got {other:?}"),
+    };
+    assert_eq!(
+        obj.get("schema_version"),
+        Some(&Json::Number(wavesched_lint::JSON_SCHEMA_VERSION as f64))
+    );
+    assert_eq!(obj.get("matched"), Some(&Json::Number(3.0)));
+    assert_eq!(obj.get("stale"), Some(&Json::Number(1.0)));
+
+    // `schema_version` leads the report so consumers can dispatch on it
+    // before reading anything shape-dependent.
+    let first_key = text.lines().nth(1).unwrap_or_default();
+    assert!(
+        first_key.contains("\"schema_version\""),
+        "schema_version must be the first field: {first_key}"
+    );
+
+    let new = match obj.get("new") {
+        Some(Json::Array(a)) => a,
+        other => panic!("`new` must be an array, got {other:?}"),
+    };
+    assert_eq!(new.len(), findings.len());
+    let keys: Vec<(String, f64, String)> = new
+        .iter()
+        .map(|f| {
+            let m = match f {
+                Json::Object(m) => m,
+                other => panic!("finding must be an object, got {other:?}"),
+            };
+            let s = |k: &str| match m.get(k) {
+                Some(Json::String(s)) => s.clone(),
+                other => panic!("finding field {k} must be a string, got {other:?}"),
+            };
+            let line = match m.get("line") {
+                Some(Json::Number(n)) => *n,
+                other => panic!("finding field line must be a number, got {other:?}"),
+            };
+            (s("file"), line, s("rule"))
+        })
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort_by(|a, b| {
+        (a.0.as_str(), a.1 as u64, a.2.as_str()).cmp(&(b.0.as_str(), b.1 as u64, b.2.as_str()))
+    });
+    assert_eq!(keys, sorted, "report findings must be sorted");
 }
 
 #[test]

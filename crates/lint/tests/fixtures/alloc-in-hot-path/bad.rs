@@ -1,0 +1,24 @@
+// Known-bad: heap allocation inside simplex hot-path functions; reuse a
+// preallocated scratch arena instead.
+pub fn pivot(n: usize) -> Vec<f64> {
+    let mut scratch = vec![0.0; n];
+    scratch.push(1.0);
+    scratch
+}
+
+pub fn ftran_sparse(xs: &[f64]) -> Vec<f64> {
+    xs.to_vec()
+}
+
+pub fn price_full(xs: &[f64]) -> Vec<f64> {
+    xs.iter().map(|x| x + 1.0).collect()
+}
+
+pub fn ratio_test(b: f64) -> Box<f64> {
+    Box::new(b)
+}
+
+pub fn dual_loop(n: usize) -> Vec<u32> {
+    let ids = Vec::with_capacity(n);
+    ids
+}

@@ -1,0 +1,28 @@
+// Known-good: allocation happens at construction time; the hot functions
+// only reuse the preallocated scratch arena.
+pub struct Engine {
+    scratch: Vec<f64>,
+}
+
+impl Engine {
+    pub fn new(n: usize) -> Engine {
+        Engine {
+            scratch: vec![0.0; n],
+        }
+    }
+
+    pub fn pivot(&mut self, xs: &[f64]) -> f64 {
+        self.scratch.clear();
+        self.scratch.extend_from_slice(xs);
+        let mut acc = 0.0;
+        for v in &self.scratch {
+            acc += v;
+        }
+        acc
+    }
+}
+
+pub fn setup(n: usize) -> Vec<f64> {
+    // Cold path: allocating here is fine.
+    vec![1.0; n]
+}

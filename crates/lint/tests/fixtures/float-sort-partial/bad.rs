@@ -1,0 +1,9 @@
+// Known-bad: `partial_cmp` comparators are not total orders — a NaN makes
+// the comparator panic or the sort order undefined. Use `total_cmp`.
+pub fn sort_desc(xs: &mut [f64]) {
+    xs.sort_by(|a, b| b.partial_cmp(a).unwrap());
+}
+
+pub fn best(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().max_by(|a, b| a.partial_cmp(b).unwrap())
+}

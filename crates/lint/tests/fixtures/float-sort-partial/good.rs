@@ -1,0 +1,14 @@
+// Known-good: `total_cmp` is a total order over all floats, NaN included.
+pub fn sort_desc(xs: &mut [f64]) {
+    xs.sort_by(|a, b| b.total_cmp(a));
+}
+
+pub fn best(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().max_by(|a, b| a.total_cmp(b))
+}
+
+pub fn sort_keys(ks: &mut [u32]) {
+    // Integer comparators are total; the rule only cares about
+    // `partial_cmp`.
+    ks.sort_by(|a, b| b.cmp(a));
+}

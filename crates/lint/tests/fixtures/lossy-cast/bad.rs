@@ -1,0 +1,9 @@
+// Known-bad: narrowing casts on index arithmetic silently truncate on
+// overflow; bounds-check first or keep the arithmetic in the wide type.
+pub fn flat_index(i: usize, j: usize, stride: usize) -> u32 {
+    (i * stride + j) as u32
+}
+
+pub fn offset(base: usize, delta: usize) -> u16 {
+    (base + delta) as u16
+}

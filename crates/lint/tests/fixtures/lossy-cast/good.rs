@@ -1,0 +1,13 @@
+// Known-good: widening casts, casts of a plain value, and casts of a call
+// result are all outside the rule.
+pub fn widen(i: usize, j: usize) -> u64 {
+    (i + j) as u64
+}
+
+pub fn plain(i: usize) -> u32 {
+    i as u32
+}
+
+pub fn call_result(xs: &[f64]) -> u32 {
+    xs.len() as u32
+}

@@ -1,0 +1,20 @@
+// Known-bad: zero-clamps whose result sign is unspecified; route through
+// `wavesched_lp::pos_or_zero` so debug and release builds agree.
+pub fn clamp_step(t: f64) -> f64 {
+    t.max(0.0)
+}
+
+pub fn qualified(a: f64) -> f64 {
+    f64::max(a, 0.0)
+}
+
+pub fn negative_zero_min(d: f64) -> f64 {
+    d.min(-0.0)
+}
+
+/// The literal PR 7 hazard: optimized and unoptimized builds are allowed to
+/// disagree on the sign of this result, and a `-0.0` leaking into a
+/// `total_cmp`-ordered candidate sort changes pivot selection.
+pub fn pr7_pattern() -> f64 {
+    f64::max(-0.0, 0.0)
+}

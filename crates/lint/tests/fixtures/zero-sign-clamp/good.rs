@@ -1,0 +1,26 @@
+// Known-good: deterministic clamps and clamps against nonzero bounds.
+pub fn pos_or_zero(t: f64) -> f64 {
+    if t > 0.0 {
+        t
+    } else {
+        0.0
+    }
+}
+
+pub fn clamp_step(t: f64) -> f64 {
+    pos_or_zero(t)
+}
+
+pub fn at_least_one(v: f64) -> f64 {
+    v.max(1.0)
+}
+
+pub fn no_more_than_zero(v: f64) -> f64 {
+    // `.min(+0.0)` cannot produce a positive value with the wrong sign of
+    // zero mattering downstream; only `.min(-0.0)` is flagged.
+    v.min(0.0)
+}
+
+pub fn fold_min(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}

@@ -26,6 +26,7 @@
 
 mod dual;
 mod lu;
+mod sanitize;
 
 use crate::model::{Col, Problem, Row};
 use crate::solution::{Basis, BasisStatus, Solution, SolveError, SolveStats, Status};
@@ -106,15 +107,17 @@ fn pricing_env() -> Option<bool> {
     })
 }
 
-/// Clamps a ratio-test quantity to nonnegative with a deterministic `+0.0`.
+/// Clamps a quantity to nonnegative with a deterministic `+0.0`.
 ///
 /// `f64::max` leaves the sign of a zero result unspecified — optimized and
 /// unoptimized builds can disagree on `(-0.0).max(0.0)` — and a `-0.0`
 /// step or ratio leaks into `total_cmp`-ordered candidate sorts, which
-/// distinguish the two zeros. Every zero-clamp on the pivot trajectory goes
-/// through here so debug and release builds pick identical pivots.
+/// distinguish the two zeros. Every zero-clamp on the pivot trajectory
+/// (and, workspace-wide, every `.max(0.0)` the `zero-sign-clamp` lint rule
+/// would otherwise flag) goes through here so debug and release builds
+/// pick identical pivots. `NaN` clamps to `+0.0`, same as `f64::max(0.0)`.
 #[inline]
-fn pos_or_zero(t: f64) -> f64 {
+pub fn pos_or_zero(t: f64) -> f64 {
     if t > 0.0 {
         t
     } else {
@@ -210,6 +213,8 @@ fn publish_stats(s: &SolveStats, nrows: usize) {
         s.pricing_candidates_scanned,
     );
     obs::counter_add("lp.partial_refreshes", s.partial_refreshes);
+    obs::counter_add("lp.sanitizer_checks", s.sanitizer_checks);
+    obs::counter_add("lp.sanitizer_violations", s.sanitizer_violations);
     obs::record("lp.solve_iterations", s.iterations);
     // Kernel density profile: histograms of the per-solve mean nonzero
     // counts and densities (percent of the basis dimension), the signal
@@ -326,6 +331,11 @@ struct Engine {
     /// Dual BFRT scratch: candidate order of `dual_cols` indices, sorted by
     /// dual ratio.
     dual_order: Vec<u32>,
+    /// Sanitizer sweep interval (`WS_SANITIZE`, resolved at construction);
+    /// 0 disables the sanitizer entirely.
+    sanitize_every: u64,
+    /// Pivots remaining until the next sanitizer sweep (0 when disabled).
+    sanitize_left: u64,
 }
 
 /// A phase-1 bound relaxation: column `col` temporarily has one bound opened
@@ -484,7 +494,8 @@ impl Engine {
         }
         let nnz = std.a.nnz();
         let (csr_ptr, csr_cols) = build_row_mirror(&std.a);
-        let kernel_cap = (cfg.kernel_density_threshold.max(0.0) * m as f64) as usize;
+        // lint: allow(lossy-cast, reason = "intentional truncation of a density fraction to a scratch-arena size")
+        let kernel_cap = (pos_or_zero(cfg.kernel_density_threshold) * m as f64) as usize;
         let mut etas = EtaFile::default();
         etas.ensure_rows(m);
         Engine {
@@ -520,6 +531,8 @@ impl Engine {
             cand_scores: Vec::with_capacity(ncols),
             dual_cols: Vec::with_capacity(nnz),
             dual_order: Vec::with_capacity(nnz),
+            sanitize_every: sanitize::sanitize_env(),
+            sanitize_left: sanitize::sanitize_env(),
             std,
             cfg,
         }
@@ -550,7 +563,8 @@ impl Engine {
             self.etas.clear();
             self.etas.ensure_rows(m);
         }
-        self.kernel_cap = (self.cfg.kernel_density_threshold.max(0.0) * m as f64) as usize;
+        // lint: allow(lossy-cast, reason = "intentional truncation of a density fraction to a scratch-arena size")
+        self.kernel_cap = (pos_or_zero(self.cfg.kernel_density_threshold) * m as f64) as usize;
         self.touched = Vec::with_capacity(self.std.a.nnz());
         self.lu = None;
         // The default iteration cap scales with the problem size; growth
@@ -661,13 +675,16 @@ impl Engine {
             for &(c, v) in &r.entries {
                 assert!(c.index() < n, "col out of range");
                 assert!(v.is_finite(), "non-finite coefficient");
+                // lint: allow(lossy-cast, reason = "row indices are bounded by the CSR u32 index width by construction")
                 trips.push(((m0 + i) as u32, c.index() as u32, v));
             }
         }
         self.std.a.append_rows(k, &trips);
+        // lint: allow(lossy-cast, reason = "row indices are bounded by the CSR u32 index width by construction")
         let acts: Vec<Vec<(u32, f64)>> = (0..k).map(|i| vec![((m0 + i) as u32, -1.0)]).collect();
         self.std.a.insert_cols(n + m0, &acts);
         for i in 0..k {
+            // lint: allow(lossy-cast, reason = "row indices are bounded by the CSR u32 index width by construction")
             self.std.a.push_col(&[((m0 + i) as u32, 1.0)]);
         }
         let at = n + m0;
@@ -955,7 +972,7 @@ impl Engine {
                 VarState::Basic(pos) => self.xb[pos as usize],
                 _ => self.xval[r.col],
             };
-            v += (x - r.up).max(0.0) + (r.lo - x).max(0.0);
+            v += pos_or_zero(x - r.up) + pos_or_zero(r.lo - x);
         }
         v
     }
@@ -1187,6 +1204,7 @@ impl Engine {
                     self.ftran_w = w;
                     #[cfg(debug_assertions)]
                     self.debug_invariants();
+                    self.maybe_sanitize();
                     if step <= self.cfg.feas_tol * 1e-2 {
                         self.stats.degenerate_pivots += 1;
                         self.degen_run += 1;
@@ -1456,6 +1474,7 @@ impl Engine {
 
     /// Partial-pricing sublist size for an `ncols`-column problem.
     fn candidate_list_size(ncols: usize) -> usize {
+        // lint: allow(lossy-cast, reason = "sizing heuristic; truncation of the sqrt is intended")
         (2.0 * (ncols as f64).sqrt()) as usize + 16
     }
 

@@ -360,6 +360,7 @@ impl Engine {
             self.ftran_w = w;
             #[cfg(debug_assertions)]
             self.debug_invariants();
+            self.maybe_sanitize();
             if step <= ftol * 1e-2 {
                 self.stats.degenerate_pivots += 1;
             }

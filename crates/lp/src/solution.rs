@@ -118,6 +118,13 @@ pub struct SolveStats {
     /// Full refreshes of the partial-pricing candidate list (each one is a
     /// complete eligibility scan).
     pub partial_refreshes: u64,
+    /// Runtime-sanitizer sweeps performed (`WS_SANITIZE`; each sweep
+    /// re-verifies the basic solution against the standardized system,
+    /// Devex weight positivity, and eta-file/basis agreement).
+    pub sanitizer_checks: u64,
+    /// Individual sanitizer check failures observed across those sweeps
+    /// (0 on a numerically healthy solve).
+    pub sanitizer_violations: u64,
 }
 
 impl SolveStats {
@@ -148,6 +155,8 @@ impl SolveStats {
         self.dual_bound_flips += other.dual_bound_flips;
         self.pricing_candidates_scanned += other.pricing_candidates_scanned;
         self.partial_refreshes += other.partial_refreshes;
+        self.sanitizer_checks += other.sanitizer_checks;
+        self.sanitizer_violations += other.sanitizer_violations;
     }
 }
 
@@ -239,6 +248,8 @@ mod tests {
             dual_bound_flips: 2,
             pricing_candidates_scanned: 120,
             partial_refreshes: 3,
+            sanitizer_checks: 2,
+            sanitizer_violations: 0,
         };
         let b = SolveStats {
             iterations: 5,
@@ -261,6 +272,8 @@ mod tests {
             dual_bound_flips: 0,
             pricing_candidates_scanned: 40,
             partial_refreshes: 1,
+            sanitizer_checks: 1,
+            sanitizer_violations: 1,
         };
         a.merge(&b);
         assert_eq!(a.iterations, 15);
@@ -281,6 +294,8 @@ mod tests {
         assert_eq!(a.dual_bound_flips, 2);
         assert_eq!(a.pricing_candidates_scanned, 160);
         assert_eq!(a.partial_refreshes, 4);
+        assert_eq!(a.sanitizer_checks, 3);
+        assert_eq!(a.sanitizer_violations, 1);
     }
 
     #[test]

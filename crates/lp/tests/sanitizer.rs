@@ -1,0 +1,82 @@
+//! Runtime-sanitizer integration: with `WS_SANITIZE` set, sweeps run
+//! during real solves, find nothing wrong, and leave answers untouched.
+//!
+//! The interval knob is read once per process, so this whole binary pins
+//! `WS_SANITIZE=2` (a sweep every other pivot) before the first solve;
+//! each test re-sets it defensively in case of test-order changes.
+//! Cross-process behavior — byte-identical figure outputs with the
+//! sanitizer on vs. off — is covered by the `sanitizer-smoke` CI job.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use wavesched_lp::{solve, Objective, Problem, Status};
+
+fn set_interval() {
+    std::env::set_var("WS_SANITIZE", "2");
+}
+
+/// A dense-ish feasible minimization with enough pivots to trigger many
+/// sweeps, built from integer data so the optimum is stable.
+fn pivot_heavy_problem(seed: u64, n: usize, m: usize) -> Problem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p = Problem::new(Objective::Minimize);
+    let cols: Vec<_> = (0..n)
+        .map(|_| {
+            let cost = rng.random_range(1i32..=9) as f64;
+            p.add_col(0.0, rng.random_range(2i32..=12) as f64, cost)
+        })
+        .collect();
+    for _ in 0..m {
+        let mut coeffs = Vec::new();
+        for &c in &cols {
+            if rng.random_range(0..100) < 70 {
+                coeffs.push((c, rng.random_range(1i32..=4) as f64));
+            }
+        }
+        if coeffs.is_empty() {
+            continue;
+        }
+        // Covering rows keep the problem feasible but force work.
+        let need = rng.random_range(2i32..=8) as f64;
+        p.add_row(need, f64::INFINITY, &coeffs);
+    }
+    p
+}
+
+#[test]
+fn sweeps_run_and_find_no_violations() {
+    set_interval();
+    let mut total_checks = 0u64;
+    for seed in 0..8 {
+        let p = pivot_heavy_problem(seed, 40, 30);
+        let sol = solve(&p).expect("solve");
+        assert_eq!(sol.status, Status::Optimal, "seed {seed}");
+        assert_eq!(
+            sol.stats.sanitizer_violations, 0,
+            "seed {seed}: sanitizer flagged a healthy solve"
+        );
+        total_checks += sol.stats.sanitizer_checks;
+    }
+    assert!(
+        total_checks > 0,
+        "no sweeps ran despite WS_SANITIZE=2 and pivot-heavy problems"
+    );
+}
+
+#[test]
+fn sanitizer_does_not_change_the_answer() {
+    set_interval();
+    // The sanitizer only reads engine state, so the solution must equal the
+    // independently known optimum of a hand-checkable LP:
+    //   min x + 2y  s.t.  x + y >= 4, x <= 3, y <= 5  →  x = 3, y = 1.
+    let mut p = Problem::new(Objective::Minimize);
+    let x = p.add_col(0.0, 3.0, 1.0);
+    let y = p.add_col(0.0, 5.0, 2.0);
+    p.add_row(4.0, f64::INFINITY, &[(x, 1.0), (y, 1.0)]);
+    let sol = solve(&p).expect("solve");
+    assert_eq!(sol.status, Status::Optimal);
+    assert!((sol.objective - 5.0).abs() < 1e-9, "{}", sol.objective);
+    assert!((sol.x[x.index()] - 3.0).abs() < 1e-9);
+    assert!((sol.x[y.index()] - 1.0).abs() < 1e-9);
+    assert_eq!(sol.stats.sanitizer_violations, 0);
+}
