@@ -1,6 +1,8 @@
 //! Criterion benchmarks for warm-started re-solves: RET with session-based
-//! probes versus per-probe cold solves, and Stage 2 warm-started from the
-//! Stage-1 basis versus solved cold.
+//! probes versus per-probe cold solves, Stage 2 warm-started from the
+//! Stage-1 basis versus solved cold, and a column-generation master
+//! re-aim sequence with the basis factorization carried across solves
+//! versus refactored at every entry.
 //!
 //! Besides wall-clock, each group prints the solver work counters once at
 //! startup (iterations, warm starts accepted, cold fallbacks) so the
@@ -8,6 +10,8 @@
 //! comparison is the paper-scale Fig. 4 workload at bench-friendly size.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 use std::hint::black_box;
 use wavesched_core::instance::InstanceConfig;
 use wavesched_core::ret::{
@@ -17,7 +21,10 @@ use wavesched_core::stage1::solve_stage1;
 use wavesched_core::stage2::{
     solve_stage2_weighted_with_start, stage2_basis_from_stage1, WeightPolicy,
 };
-use wavesched_lp::SimplexConfig;
+use wavesched_lp::{
+    NewColumn, NewRow, Objective, Problem, RefactorPolicy, Row, SimplexConfig, SolveStats,
+    SolverSession, Status,
+};
 use wavesched_net::{abilene14, Graph, PathSet};
 use wavesched_workload::{Job, WorkloadConfig, WorkloadGenerator};
 
@@ -224,10 +231,199 @@ fn bench_stage2_cold_vs_warm(c: &mut Criterion) {
     group.finish();
 }
 
+/// A CG-master-shaped LP: demand rows, one expensive fallback column per
+/// row (so every cover state stays feasible), and a pool of cheap "path"
+/// columns each covering a handful of rows — the shape
+/// `wavesched_core::colgen` re-solves after every pricing round.
+fn cg_master_problem(rng: &mut StdRng, rows: usize, pool: usize) -> Problem {
+    let mut p = Problem::new(Objective::Minimize);
+    for i in 0..rows {
+        let r = p.add_row(1.0, f64::INFINITY, &[]);
+        let c = p.add_col(0.0, f64::INFINITY, 50.0);
+        p.set_coeff(r, c, 1.0);
+        debug_assert_eq!(r.index(), i);
+    }
+    for _ in 0..pool {
+        let c = p.add_col(0.0, f64::INFINITY, rng.random_range(1i32..=9) as f64);
+        let k = rng.random_range(3..=6usize);
+        let mut seen = vec![false; rows];
+        for _ in 0..k {
+            let i = rng.random_range(0..rows);
+            if !seen[i] {
+                seen[i] = true;
+                p.set_coeff(Row::from_index(i), c, 1.0);
+            }
+        }
+    }
+    p
+}
+
+/// One leg of the master re-aim replay: `Cold` rebuilds and solves the
+/// LP from scratch every step (what `CgMaster` did before sessions),
+/// the session legs re-solve in place under the named refactor policy.
+#[derive(Clone, Copy)]
+enum ReaimMode {
+    Cold,
+    Session(RefactorPolicy),
+}
+
+/// Replays the master re-aim sequence: per step a block of row demands
+/// moves, every eighth step splices fresh columns and every sixteenth a
+/// coupling row, exactly like a CG round. Returns the summed objectives
+/// (the answer checksum every leg must agree on) and the accumulated
+/// work counters.
+fn run_cg_reaim(base: &Problem, mode: ReaimMode, steps: usize) -> (f64, SolveStats) {
+    let rows = base.num_rows();
+    let mut p = base.clone();
+    let mut sess = match mode {
+        ReaimMode::Cold => None,
+        ReaimMode::Session(policy) => {
+            let cfg = SimplexConfig {
+                refactor_policy: policy,
+                ..SimplexConfig::default()
+            };
+            Some(SolverSession::with_config(base, &cfg).expect("session"))
+        }
+    };
+    let mut cold_stats = SolveStats::default();
+    let mut resolve = |p: &Problem, sess: &mut Option<SolverSession>| match sess {
+        Some(s) => s.solve().expect("re-aim master solve"),
+        None => {
+            let s = wavesched_lp::solve(p).expect("cold master solve");
+            cold_stats.merge(&s.stats);
+            s
+        }
+    };
+
+    let mut rng = StdRng::seed_from_u64(777);
+    let mut acc = 0.0;
+    let s = resolve(&p, &mut sess);
+    assert_eq!(s.status, Status::Optimal);
+    acc += s.objective;
+    for step in 0..steps {
+        for k in 0..6 {
+            let r = Row::from_index((step * 13 + k * 19) % rows);
+            let demand = 1.0 + ((step + k) % 4) as f64;
+            p.set_row_bounds(r, demand, f64::INFINITY);
+            if let Some(s) = sess.as_mut() {
+                s.set_row_bounds(r, demand, f64::INFINITY);
+            }
+        }
+        if step % 8 == 3 {
+            let mut news = Vec::new();
+            for _ in 0..2 {
+                let mut entries = Vec::new();
+                let k = rng.random_range(3..=6usize);
+                let mut seen = vec![false; rows];
+                for _ in 0..k {
+                    let i = rng.random_range(0..rows);
+                    if !seen[i] {
+                        seen[i] = true;
+                        entries.push((Row::from_index(i), 1.0));
+                    }
+                }
+                news.push(NewColumn {
+                    lower: 0.0,
+                    upper: f64::INFINITY,
+                    cost: rng.random_range(1i32..=6) as f64,
+                    entries,
+                });
+            }
+            if let Some(s) = sess.as_mut() {
+                s.add_columns(&news);
+            }
+            for nc in &news {
+                let c = p.add_col(nc.lower, nc.upper, nc.cost);
+                for &(r, v) in &nc.entries {
+                    p.set_coeff(r, c, v);
+                }
+            }
+        }
+        if step % 16 == 11 {
+            // A coupling row over a few existing columns: keeps the
+            // product-form row extension on the benched path too.
+            let entries: Vec<(wavesched_lp::Col, f64)> = (0..6)
+                .map(|j| (wavesched_lp::Col::from_index(rows + j * 7), 1.0))
+                .collect();
+            if let Some(s) = sess.as_mut() {
+                s.add_rows(&[NewRow {
+                    lower: f64::NEG_INFINITY,
+                    upper: 200.0,
+                    entries: entries.clone(),
+                }]);
+            }
+            p.add_row(f64::NEG_INFINITY, 200.0, &entries);
+        }
+        let s = resolve(&p, &mut sess);
+        assert_eq!(s.status, Status::Optimal, "step {step}");
+        acc += s.objective;
+    }
+    let stats = match sess {
+        Some(s) => s.stats(),
+        None => cold_stats,
+    };
+    (acc, stats)
+}
+
+fn bench_cg_master_reaim(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4242);
+    let base = cg_master_problem(&mut rng, 120, 360);
+    const STEPS: usize = 50;
+
+    // Instrumented replay of each leg: identical answers by the warm
+    // invariant, different factorization work.
+    let (acc_cold, st_cold) = run_cg_reaim(&base, ReaimMode::Cold, STEPS);
+    let (acc_always, st_always) =
+        run_cg_reaim(&base, ReaimMode::Session(RefactorPolicy::Always), STEPS);
+    let (acc_reuse, st_reuse) =
+        run_cg_reaim(&base, ReaimMode::Session(RefactorPolicy::CostModel), STEPS);
+    let tol = 1e-9 * (1.0 + acc_cold.abs());
+    assert!(
+        (acc_cold - acc_reuse).abs() <= tol && (acc_always - acc_reuse).abs() <= tol,
+        "legs disagree on answers: cold {acc_cold}, always {acc_always}, reuse {acc_reuse}"
+    );
+    eprintln!(
+        "# cg_master_reaim cold: {} solves, {} refactorizations, {} iters ({} phase-1)",
+        st_cold.solves, st_cold.refactorizations, st_cold.iterations, st_cold.phase1_iterations,
+    );
+    eprintln!(
+        "# cg_master_reaim always: {} solves, {} refactorizations, {} iters, {} reuse hits",
+        st_always.solves, st_always.refactorizations, st_always.iterations, st_always.lu_reuse_hits,
+    );
+    eprintln!(
+        "# cg_master_reaim reuse: {} solves, {} refactorizations ({} cost-model), {} iters, {} reuse hits, {} lu updates, {} rejected",
+        st_reuse.solves,
+        st_reuse.refactorizations,
+        st_reuse.refactor_cost_model,
+        st_reuse.iterations,
+        st_reuse.lu_reuse_hits,
+        st_reuse.lu_updates,
+        st_reuse.refactor_reuse_rejected,
+    );
+
+    let mut group = c.benchmark_group("cg_master_reaim");
+    group.sample_size(10);
+    group.bench_function("cold", |b| {
+        b.iter(|| black_box(run_cg_reaim(&base, ReaimMode::Cold, STEPS).0))
+    });
+    group.bench_function("refactor_always", |b| {
+        b.iter(|| {
+            black_box(run_cg_reaim(&base, ReaimMode::Session(RefactorPolicy::Always), STEPS).0)
+        })
+    });
+    group.bench_function("reuse_cost_model", |b| {
+        b.iter(|| {
+            black_box(run_cg_reaim(&base, ReaimMode::Session(RefactorPolicy::CostModel), STEPS).0)
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_ret_cold_vs_warm,
     bench_ret_probe_paths,
-    bench_stage2_cold_vs_warm
+    bench_stage2_cold_vs_warm,
+    bench_cg_master_reaim
 );
 criterion_main!(benches);

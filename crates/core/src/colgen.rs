@@ -104,7 +104,8 @@ impl Default for ColGenConfig {
 
 /// Column-generation work counters (also mirrored into the `cg.*` obs
 /// counters: `cg.rounds`, `cg.columns_added`, `cg.pricer_calls`,
-/// `cg.pricing_ns`, `cg.master_dual_iterations`).
+/// `cg.pricing_ns`, `cg.master_dual_iterations`,
+/// `cg.master_lu_reuse_hits`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CgStats {
     /// Price–resolve rounds run (one per [`CgMaster::price_and_augment`]).
@@ -118,6 +119,10 @@ pub struct CgStats {
     /// Dual simplex pivots spent in master re-solves (bound/RHS-only
     /// re-aims that skipped the primal phase-1 repair).
     pub master_dual_iterations: u64,
+    /// Master re-solves that entered through the factorization-reuse path
+    /// (no `Lu::factor` at solve entry; column splices and capacity-row
+    /// growth kept the carried factors valid).
+    pub master_lu_reuse_hits: u64,
 }
 
 /// One pool column: `(job, path index within the job's pool, slice)`.
@@ -662,6 +667,8 @@ impl CgMaster {
         let sol = self.session.solve()?;
         self.stats.master_dual_iterations += sol.stats.dual_iterations;
         obs::counter_add("cg.master_dual_iterations", sol.stats.dual_iterations);
+        self.stats.master_lu_reuse_hits += sol.stats.lu_reuse_hits;
+        obs::counter_add("cg.master_lu_reuse_hits", sol.stats.lu_reuse_hits);
         Ok(sol)
     }
 

@@ -320,6 +320,13 @@ impl WarmProbe {
     /// solved clone is returned so the caller may adopt a *realized*
     /// probe's basis as the next template (`None` when the probe answered
     /// without solving).
+    ///
+    /// A solved template also carries a *valid basis factorization*, and
+    /// the clone inherits it: the window retightening is a bound-only
+    /// edit, so the probe's solve enters through the factorization-reuse
+    /// path (`SolveStats::lu_reuse_hits`) and skips `Lu::factor` entirely
+    /// — the dominant cost of a few-pivot probe. Purity is unaffected:
+    /// every clone starts from the identical carried factors.
     fn probe(&self, jobs: &[Job], mode: RetMode, b: f64) -> ProbeResult {
         let _span = obs::span("ret_probe");
         let Some(windows) = self.windows_at(jobs, mode, b) else {

@@ -37,6 +37,64 @@ use wavesched_obs as obs;
 
 use lu::{Lu, LuScratch};
 
+/// Basis-refactorization policy: when the engine rebuilds the LU factors
+/// instead of growing the product-form eta file, and whether a
+/// [`SolverSession`] may carry the factorization across solves.
+///
+/// Every policy produces the same answers — the policy moves work between
+/// `Lu::factor` and eta passes, and every claimed optimum is still
+/// verified against a fresh factor before extraction. Only the pivot
+/// *trajectory* (and with it the work counters) may differ between
+/// policies; within one policy the trajectory is deterministic because
+/// every trigger below counts entries, never wall-clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefactorPolicy {
+    /// Refactorize on every solve entry and on the fixed
+    /// [`SimplexConfig::refactor_interval`] cadence — the pre-persistence
+    /// behavior, kept as the reuse-off A/B baseline
+    /// (`WS_REFACTOR=always`).
+    Always,
+    /// Carry the factorization across session solves; in-loop
+    /// refactorization on the fixed interval only.
+    Interval,
+    /// Carry the factorization across session solves; in-loop, also cut
+    /// the eta file as soon as its entry count stops paying for itself
+    /// against the factor's own entry count (the default; see
+    /// `COST_MODEL_ETA_FACTOR`). The fixed interval stays as a hard cap.
+    CostModel,
+}
+
+/// Cost-model trigger ratio: refactorize once the eta file holds more
+/// than this many times the LU's entry count. One FTRAN/BTRAN pass
+/// touches every factor entry and every eta entry once, but the factor
+/// itself costs many passes' worth of work, so the cut only pays for
+/// itself once the file dwarfs the factors — not at parity. At 8× the
+/// pass spends ~90% of its time in the eta file before we cut; below
+/// that the model fires more often than the interval cadence it
+/// replaces and loses wall-clock to its own refactorizations.
+const COST_MODEL_ETA_FACTOR: usize = 8;
+
+/// Cost-model floor: never cut a file shorter than this many etas. Tiny
+/// bases otherwise refactorize every few pivots, and the fixed overhead
+/// of `Lu::factor` never amortizes over so short a window.
+const COST_MODEL_MIN_ETAS: usize = 16;
+
+/// Why a refactorization is being performed — routed into the matching
+/// per-reason [`SolveStats`] counter so smoke fixtures can tell cadence
+/// refactorizations from forced ones. (`refactor_forced_singular` is
+/// counted separately per `repair_basis` call, and `refactor_reuse_rejected`
+/// at the reuse gate; neither is a `refactorize` entry reason.)
+#[derive(Debug, Clone, Copy)]
+enum RefactorReason {
+    /// The eta file reached the fixed `refactor_interval` cadence.
+    Interval,
+    /// The cost model decided the eta file stopped paying for itself.
+    CostModel,
+    /// Structurally required: solve entry, warm/dual basis installation,
+    /// claimed-optimal verification, or a zero-pivot retry.
+    Forced,
+}
+
 /// Tunable parameters of the revised simplex.
 #[derive(Debug, Clone)]
 pub struct SimplexConfig {
@@ -73,6 +131,14 @@ pub struct SimplexConfig {
     /// particular vertex. Callers whose decisions are objective-only (e.g.
     /// the RET feasibility probes) opt in per config.
     pub partial_pricing: bool,
+    /// When to rebuild the LU factors vs. growing the eta file, and
+    /// whether a [`SolverSession`] carries the factorization across
+    /// solves. The `WS_REFACTOR` environment variable overrides this
+    /// (`always` / `interval:N` / `cost-model`); a disabled cadence
+    /// (`refactor_interval: usize::MAX`, the kernel probes) pins the
+    /// policy to [`RefactorPolicy::Interval`] regardless, so probed
+    /// windows keep measuring steady-state eta chains.
+    pub refactor_policy: RefactorPolicy,
 }
 
 impl Default for SimplexConfig {
@@ -86,8 +152,36 @@ impl Default for SimplexConfig {
             degeneracy_threshold: 400,
             kernel_density_threshold: 0.3,
             partial_pricing: false,
+            refactor_policy: RefactorPolicy::CostModel,
         }
     }
+}
+
+/// Process-wide refactorization-policy override from the `WS_REFACTOR`
+/// environment variable, read once per process: `always` forces a fresh
+/// factor on every solve entry (the reuse-off A/B baseline), `interval:N`
+/// pins the fixed cadence at `N` etas with cross-solve reuse on,
+/// `cost-model` forces the cost-model policy, anything else (or unset)
+/// defers to [`SimplexConfig::refactor_policy`].
+fn refactor_env() -> Option<(RefactorPolicy, Option<usize>)> {
+    static MODE: std::sync::OnceLock<Option<(RefactorPolicy, Option<usize>)>> =
+        std::sync::OnceLock::new();
+    *MODE.get_or_init(|| {
+        // lint: allow(env-knob, reason = "WS_REFACTOR mirrors the sanctioned WS_PRICING pattern: read once at first use, config default preserved when unset, documented in the README")
+        match std::env::var("WS_REFACTOR") {
+            Ok(v) if v.eq_ignore_ascii_case("always") => Some((RefactorPolicy::Always, None)),
+            Ok(v) if v.eq_ignore_ascii_case("cost-model") => {
+                Some((RefactorPolicy::CostModel, None))
+            }
+            Ok(v) => v
+                .to_ascii_lowercase()
+                .strip_prefix("interval:")
+                .and_then(|n| n.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .map(|n| (RefactorPolicy::Interval, Some(n))),
+            Err(_) => None,
+        }
+    })
 }
 
 /// Process-wide pricing-mode override from the `WS_PRICING` environment
@@ -184,9 +278,9 @@ pub fn solve_with_start(
     let std = standardize(p)?;
     let mut engine = Engine::new(std, cfg.clone());
     // A caller-supplied basis has no provenance guarantee, so the dual
-    // re-solve path (which requires "own last optimal basis, bounds/RHS
-    // edits only") is reserved for `SolverSession`.
-    engine.solve(start, false)
+    // re-solve and factorization-reuse paths (which require "own last
+    // optimal basis with tracked edits") are reserved for `SolverSession`.
+    engine.solve(start, false, false)
 }
 
 /// Folds a finished solve's counters into the process-wide observability
@@ -199,6 +293,13 @@ fn publish_stats(s: &SolveStats, nrows: usize) {
     obs::counter_add("lp.iterations", s.iterations);
     obs::counter_add("lp.phase1_iterations", s.phase1_iterations);
     obs::counter_add("lp.refactorizations", s.refactorizations);
+    obs::counter_add("lp.refactor_interval", s.refactor_interval);
+    obs::counter_add("lp.refactor_cost_model", s.refactor_cost_model);
+    obs::counter_add("lp.refactor_forced_fallback", s.refactor_forced_fallback);
+    obs::counter_add("lp.refactor_forced_singular", s.refactor_forced_singular);
+    obs::counter_add("lp.refactor_reuse_rejected", s.refactor_reuse_rejected);
+    obs::counter_add("lp.lu_reuse_hits", s.lu_reuse_hits);
+    obs::counter_add("lp.lu_updates", s.lu_updates);
     obs::counter_add("lp.degenerate_pivots", s.degenerate_pivots);
     obs::counter_add("lp.devex_resets", s.devex_resets);
     obs::counter_add("lp.bound_flips", s.bound_flips);
@@ -336,6 +437,23 @@ struct Engine {
     sanitize_every: u64,
     /// Pivots remaining until the next sanitizer sweep (0 when disabled).
     sanitize_left: u64,
+    /// Resolved refactorization policy (config plus the `WS_REFACTOR`
+    /// override, with a disabled cadence pinning it to `Interval`).
+    refactor_policy: RefactorPolicy,
+    /// Entry count of the current LU factors, set at every
+    /// refactorization and bumped by the `add_rows` border extension —
+    /// the cost model's per-pass work unit.
+    lu_nnz: usize,
+    /// True when the live engine state is a clean optimal endpoint the
+    /// next solve may continue from without reinstalling anything:
+    /// basis/state/xval consistent, LU factored for the live basis, eta
+    /// file empty except for structural bordering etas. Cleared on every
+    /// solve entry, re-established after an optimal extract, and
+    /// maintained (not cleared) by `append_columns` / `append_rows`.
+    reuse_ready: bool,
+    /// Bordering etas appended by structural edits since the last solve,
+    /// folded into the next solve's `lu_updates` stat.
+    pending_lu_updates: u64,
 }
 
 /// A phase-1 bound relaxation: column `col` temporarily has one bound opened
@@ -492,6 +610,21 @@ impl Engine {
         if cfg.max_iterations == 0 {
             cfg.max_iterations = 50 * (m as u64 + ncols as u64) + 10_000;
         }
+        // Resolve the refactorization policy. A disabled cadence
+        // (usize::MAX, the kernel probes) pins the policy to the plain
+        // interval mode and ignores the env override: probed windows must
+        // measure steady-state eta chains deterministically.
+        let refactor_policy = if cfg.refactor_interval == usize::MAX {
+            RefactorPolicy::Interval
+        } else {
+            if let Some((policy, interval)) = refactor_env() {
+                cfg.refactor_policy = policy;
+                if let Some(n) = interval {
+                    cfg.refactor_interval = n;
+                }
+            }
+            cfg.refactor_policy
+        };
         let nnz = std.a.nnz();
         let (csr_ptr, csr_cols) = build_row_mirror(&std.a);
         // lint: allow(lossy-cast, reason = "intentional truncation of a density fraction to a scratch-arena size")
@@ -533,6 +666,10 @@ impl Engine {
             dual_order: Vec::with_capacity(nnz),
             sanitize_every: sanitize::sanitize_env(),
             sanitize_left: sanitize::sanitize_env(),
+            refactor_policy,
+            lu_nnz: 0,
+            reuse_ready: false,
+            pending_lu_updates: 0,
             std,
             cfg,
         }
@@ -541,10 +678,10 @@ impl Engine {
     /// Rebuilds every structure-derived piece of engine state after the
     /// standardized form grew columns and/or rows: the CSR row mirror, the
     /// row-dimensioned scratch buffers, the kernel density cap, and the
-    /// auto-derived iteration budget. Any cached factorization refers to
-    /// the old shape and is dropped — the next solve refactorizes from
-    /// scratch (cold, or through `attempt_warm`, both of which rewrite all
-    /// per-column state before iterating).
+    /// auto-derived iteration budget. The carried factorization and eta
+    /// file are deliberately left alone — the callers (`append_columns`,
+    /// `append_rows`) decide between preserving the factorization across
+    /// the splice and dropping it via `invalidate_factorization`.
     fn after_structure_change(&mut self) {
         let m = self.std.nrows;
         let ncols = self.std.ncols();
@@ -560,19 +697,86 @@ impl Engine {
             self.ftran_w = WorkVec::new(m);
             self.rho = WorkVec::new(m);
             self.lu_scratch = LuScratch::new(m);
-            self.etas.clear();
             self.etas.ensure_rows(m);
         }
         // lint: allow(lossy-cast, reason = "intentional truncation of a density fraction to a scratch-arena size")
         self.kernel_cap = (pos_or_zero(self.cfg.kernel_density_threshold) * m as f64) as usize;
         self.touched = Vec::with_capacity(self.std.a.nnz());
-        self.lu = None;
         // The default iteration cap scales with the problem size; growth
         // may only raise it (an explicit user cap is never lowered).
         self.cfg.max_iterations = self
             .cfg
             .max_iterations
             .max(50 * (m as u64 + ncols as u64) + 10_000);
+    }
+
+    /// Drops the carried factorization and every piece of cross-solve
+    /// bookkeeping that rides on it. The next solve entry refactorizes
+    /// from scratch.
+    fn invalidate_factorization(&mut self) {
+        self.lu = None;
+        self.etas.clear();
+        self.reuse_ready = false;
+        self.pending_lu_updates = 0;
+    }
+
+    /// Parks a freshly spliced column nonbasic exactly the way the crash
+    /// basis would rest it, so a preserved factorization sees a consistent
+    /// nonbasic point without a full solve-entry rewrite.
+    fn park_fresh(&mut self, j: usize) {
+        let (l, u) = (self.std.lower[j], self.std.upper[j]);
+        self.state[j] = if self.std.kind[j] == ColKind::Artificial || l == u {
+            VarState::Fixed
+        } else if l.is_finite() && (u.is_infinite() || l.abs() <= u.abs()) {
+            VarState::AtLower
+        } else if u.is_finite() {
+            VarState::AtUpper
+        } else {
+            VarState::Free
+        };
+        self.xval[j] = self.std.resting_value(j);
+    }
+
+    /// Product-form extension of a carried factorization after
+    /// [`Self::append_rows`] grew the basis by `k` rows: the new activity
+    /// columns (spliced at `at`) become basic at the new positions, the LU
+    /// is trivially extended to factor `diag(B_old, -I)`, and one eta per
+    /// old basis column with new-row entries supplies the coupling block.
+    ///
+    /// Writing `B_new = [[B_old, 0], [C, -I]]` (columns: old basis then new
+    /// activity columns; `C` = new-row entries of the old basis columns),
+    /// `ExtLU^{-1} B_new = [[I, 0], [-C, I]]`, which is the commuting
+    /// product over old positions `p` of the eta with column `p` replaced
+    /// by `e_p - sum_i C[i][p] e_{m0+i}`. CG's capacity rows carry no
+    /// coefficients on existing columns, so the hot path appends zero etas.
+    fn extend_factorization(&mut self, m0: usize, k: usize, at: usize) {
+        let lu = self
+            .lu
+            .as_mut()
+            // lint: allow(lib-unwrap, reason = "invariant: the caller checked lu.is_some() before choosing the preserve path")
+            .expect("invariant: extend_factorization needs a live LU");
+        lu.extend_rows(k);
+        self.lu_nnz += k;
+        for i in 0..k {
+            let j = at + i;
+            self.basis.push(j);
+            // lint: allow(lossy-cast, reason = "basis positions are bounded by the CSR u32 index width by construction")
+            self.state[j] = VarState::Basic((m0 + i) as u32);
+        }
+        for p in 0..m0 {
+            let (rows, vals) = self.std.a.col(self.basis[p]);
+            let cut = rows.partition_point(|&r| (r as usize) < m0);
+            if cut == rows.len() {
+                continue;
+            }
+            // lint: allow(lossy-cast, reason = "basis positions are bounded by the CSR u32 index width by construction")
+            self.etas.begin(p as u32, 1.0);
+            self.etas.push_entry(p as u32, 1.0);
+            for t in cut..rows.len() {
+                self.etas.push_entry(rows[t], -vals[t]);
+            }
+            self.pending_lu_updates += 1;
+        }
     }
 
     /// Appends structural columns to the held standardized form, shifting
@@ -584,6 +788,10 @@ impl Engine {
         if cols.is_empty() {
             return;
         }
+        // A nonbasic column splice never touches B: the carried
+        // factorization stays valid as long as the new columns are parked
+        // nonbasic (done below, after the per-column state exists).
+        let preserve = self.reuse_ready && self.lu.is_some();
         let n0 = self.std.nstruct;
         let k = cols.len();
         let mut packed: Vec<Vec<(u32, f64)>> = Vec::with_capacity(k);
@@ -639,6 +847,13 @@ impl Engine {
             }
         }
         self.after_structure_change();
+        if preserve {
+            for j in n0..n0 + k {
+                self.park_fresh(j);
+            }
+        } else {
+            self.invalidate_factorization();
+        }
     }
 
     /// Appends constraint rows to the held standardized form: the matrix
@@ -654,6 +869,10 @@ impl Engine {
         let m0 = self.std.nrows;
         let n = self.std.nstruct;
         let k = rows.len();
+        // Row growth changes B itself; a carried factorization survives
+        // only through the product-form extension below, which needs the
+        // held basis to cover exactly the pre-growth rows.
+        let preserve = self.reuse_ready && self.lu.is_some() && self.basis.len() == m0;
         let mut trips: Vec<(u32, u32, f64)> = Vec::new();
         let mut lows = Vec::with_capacity(k);
         let mut ups = Vec::with_capacity(k);
@@ -717,6 +936,11 @@ impl Engine {
             }
         }
         self.after_structure_change();
+        if preserve {
+            self.extend_factorization(m0, k, at);
+        } else {
+            self.invalidate_factorization();
+        }
     }
 
     /// Clears all per-solve state so the engine can run again on its held
@@ -813,10 +1037,32 @@ impl Engine {
     /// correct when `start` is this engine's own last optimal basis and
     /// nothing but bounds/RHS changed since (the caller asserts that); the
     /// dual path degrades to the ordinary warm/cold ladder on any doubt.
-    fn solve(&mut self, start: Option<&Basis>, try_dual: bool) -> Result<Solution, SolveError> {
+    /// `try_reuse` lets the engine skip the entry refactorization entirely
+    /// when the carried factorization is still valid (`reuse_ready`,
+    /// maintained across edits by [`SolverSession`]) and the residual
+    /// spot-check passes.
+    fn solve(
+        &mut self,
+        start: Option<&Basis>,
+        try_dual: bool,
+        try_reuse: bool,
+    ) -> Result<Solution, SolveError> {
         let _span = obs::span("lp_solve");
-        let sol = self.solve_inner(start, try_dual)?;
+        // Take the cross-solve bookkeeping up front: any path that does not
+        // explicitly re-arm reuse (below) leaves it off, and the pending
+        // product-form updates are attributed to whichever solve consumes
+        // (or discards) them.
+        let reuse_ok = std::mem::take(&mut self.reuse_ready);
+        let pending = std::mem::take(&mut self.pending_lu_updates);
+        let mut sol = self.solve_inner(start, try_dual, try_reuse && reuse_ok)?;
+        sol.stats.lu_updates += pending;
+        self.stats.lu_updates += pending;
         publish_stats(&sol.stats, self.std.nrows);
+        // Every Optimal exit ends with a verification refactorization and an
+        // empty eta file (iterate() refuses to claim optimality otherwise),
+        // which is exactly the state a later solve may reuse.
+        self.reuse_ready =
+            sol.status == Status::Optimal && self.lu.is_some() && self.etas.is_empty();
         Ok(sol)
     }
 
@@ -824,45 +1070,68 @@ impl Engine {
         &mut self,
         start: Option<&Basis>,
         try_dual: bool,
+        try_reuse: bool,
     ) -> Result<Solution, SolveError> {
-        if let Some(basis) = start {
-            self.reset_for_solve();
-            if try_dual {
-                match self.attempt_dual(basis) {
-                    Ok(sol) => return Ok(sol),
-                    Err(_) => {
-                        // Dual path abandoned (dual-infeasible after the
-                        // edits, numerical trouble, or stalled): scrub the
-                        // partially-installed state but keep the work it
-                        // burned on the counters, then fall through to the
-                        // ordinary warm attempt.
-                        let stats = self.stats;
-                        self.reset_for_solve();
-                        self.stats = stats;
-                    }
-                }
-            }
-            match self.attempt_warm(basis) {
+        let mut reuse_rejected = 0u64;
+        if try_reuse && start.is_some() {
+            match self.attempt_reuse(try_dual) {
                 Ok(sol) => return Ok(sol),
-                Err(_) => {
-                    // Undo phase-1 bound shifts before restarting cold; the
-                    // cold path resets every other piece of engine state.
+                Err(()) => {
+                    // Reuse gate or continuation failed: undo any phase-1
+                    // bound shifts it left behind, then run the ordinary
+                    // ladder from scratch. The burned work is discarded,
+                    // matching how a failed warm attempt restarts cold.
+                    reuse_rejected = 1;
                     for k in 0..self.relaxed.len() {
                         let Relaxed { col, lo, up } = self.relaxed[k];
                         self.std.lower[col] = lo;
                         self.std.upper[col] = up;
                     }
-                    let sol = self.run_cold();
-                    if let Ok(s) = &sol {
-                        debug_assert_eq!(s.stats.warm_start_fallbacks, 1);
-                    }
-                    return sol;
+                    self.relaxed.clear();
                 }
             }
         }
-        let mut sol = self.run_cold()?;
-        sol.stats.warm_start_fallbacks = 0; // no basis was offered
-        self.stats.warm_start_fallbacks = 0;
+        let mut sol = 'ladder: {
+            if let Some(basis) = start {
+                self.reset_for_solve();
+                if try_dual {
+                    match self.attempt_dual(basis) {
+                        Ok(sol) => break 'ladder sol,
+                        Err(_) => {
+                            // Dual path abandoned (dual-infeasible after the
+                            // edits, numerical trouble, or stalled): scrub the
+                            // partially-installed state but keep the work it
+                            // burned on the counters, then fall through to the
+                            // ordinary warm attempt.
+                            let stats = self.stats;
+                            self.reset_for_solve();
+                            self.stats = stats;
+                        }
+                    }
+                }
+                match self.attempt_warm(basis) {
+                    Ok(sol) => break 'ladder sol,
+                    Err(_) => {
+                        // Undo phase-1 bound shifts before restarting cold; the
+                        // cold path resets every other piece of engine state.
+                        for k in 0..self.relaxed.len() {
+                            let Relaxed { col, lo, up } = self.relaxed[k];
+                            self.std.lower[col] = lo;
+                            self.std.upper[col] = up;
+                        }
+                        let sol = self.run_cold()?;
+                        debug_assert_eq!(sol.stats.warm_start_fallbacks, 1);
+                        break 'ladder sol;
+                    }
+                }
+            }
+            let mut sol = self.run_cold()?;
+            sol.stats.warm_start_fallbacks = 0; // no basis was offered
+            self.stats.warm_start_fallbacks = 0;
+            sol
+        };
+        sol.stats.refactor_reuse_rejected += reuse_rejected;
+        self.stats.refactor_reuse_rejected += reuse_rejected;
         Ok(sol)
     }
 
@@ -873,7 +1142,7 @@ impl Engine {
         self.reset_for_solve();
         self.stats.warm_start_fallbacks = 1;
         self.crash();
-        self.refactorize()?;
+        self.refactorize(RefactorReason::Forced)?;
 
         // Phase 1: minimize total artificial magnitude (costs set in crash).
         if !self.relaxed.is_empty() {
@@ -1054,7 +1323,7 @@ impl Engine {
         }
         // Factorize (with singularity repair) and compute the basic values
         // the installed nonbasic point implies.
-        if self.refactorize().is_err() {
+        if self.refactorize(RefactorReason::Forced).is_err() {
             return Err(());
         }
 
@@ -1133,6 +1402,140 @@ impl Engine {
         self.xval[j] = x;
     }
 
+    /// Factorization-reuse solve entry: the engine still holds its own
+    /// last-optimal basis, factorization, and per-column state, with only
+    /// bound/RHS/cost edits and nonbasic splices applied since (the
+    /// session certifies that via `reuse_ready`). Skips `Lu::factor`
+    /// entirely: re-parks the nonbasics against the edited bounds,
+    /// recomputes the basic values through the carried factors, and
+    /// residual-checks the result before continuing — through the dual
+    /// loop when the edits kept the basis dual feasible, through the
+    /// bound-shift phase 1 otherwise. `Err(())` abandons the attempt and
+    /// the ordinary warm/cold ladder runs from scratch.
+    fn attempt_reuse(&mut self, try_dual: bool) -> Result<Solution, ()> {
+        // Partial reset: everything reset_for_solve clears *except* the
+        // factorization, the basis, and the per-column states it is
+        // reusing.
+        self.stats = SolveStats {
+            solves: 1,
+            ..SolveStats::default()
+        };
+        self.cost.fill(0.0);
+        self.bland = false;
+        self.degen_run = 0;
+        self.relaxed.clear();
+        self.reset_candidates();
+
+        // Re-pin artificials to their pristine fixed-at-zero state. A basic
+        // artificial (a degenerate optimum can keep one at value zero) stays
+        // basic — forcing it out would change B — but disqualifies the dual
+        // branch, which requires an artificial-free basis.
+        let mut artificial_basic = false;
+        for i in 0..self.std.nrows {
+            let a = self.std.artificial_col(i);
+            self.std.lower[a] = 0.0;
+            self.std.upper[a] = 0.0;
+            if matches!(self.state[a], VarState::Basic(_)) {
+                artificial_basic = true;
+            } else {
+                self.state[a] = VarState::Fixed;
+                self.xval[a] = 0.0;
+            }
+        }
+        // Re-park every nonbasic against the *current* bounds (the edits
+        // may have moved or removed the side a column was resting on).
+        for j in 0..self.std.ncols() {
+            if self.std.kind[j] == ColKind::Artificial {
+                continue;
+            }
+            let status = match self.state[j] {
+                VarState::Basic(_) => continue,
+                VarState::AtLower | VarState::Fixed => BasisStatus::AtLower,
+                VarState::AtUpper => BasisStatus::AtUpper,
+                VarState::Free => BasisStatus::Free,
+            };
+            self.park_nonbasic(j, status);
+        }
+
+        // Basic values through the carried factors, then the reuse gate:
+        // the sanitizer's residual spot-check. A stale or drifted
+        // factorization shows up as a nonzero `A x` residual here and
+        // rejects the reuse before any pivot can act on it.
+        self.compute_xb();
+        if !self.residual_ok() {
+            return Err(());
+        }
+        self.stats.lu_reuse_hits = 1;
+        self.stats.warm_starts_accepted = 1;
+
+        if try_dual && !artificial_basic {
+            // Phase-2 costs, then the same dual-feasibility screen as
+            // `attempt_dual`: bound/RHS-only edits keep the reduced-cost
+            // signs, so the dual loop drives out the primal violations in
+            // a handful of pivots.
+            for j in 0..self.std.ncols() {
+                if self.std.kind[j] != ColKind::Artificial {
+                    self.cost[j] = self.std.cost[j];
+                }
+            }
+            self.recompute_reduced();
+            let dtol = self.cfg.opt_tol;
+            let mut dual_feasible = true;
+            for j in 0..self.std.ncols() {
+                let ok = match self.state[j] {
+                    VarState::Basic(_) | VarState::Fixed => true,
+                    VarState::AtLower => self.d[j] >= -dtol,
+                    VarState::AtUpper => self.d[j] <= dtol,
+                    VarState::Free => self.d[j].abs() <= dtol,
+                };
+                if !ok {
+                    dual_feasible = false;
+                    break;
+                }
+            }
+            if dual_feasible {
+                self.dual_loop()?;
+                // Exact finish, as in `attempt_dual`: the primal loop
+                // re-verifies the claimed optimum against recomputed
+                // reduced costs (refactorizing in the process).
+                return match self.iterate(false).map_err(|_| ())? {
+                    PhaseOutcome::Optimal => Ok(self.extract(Status::Optimal)),
+                    PhaseOutcome::Unbounded | PhaseOutcome::IterationLimit => Err(()),
+                };
+            }
+            // Dual screen failed (a cost edit, or a re-park flipped a
+            // sign): back to phase-1 costs for the primal continuation.
+            self.cost.fill(0.0);
+        }
+
+        // Primal continuation, as in `attempt_warm`: bound-shift every
+        // basic value the edits pushed outside its bounds, clear the
+        // violations in phase 1, finish in phase 2.
+        for pos in 0..self.std.nrows {
+            let j = self.basis[pos];
+            let v = self.xb[pos];
+            let (lo, up) = if self.std.kind[j] == ColKind::Artificial {
+                (0.0, 0.0)
+            } else {
+                (self.std.lower[j], self.std.upper[j])
+            };
+            let tol = self.cfg.feas_tol;
+            if v > up + tol || v < lo - tol {
+                self.relax_column(j, v);
+            }
+        }
+        if !self.relaxed.is_empty() {
+            match self.run_phase1() {
+                // Terminal phase-1 outcomes are not infeasibility proofs on
+                // a shifted start (see `attempt_warm`): fall back.
+                Ok(Some(_)) => return Err(()),
+                Ok(None) => {}
+                Err(_) => return Err(()),
+            }
+        }
+        self.finish_phase2().map_err(|_| ())
+    }
+
     /// Core primal simplex loop shared by both phases.
     ///
     /// Reduced costs are maintained incrementally (updated with the pivotal
@@ -1147,8 +1550,8 @@ impl Engine {
             if self.stats.iterations >= self.cfg.max_iterations {
                 return Ok(PhaseOutcome::IterationLimit);
             }
-            if self.etas.len() >= self.cfg.refactor_interval {
-                self.refactorize()?;
+            if let Some(reason) = self.cadence_refactor_due() {
+                self.refactorize(reason)?;
                 self.recompute_reduced();
             }
 
@@ -1158,7 +1561,7 @@ impl Engine {
                 None => {
                     // Claimed optimal: verify against exactly recomputed
                     // reduced costs before accepting (guards drift).
-                    self.refactorize()?;
+                    self.refactorize(RefactorReason::Forced)?;
                     self.recompute_reduced();
                     match self.price() {
                         Some(e) => e,
@@ -1195,7 +1598,7 @@ impl Engine {
                         // Should not happen (ratio test filters); refactor
                         // and retry rather than divide by ~0.
                         self.ftran_w = w;
-                        self.refactorize()?;
+                        self.refactorize(RefactorReason::Forced)?;
                         self.recompute_reduced();
                         continue;
                     }
@@ -1881,9 +2284,31 @@ impl Engine {
         debug_assert!(obj.is_finite(), "objective became non-finite after pivot");
     }
 
+    /// In-loop refactorization cadence shared by the primal and dual
+    /// iteration loops: the fixed interval always applies (and is checked
+    /// first so `Interval`-policy counters are unaffected by the cost
+    /// model), then the cost model compares the eta file's entry count
+    /// against the live factor's. Both triggers count entries — never
+    /// wall-clock — so the trajectory is deterministic.
+    #[inline]
+    fn cadence_refactor_due(&self) -> Option<RefactorReason> {
+        if self.etas.len() >= self.cfg.refactor_interval {
+            return Some(RefactorReason::Interval);
+        }
+        if self.refactor_policy == RefactorPolicy::CostModel
+            && self.etas.len() >= COST_MODEL_MIN_ETAS
+            && self.etas.entries.len() > COST_MODEL_ETA_FACTOR * self.lu_nnz
+        {
+            return Some(RefactorReason::CostModel);
+        }
+        None
+    }
+
     /// Rebuilds the LU factorization of the current basis and recomputes the
-    /// basic values from scratch to flush accumulated drift.
-    fn refactorize(&mut self) -> Result<(), SolveError> {
+    /// basic values from scratch to flush accumulated drift. `reason` feeds
+    /// the per-reason refactorization counters; the arithmetic is identical
+    /// for every reason.
+    fn refactorize(&mut self, reason: RefactorReason) -> Result<(), SolveError> {
         let m = self.std.nrows;
         let mut attempt = 0usize;
         let lu = loop {
@@ -1898,6 +2323,7 @@ impl Engine {
                             "basis repair failed: persistent singularity".into(),
                         ));
                     }
+                    self.stats.refactor_forced_singular += 1;
                     self.repair_basis(unpivoted_row)?;
                 }
             }
@@ -1905,9 +2331,22 @@ impl Engine {
         obs::record("lp.eta_len_at_refactor", self.etas.len() as u64);
         self.etas.clear();
         self.stats.refactorizations += 1;
+        match reason {
+            RefactorReason::Interval => self.stats.refactor_interval += 1,
+            RefactorReason::CostModel => self.stats.refactor_cost_model += 1,
+            RefactorReason::Forced => self.stats.refactor_forced_fallback += 1,
+        }
+        self.lu_nnz = lu.nnz();
+        self.lu = Some(lu);
+        self.compute_xb();
+        Ok(())
+    }
 
-        // Recompute xb = B^{-1} (-N x_N), reusing the engine-owned buffers
-        // (ftran fully overwrites its output).
+    /// Recomputes the basic values `xb = B^{-1} (-N x_N)` from the installed
+    /// factorization (LU followed by any product-form etas), reusing the
+    /// engine-owned buffers (ftran fully overwrites its output).
+    fn compute_xb(&mut self) {
+        let m = self.std.nrows;
         self.work_row[..m].fill(0.0);
         for j in 0..self.std.ncols() {
             if matches!(self.state[j], VarState::Basic(_)) {
@@ -1922,9 +2361,30 @@ impl Engine {
                 }
             }
         }
+        let lu = self
+            .lu
+            .take()
+            // lint: allow(lib-unwrap, reason = "invariant: every caller installs an LU immediately before recomputing xb")
+            .expect("invariant: LU installed before compute_xb");
         lu.ftran(&mut self.work_row, &mut self.xb);
         self.lu = Some(lu);
-        Ok(())
+        // Dense forward pass over the eta file (empty right after a
+        // refactorization; populated when a preserved factorization carries
+        // product-form row-growth updates).
+        for k in 0..self.etas.len() {
+            let head = self.etas.head(k);
+            let r = head.pos as usize;
+            let t = self.xb[r] / head.pivot;
+            // lint: allow(float-eq, reason = "exact-zero skip is a sparsity guard: skipping true zeros never changes the arithmetic")
+            if t != 0.0 {
+                for &(i, wi) in self.etas.entries_of(k) {
+                    if i != head.pos {
+                        self.xb[i as usize] -= wi * t;
+                    }
+                }
+            }
+            self.xb[r] = t;
+        }
     }
 
     /// Replaces whichever basis column failed to pivot with the artificial
@@ -2084,8 +2544,10 @@ impl PivotProbe {
             ..*base
         };
         let mut engine = Engine::new(std, cfg);
-        // lint: allow(lib-unwrap, reason = "bench-only probe constructor: warmup failure means the benchmark fixture is broken and should abort loudly")
-        let sol = engine.solve(None, false).expect("probe warmup failed");
+        let sol = engine
+            .solve(None, false, false)
+            // lint: allow(lib-unwrap, reason = "bench-only probe constructor: warmup failure means the benchmark fixture is broken and should abort loudly")
+            .expect("probe warmup failed");
         assert_eq!(
             sol.status,
             Status::IterationLimit,
@@ -2377,12 +2839,27 @@ impl SolverSession {
     pub fn warm_start_from(&mut self, basis: Basis) {
         self.warm = Some(basis);
         self.warm_is_own = false; // foreign provenance: primal warm path only
+                                  // The carried factorization factors the engine's *live* basis, not
+                                  // the foreign one about to be installed.
+        self.engine.reuse_ready = false;
     }
 
     /// Drops the carried basis; the next solve starts cold.
     pub fn clear_warm_start(&mut self) {
         self.warm = None;
         self.warm_is_own = false;
+        self.engine.reuse_ready = false;
+    }
+
+    /// Test-only hook: corrupts the carried LU factorization in place (a
+    /// single factor entry is scaled), so the differential suite can prove
+    /// the reuse residual guard rejects a bad factorization and falls back
+    /// cold instead of propagating wrong answers.
+    #[doc(hidden)]
+    pub fn debug_corrupt_factorization(&mut self) {
+        if let Some(lu) = self.engine.lu.as_mut() {
+            lu.corrupt_for_test();
+        }
     }
 
     /// Solves the current state of the held problem, warm-starting from the
@@ -2400,7 +2877,11 @@ impl SolverSession {
         // basis for this exact structure, with every edit since confined
         // to bounds/RHS. Anything else goes down the primal warm ladder.
         let try_dual = self.warm_is_own && !self.cost_dirty;
-        let sol = self.engine.solve(self.warm.as_ref(), try_dual)?;
+        // Factorization reuse rides on the engine's own validity tracking
+        // (`reuse_ready`, maintained across every in-place edit); the
+        // session only pins it off under the `Always` A/B policy.
+        let try_reuse = self.engine.refactor_policy != RefactorPolicy::Always;
+        let sol = self.engine.solve(self.warm.as_ref(), try_dual, try_reuse)?;
         if sol.status == Status::Optimal {
             self.warm.clone_from(&sol.basis);
             self.warm_is_own = sol.basis.is_some();

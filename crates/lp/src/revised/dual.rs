@@ -68,7 +68,7 @@ impl Engine {
             let j = self.basis[pos];
             self.state[j] = VarState::Basic(pos as u32);
         }
-        if self.refactorize().is_err() {
+        if self.refactorize(super::RefactorReason::Forced).is_err() {
             return Err(());
         }
         // Factorization repair swaps dependent columns for reopened
@@ -126,7 +126,9 @@ impl Engine {
     /// when no basic value violates its bounds (primal feasibility), and
     /// `Err(())` on a dual ray, numerical disagreement, or a stalled loop —
     /// all of which the caller converts into a primal fallback.
-    fn dual_loop(&mut self) -> Result<(), ()> {
+    /// (`pub(super)` so the factorization-reuse entry in `revised.rs` can
+    /// drive the same loop.)
+    pub(super) fn dual_loop(&mut self) -> Result<(), ()> {
         let m = self.std.nrows;
         let ftol = self.cfg.feas_tol;
         let ptol = self.cfg.pivot_tol;
@@ -138,8 +140,8 @@ impl Engine {
             if self.stats.iterations >= self.cfg.max_iterations || self.stats.iterations >= cap {
                 return Err(());
             }
-            if self.etas.len() >= self.cfg.refactor_interval {
-                self.refactorize().map_err(|_| ())?;
+            if let Some(reason) = self.cadence_refactor_due() {
+                self.refactorize(reason).map_err(|_| ())?;
                 self.recompute_reduced();
             }
 

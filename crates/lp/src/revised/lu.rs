@@ -306,6 +306,57 @@ impl Lu {
         })
     }
 
+    /// Entry count of the factors: L and U off-diagonals plus the `m`
+    /// diagonal pivots. One FTRAN/BTRAN pass touches every entry once, so
+    /// this is the per-pass cost unit the refactorization cost model
+    /// weighs the eta file against.
+    pub fn nnz(&self) -> usize {
+        let l: usize = self.l_cols.iter().map(Vec::len).sum();
+        let u: usize = self.u_cols.iter().map(Vec::len).sum();
+        l + u + self.m
+    }
+
+    /// Extends the factorization in place for `k` rows appended to the
+    /// basis, where position `m + i` holds the new row's activity column
+    /// (a single `-1.0` in row `m + i`) — exactly the shape `append_rows`
+    /// creates. Each new step pivots row `m + i` at position `m + i` with
+    /// pivot `-1.0` and empty off-diagonals, so the result factors the
+    /// bordered matrix `diag(B, -I)`. Couplings of *old* basic columns
+    /// into the new rows are not represented here; the caller carries
+    /// them as bordering etas in the product-form file.
+    pub fn extend_rows(&mut self, k: usize) {
+        let m0 = self.m;
+        self.row_perm.reserve(k);
+        self.row_pos.reserve(k);
+        self.col_order.reserve(k);
+        self.col_pos.reserve(k);
+        for i in 0..k {
+            // lint: allow(lossy-cast, reason = "row indices are bounded by the CSR u32 index width by construction")
+            let step = (m0 + i) as u32;
+            self.row_perm.push(step);
+            self.row_pos.push(step);
+            self.col_order.push(step);
+            self.col_pos.push(step);
+            self.l_cols.push(Vec::new());
+            self.u_cols.push(Vec::new());
+            self.u_diag.push(-1.0);
+        }
+        let ut_last = self.ut_ptr[m0];
+        let lt_last = self.lt_ptr[m0];
+        self.ut_ptr.resize(m0 + k + 1, ut_last);
+        self.lt_ptr.resize(m0 + k + 1, lt_last);
+        self.m = m0 + k;
+    }
+
+    /// Deliberately damages the factors (test hook for the reuse residual
+    /// guard; see `SolverSession::debug_corrupt_factorization`).
+    #[doc(hidden)]
+    pub fn corrupt_for_test(&mut self) {
+        if let Some(d) = self.u_diag.first_mut() {
+            *d *= 1.5;
+        }
+    }
+
     /// Solves `B x = rhs`.
     ///
     /// `rhs_by_row` is dense, indexed by original row, and is destroyed.

@@ -74,18 +74,15 @@ impl Engine {
         }
     }
 
-    /// One full sanitizer sweep. Kept out of line so the hot path carries
-    /// only the countdown branch.
-    #[cold]
-    #[inline(never)]
-    fn sanitize_sweep(&mut self) {
-        self.stats.sanitizer_checks += 1;
-        let mut violations = 0u64;
+    /// Residual spot-check of the standardized system: assembles `A·x`
+    /// from the incremental `xb`/`xval` and requires it to vanish (scaled
+    /// by the largest participating magnitude). `work_row` is dead between
+    /// pivots, so the check may clobber it. Returns `false` on any drift —
+    /// including a NaN residual — which makes it double as the
+    /// factorization-reuse gate: a stale LU produces basic values that
+    /// fail this identity.
+    pub(super) fn residual_ok(&mut self) -> bool {
         let m = self.std.nrows;
-
-        // (1) Residual of the standardized system: assemble A·x from the
-        // incremental xb/xval and require it to vanish. `work_row` is dead
-        // between pivots, so the sweep may clobber it.
         self.work_row[..m].fill(0.0);
         let mut scale = 1.0f64;
         for j in 0..self.std.ncols() {
@@ -110,9 +107,21 @@ impl Engine {
                 worst = r.abs();
             }
         }
-        // Negated comparison so a NaN residual counts as a violation.
-        #[allow(clippy::neg_cmp_op_on_partial_ord)]
-        if !(worst <= RESIDUAL_TOL * scale) {
+        // Direct (non-negated) comparison: a NaN residual compares false.
+        worst <= RESIDUAL_TOL * scale
+    }
+
+    /// One full sanitizer sweep. Kept out of line so the hot path carries
+    /// only the countdown branch.
+    #[cold]
+    #[inline(never)]
+    fn sanitize_sweep(&mut self) {
+        self.stats.sanitizer_checks += 1;
+        let mut violations = 0u64;
+        let m = self.std.nrows;
+
+        // (1) Residual of the standardized system.
+        if !self.residual_ok() {
             violations += 1;
         }
 

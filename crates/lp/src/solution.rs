@@ -68,8 +68,34 @@ pub struct SolveStats {
     pub iterations: u64,
     /// Iterations spent in phase 1 (attaining feasibility).
     pub phase1_iterations: u64,
-    /// Number of basis refactorizations performed.
+    /// Number of basis refactorizations performed (sum of the per-reason
+    /// counters below).
     pub refactorizations: u64,
+    /// Refactorizations forced by the eta file reaching the fixed
+    /// `refactor_interval` cap.
+    pub refactor_interval: u64,
+    /// Refactorizations triggered by the cost model (eta-apply work
+    /// outgrew the amortized factor cost) before the interval cap hit.
+    pub refactor_cost_model: u64,
+    /// Refactorizations that are part of the algorithm itself: solve-entry
+    /// factors on the cold/warm/dual install paths, claimed-optimal
+    /// verification, and zero-pivot retries. A reused factorization avoids
+    /// the entry share of these.
+    pub refactor_forced_fallback: u64,
+    /// Basis repairs performed because a factorization attempt hit a
+    /// numerically singular basis (counts repairs, not whole
+    /// refactorizations; the repaired factor lands in one of the reason
+    /// counters above).
+    pub refactor_forced_singular: u64,
+    /// Solve entries that reused the previous solve's factorization (and
+    /// live basis state) instead of refactorizing.
+    pub lu_reuse_hits: u64,
+    /// Reuse attempts rejected — by the residual spot-check or by a failed
+    /// warm continuation — and restarted through the install ladder.
+    pub refactor_reuse_rejected: u64,
+    /// Product-form factorization updates applied on structural edits
+    /// (one per bordering eta appended by `add_rows`).
+    pub lu_updates: u64,
     /// Number of degenerate pivots (zero step length).
     pub degenerate_pivots: u64,
     /// Number of Devex reference-framework resets forced by weight blowup.
@@ -138,6 +164,13 @@ impl SolveStats {
         self.iterations += other.iterations;
         self.phase1_iterations += other.phase1_iterations;
         self.refactorizations += other.refactorizations;
+        self.refactor_interval += other.refactor_interval;
+        self.refactor_cost_model += other.refactor_cost_model;
+        self.refactor_forced_fallback += other.refactor_forced_fallback;
+        self.refactor_forced_singular += other.refactor_forced_singular;
+        self.lu_reuse_hits += other.lu_reuse_hits;
+        self.refactor_reuse_rejected += other.refactor_reuse_rejected;
+        self.lu_updates += other.lu_updates;
         self.degenerate_pivots += other.degenerate_pivots;
         self.devex_resets += other.devex_resets;
         self.bound_flips += other.bound_flips;
@@ -231,6 +264,13 @@ mod tests {
             iterations: 10,
             phase1_iterations: 4,
             refactorizations: 2,
+            refactor_interval: 1,
+            refactor_cost_model: 0,
+            refactor_forced_fallback: 1,
+            refactor_forced_singular: 0,
+            lu_reuse_hits: 1,
+            refactor_reuse_rejected: 0,
+            lu_updates: 2,
             degenerate_pivots: 1,
             devex_resets: 1,
             bound_flips: 3,
@@ -255,6 +295,13 @@ mod tests {
             iterations: 5,
             phase1_iterations: 0,
             refactorizations: 1,
+            refactor_interval: 0,
+            refactor_cost_model: 1,
+            refactor_forced_fallback: 0,
+            refactor_forced_singular: 1,
+            lu_reuse_hits: 0,
+            refactor_reuse_rejected: 1,
+            lu_updates: 1,
             degenerate_pivots: 0,
             devex_resets: 2,
             bound_flips: 0,
@@ -277,6 +324,14 @@ mod tests {
         };
         a.merge(&b);
         assert_eq!(a.iterations, 15);
+        assert_eq!(a.refactorizations, 3);
+        assert_eq!(a.refactor_interval, 1);
+        assert_eq!(a.refactor_cost_model, 1);
+        assert_eq!(a.refactor_forced_fallback, 1);
+        assert_eq!(a.refactor_forced_singular, 1);
+        assert_eq!(a.lu_reuse_hits, 1);
+        assert_eq!(a.refactor_reuse_rejected, 1);
+        assert_eq!(a.lu_updates, 3);
         assert_eq!(a.devex_resets, 3);
         assert_eq!(a.phase1_iterations, 4);
         assert_eq!(a.phase2_iterations(), 11);

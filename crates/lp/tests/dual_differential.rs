@@ -13,7 +13,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use wavesched_lp::{
     solve, solve_with, solve_with_start, Basis, BasisStatus, Col, NewColumn, Objective, Problem,
-    Row, SimplexConfig, SolverSession, Status,
+    RefactorPolicy, Row, SimplexConfig, SolverSession, Status,
 };
 
 /// Random LP from integer-ish data (mirrors `tests/differential.rs`), so
@@ -320,7 +320,17 @@ fn add_columns_matches_fresh_session_on_merged_problem() {
         if nrows == 0 {
             continue;
         }
-        let mut sess = SolverSession::new(&base).unwrap();
+        // Pin the refactorization policy to `Always` on both sides: the
+        // point of this test is the *pivot-for-pivot* stats equality below,
+        // and under the persistence policies the spliced session reuses its
+        // own factorization while the fresh session (foreign basis) cannot,
+        // legitimately splitting the refactorization counters. Answer-level
+        // reuse coverage lives in `tests/lu_persistence.rs`.
+        let cfg = SimplexConfig {
+            refactor_policy: RefactorPolicy::Always,
+            ..SimplexConfig::default()
+        };
+        let mut sess = SolverSession::with_config(&base, &cfg).unwrap();
         let first = sess.solve().unwrap();
         if first.status != Status::Optimal {
             continue;
@@ -374,7 +384,7 @@ fn add_columns_matches_fresh_session_on_merged_problem() {
                     BasisStatus::Free
                 });
         }
-        let mut fresh = SolverSession::new(&merged).unwrap();
+        let mut fresh = SolverSession::with_config(&merged, &cfg).unwrap();
         fresh.warm_start_from(ext);
         let reference = fresh.solve().unwrap();
 

@@ -230,15 +230,16 @@ fn run() -> Result<(), String> {
             }
         }
         // Column generation reports as a counter *family*: a run that
-        // priced anything records all four cg.* counters in one code path,
+        // priced anything records every cg.* counter in one code path,
         // so a partial family means the report schema drifted.
         if counter_names.iter().any(|n| n.starts_with("cg.")) {
-            const CG_FAMILY: [&str; 5] = [
+            const CG_FAMILY: [&str; 6] = [
                 "cg.rounds",
                 "cg.columns_added",
                 "cg.pricer_calls",
                 "cg.pricing_ns",
                 "cg.master_dual_iterations",
+                "cg.master_lu_reuse_hits",
             ];
             let missing: Vec<&str> = CG_FAMILY
                 .iter()
